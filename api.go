@@ -1,0 +1,230 @@
+package memsched
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/daggen"
+	"repro/internal/exact"
+	"repro/internal/experiments"
+	"repro/internal/linalg"
+	"repro/internal/multi"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// Core model types.
+type (
+	// Graph is a task DAG with dual processing times and file-carrying
+	// edges.
+	Graph = dag.Graph
+	// TaskID identifies a task within a Graph.
+	TaskID = dag.TaskID
+	// EdgeID identifies an edge within a Graph.
+	EdgeID = dag.EdgeID
+	// Task is a node of the graph.
+	Task = dag.Task
+	// Edge is a dependency carrying a file.
+	Edge = dag.Edge
+	// Platform describes the dual-memory machine.
+	Platform = platform.Platform
+	// Memory identifies the blue or red memory.
+	Memory = platform.Memory
+	// Schedule is a complete mapping of a graph onto a platform.
+	Schedule = schedule.Schedule
+	// Options tunes a heuristic run (tie-break seed).
+	Options = core.Options
+	// SchedulerFunc is the common signature of all schedulers.
+	SchedulerFunc = core.Func
+)
+
+// Memories.
+const (
+	Blue = platform.Blue
+	Red  = platform.Red
+)
+
+// Unlimited is a memory capacity that never constrains a schedule.
+const Unlimited = platform.Unlimited
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph { return dag.New() }
+
+// ReadGraph decodes and validates a JSON graph from r.
+func ReadGraph(r io.Reader) (*Graph, error) { return dag.Read(r) }
+
+// NewPlatform returns a platform with pBlue/pRed processors and the given
+// memory capacities.
+func NewPlatform(pBlue, pRed int, mBlue, mRed int64) Platform {
+	return platform.New(pBlue, pRed, mBlue, mRed)
+}
+
+// Schedulers of the paper. HEFT and MinMin ignore the platform's memory
+// bounds; MemHEFT and MemMinMin enforce them and return an error wrapping
+// ErrMemoryBound when the graph does not fit.
+var (
+	HEFT      = core.HEFT
+	MinMin    = core.MinMin
+	MemHEFT   = core.MemHEFT
+	MemMinMin = core.MemMinMin
+)
+
+// ErrMemoryBound is returned (wrapped) when a memory-aware heuristic cannot
+// schedule the graph within the platform's memory bounds.
+var ErrMemoryBound = core.ErrMemoryBound
+
+// SchedulerByName resolves "heft", "minmin", "memheft" or "memminmin".
+func SchedulerByName(name string) (SchedulerFunc, error) { return core.ByName(name) }
+
+// LowerBound returns a makespan lower bound valid for every schedule of g
+// on p (critical path and aggregate work arguments).
+func LowerBound(g *Graph, p Platform) (float64, error) { return exact.LowerBound(g, p) }
+
+// OptimalOptions bounds the effort of the exact search.
+type OptimalOptions struct {
+	MaxNodes int           // 0 = exact.DefaultMaxNodes
+	Timeout  time.Duration // 0 = unlimited
+}
+
+// Optimal runs the branch-and-bound search for the best list schedule of g
+// on p. It returns the best schedule found and whether optimality (over the
+// list-schedule space) was proven; a nil schedule with proven=true means
+// the instance is infeasible for every list schedule.
+func Optimal(g *Graph, p Platform, opt OptimalOptions) (s *Schedule, proven bool, err error) {
+	res, err := exact.Solve(g, p, exact.Options{MaxNodes: opt.MaxNodes, Timeout: opt.Timeout})
+	if err != nil {
+		return nil, false, err
+	}
+	proven = res.Status == exact.Optimal || res.Status == exact.Infeasible
+	return res.Schedule, proven, nil
+}
+
+// Workload generators.
+
+// RandomParams configures the DAGGEN-style random generator.
+type RandomParams = daggen.Params
+
+// SmallRandParams returns the paper's SmallRandSet parameters (30 tasks).
+func SmallRandParams() RandomParams { return daggen.SmallParams() }
+
+// LargeRandParams returns the paper's LargeRandSet parameters (1000 tasks).
+func LargeRandParams() RandomParams { return daggen.LargeParams() }
+
+// GenerateRandom builds one random DAG from params and seed.
+func GenerateRandom(p RandomParams, seed int64) (*Graph, error) { return daggen.Generate(p, seed) }
+
+// LinalgConfig configures the tiled factorisation graph builders.
+type LinalgConfig = linalg.Config
+
+// DefaultLinalgConfig returns the paper's configuration (Table 1 timings,
+// 50 ms tile transfers, broadcast pipelines) for an n x n tiled matrix.
+func DefaultLinalgConfig(n int) LinalgConfig { return linalg.DefaultConfig(n) }
+
+// LUGraph builds the task graph of a tiled LU factorisation.
+func LUGraph(cfg LinalgConfig) (*Graph, error) { return linalg.LU(cfg) }
+
+// CholeskyGraph builds the task graph of a tiled Cholesky factorisation.
+func CholeskyGraph(cfg LinalgConfig) (*Graph, error) { return linalg.Cholesky(cfg) }
+
+// PaperExample returns the four-task toy DAG of Figure 2 of the paper.
+func PaperExample() *Graph { return dag.PaperExample() }
+
+// Experiment harness re-exports (see EXPERIMENTS.md for the mapping to the
+// paper's figures and tables).
+type (
+	// ResultTable is a rendered experiment result (CSV / markdown).
+	ResultTable = experiments.Table
+	// SweepResult couples the makespan and success-rate panels of the
+	// normalised-memory sweeps (Figures 10 and 12).
+	SweepResult = experiments.SweepResult
+)
+
+// Experiment scales.
+const (
+	// QuickScale shrinks instance counts so a full campaign runs in
+	// seconds.
+	QuickScale = experiments.Quick
+	// FullScale reproduces the paper's parameters exactly.
+	FullScale = experiments.Full
+)
+
+// Multi-memory extension (the paper's §7 future work): platforms with any
+// number of memory pools, each with its own processors and capacity.
+type (
+	// MemoryPool is one memory with its attached processors.
+	MemoryPool = multi.Pool
+	// MultiPlatform is an ordered list of memory pools.
+	MultiPlatform = multi.Platform
+	// MultiInstance couples a DAG with a per-pool timing matrix.
+	MultiInstance = multi.Instance
+	// MultiSchedule is a schedule on a multi-pool platform.
+	MultiSchedule = multi.Schedule
+	// MultiSchedulerFunc is the signature of the generalised heuristics
+	// as exposed by this facade.
+	MultiSchedulerFunc = func(*MultiInstance, MultiPlatform, Options) (*MultiSchedule, error)
+)
+
+// NewMultiPlatform builds a multi-pool platform.
+func NewMultiPlatform(pools ...MemoryPool) MultiPlatform { return multi.NewPlatform(pools...) }
+
+// NewMultiInstance couples a graph (structure, files, communication times)
+// with a Times[task][pool] processing-time matrix.
+func NewMultiInstance(g *Graph, times [][]float64) *MultiInstance {
+	return multi.NewInstance(g, times)
+}
+
+// DualInstance converts a dual-memory graph into a 2-pool instance (pool 0
+// blue, pool 1 red); the generalised heuristics then reproduce MemHEFT /
+// MemMinMin exactly.
+func DualInstance(g *Graph) *MultiInstance { return multi.FromDual(g) }
+
+// Generalised schedulers for multi-pool platforms.
+var (
+	MultiMemHEFT = func(in *MultiInstance, p MultiPlatform, opt Options) (*MultiSchedule, error) {
+		return multi.MemHEFT(in, p, multi.Options{Seed: opt.Seed})
+	}
+	MultiMemMinMin = func(in *MultiInstance, p MultiPlatform, opt Options) (*MultiSchedule, error) {
+		return multi.MemMinMin(in, p, multi.Options{Seed: opt.Seed})
+	}
+)
+
+// ErrMultiMemoryBound is the multi-pool counterpart of ErrMemoryBound.
+var ErrMultiMemoryBound = multi.ErrMemoryBound
+
+// MemHEFTInsertion runs MemHEFT with classical HEFT's insertion-based
+// processor selection (idle gaps may be filled) instead of the paper's
+// append policy — an ablation of Algorithm 1's processor-selection rule.
+var MemHEFTInsertion = core.MemHEFTInsertion
+
+// Online runtime simulation (the StarPU-style integration the paper's
+// conclusion proposes): scheduling decisions happen at runtime events with
+// eager transfers and memory admission control.
+
+// SimPolicy selects the online dispatch order.
+type SimPolicy = sim.Policy
+
+// Online dispatch policies.
+const (
+	// SimRankPolicy dispatches the highest-upward-rank admissible task
+	// (HEFT-flavoured).
+	SimRankPolicy = sim.RankPolicy
+	// SimEFTPolicy dispatches the earliest-finishing admissible pair
+	// (MinMin-flavoured).
+	SimEFTPolicy = sim.EFTPolicy
+)
+
+// ErrSimStuck is returned (wrapped) when the online run deadlocks on memory.
+var ErrSimStuck = sim.ErrStuck
+
+// Simulate runs the online dispatcher for g on p and returns the emitted,
+// validated schedule.
+func Simulate(g *Graph, p Platform, policy SimPolicy, seed int64) (*Schedule, error) {
+	res, err := sim.Run(g, p, sim.Options{Policy: policy, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}

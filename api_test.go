@@ -1,0 +1,205 @@
+package memsched
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	g := NewGraph()
+	a := g.AddTask("prepare", 3, 1)
+	b := g.AddTask("solve", 6, 3)
+	g.MustAddEdge(a, b, 2, 1)
+
+	p := NewPlatform(2, 1, 8, 4)
+	s, err := MemHEFT(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() <= 0 {
+		t.Fatal("nonpositive makespan")
+	}
+}
+
+func TestFacadeSchedulersRegistered(t *testing.T) {
+	for _, name := range []string{"heft", "minmin", "memheft", "memminmin"} {
+		if _, err := SchedulerByName(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := SchedulerByName("nope"); err == nil {
+		t.Fatal("bad name accepted")
+	}
+}
+
+func TestFacadeErrMemoryBound(t *testing.T) {
+	g := PaperExample()
+	p := NewPlatform(1, 1, 2, 2)
+	_, err := MemMinMin(g, p, Options{})
+	if !errors.Is(err, ErrMemoryBound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFacadeGraphJSONRoundTrip(t *testing.T) {
+	g := PaperExample()
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != 4 || back.NumEdges() != 4 {
+		t.Fatal("round trip lost structure")
+	}
+}
+
+func TestFacadeOptimalOnPaperExample(t *testing.T) {
+	g := PaperExample()
+	s, proven, err := Optimal(g, NewPlatform(1, 1, 4, 4), OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proven || s == nil || s.Makespan() != 7 {
+		t.Fatalf("proven=%v s=%v", proven, s)
+	}
+	// Infeasible case: nil schedule with proven=true.
+	s, proven, err = Optimal(g, NewPlatform(1, 1, 2, 2), OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nil || !proven {
+		t.Fatalf("infeasible case: s=%v proven=%v", s, proven)
+	}
+}
+
+func TestFacadeLowerBound(t *testing.T) {
+	lb, err := LowerBound(PaperExample(), NewPlatform(1, 1, 10, 10))
+	if err != nil || lb != 5 {
+		t.Fatalf("lb=%g err=%v", lb, err)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	g, err := GenerateRandom(SmallRandParams(), 1)
+	if err != nil || g.NumTasks() != 30 {
+		t.Fatalf("random: %v", err)
+	}
+	if LargeRandParams().Size != 1000 {
+		t.Fatal("large params wrong")
+	}
+	lu, err := LUGraph(DefaultLinalgConfig(3))
+	if err != nil || lu.NumTasks() == 0 {
+		t.Fatalf("lu: %v", err)
+	}
+	ch, err := CholeskyGraph(DefaultLinalgConfig(3))
+	if err != nil || ch.NumTasks() == 0 {
+		t.Fatalf("cholesky: %v", err)
+	}
+}
+
+func TestFacadeMemoryConstants(t *testing.T) {
+	if Blue.String() != "blue" || Red.String() != "red" {
+		t.Fatal("memory constants wrong")
+	}
+	p := NewPlatform(1, 1, Unlimited, Unlimited)
+	if !strings.Contains(p.String(), "inf") {
+		t.Fatal("Unlimited not formatted as inf")
+	}
+}
+
+func TestFacadeMultiPool(t *testing.T) {
+	g := PaperExample()
+	inst := DualInstance(g)
+	p := NewMultiPlatform(MemoryPool{Procs: 1, Capacity: 10}, MemoryPool{Procs: 1, Capacity: 10})
+	for _, fn := range []MultiSchedulerFunc{MultiMemHEFT, MultiMemMinMin} {
+		s, err := fn(inst, p, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(s.MemoryPeaks()) != 2 {
+			t.Fatal("peak count")
+		}
+	}
+	// Differential against the dual-memory scheduler.
+	dual, err := MemHEFT(g, NewPlatform(1, 1, 10, 10), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := MultiMemHEFT(inst, p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.Makespan() != ms.Makespan() {
+		t.Fatalf("dual %g vs multi %g", dual.Makespan(), ms.Makespan())
+	}
+	// Tiny memories must error with the sentinel.
+	tiny := NewMultiPlatform(MemoryPool{Procs: 1, Capacity: 2}, MemoryPool{Procs: 1, Capacity: 2})
+	if _, err := MultiMemHEFT(inst, tiny, Options{}); !errors.Is(err, ErrMultiMemoryBound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFacadeEndToEndLU(t *testing.T) {
+	// A miniature of the Figure 14 pipeline through the public API only.
+	g, err := LUGraph(DefaultLinalgConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded := NewPlatform(12, 3, Unlimited, Unlimited)
+	ref, err := HEFT(g, unbounded, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blue, red := ref.MemoryPeaks()
+	peak := blue
+	if red > peak {
+		peak = red
+	}
+	tight := NewPlatform(12, 3, peak/2, peak/2)
+	s, err := MemHEFT(g, tight, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("MemHEFT at half the HEFT peak: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b2, r2 := s.MemoryPeaks()
+	if b2 > peak/2 || r2 > peak/2 {
+		t.Fatalf("peaks (%d,%d) exceed bound %d", b2, r2, peak/2)
+	}
+}
+
+func TestFacadeSimulateAndInsertion(t *testing.T) {
+	g := PaperExample()
+	p := NewPlatform(1, 1, 10, 10)
+	for _, pol := range []SimPolicy{SimRankPolicy, SimEFTPolicy} {
+		s, err := Simulate(g, p, pol, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Simulate(g, NewPlatform(1, 1, 2, 2), SimRankPolicy, 1); !errors.Is(err, ErrSimStuck) {
+		t.Fatalf("err = %v", err)
+	}
+	s, err := MemHEFTInsertion(g, p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Command daggen generates task graphs in the JSON format understood by
+// cmd/memsched: DAGGEN-style random DAGs (the paper's SmallRandSet /
+// LargeRandSet shapes) or tiled LU / Cholesky factorisation graphs.
+//
+// Usage:
+//
+//	daggen -kind random -size 30 -width 0.3 -density 0.5 -jumps 5 -seed 1 > dag.json
+//	daggen -kind lu -tiles 13 > lu13.json
+//	daggen -kind cholesky -tiles 13 -dot chol.dot > chol13.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dag"
+	"repro/internal/daggen"
+	"repro/internal/linalg"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "random", "graph kind: random, lu or cholesky")
+		size    = flag.Int("size", 30, "random: number of tasks")
+		width   = flag.Float64("width", 0.3, "random: width parameter in (0,1]")
+		reg     = flag.Float64("regularity", 0.5, "random: level-size regularity in [0,1]")
+		density = flag.Float64("density", 0.5, "random: edge density in [0,1]")
+		jumps   = flag.Int("jumps", 5, "random: maximum level jump of extra edges")
+		large   = flag.Bool("large", false, "random: use the LargeRandSet value ranges ([1,100] everywhere)")
+		tiles   = flag.Int("tiles", 13, "lu/cholesky: tiled matrix dimension")
+		seed    = flag.Int64("seed", 1, "random seed")
+		dotPath = flag.String("dot", "", "also write Graphviz output to this path")
+		stats   = flag.Bool("stats", false, "print graph statistics to stderr")
+	)
+	flag.Parse()
+	if err := run(*kind, *size, *width, *reg, *density, *jumps, *large, *tiles, *seed, *dotPath, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "daggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, size int, width, reg, density float64, jumps int, large bool, tiles int, seed int64, dotPath string, stats bool) error {
+	var g *dag.Graph
+	var err error
+	switch kind {
+	case "random":
+		params := daggen.SmallParams()
+		if large {
+			params = daggen.LargeParams()
+		}
+		params.Size = size
+		params.Width = width
+		params.Regularity = reg
+		params.Density = density
+		params.Jumps = jumps
+		g, err = daggen.Generate(params, seed)
+	case "lu":
+		g, err = linalg.LU(linalg.DefaultConfig(tiles))
+	case "cholesky":
+		g, err = linalg.Cholesky(linalg.DefaultConfig(tiles))
+	default:
+		err = fmt.Errorf("unknown kind %q (want random, lu or cholesky)", kind)
+	}
+	if err != nil {
+		return err
+	}
+	if stats {
+		st, err := g.ComputeStats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tasks=%d edges=%d fictitious=%d levels=%d maxWidth=%d cp=%g maxMemReq=%d\n",
+			st.Tasks, st.Edges, st.Fictitious, st.Levels, st.MaxWidth, st.CPLength, st.MaxMemReq)
+	}
+	if dotPath != "" {
+		if err := os.WriteFile(dotPath, []byte(g.DOT(kind)), 0o644); err != nil {
+			return err
+		}
+	}
+	return g.Write(os.Stdout)
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout for the duration of fn.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, errRun
+}
+
+func TestRunRandom(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run("random", 12, 0.3, 0.5, 0.5, 3, false, 0, 1, "", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"tasks"`) {
+		t.Fatalf("no JSON tasks in output: %q", out)
+	}
+}
+
+func TestRunLUAndCholesky(t *testing.T) {
+	for _, kind := range []string{"lu", "cholesky"} {
+		if _, err := captureStdout(t, func() error {
+			return run(kind, 0, 0, 0, 0, 0, false, 4, 1, "", false)
+		}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestRunLargeRanges(t *testing.T) {
+	if _, err := captureStdout(t, func() error {
+		return run("random", 20, 0.3, 0.5, 0.5, 5, true, 0, 2, "", true)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesDot(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "g.dot")
+	if _, err := captureStdout(t, func() error {
+		return run("lu", 0, 0, 0, 0, 0, false, 3, 1, dot, false)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil || !strings.Contains(string(data), "digraph") {
+		t.Fatalf("dot output bad: %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if _, err := captureStdout(t, func() error {
+		return run("nope", 10, 0.3, 0.5, 0.5, 3, false, 0, 1, "", false)
+	}); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if _, err := captureStdout(t, func() error {
+		return run("random", -4, 0.3, 0.5, 0.5, 3, false, 0, 1, "", false)
+	}); err == nil {
+		t.Fatal("bad size accepted")
+	}
+	if _, err := captureStdout(t, func() error {
+		return run("lu", 0, 0, 0, 0, 0, false, 0, 1, "", false)
+	}); err == nil {
+		t.Fatal("zero tiles accepted")
+	}
+}

@@ -1,0 +1,171 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§6). Each figure is written as CSV (for plotting) and
+// markdown (for reading) under the output directory.
+//
+// Usage:
+//
+//	experiments -fig all -scale quick -out results/
+//	experiments -fig fig10 -scale full -seed 1 -out results/
+//
+// Figures: table1, fig10, fig11, fig12, fig13, fig14, fig15, all.
+// Scale "full" reproduces the paper's instance sizes (Fig. 12 then runs 100
+// DAGs of 1000 tasks and takes tens of minutes); "quick" runs reduced
+// instances in seconds while preserving the qualitative shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "which figure to regenerate (table1, fig10..fig15, all)")
+		scale = flag.String("scale", "quick", "experiment scale: quick or full")
+		seed  = flag.Int64("seed", 1, "base seed for workload generation")
+		out   = flag.String("out", "results", "output directory")
+	)
+	flag.Parse()
+	if err := run(*fig, *scale, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, scaleName string, seed int64, out string) error {
+	var scale experiments.Scale
+	switch scaleName {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", scaleName)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	type job struct {
+		name string
+		run  func() error
+	}
+	jobs := []job{
+		{"table1", func() error {
+			t := experiments.Table1()
+			// Re-label rows with kernel names in the markdown.
+			md := &strings.Builder{}
+			md.WriteString("| kernel | cpu-ms | gpu-ms |\n| --- | --- | --- |\n")
+			for i, k := range experiments.Table1Kernels() {
+				fmt.Fprintf(md, "| %s | %g | %g |\n", k, t.Rows[i].Values[0], t.Rows[i].Values[1])
+			}
+			return writeBoth(out, "table1", t.CSV(), md.String())
+		}},
+		{"fig10", func() error {
+			res, err := experiments.Fig10(scale, seed)
+			if err != nil {
+				return err
+			}
+			return writeSweep(out, "fig10", res)
+		}},
+		{"fig11", func() error {
+			t, err := experiments.Fig11(scale, seed)
+			if err != nil {
+				return err
+			}
+			return writeBoth(out, "fig11", t.CSV(), t.Markdown())
+		}},
+		{"fig12", func() error {
+			res, err := experiments.Fig12(scale, seed)
+			if err != nil {
+				return err
+			}
+			return writeSweep(out, "fig12", res)
+		}},
+		{"fig13", func() error {
+			t, err := experiments.Fig13(scale, seed)
+			if err != nil {
+				return err
+			}
+			return writeBoth(out, "fig13", t.CSV(), t.Markdown())
+		}},
+		{"fig14", func() error {
+			t, err := experiments.Fig14(scale, seed)
+			if err != nil {
+				return err
+			}
+			return writeBoth(out, "fig14", t.CSV(), t.Markdown())
+		}},
+		{"fig15", func() error {
+			t, err := experiments.Fig15(scale, seed)
+			if err != nil {
+				return err
+			}
+			return writeBoth(out, "fig15", t.CSV(), t.Markdown())
+		}},
+		// Extensions beyond the paper (DESIGN.md): ablations of the
+		// processor policy, the online dispatcher, and the k-memory
+		// generalisation.
+		{"ext-insertion", func() error {
+			t, err := experiments.ExtInsertion(scale, seed)
+			if err != nil {
+				return err
+			}
+			return writeBoth(out, "ext-insertion", t.CSV(), t.Markdown())
+		}},
+		{"ext-online", func() error {
+			t, err := experiments.ExtOnline(scale, seed)
+			if err != nil {
+				return err
+			}
+			return writeBoth(out, "ext-online", t.CSV(), t.Markdown())
+		}},
+		{"ext-multipool", func() error {
+			t, err := experiments.ExtMultiPool(scale, seed)
+			if err != nil {
+				return err
+			}
+			return writeBoth(out, "ext-multipool", t.CSV(), t.Markdown())
+		}},
+	}
+
+	ran := 0
+	for _, j := range jobs {
+		if fig != "all" && fig != j.name {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("running %s (%s scale)...", j.name, scaleName)
+		if err := j.run(); err != nil {
+			fmt.Println()
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		fmt.Printf(" done in %v\n", time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	fmt.Printf("results written to %s/\n", out)
+	return nil
+}
+
+func writeBoth(dir, name, csv, md string) error {
+	if err := os.WriteFile(filepath.Join(dir, name+".csv"), []byte(csv), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".md"), []byte(md), 0o644)
+}
+
+func writeSweep(dir, name string, res *experiments.SweepResult) error {
+	if err := writeBoth(dir, name+"_makespan", res.Makespan.CSV(), res.Makespan.Markdown()); err != nil {
+		return err
+	}
+	return writeBoth(dir, name+"_success", res.Success.CSV(), res.Success.Markdown())
+}

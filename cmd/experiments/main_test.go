@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("table1", "quick", 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kernel := range []string{"getrf", "gemm", "trsm_l", "trsm_u", "potrf", "syrk"} {
+		if !strings.Contains(string(data), kernel) {
+			t.Fatalf("table1.md missing %s", kernel)
+		}
+	}
+	if !strings.Contains(string(data), "450") || !strings.Contains(string(data), "1450") {
+		t.Fatal("table1.md missing Table 1 values")
+	}
+}
+
+func TestRunFig11Quick(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig11", "quick", 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig11.csv", "fig11.md"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "fig11.csv"))
+	if !strings.HasPrefix(string(data), "memory,heft,minmin,memheft,memminmin,lowerbound") {
+		t.Fatalf("fig11.csv header: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestRunFig12QuickWritesBothPanels(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig12", "quick", 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig12_makespan.csv", "fig12_success.csv", "fig12_makespan.md", "fig12_success.md"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("%s missing", name)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("table1", "enormous", 1, dir); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if err := run("fig99", "quick", 1, dir); err == nil {
+		t.Fatal("bad figure accepted")
+	}
+}
+
+func TestRunExtensionFigures(t *testing.T) {
+	dir := t.TempDir()
+	for _, fig := range []string{"ext-insertion", "ext-online", "ext-multipool"} {
+		if err := run(fig, "quick", 1, dir); err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, fig+".csv")); err != nil {
+			t.Fatalf("%s output missing", fig)
+		}
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole quick campaign")
+	}
+	dir := t.TempDir()
+	if err := run("all", "quick", 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 20 { // 10 jobs x >= 2 files each
+		t.Fatalf("only %d result files", len(entries))
+	}
+}

@@ -1,0 +1,139 @@
+// Command memsched schedules a task graph (JSON) on a dual-memory platform
+// with one of the paper's heuristics and reports the schedule, its makespan
+// and its memory peaks.
+//
+// Usage:
+//
+//	memsched -graph dag.json -algo memheft -pblue 2 -pred 2 -mblue 50 -mred 50
+//	memsched -example -algo memminmin -mblue 4 -mred 4
+//
+// With -example the built-in four-task DAG of the paper's Figure 2 is used
+// instead of a file. -timeline prints the event table; -dot writes the graph
+// in Graphviz syntax to the given path; -json writes the schedule as JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to a JSON task graph")
+		example   = flag.Bool("example", false, "use the paper's four-task example DAG")
+		algo      = flag.String("algo", "memheft", "heuristic: heft, minmin, memheft or memminmin")
+		pBlue     = flag.Int("pblue", 1, "number of blue (CPU-side) processors")
+		pRed      = flag.Int("pred", 1, "number of red (accelerator-side) processors")
+		mBlue     = flag.Int64("mblue", -1, "blue memory capacity (-1 = unlimited)")
+		mRed      = flag.Int64("mred", -1, "red memory capacity (-1 = unlimited)")
+		seed      = flag.Int64("seed", 1, "tie-breaking seed")
+		timeline  = flag.Bool("timeline", false, "print the full event timeline")
+		dotPath   = flag.String("dot", "", "write the graph in Graphviz format to this path")
+		jsonOut   = flag.Bool("json", false, "print the schedule as JSON")
+		svgPath   = flag.String("svg", "", "write a Gantt chart of the schedule (SVG) to this path")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *example, *algo, *pBlue, *pRed, *mBlue, *mRed, *seed, *timeline, *dotPath, *jsonOut, *svgPath); err != nil {
+		fmt.Fprintln(os.Stderr, "memsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath string, example bool, algo string, pBlue, pRed int, mBlue, mRed, seed int64, timeline bool, dotPath string, jsonOut bool, svgPath string) error {
+	var g *dag.Graph
+	switch {
+	case example:
+		g = dag.PaperExample()
+	case graphPath != "":
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = dag.Read(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -graph FILE or -example")
+	}
+
+	if dotPath != "" {
+		if err := os.WriteFile(dotPath, []byte(g.DOT("graph")), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if mBlue < 0 {
+		mBlue = platform.Unlimited
+	}
+	if mRed < 0 {
+		mRed = platform.Unlimited
+	}
+	p := platform.New(int(pBlue), int(pRed), mBlue, mRed)
+	fn, err := core.ByName(algo)
+	if err != nil {
+		return err
+	}
+	s, err := fn(g, p, core.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("internal error: produced schedule fails validation: %w", err)
+	}
+
+	blue, red := s.MemoryPeaks()
+	fmt.Printf("algorithm : %s\n", algo)
+	fmt.Printf("platform  : %s\n", p)
+	fmt.Printf("tasks     : %d (%d edges)\n", g.NumTasks(), g.NumEdges())
+	fmt.Printf("makespan  : %g\n", s.Makespan())
+	fmt.Printf("peaks     : blue=%d red=%d\n", blue, red)
+
+	if timeline {
+		fmt.Println()
+		fmt.Print(s.Render())
+	}
+	if svgPath != "" {
+		if err := os.WriteFile(svgPath, []byte(s.SVG()), 0o644); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		out := struct {
+			Makespan  float64                  `json:"makespan"`
+			BluePeak  int64                    `json:"bluePeak"`
+			RedPeak   int64                    `json:"redPeak"`
+			Tasks     []schedule.TaskPlacement `json:"tasks"`
+			CommStart []float64                `json:"commStart"`
+		}{s.Makespan(), blue, red, s.Tasks, sanitize(s.CommStart)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitize replaces the NaN markers of intra-memory edges by -1 so the
+// output is valid JSON.
+func sanitize(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		if math.IsNaN(v) {
+			out[i] = -1
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+// Package memsched is a Go implementation of the memory-aware list
+// scheduling heuristics for hybrid (dual-memory) platforms of Herrmann,
+// Marchal and Robert, "Memory-aware list scheduling for hybrid platforms"
+// (INRIA RR-8461, IPDPS 2014).
+//
+// A hybrid platform has P1 identical "blue" processors sharing a blue
+// memory (think CPUs and host RAM) and P2 identical "red" processors
+// sharing a red memory (think GPUs and device memory). An application is a
+// DAG of tasks; every task has one processing time per processor colour,
+// and every edge carries a data file that occupies memory from its
+// producer's start until its consumer's completion, moving between memories
+// at a communication cost when producer and consumer live on different
+// sides. The problem: minimise the makespan without ever exceeding either
+// memory capacity.
+//
+// The package exposes:
+//
+//   - graph construction and serialisation (type Graph, NewGraph, ReadGraph);
+//   - the four schedulers of the paper — HEFT and MinMin (memory-oblivious
+//     references) and MemHEFT and MemMinMin (the memory-aware variants);
+//   - a schedule validator that checks all model constraints, plus makespan
+//     and per-memory peak reporting;
+//   - workload generators: DAGGEN-style random graphs and tiled LU /
+//     Cholesky factorisation graphs with broadcast pipelines;
+//   - exact references for small instances: the paper's ILP formulation
+//     solved by a built-in branch-and-bound MILP solver, and a combinatorial
+//     optimal search over list schedules;
+//   - the full experiment harness reproducing every figure and table of the
+//     paper's evaluation (see EXPERIMENTS.md).
+//
+// Quickstart:
+//
+//	g := memsched.NewGraph()
+//	a := g.AddTask("prepare", 3, 1) // 3 time units on blue, 1 on red
+//	b := g.AddTask("solve", 6, 3)
+//	g.MustAddEdge(a, b, 2, 1) // a 2-unit file, 1 time unit to move across
+//
+//	p := memsched.NewPlatform(2, 1, 8, 4) // 2 blue procs, 1 red, memories 8 and 4
+//	s, err := memsched.MemHEFT(g, p, memsched.Options{})
+//	if err != nil { ... }
+//	fmt.Println(s.Makespan())
+//
+// See the examples/ directory for complete programs.
+package memsched

@@ -1,0 +1,66 @@
+package memsched_test
+
+import (
+	"errors"
+	"fmt"
+
+	memsched "repro"
+)
+
+// The paper's four-task example scheduled with MemHEFT under the memory
+// bounds where the memory/makespan trade-off appears (§3.3).
+func ExampleMemHEFT() {
+	g := memsched.PaperExample()
+	p := memsched.NewPlatform(1, 1, 4, 4)
+	s, err := memsched.MemHEFT(g, p, memsched.Options{Seed: 1})
+	if err != nil {
+		fmt.Println("does not fit:", err)
+		return
+	}
+	blue, red := s.MemoryPeaks()
+	fmt.Printf("makespan %g, peaks (%d,%d)\n", s.Makespan(), blue, red)
+	// Output: makespan 10, peaks (4,4)
+}
+
+// Memory-aware scheduling fails cleanly when the graph cannot fit.
+func ExampleMemMinMin_memoryBound() {
+	g := memsched.PaperExample()
+	p := memsched.NewPlatform(1, 1, 2, 2) // task T3 alone needs 4 units
+	_, err := memsched.MemMinMin(g, p, memsched.Options{})
+	fmt.Println(errors.Is(err, memsched.ErrMemoryBound))
+	// Output: true
+}
+
+// The exact reference search proves the paper's optimal trade-off: with
+// both memories capped at 4 units the best achievable makespan is 7.
+func ExampleOptimal() {
+	g := memsched.PaperExample()
+	s, proven, err := memsched.Optimal(g, memsched.NewPlatform(1, 1, 4, 4), memsched.OptimalOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("makespan %g (proven %v)\n", s.Makespan(), proven)
+	// Output: makespan 7 (proven true)
+}
+
+// Building a workflow by hand and inspecting the graph.
+func ExampleNewGraph() {
+	g := memsched.NewGraph()
+	prep := g.AddTask("prepare", 3, 1) // blue time 3, red time 1
+	solve := g.AddTask("solve", 6, 3)
+	g.MustAddEdge(prep, solve, 2, 1) // 2-unit file, 1 time unit across
+	fmt.Println(g.NumTasks(), g.NumEdges(), g.MemReq(solve))
+	// Output: 2 1 2
+}
+
+// Generating one of the paper's random workloads deterministically.
+func ExampleGenerateRandom() {
+	g, err := memsched.GenerateRandom(memsched.SmallRandParams(), 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(g.NumTasks())
+	// Output: 30
+}

@@ -1,0 +1,84 @@
+// Cholesky: the Figure 15 scenario. Builds the tiled Cholesky task graph,
+// prints its structure, schedules it at a few memory budgets and validates
+// every schedule against the model — a template for plugging your own
+// workflow into the library.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	memsched "repro"
+)
+
+func main() {
+	const tiles = 8
+	cfg := memsched.DefaultLinalgConfig(tiles)
+	g, err := memsched.CholeskyGraph(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Cholesky %dx%d: %d tasks, %d edges\n", tiles, tiles, g.NumTasks(), g.NumEdges())
+	fmt.Printf("lower-triangular footprint: %d tiles\n\n", tiles*(tiles+1)/2)
+
+	// A coarse bisection for each heuristic: the smallest memory budget
+	// (same on both sides) at which it still schedules the graph.
+	p := memsched.NewPlatform(12, 3, memsched.Unlimited, memsched.Unlimited)
+	ref, err := memsched.HEFT(g, p, memsched.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, r := ref.MemoryPeaks()
+	hi := b
+	if r > hi {
+		hi = r
+	}
+
+	for _, algo := range []struct {
+		name string
+		fn   memsched.SchedulerFunc
+	}{
+		{"MemHEFT", memsched.MemHEFT},
+		{"MemMinMin", memsched.MemMinMin},
+	} {
+		lo, high := int64(1), hi
+		for lo < high {
+			mid := (lo + high) / 2
+			pb := memsched.NewPlatform(12, 3, mid, mid)
+			if _, err := algo.fn(g, pb, memsched.Options{Seed: 1}); err == nil {
+				high = mid
+			} else if errors.Is(err, memsched.ErrMemoryBound) {
+				lo = mid + 1
+			} else {
+				log.Fatal(err)
+			}
+		}
+		pb := memsched.NewPlatform(12, 3, lo, lo)
+		s, err := algo.fn(g, pb, memsched.Options{Seed: 1})
+		if err != nil {
+			log.Fatalf("%s failed at its own threshold: %v", algo.name, err)
+		}
+		if err := s.Validate(); err != nil {
+			log.Fatalf("%s produced an invalid schedule: %v", algo.name, err)
+		}
+		fmt.Printf("%-9s needs >= %3d tiles per memory (HEFT wants %d); makespan there: %.0f ms\n",
+			algo.name, lo, hi, s.Makespan())
+	}
+
+	fmt.Println("\nAt ample memory both heuristics approach the memory-oblivious makespan:")
+	full := memsched.NewPlatform(12, 3, hi, hi)
+	for _, algo := range []struct {
+		name string
+		fn   memsched.SchedulerFunc
+	}{
+		{"HEFT", memsched.HEFT}, {"MemHEFT", memsched.MemHEFT}, {"MemMinMin", memsched.MemMinMin},
+	} {
+		s, err := algo.fn(g, full, memsched.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s makespan %.0f ms\n", algo.name, s.Makespan())
+	}
+}

@@ -1,0 +1,60 @@
+// LU: schedule the tiled LU factorisation of the paper's linear-algebra
+// benchmark on a mirage-like machine (12 CPU cores + 3 GPUs) and show how
+// the memory-aware heuristics trade makespan for device-memory footprint —
+// the experiment behind Figure 14.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	memsched "repro"
+)
+
+func main() {
+	const tiles = 8 // 8x8 tiled matrix keeps the example fast; Fig. 14 uses 13x13
+	g, err := memsched.LUGraph(memsched.DefaultLinalgConfig(tiles))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LU %dx%d: %d tasks, %d edges (files are tiles, transfers cost 50 ms)\n\n",
+		tiles, tiles, g.NumTasks(), g.NumEdges())
+
+	// First, the memory-oblivious reference: how much memory would HEFT
+	// want?
+	unbounded := memsched.NewPlatform(12, 3, memsched.Unlimited, memsched.Unlimited)
+	ref, err := memsched.HEFT(g, unbounded, memsched.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	blue, red := ref.MemoryPeaks()
+	fmt.Printf("HEFT needs %d blue tiles and %d red tiles for makespan %.0f ms\n\n", blue, red, ref.Makespan())
+
+	peak := blue
+	if red > peak {
+		peak = red
+	}
+	fmt.Println("memory(tiles)  MemHEFT(ms)  MemMinMin(ms)")
+	for frac := 10; frac >= 3; frac-- {
+		bound := peak * int64(frac) / 10
+		p := memsched.NewPlatform(12, 3, bound, bound)
+		row := fmt.Sprintf("%13d", bound)
+		for _, fn := range []memsched.SchedulerFunc{memsched.MemHEFT, memsched.MemMinMin} {
+			s, err := fn(g, p, memsched.Options{Seed: 1})
+			switch {
+			case errors.Is(err, memsched.ErrMemoryBound):
+				row += fmt.Sprintf("  %11s", "-")
+			case err != nil:
+				log.Fatal(err)
+			default:
+				row += fmt.Sprintf("  %11.0f", s.Makespan())
+			}
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nA '-' means the heuristic could not fit the factorisation in that budget.")
+	fmt.Println("Note how MemHEFT keeps producing schedules well below MemMinMin's failure point,")
+	fmt.Println("matching the paper's observation that MinMin-style greed fills memory with")
+	fmt.Println("early-released non-critical tasks (§6.2.3).")
+}

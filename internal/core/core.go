@@ -1,0 +1,105 @@
+// Package core implements the paper's primary contribution: the memory-aware
+// list-scheduling heuristics MemHEFT (Algorithm 1) and MemMinMin
+// (Algorithm 2) for dual-memory hybrid platforms, together with the
+// memory-oblivious references HEFT and MinMin they extend.
+//
+// Both heuristics share the same earliest-start-time machinery (§5.1): for a
+// task i and a memory mu, EST(mu, i) is the max of
+//
+//   - resource_EST:    a processor of mu is free;
+//   - precedence_EST:  parents finished, plus the cross-memory communication
+//     delay for parents living on the other memory;
+//   - task_mem_EST:    from the start of i onward the memory holds the
+//     not-yet-present input files plus all output files;
+//   - comm_mem_EST+C:  from the start of the incoming communications onward
+//     the memory holds the in-flight input files; all cross
+//     communications are scheduled as late as possible with
+//     the uniform conservative duration
+//     C(mu,i) = max cross-parent C(j,i).
+//
+// EFT(mu,i) = EST(mu,i) + W(mu,i); the task goes to the memory minimising
+// EFT and, inside it, to the processor minimising idle time.
+//
+// Note on the paper's notation: §5.1 writes delta(mu,j) = 0 when j runs on
+// memory mu, but then uses (1-delta) to select the *cross* input files in
+// task_mem_EST/comm_mem_EST. The prose ("input files of task i that were not
+// stored on memory mu yet") makes the intent unambiguous, so this package
+// follows the prose: cross parents contribute both the communication delay
+// in precedence_EST and the file sizes in the two memory ESTs.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// ErrMemoryBound is returned (wrapped) when a heuristic cannot schedule the
+// graph within the platform's memory bounds.
+var ErrMemoryBound = errors.New("core: graph cannot be processed within the memory bounds")
+
+// Options tunes a heuristic run. The zero value is ready to use.
+type Options struct {
+	// Seed feeds the random tie-breaking of the task prioritising phase
+	// (§5.1 breaks rank ties randomly). Runs with equal seeds are
+	// reproducible.
+	Seed int64
+}
+
+// Func is the common signature of all scheduling heuristics in this package.
+type Func func(*dag.Graph, platform.Platform, Options) (*schedule.Schedule, error)
+
+// MemHEFT schedules g on p with Algorithm 1 of the paper: HEFT's upward-rank
+// priority list, a memory selection phase minimising the earliest finish
+// time under memory constraints, and a scan that skips tasks that do not
+// currently fit (restarting from the head of the list after every
+// assignment). It returns ErrMemoryBound when no remaining task fits.
+func MemHEFT(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	return memHEFT(g, p, opt)
+}
+
+// MemMinMin schedules g on p with Algorithm 2 of the paper: among all ready
+// tasks, repeatedly pick the (task, memory) pair with the minimum earliest
+// finish time under memory constraints.
+func MemMinMin(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	return memMinMin(g, p, opt)
+}
+
+// HEFT is the classical memory-oblivious heuristic of Topcuoglu et al.,
+// obtained by running MemHEFT with unlimited memories (the paper notes in
+// §6.2.1 that the decisions then coincide). The memory bounds of p are
+// ignored.
+func HEFT(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	return memHEFT(g, p.Unbounded(), opt)
+}
+
+// MinMin is the classical memory-oblivious MinMin heuristic of Braun et al.,
+// obtained by running MemMinMin with unlimited memories. The memory bounds
+// of p are ignored.
+func MinMin(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	return memMinMin(g, p.Unbounded(), opt)
+}
+
+// Algorithms lists the four heuristics by their paper names.
+var Algorithms = map[string]Func{
+	"heft":      HEFT,
+	"minmin":    MinMin,
+	"memheft":   MemHEFT,
+	"memminmin": MemMinMin,
+}
+
+// ByName returns the heuristic registered under name (case-sensitive, as in
+// Algorithms) or an error listing the valid names.
+func ByName(name string) (Func, error) {
+	if f, ok := Algorithms[name]; ok {
+		return f, nil
+	}
+	return nil, fmt.Errorf("core: unknown heuristic %q (want heft, minmin, memheft or memminmin)", name)
+}
+
+// inf is the infeasibility marker used throughout the EST computations.
+var inf = math.Inf(1)

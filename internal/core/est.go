@@ -1,0 +1,291 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/memfn"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// Partial is a partial schedule under construction: the placements committed
+// so far, the per-processor availability times, and one free-memory
+// staircase per memory. MemHEFT and MemMinMin drive it internally; it is
+// exported so that the exact branch-and-bound search of internal/exact can
+// explore the same decision space with identical semantics.
+type Partial struct {
+	g *dag.Graph
+	p platform.Platform
+
+	sched     *schedule.Schedule
+	free      [2]*memfn.Staircase
+	availProc []float64 // per processor: finish time of its last task
+	assigned  []bool    // per task
+	finish    []float64 // per task: actual finish time (AFT)
+	nDone     int
+
+	// ins, when non-nil, switches processor selection to classical
+	// HEFT's insertion-based policy (see insertion.go). The paper's
+	// algorithms leave it nil (append policy).
+	ins *insertionState
+}
+
+// memfnInf aliases the open-ended reservation marker for insertion.go.
+var memfnInf = memfn.Inf
+
+// NewPartial returns an empty partial schedule for g on p.
+func NewPartial(g *dag.Graph, p platform.Platform) *Partial {
+	return &Partial{
+		g:         g,
+		p:         p,
+		sched:     schedule.New(g, p),
+		free:      [2]*memfn.Staircase{memfn.New(p.MBlue), memfn.New(p.MRed)},
+		availProc: make([]float64, p.TotalProcs()),
+		assigned:  make([]bool, g.NumTasks()),
+		finish:    make([]float64, g.NumTasks()),
+	}
+}
+
+// Clone returns an independent deep copy, for tree search.
+func (st *Partial) Clone() *Partial {
+	c := &Partial{
+		g:         st.g,
+		p:         st.p,
+		sched:     cloneSchedule(st.sched),
+		free:      [2]*memfn.Staircase{st.free[0].Clone(), st.free[1].Clone()},
+		availProc: append([]float64(nil), st.availProc...),
+		assigned:  append([]bool(nil), st.assigned...),
+		finish:    append([]float64(nil), st.finish...),
+		nDone:     st.nDone,
+	}
+	if st.ins != nil {
+		c.ins = newInsertionState(len(st.ins.busy))
+		for i, list := range st.ins.busy {
+			c.ins.busy[i] = append([]busyInterval(nil), list...)
+		}
+	}
+	return c
+}
+
+func cloneSchedule(s *schedule.Schedule) *schedule.Schedule {
+	return &schedule.Schedule{
+		Graph:     s.Graph,
+		Platform:  s.Platform,
+		Tasks:     append([]schedule.TaskPlacement(nil), s.Tasks...),
+		CommStart: append([]float64(nil), s.CommStart...),
+	}
+}
+
+// Schedule returns the underlying schedule (complete only when Done).
+func (st *Partial) Schedule() *schedule.Schedule { return st.sched }
+
+// Done reports whether every task has been committed.
+func (st *Partial) Done() bool { return st.nDone == st.g.NumTasks() }
+
+// Assigned reports whether task id has been committed.
+func (st *Partial) Assigned(id dag.TaskID) bool { return st.assigned[id] }
+
+// Finish returns the committed finish time of task id (0 if unassigned).
+func (st *Partial) Finish(id dag.TaskID) float64 { return st.finish[id] }
+
+// MakespanSoFar returns the latest committed finish time.
+func (st *Partial) MakespanSoFar() float64 {
+	ms := 0.0
+	for i, done := range st.assigned {
+		if done && st.finish[i] > ms {
+			ms = st.finish[i]
+		}
+	}
+	return ms
+}
+
+// Candidate is the outcome of evaluating one (task, memory) pair.
+type Candidate struct {
+	Task dag.TaskID
+	Mem  platform.Memory
+	EST  float64 // earliest start time; +inf when infeasible
+	EFT  float64 // EST + W(mem)
+	CMu  float64 // conservative uniform communication duration C(mu,i)
+}
+
+// Feasible reports whether the pair can currently be scheduled.
+func (c Candidate) Feasible() bool { return !math.IsInf(c.EFT, 1) }
+
+// Ready reports whether every parent of task id has been committed.
+func (st *Partial) Ready(id dag.TaskID) bool {
+	if st.assigned[id] {
+		return false
+	}
+	for _, e := range st.g.In(id) {
+		if !st.assigned[st.g.Edge(e).From] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadyTasks returns all ready tasks in ID order.
+func (st *Partial) ReadyTasks() []dag.TaskID {
+	var out []dag.TaskID
+	for i := 0; i < st.g.NumTasks(); i++ {
+		if st.Ready(dag.TaskID(i)) {
+			out = append(out, dag.TaskID(i))
+		}
+	}
+	return out
+}
+
+// duration returns W(mu, id).
+func (st *Partial) duration(id dag.TaskID, mu platform.Memory) float64 {
+	t := st.g.Task(id)
+	if mu == platform.Blue {
+		return t.WBlue
+	}
+	return t.WRed
+}
+
+// Evaluate computes EST and EFT of a ready task id on memory mu following
+// §5.1. The caller must ensure Ready(id). With the insertion policy enabled
+// the resource component searches idle gaps instead of queue tails.
+func (st *Partial) Evaluate(id dag.TaskID, mu platform.Memory) Candidate {
+	if st.ins != nil {
+		return st.evaluateInsertion(id, mu)
+	}
+	c := Candidate{Task: id, Mem: mu, EST: inf, EFT: inf}
+
+	// resource_EST: earliest availability among mu's processors.
+	lo, hi := st.p.ProcRange(mu)
+	if lo == hi {
+		return c // no processor on this memory
+	}
+	resourceEST := inf
+	for proc := lo; proc < hi; proc++ {
+		if st.availProc[proc] < resourceEST {
+			resourceEST = st.availProc[proc]
+		}
+	}
+
+	// precedence_EST and the cross-input aggregates.
+	precedenceEST := 0.0
+	var crossFiles int64 // input files not yet on mu
+	cmu := 0.0           // C(mu, i) = max cross C(j,i)
+	for _, e := range st.g.In(id) {
+		edge := st.g.Edge(e)
+		parentMem := st.sched.MemoryOf(edge.From)
+		aft := st.finish[edge.From]
+		if parentMem == mu {
+			if aft > precedenceEST {
+				precedenceEST = aft
+			}
+			continue
+		}
+		if v := aft + edge.Comm; v > precedenceEST {
+			precedenceEST = v
+		}
+		crossFiles += edge.File
+		if edge.Comm > cmu {
+			cmu = edge.Comm
+		}
+	}
+
+	// Memory needs: inputs not yet on mu, plus every output file.
+	var outFiles int64
+	for _, e := range st.g.Out(id) {
+		outFiles += st.g.Edge(e).File
+	}
+
+	taskMemEST := st.free[mu].EarliestFit(0, crossFiles+outFiles)
+	commMemEST := st.free[mu].EarliestFit(0, crossFiles)
+
+	est := math.Max(resourceEST, precedenceEST)
+	est = math.Max(est, taskMemEST)
+	est = math.Max(est, commMemEST+cmu)
+	if math.IsInf(est, 1) {
+		return c
+	}
+	c.EST = est
+	c.EFT = est + st.duration(id, mu)
+	c.CMu = cmu
+	return c
+}
+
+// Best returns the better of the two memory candidates for a ready task:
+// minimum EFT, ties resolved towards blue (deterministic). The returned
+// candidate may be infeasible on both memories (EFT = +inf).
+func (st *Partial) Best(id dag.TaskID) Candidate {
+	b := st.Evaluate(id, platform.Blue)
+	r := st.Evaluate(id, platform.Red)
+	if r.EFT < b.EFT {
+		return r
+	}
+	return b
+}
+
+// Commit places the candidate into the schedule: picks the processor that
+// minimises idle time, schedules every cross communication as late as
+// possible, and updates the free-memory staircases:
+//
+//   - output files of the task are reserved on mu from its start, open-ended
+//     (they will be partially released when each consumer is scheduled);
+//   - intra-memory input files are released at the task's finish;
+//   - cross input files are reserved on mu over the conservative window
+//     [EST - C(mu,i), finish) and released on the source memory when the
+//     (conservative) transfer completes, i.e. at the task's start.
+//
+// The feasibility of these reservations is guaranteed by task_mem_EST and
+// comm_mem_EST, so Commit never drives a staircase negative.
+func (st *Partial) Commit(c Candidate) {
+	if st.ins != nil {
+		st.commitInsertion(c)
+		return
+	}
+	id, mu := c.Task, c.Mem
+	w := st.duration(id, mu)
+	start, fin := c.EST, c.EST+w
+
+	// Processor selection: minimise idle time EST - avail among the
+	// processors of mu that are free by EST.
+	lo, hi := st.p.ProcRange(mu)
+	bestProc, bestAvail := -1, math.Inf(-1)
+	for proc := lo; proc < hi; proc++ {
+		a := st.availProc[proc]
+		if a <= start+schedule.Eps && a > bestAvail {
+			bestProc, bestAvail = proc, a
+		}
+	}
+	if bestProc < 0 {
+		// Cannot happen: resource_EST <= start guarantees a free
+		// processor.
+		panic("core: no free processor at committed start time")
+	}
+
+	st.sched.Tasks[id] = schedule.TaskPlacement{Start: start, Proc: bestProc}
+	st.availProc[bestProc] = fin
+	st.assigned[id] = true
+	st.finish[id] = fin
+	st.nDone++
+
+	// Input files.
+	for _, e := range st.g.In(id) {
+		edge := st.g.Edge(e)
+		parentMem := st.sched.MemoryOf(edge.From)
+		if parentMem == mu {
+			// The file was reserved open-ended on mu when the
+			// parent was committed; it is consumed at fin.
+			st.free[mu].Release(fin, edge.File)
+			continue
+		}
+		// Cross edge: emit the true ALAP communication (per-edge
+		// duration), account for the conservative window.
+		st.sched.CommStart[edge.ID] = start - edge.Comm
+		st.free[mu].Reserve(start-c.CMu, fin, edge.File)
+		st.free[parentMem].Release(start, edge.File)
+	}
+
+	// Output files: open-ended reservations on mu starting now.
+	for _, e := range st.g.Out(id) {
+		edge := st.g.Edge(e)
+		st.free[mu].Reserve(start, memfn.Inf, edge.File)
+	}
+}

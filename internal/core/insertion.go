@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// The paper's MemHEFT keeps one availability time per processor (a task can
+// only be appended after the last task of a processor). Classical HEFT
+// instead uses *insertion-based* policy: a task may fill an idle gap between
+// two already-scheduled tasks. This file adds that policy as an option so
+// its effect can be measured (see BenchmarkAblationInsertion); the paper's
+// algorithms default to the append policy.
+
+// busyInterval is one committed occupation of a processor.
+type busyInterval struct {
+	start, end float64
+}
+
+// insertionState tracks per-processor busy lists (sorted by start) for the
+// insertion policy.
+type insertionState struct {
+	busy [][]busyInterval
+}
+
+func newInsertionState(procs int) *insertionState {
+	return &insertionState{busy: make([][]busyInterval, procs)}
+}
+
+// earliestFitOn returns the earliest time >= lb at which a task of duration
+// w fits on proc.
+func (is *insertionState) earliestFitOn(proc int, lb, w float64) float64 {
+	cur := lb
+	for _, iv := range is.busy[proc] {
+		if cur+w <= iv.start+schedule.Eps {
+			return cur
+		}
+		if iv.end > cur {
+			cur = iv.end
+		}
+	}
+	return cur
+}
+
+// insert records the occupation [start, start+w) on proc, keeping the list
+// sorted.
+func (is *insertionState) insert(proc int, start, w float64) {
+	iv := busyInterval{start: start, end: start + w}
+	list := is.busy[proc]
+	pos := len(list)
+	for i, b := range list {
+		if iv.start < b.start {
+			pos = i
+			break
+		}
+	}
+	list = append(list, busyInterval{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = iv
+	is.busy[proc] = list
+}
+
+// evaluateInsertion is Evaluate with gap-filling resource selection. It
+// shares the precedence and memory components with Evaluate and differs
+// only in how processor availability constrains the start time.
+func (st *Partial) evaluateInsertion(id dag.TaskID, mu platform.Memory) Candidate {
+	c := Candidate{Task: id, Mem: mu, EST: inf, EFT: inf}
+	lo, hi := st.p.ProcRange(mu)
+	if lo == hi || st.ins == nil {
+		return c
+	}
+	precedenceEST := 0.0
+	var crossFiles int64
+	cmu := 0.0
+	for _, e := range st.g.In(id) {
+		edge := st.g.Edge(e)
+		aft := st.finish[edge.From]
+		if st.sched.MemoryOf(edge.From) == mu {
+			if aft > precedenceEST {
+				precedenceEST = aft
+			}
+			continue
+		}
+		if v := aft + edge.Comm; v > precedenceEST {
+			precedenceEST = v
+		}
+		crossFiles += edge.File
+		if edge.Comm > cmu {
+			cmu = edge.Comm
+		}
+	}
+	var outFiles int64
+	for _, e := range st.g.Out(id) {
+		outFiles += st.g.Edge(e).File
+	}
+	taskMemEST := st.free[mu].EarliestFit(0, crossFiles+outFiles)
+	commMemEST := st.free[mu].EarliestFit(0, crossFiles)
+	lower := math.Max(precedenceEST, taskMemEST)
+	lower = math.Max(lower, commMemEST+cmu)
+	if math.IsInf(lower, 1) {
+		return c
+	}
+	w := st.duration(id, mu)
+	est := inf
+	for proc := lo; proc < hi; proc++ {
+		if t := st.ins.earliestFitOn(proc, lower, w); t < est {
+			est = t
+		}
+	}
+	c.EST = est
+	c.EFT = est + w
+	c.CMu = cmu
+	return c
+}
+
+// commitInsertion commits a candidate computed by evaluateInsertion.
+func (st *Partial) commitInsertion(c Candidate) {
+	id, mu := c.Task, c.Mem
+	w := st.duration(id, mu)
+	start, fin := c.EST, c.EST+w
+	lo, hi := st.p.ProcRange(mu)
+	bestProc := -1
+	for proc := lo; proc < hi; proc++ {
+		if st.ins.earliestFitOn(proc, c.EST, w) <= start+schedule.Eps {
+			bestProc = proc
+			break
+		}
+	}
+	if bestProc < 0 {
+		panic("core: no gap at committed start time")
+	}
+	st.ins.insert(bestProc, start, w)
+	st.sched.Tasks[id] = schedule.TaskPlacement{Start: start, Proc: bestProc}
+	if fin > st.availProc[bestProc] {
+		st.availProc[bestProc] = fin
+	}
+	st.assigned[id] = true
+	st.finish[id] = fin
+	st.nDone++
+
+	for _, e := range st.g.In(id) {
+		edge := st.g.Edge(e)
+		parentMem := st.sched.MemoryOf(edge.From)
+		if parentMem == mu {
+			st.free[mu].Release(fin, edge.File)
+			continue
+		}
+		st.sched.CommStart[edge.ID] = start - edge.Comm
+		st.free[mu].Reserve(start-c.CMu, fin, edge.File)
+		st.free[parentMem].Release(start, edge.File)
+	}
+	for _, e := range st.g.Out(id) {
+		st.free[mu].Reserve(start, memfnInf, st.g.Edge(e).File)
+	}
+}
+
+// MemHEFTInsertion runs Algorithm 1 with classical HEFT's insertion-based
+// processor selection instead of the paper's append policy. Everything else
+// (priority list, memory accounting, ALAP communications) is identical.
+func MemHEFTInsertion(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	return memHEFTWith(g, p, opt, true)
+}

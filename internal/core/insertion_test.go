@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+func TestInsertionStateGapSearch(t *testing.T) {
+	is := newInsertionState(1)
+	is.insert(0, 2, 3) // busy [2,5)
+	is.insert(0, 8, 2) // busy [8,10)
+	cases := []struct {
+		lb, w, want float64
+	}{
+		{0, 2, 0},  // fits before the first interval
+		{0, 3, 5},  // too wide for [0,2), next gap is [5,8)
+		{0, 4, 10}, // only after everything
+		{3, 1, 5},  // lb inside a busy interval
+		{6, 2, 6},  // fits inside [5,8)
+		{6, 3, 10}, // too wide for the remainder of [5,8)
+		{12, 1, 12},
+	}
+	for _, c := range cases {
+		if got := is.earliestFitOn(0, c.lb, c.w); got != c.want {
+			t.Fatalf("earliestFitOn(lb=%g,w=%g) = %g, want %g", c.lb, c.w, got, c.want)
+		}
+	}
+}
+
+func TestInsertionStateInsertKeepsOrder(t *testing.T) {
+	is := newInsertionState(1)
+	is.insert(0, 8, 1)
+	is.insert(0, 2, 1)
+	is.insert(0, 5, 1)
+	prev := -1.0
+	for _, iv := range is.busy[0] {
+		if iv.start < prev {
+			t.Fatalf("busy list unsorted: %+v", is.busy[0])
+		}
+		prev = iv.start
+	}
+}
+
+func TestMemHEFTInsertionProducesValidSchedules(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 20)
+		for _, bound := range []int64{40, platform.Unlimited} {
+			p := platform.New(2, 2, bound, bound)
+			s, err := MemHEFTInsertion(g, p, Options{Seed: seed})
+			if err != nil {
+				continue
+			}
+			if s.Validate() != nil {
+				return false
+			}
+			blue, red := s.MemoryPeaks()
+			if blue > bound || red > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertionNeverWorsePerDecision(t *testing.T) {
+	// From the same partial state, the insertion policy's EST is <= the
+	// append policy's EST for every (task, memory) pair: a queue tail is
+	// always also a gap.
+	g := dag.PaperExample()
+	p := platform.New(1, 1, 100, 100)
+	app := NewPartial(g, p)
+	ins := NewPartial(g, p)
+	ins.ins = newInsertionState(p.TotalProcs())
+
+	// Drive both with the same commits (from the append policy).
+	for !app.Done() {
+		var chosen Candidate
+		found := false
+		for _, id := range app.ReadyTasks() {
+			for _, mu := range platform.Memories {
+				ca := app.Evaluate(id, mu)
+				ci := ins.Evaluate(id, mu)
+				if ca.Feasible() && ci.EST > ca.EST+1e-9 {
+					t.Fatalf("task %d on %v: insertion EST %g > append EST %g", id, mu, ci.EST, ca.EST)
+				}
+				if ca.Feasible() && !found {
+					chosen, found = ca, true
+				}
+			}
+		}
+		if !found {
+			t.Fatal("stuck")
+		}
+		app.Commit(chosen)
+		ins.Commit(ins.Evaluate(chosen.Task, chosen.Mem))
+	}
+}
+
+func TestInsertionFillsGap(t *testing.T) {
+	// One blue processor. Long task a [0,10); b depends on a remote-ish
+	// setup... simpler: schedule order by rank puts a first ([0,10)),
+	// then c (independent, duration 2): append policy starts c at 10;
+	// insertion cannot do better here since no gap exists. Build an
+	// actual gap: two tasks x->y with a communication window, plus an
+	// independent short task z that fits in the idle window on red.
+	g := dag.New()
+	x := g.AddTask("x", 1, 1)
+	y := g.AddTask("y", 8, 8)
+	g.MustAddEdge(x, y, 1, 6) // y waits for the cross transfer
+	z := g.AddTask("z", 2, 2)
+
+	p := platform.New(1, 1, 100, 100)
+	// Force x on blue, y on red by times? Keep times equal; with seed
+	// tie-breaks the placements vary, so instead check the global
+	// property: insertion's makespan <= append's makespan on this
+	// instance for the same seed.
+	for seed := int64(0); seed < 10; seed++ {
+		a, err := MemHEFT(g, p, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MemHEFTInsertion(g, p, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Makespan() > a.Makespan()+1e-9 {
+			// Insertion is not universally dominant in theory, but
+			// on this 3-task instance with a single decision point
+			// it must not lose.
+			t.Fatalf("seed %d: insertion %g > append %g", seed, b.Makespan(), a.Makespan())
+		}
+	}
+	_ = z
+}
+
+func TestInsertionZeroDurationTasks(t *testing.T) {
+	g := dag.New()
+	a := g.AddTask("a", 2, 2)
+	b := g.AddTask("b", 0, 0)
+	c := g.AddTask("c", 2, 2)
+	g.MustAddEdge(a, b, 1, 1)
+	g.MustAddEdge(b, c, 1, 1)
+	p := platform.New(1, 0, 10, 0)
+	s, err := MemHEFTInsertion(g, p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 4 {
+		t.Fatalf("makespan = %g, want 4", s.Makespan())
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// PriorityList returns the task IDs sorted by non-increasing upward rank,
+// with rank ties broken by a random permutation drawn from seed (§5.1:
+// "tie-breaking is done randomly"). It is exported for tests and for the
+// ablation benchmarks that compare tie-breaking strategies.
+func PriorityList(g *dag.Graph, seed int64) ([]dag.TaskID, error) {
+	ranks, err := g.UpwardRanks()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tieKey := rng.Perm(g.NumTasks())
+	list := make([]dag.TaskID, g.NumTasks())
+	for i := range list {
+		list[i] = dag.TaskID(i)
+	}
+	sort.SliceStable(list, func(a, b int) bool {
+		ra, rb := ranks[list[a]], ranks[list[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return tieKey[list[a]] < tieKey[list[b]]
+	})
+	return list, nil
+}
+
+// memHEFT is Algorithm 1: walk the priority list, schedule the first task
+// that currently fits, and restart from the head of the list after every
+// assignment.
+func memHEFT(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	return memHEFTWith(g, p, opt, false)
+}
+
+// memHEFTWith optionally enables the insertion-based processor policy.
+func memHEFTWith(g *dag.Graph, p platform.Platform, opt Options, insertion bool) (*schedule.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	remaining, err := PriorityList(g, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	st := NewPartial(g, p)
+	if insertion {
+		st.ins = newInsertionState(p.TotalProcs())
+	}
+	for len(remaining) > 0 {
+		placed := false
+		for index, id := range remaining {
+			if !st.Ready(id) {
+				// Rank ties between zero-cost tasks can put a
+				// child before its parent; skip until the
+				// parent is placed.
+				continue
+			}
+			c := st.Best(id)
+			if !c.Feasible() {
+				continue
+			}
+			st.Commit(c)
+			remaining = append(remaining[:index], remaining[index+1:]...)
+			placed = true
+			break
+		}
+		if !placed {
+			return st.sched, fmt.Errorf("%w (MemHEFT: %d of %d tasks unscheduled, first stuck task %d)",
+				ErrMemoryBound, len(remaining), g.NumTasks(), remaining[0])
+		}
+	}
+	return st.sched, nil
+}

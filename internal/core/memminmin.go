@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// memMinMin is Algorithm 2: maintain the set of ready tasks and repeatedly
+// commit the (task, memory) pair with the minimum earliest finish time.
+// Unlike MemHEFT there is no static priority; the order emerges dynamically,
+// which lets small early-released tasks jump ahead (the behaviour §6.2.3
+// blames for MemMinMin's early failures on linear-algebra DAGs).
+func memMinMin(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	st := NewPartial(g, p)
+
+	// Ready set, kept sorted by task ID for deterministic tie-breaking.
+	pending := make([]int, g.NumTasks()) // unassigned-parent count
+	var ready []dag.TaskID
+	for i := 0; i < g.NumTasks(); i++ {
+		pending[i] = len(g.In(dag.TaskID(i)))
+		if pending[i] == 0 {
+			ready = append(ready, dag.TaskID(i))
+		}
+	}
+
+	scheduled := 0
+	for len(ready) > 0 {
+		bestIdx := -1
+		var bestCand Candidate
+		for idx, id := range ready {
+			c := st.Best(id)
+			if !c.Feasible() {
+				continue
+			}
+			if bestIdx < 0 || c.EFT < bestCand.EFT || (c.EFT == bestCand.EFT && id < bestCand.Task) {
+				bestIdx, bestCand = idx, c
+			}
+		}
+		if bestIdx < 0 {
+			return st.sched, fmt.Errorf("%w (MemMinMin: %d of %d tasks unscheduled, %d ready tasks all blocked)",
+				ErrMemoryBound, g.NumTasks()-scheduled, g.NumTasks(), len(ready))
+		}
+		st.Commit(bestCand)
+		scheduled++
+		ready = append(ready[:bestIdx], ready[bestIdx+1:]...)
+		for _, e := range g.Out(bestCand.Task) {
+			child := g.Edge(e).To
+			pending[child]--
+			if pending[child] == 0 {
+				ready = insertSorted(ready, child)
+			}
+		}
+	}
+	if scheduled != g.NumTasks() {
+		// Unreachable for a validated DAG; defensive.
+		return st.sched, fmt.Errorf("core: MemMinMin scheduled %d of %d tasks", scheduled, g.NumTasks())
+	}
+	return st.sched, nil
+}
+
+// insertSorted inserts id into the ID-sorted slice.
+func insertSorted(s []dag.TaskID, id dag.TaskID) []dag.TaskID {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = id
+	return s
+}

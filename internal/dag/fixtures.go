@@ -1,0 +1,54 @@
+package dag
+
+// PaperExample builds the four-task toy DAG Dex of Figure 2 in the paper:
+//
+//	T1 (W=3,1) ── F=1,C=1 ──> T2 (W=2,2) ── F=1,C=1 ──> T4 (W=1,1)
+//	   └──────── F=2,C=1 ──> T3 (W=6,3) ── F=2,C=1 ──────┘
+//
+// Task IDs are 0..3 for T1..T4. The example is used throughout the test
+// suite to pin the exact numbers worked out in §3 of the paper (schedules s1
+// and s2, memory peaks 2 and 5, makespans 6 and 7).
+func PaperExample() *Graph {
+	g := New()
+	t1 := g.AddTask("T1", 3, 1)
+	t2 := g.AddTask("T2", 2, 2)
+	t3 := g.AddTask("T3", 6, 3)
+	t4 := g.AddTask("T4", 1, 1)
+	g.MustAddEdge(t1, t2, 1, 1)
+	g.MustAddEdge(t1, t3, 2, 1)
+	g.MustAddEdge(t2, t4, 1, 1)
+	g.MustAddEdge(t3, t4, 2, 1)
+	return g
+}
+
+// Chain builds a linear chain of n tasks, each with the given processing
+// times, connected by edges with the given file size and communication time.
+// Chains are the worst case for memory-oblivious scheduling and convenient
+// in tests.
+func Chain(n int, wBlue, wRed float64, file int64, comm float64) *Graph {
+	g := New()
+	var prev TaskID
+	for i := 0; i < n; i++ {
+		id := g.AddTask("", wBlue, wRed)
+		if i > 0 {
+			g.MustAddEdge(prev, id, file, comm)
+		}
+		prev = id
+	}
+	return g
+}
+
+// ForkJoin builds a source task fanning out to width parallel tasks that all
+// join into a sink, with uniform parameters. It exercises broad parallelism
+// and is the canonical instance where memory limits force serialisation.
+func ForkJoin(width int, wBlue, wRed float64, file int64, comm float64) *Graph {
+	g := New()
+	src := g.AddTask("fork", wBlue, wRed)
+	sink := g.AddTask("join", wBlue, wRed)
+	for i := 0; i < width; i++ {
+		mid := g.AddTask("", wBlue, wRed)
+		g.MustAddEdge(src, mid, file, comm)
+		g.MustAddEdge(mid, sink, file, comm)
+	}
+	return g
+}

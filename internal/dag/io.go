@@ -1,0 +1,165 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// jsonGraph is the wire format of a graph. Task IDs are implicit (slice
+// order), which keeps files small and makes hand-written fixtures easy.
+type jsonGraph struct {
+	Tasks []jsonTask `json:"tasks"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonTask struct {
+	Name  string  `json:"name,omitempty"`
+	WBlue float64 `json:"wblue"`
+	WRed  float64 `json:"wred"`
+}
+
+type jsonEdge struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	File int64   `json:"file"`
+	Comm float64 `json:"comm"`
+}
+
+// MarshalJSON encodes the graph in the package wire format.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{
+		Tasks: make([]jsonTask, len(g.tasks)),
+		Edges: make([]jsonEdge, len(g.edges)),
+	}
+	for i, t := range g.tasks {
+		jg.Tasks[i] = jsonTask{Name: t.Name, WBlue: t.WBlue, WRed: t.WRed}
+	}
+	for i, e := range g.edges {
+		jg.Edges[i] = jsonEdge{From: int(e.From), To: int(e.To), File: e.File, Comm: e.Comm}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph from the package wire format, replacing the
+// receiver's contents.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("dag: decoding graph: %w", err)
+	}
+	fresh := New()
+	for _, t := range jg.Tasks {
+		fresh.AddTask(t.Name, t.WBlue, t.WRed)
+	}
+	for _, e := range jg.Edges {
+		if e.From < 0 || e.From >= len(jg.Tasks) || e.To < 0 || e.To >= len(jg.Tasks) {
+			return fmt.Errorf("dag: edge %d -> %d references missing task", e.From, e.To)
+		}
+		if _, err := fresh.AddEdge(TaskID(e.From), TaskID(e.To), e.File, e.Comm); err != nil {
+			return err
+		}
+	}
+	*g = *fresh
+	return nil
+}
+
+// Read decodes a graph from JSON read off r and validates it.
+func Read(r io.Reader) (*Graph, error) {
+	g := New()
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(g); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Write encodes the graph as indented JSON on w.
+func (g *Graph) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// DOT renders the graph in Graphviz dot syntax. Node labels show the task
+// name and both processing times; edge labels show file size and
+// communication time. Output is deterministic.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box];\n")
+	for _, t := range g.tasks {
+		label := t.Name
+		if label == "" {
+			label = fmt.Sprintf("T%d", t.ID)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\nW=(%g,%g)\"];\n", t.ID, label, t.WBlue, t.WRed)
+	}
+	edges := append([]Edge(nil), g.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"F=%d C=%g\"];\n", e.From, e.To, e.File, e.Comm)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Stats summarises a graph for logging and experiment reports.
+type Stats struct {
+	Tasks      int
+	Edges      int
+	Fictitious int
+	Sources    int
+	Sinks      int
+	Levels     int
+	MaxWidth   int     // largest number of tasks on one level
+	TotalFiles int64   // sum of file sizes
+	MaxMemReq  int64   // largest single-task memory requirement
+	CPLength   float64 // critical-path lower bound
+}
+
+// ComputeStats returns summary statistics; it requires an acyclic graph.
+func (g *Graph) ComputeStats() (Stats, error) {
+	level, nLevels, err := g.Levels()
+	if err != nil {
+		return Stats{}, err
+	}
+	widths := make([]int, nLevels)
+	st := Stats{
+		Tasks:      g.NumTasks(),
+		Edges:      g.NumEdges(),
+		Sources:    len(g.Sources()),
+		Sinks:      len(g.Sinks()),
+		Levels:     nLevels,
+		TotalFiles: g.TotalFiles(),
+	}
+	for i, t := range g.tasks {
+		widths[level[i]]++
+		if t.IsFictitious() {
+			st.Fictitious++
+		}
+		if mr := g.MemReq(TaskID(i)); mr > st.MaxMemReq {
+			st.MaxMemReq = mr
+		}
+	}
+	for _, w := range widths {
+		if w > st.MaxWidth {
+			st.MaxWidth = w
+		}
+	}
+	st.CPLength, err = g.CriticalPathLength()
+	if err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,181 @@
+package dag
+
+// TopologicalOrder returns a topological order of the tasks (Kahn's
+// algorithm, smallest-ID-first among ready tasks so the order is
+// deterministic) or ErrCyclic if the graph has a cycle.
+func (g *Graph) TopologicalOrder() ([]TaskID, error) {
+	n := len(g.tasks)
+	indeg := make([]int, n)
+	for i := range g.tasks {
+		indeg[i] = len(g.in[i])
+	}
+	// A small binary heap over task IDs keeps the order deterministic
+	// without pulling in container/heap allocations per push.
+	heap := make([]TaskID, 0, n)
+	push := func(id TaskID) {
+		heap = append(heap, id)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p] <= heap[i] {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() TaskID {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < last && heap[l] < heap[s] {
+				s = l
+			}
+			if r < last && heap[r] < heap[s] {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			heap[i], heap[s] = heap[s], heap[i]
+			i = s
+		}
+		return top
+	}
+
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			push(TaskID(i))
+		}
+	}
+	order := make([]TaskID, 0, n)
+	for len(heap) > 0 {
+		id := pop()
+		order = append(order, id)
+		for _, e := range g.out[id] {
+			to := g.edges[e].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				push(to)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCyclic
+	}
+	return order, nil
+}
+
+// ReverseTopologicalOrder returns a topological order reversed, i.e. every
+// task appears after all of its children.
+func (g *Graph) ReverseTopologicalOrder() ([]TaskID, error) {
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, nil
+}
+
+// Levels assigns to every task its longest-path depth from a source (sources
+// are level 0) and returns the per-task level plus the number of levels. It
+// returns ErrCyclic on cyclic graphs.
+func (g *Graph) Levels() ([]int, int, error) {
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	level := make([]int, len(g.tasks))
+	maxLevel := 0
+	for _, id := range order {
+		for _, e := range g.in[id] {
+			from := g.edges[e].From
+			if level[from]+1 > level[id] {
+				level[id] = level[from] + 1
+			}
+		}
+		if level[id] > maxLevel {
+			maxLevel = level[id]
+		}
+	}
+	return level, maxLevel + 1, nil
+}
+
+// UpwardRanks returns the HEFT upward rank of every task, defined in §5.1 of
+// the paper as
+//
+//	rank(i) = (WBlue(i)+WRed(i))/2 + max over children j of (rank(j) + C(i,j)/2)
+//
+// with the maximum taken as 0 for sinks. The result indexes by TaskID.
+func (g *Graph) UpwardRanks() ([]float64, error) {
+	rev, err := g.ReverseTopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]float64, len(g.tasks))
+	for _, id := range rev {
+		t := g.tasks[id]
+		best := 0.0
+		for _, e := range g.out[id] {
+			edge := g.edges[e]
+			if v := rank[edge.To] + edge.Comm/2; v > best {
+				best = v
+			}
+		}
+		rank[id] = (t.WBlue+t.WRed)/2 + best
+	}
+	return rank, nil
+}
+
+// CriticalPathLength returns the length of the longest path through the graph
+// where each task counts min(WBlue, WRed) and communications count zero (the
+// schedule may avoid all communications by staying on one memory). It is a
+// makespan lower bound for any platform.
+func (g *Graph) CriticalPathLength() (float64, error) {
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		return 0, err
+	}
+	finish := make([]float64, len(g.tasks))
+	longest := 0.0
+	for _, id := range order {
+		start := 0.0
+		for _, e := range g.in[id] {
+			if f := finish[g.edges[e].From]; f > start {
+				start = f
+			}
+		}
+		t := g.tasks[id]
+		finish[id] = start + min(t.WBlue, t.WRed)
+		if finish[id] > longest {
+			longest = finish[id]
+		}
+	}
+	return longest, nil
+}
+
+// Descendants returns the set of tasks reachable from id (excluding id
+// itself) as a boolean slice indexed by TaskID.
+func (g *Graph) Descendants(id TaskID) []bool {
+	seen := make([]bool, len(g.tasks))
+	stack := []TaskID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[cur] {
+			to := g.edges[e].To
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,202 @@
+// Package daggen generates random task graphs following the level-based
+// scheme of the DAGGEN tool used by the paper (§6.1.1, footnote 1). The four
+// shape parameters are the paper's:
+//
+//   - Size: number of tasks, organised in levels;
+//   - Width in (0,1]: controls the parallelism — following the DAGGEN tool
+//     the expected number of tasks per level is Width*sqrt(Size), so small
+//     values yield chain-like graphs and large values fork-join-like
+//     graphs (the page-tall samples of the paper's Figures 8-9 match this
+//     scaling, not Width*Size);
+//   - Density in [0,1]: controls how many edges connect consecutive levels
+//     (each task draws 1 + U(0, Density*|previous level|) parents);
+//   - Jumps >= 1: extra edges may skip up to Jumps levels forward.
+//
+// Level sizes are perturbed by a Regularity factor (the DAGGEN parameter the
+// paper leaves at its default); all randomness flows from a single seed, so
+// generation is reproducible. Edges always go from lower to higher levels,
+// guaranteeing acyclicity by construction.
+//
+// The two data sets of the paper are provided as SmallRandSet (50 DAGs,
+// size 30, weights in [1,20], files and communications in [1,10]) and
+// LargeRandSet (100 DAGs, size 1000, everything in [1,100]).
+package daggen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// Params configures one random DAG.
+type Params struct {
+	Size       int     // number of tasks
+	Width      float64 // in (0,1]: expected level size is Width*Size
+	Regularity float64 // in [0,1]: 0 = all levels equal, 1 = fully random sizes
+	Density    float64 // in [0,1]: edge density between consecutive levels
+	Jumps      int     // >= 1: edges may skip up to Jumps levels
+
+	// Weight ranges. Values are drawn uniformly from the inclusive
+	// integer ranges below, matching the paper's setup.
+	MinWork, MaxWork int   // task processing times, per resource
+	MinFile, MaxFile int64 // edge file sizes
+	MinComm, MaxComm int   // edge communication times
+}
+
+// Validate rejects out-of-range parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Size <= 0:
+		return fmt.Errorf("daggen: Size must be positive, got %d", p.Size)
+	case p.Width <= 0 || p.Width > 1:
+		return fmt.Errorf("daggen: Width must be in (0,1], got %g", p.Width)
+	case p.Regularity < 0 || p.Regularity > 1:
+		return fmt.Errorf("daggen: Regularity must be in [0,1], got %g", p.Regularity)
+	case p.Density < 0 || p.Density > 1:
+		return fmt.Errorf("daggen: Density must be in [0,1], got %g", p.Density)
+	case p.Jumps < 1:
+		return fmt.Errorf("daggen: Jumps must be >= 1, got %d", p.Jumps)
+	case p.MinWork <= 0 || p.MaxWork < p.MinWork:
+		return fmt.Errorf("daggen: bad work range [%d,%d]", p.MinWork, p.MaxWork)
+	case p.MinFile <= 0 || p.MaxFile < p.MinFile:
+		return fmt.Errorf("daggen: bad file range [%d,%d]", p.MinFile, p.MaxFile)
+	case p.MinComm <= 0 || p.MaxComm < p.MinComm:
+		return fmt.Errorf("daggen: bad comm range [%d,%d]", p.MinComm, p.MaxComm)
+	}
+	return nil
+}
+
+// Generate builds one random DAG from the parameters and seed.
+func Generate(p Params, seed int64) (*dag.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := dag.New()
+
+	// Build levels. The DAGGEN tool draws level sizes around
+	// width*sqrt(n); sizes are uniform on [(1-r)*mean, (1+r)*mean],
+	// clamped to [1, remaining].
+	mean := p.Width * math.Sqrt(float64(p.Size))
+	if mean < 1 {
+		mean = 1
+	}
+	var levels [][]dag.TaskID
+	remaining := p.Size
+	for remaining > 0 {
+		lo := int((1 - p.Regularity) * mean)
+		hi := int((1 + p.Regularity) * mean)
+		if lo < 1 {
+			lo = 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		count := lo + rng.Intn(hi-lo+1)
+		if count > remaining {
+			count = remaining
+		}
+		level := make([]dag.TaskID, count)
+		for i := range level {
+			level[i] = g.AddTask("",
+				float64(p.MinWork+rng.Intn(p.MaxWork-p.MinWork+1)),
+				float64(p.MinWork+rng.Intn(p.MaxWork-p.MinWork+1)))
+		}
+		levels = append(levels, level)
+		remaining -= count
+	}
+
+	edge := func(from, to dag.TaskID) {
+		if _, ok := g.EdgeBetween(from, to); ok {
+			return
+		}
+		g.MustAddEdge(from, to,
+			p.MinFile+int64(rng.Int63n(p.MaxFile-p.MinFile+1)),
+			float64(p.MinComm+rng.Intn(p.MaxComm-p.MinComm+1)))
+	}
+
+	// Density edges: every task below level 0 receives
+	// 1 + floor(U(0, Density*|prev|)) parents from the previous level.
+	for l := 1; l < len(levels); l++ {
+		prev := levels[l-1]
+		for _, id := range levels[l] {
+			nParents := 1 + int(rng.Float64()*p.Density*float64(len(prev)))
+			if nParents > len(prev) {
+				nParents = len(prev)
+			}
+			for _, pi := range rng.Perm(len(prev))[:nParents] {
+				edge(prev[pi], id)
+			}
+		}
+	}
+
+	// Jump edges: each task may additionally receive one parent from a
+	// level up to Jumps above, with probability Density/2 (the paper
+	// only specifies that "random edges are added" within the jump
+	// window; this rate keeps jump edges a clear minority, as in the
+	// DAGGEN samples shown in Figs. 8-9).
+	if p.Jumps > 1 {
+		for l := 2; l < len(levels); l++ {
+			loLevel := l - p.Jumps
+			if loLevel < 0 {
+				loLevel = 0
+			}
+			for _, id := range levels[l] {
+				if rng.Float64() >= p.Density/2 || loLevel > l-2 {
+					continue
+				}
+				srcLevel := levels[loLevel+rng.Intn(l-1-loLevel)]
+				edge(srcLevel[rng.Intn(len(srcLevel))], id)
+			}
+		}
+	}
+	return g, nil
+}
+
+// SmallParams are the paper's SmallRandSet parameters: size 30, width 0.3,
+// density 0.5, jumps 5, works in [1,20], files and comms in [1,10].
+func SmallParams() Params {
+	return Params{
+		Size: 30, Width: 0.3, Regularity: 0.5, Density: 0.5, Jumps: 5,
+		MinWork: 1, MaxWork: 20,
+		MinFile: 1, MaxFile: 10,
+		MinComm: 1, MaxComm: 10,
+	}
+}
+
+// LargeParams are the paper's LargeRandSet parameters: size 1000, same shape
+// as SmallParams, all values in [1,100]. Size may be overridden by the
+// caller for reduced-scale runs.
+func LargeParams() Params {
+	return Params{
+		Size: 1000, Width: 0.3, Regularity: 0.5, Density: 0.5, Jumps: 5,
+		MinWork: 1, MaxWork: 100,
+		MinFile: 1, MaxFile: 100,
+		MinComm: 1, MaxComm: 100,
+	}
+}
+
+// Set generates count DAGs with consecutive seeds baseSeed, baseSeed+1, ...
+func Set(p Params, count int, baseSeed int64) ([]*dag.Graph, error) {
+	graphs := make([]*dag.Graph, count)
+	for i := range graphs {
+		g, err := Generate(p, baseSeed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		graphs[i] = g
+	}
+	return graphs, nil
+}
+
+// SmallRandSet generates the paper's 50-DAG small set.
+func SmallRandSet(baseSeed int64) ([]*dag.Graph, error) {
+	return Set(SmallParams(), 50, baseSeed)
+}
+
+// LargeRandSet generates the paper's 100-DAG large set.
+func LargeRandSet(baseSeed int64) ([]*dag.Graph, error) {
+	return Set(LargeParams(), 100, baseSeed)
+}

@@ -1,0 +1,248 @@
+package daggen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+)
+
+func TestGenerateSizeAndValidity(t *testing.T) {
+	g, err := Generate(SmallParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 30 {
+		t.Fatalf("NumTasks = %d, want 30", g.NumTasks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(SmallParams(), 42)
+	b, _ := Generate(SmallParams(), 42)
+	if a.NumTasks() != b.NumTasks() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := 0; i < a.NumTasks(); i++ {
+		if a.Task(dag.TaskID(i)) != b.Task(dag.TaskID(i)) {
+			t.Fatal("same seed produced different tasks")
+		}
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		if a.Edge(dag.EdgeID(e)) != b.Edge(dag.EdgeID(e)) {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+	c, _ := Generate(SmallParams(), 43)
+	if c.NumEdges() == a.NumEdges() && c.NumTasks() == a.NumTasks() {
+		// Shapes can coincide; compare weights too before declaring
+		// the generator seed-insensitive.
+		same := true
+		for i := 0; i < a.NumTasks() && same; i++ {
+			same = a.Task(dag.TaskID(i)) == c.Task(dag.TaskID(i))
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGenerateWeightRanges(t *testing.T) {
+	p := SmallParams()
+	g, _ := Generate(p, 7)
+	for i := 0; i < g.NumTasks(); i++ {
+		task := g.Task(dag.TaskID(i))
+		for _, w := range []float64{task.WBlue, task.WRed} {
+			if w < float64(p.MinWork) || w > float64(p.MaxWork) {
+				t.Fatalf("task %d weight %g outside [%d,%d]", i, w, p.MinWork, p.MaxWork)
+			}
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		edge := g.Edge(dag.EdgeID(e))
+		if edge.File < p.MinFile || edge.File > p.MaxFile {
+			t.Fatalf("edge %d file %d outside range", e, edge.File)
+		}
+		if edge.Comm < float64(p.MinComm) || edge.Comm > float64(p.MaxComm) {
+			t.Fatalf("edge %d comm %g outside range", e, edge.Comm)
+		}
+	}
+}
+
+func TestWidthControlsParallelism(t *testing.T) {
+	narrow := Params{Size: 60, Width: 0.05, Regularity: 0, Density: 0.5, Jumps: 1,
+		MinWork: 1, MaxWork: 5, MinFile: 1, MaxFile: 5, MinComm: 1, MaxComm: 5}
+	wide := narrow
+	wide.Width = 0.8
+	gn, err := Generate(narrow, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := Generate(wide, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, _ := gn.ComputeStats()
+	sw, _ := gw.ComputeStats()
+	if sn.MaxWidth >= sw.MaxWidth {
+		t.Fatalf("narrow MaxWidth %d >= wide MaxWidth %d", sn.MaxWidth, sw.MaxWidth)
+	}
+	if sn.Levels <= sw.Levels {
+		t.Fatalf("narrow Levels %d <= wide Levels %d", sn.Levels, sw.Levels)
+	}
+}
+
+func TestDensityControlsEdgeCount(t *testing.T) {
+	sparse := Params{Size: 80, Width: 0.2, Regularity: 0.5, Density: 0.1, Jumps: 1,
+		MinWork: 1, MaxWork: 5, MinFile: 1, MaxFile: 5, MinComm: 1, MaxComm: 5}
+	dense := sparse
+	dense.Density = 0.9
+	gs, _ := Generate(sparse, 11)
+	gd, _ := Generate(dense, 11)
+	if gs.NumEdges() >= gd.NumEdges() {
+		t.Fatalf("sparse edges %d >= dense edges %d", gs.NumEdges(), gd.NumEdges())
+	}
+}
+
+func TestEveryNonFirstLevelTaskHasAParent(t *testing.T) {
+	g, _ := Generate(SmallParams(), 5)
+	level, _, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the generated structure only construction-level-0 tasks may be
+	// parentless; they sit at DAG level 0 too.
+	for i := 0; i < g.NumTasks(); i++ {
+		if len(g.Parents(dag.TaskID(i))) == 0 && level[i] != 0 {
+			t.Fatalf("task %d has no parents but level %d", i, level[i])
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := SmallParams()
+	bad := []func(*Params){
+		func(p *Params) { p.Size = 0 },
+		func(p *Params) { p.Width = 0 },
+		func(p *Params) { p.Width = 1.5 },
+		func(p *Params) { p.Regularity = -0.1 },
+		func(p *Params) { p.Density = 1.2 },
+		func(p *Params) { p.Jumps = 0 },
+		func(p *Params) { p.MinWork = 0 },
+		func(p *Params) { p.MaxWork = 0 },
+		func(p *Params) { p.MinFile = 0 },
+		func(p *Params) { p.MaxComm = 0 },
+	}
+	for i, mutate := range bad {
+		p := base
+		mutate(&p)
+		if _, err := Generate(p, 1); err == nil {
+			t.Fatalf("bad params #%d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestSetSeedsAreConsecutive(t *testing.T) {
+	set, err := Set(SmallParams(), 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _ := Generate(SmallParams(), 101)
+	if set[1].NumEdges() != single.NumEdges() {
+		t.Fatal("Set element 1 differs from Generate with seed 101")
+	}
+}
+
+func TestSmallRandSetShape(t *testing.T) {
+	set, err := SmallRandSet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 50 {
+		t.Fatalf("SmallRandSet has %d DAGs, want 50", len(set))
+	}
+	for i, g := range set {
+		if g.NumTasks() != 30 {
+			t.Fatalf("DAG %d has %d tasks", i, g.NumTasks())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("DAG %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestLargeParamsShape(t *testing.T) {
+	p := LargeParams()
+	if p.Size != 1000 || p.MaxWork != 100 || p.MaxFile != 100 {
+		t.Fatalf("LargeParams = %+v", p)
+	}
+	p.Size = 120 // reduced-scale sanity run
+	g, err := Generate(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 120 {
+		t.Fatalf("NumTasks = %d", g.NumTasks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGeneratedGraphsAreAcyclicAndConnected(t *testing.T) {
+	f := func(seed int64) bool {
+		p := SmallParams()
+		g, err := Generate(p, seed)
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		// No duplicate edges by construction.
+		seen := map[[2]dag.TaskID]bool{}
+		for e := 0; e < g.NumEdges(); e++ {
+			edge := g.Edge(dag.EdgeID(e))
+			key := [2]dag.TaskID{edge.From, edge.To}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyJumpEdgesStayWithinWindow(t *testing.T) {
+	f := func(seed int64) bool {
+		p := SmallParams()
+		g, err := Generate(p, seed)
+		if err != nil {
+			return false
+		}
+		level, _, err := g.Levels()
+		if err != nil {
+			return false
+		}
+		// DAG levels are computed from longest paths so they can only
+		// compress construction levels; an edge can therefore never
+		// span more than the construction allows going *backwards*:
+		// every edge goes strictly forward.
+		for e := 0; e < g.NumEdges(); e++ {
+			edge := g.Edge(dag.EdgeID(e))
+			if level[edge.From] >= level[edge.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

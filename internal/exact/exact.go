@@ -1,0 +1,303 @@
+// Package exact computes reference solutions for the memory-constrained
+// scheduling problem: a makespan lower bound, and a branch-and-bound search
+// over the space of eager list schedules with as-late-as-possible
+// communications — the decision space that MemHEFT and MemMinMin draw from.
+//
+// The search stands in for the CPLEX-solved ILP of the paper on instances the
+// homemade MILP solver cannot handle (see DESIGN.md, "Substitutions"): it is
+// exact over its space, which contains every schedule either heuristic can
+// produce, so it lower-bounds their makespans and upper-bounds their failure
+// region, which is exactly the role the "Optimal" curve plays in Figure 10.
+// On tiny instances the tests cross-check it against the full ILP.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// LowerBound returns a makespan lower bound valid for every schedule on the
+// platform, memory aside: the maximum of the critical path with best-case
+// processing times and the aggregate best-case work spread over all
+// processors. It is the "Lower bound" curve of Figure 11.
+func LowerBound(g *dag.Graph, p platform.Platform) (float64, error) {
+	cp, err := g.CriticalPathLength()
+	if err != nil {
+		return 0, err
+	}
+	work := g.TotalMinWork() / float64(p.TotalProcs())
+	return math.Max(cp, work), nil
+}
+
+// Status classifies a search outcome.
+type Status int
+
+// Search outcomes. Feasible means a budget ran out with an incumbent in
+// hand; Unknown means it ran out before finding any complete schedule.
+const (
+	Optimal Status = iota
+	Feasible
+	Infeasible
+	Unknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unknown"
+	}
+}
+
+// Options bounds the search effort.
+type Options struct {
+	MaxNodes int           // 0 means DefaultMaxNodes
+	Timeout  time.Duration // 0 means none
+	// Incumbent seeds the search with a known feasible schedule (e.g. a
+	// heuristic result); branches that cannot beat it are pruned.
+	Incumbent *schedule.Schedule
+	// FeasibilityOnly stops at the first complete schedule and disables
+	// bound pruning.
+	FeasibilityOnly bool
+}
+
+// DefaultMaxNodes is the node budget used when Options.MaxNodes is zero.
+const DefaultMaxNodes = 500000
+
+// Result reports the outcome of a search.
+type Result struct {
+	Status   Status
+	Makespan float64            // makespan of Schedule; +inf when none
+	Schedule *schedule.Schedule // best complete schedule known (may be the seeded incumbent)
+	Nodes    int
+}
+
+type searcher struct {
+	g        *dag.Graph
+	p        platform.Platform
+	bottom   []float64 // per task: min-W critical path to a sink, inclusive
+	best     float64
+	bestSch  *schedule.Schedule
+	improved bool
+	nodes    int
+	maxNodes int
+	deadline time.Time
+	feasOnly bool
+	stopped  bool
+}
+
+// Solve runs the branch-and-bound search for g on p.
+func Solve(g *dag.Graph, p platform.Platform, opt Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	bottom, err := bottomLevels(g)
+	if err != nil {
+		return nil, err
+	}
+	s := &searcher{
+		g: g, p: p, bottom: bottom,
+		best:     math.Inf(1),
+		maxNodes: opt.MaxNodes,
+		feasOnly: opt.FeasibilityOnly,
+	}
+	if s.maxNodes <= 0 {
+		s.maxNodes = DefaultMaxNodes
+	}
+	if opt.Timeout > 0 {
+		s.deadline = time.Now().Add(opt.Timeout)
+	}
+	if opt.Incumbent != nil {
+		s.bestSch = opt.Incumbent
+		s.best = opt.Incumbent.Makespan()
+	}
+	s.dfs(core.NewPartial(g, p))
+
+	res := &Result{Makespan: s.best, Schedule: s.bestSch, Nodes: s.nodes}
+	switch {
+	case s.bestSch == nil && s.stopped:
+		res.Status = Unknown
+	case s.bestSch == nil:
+		res.Status = Infeasible
+	case s.stopped && !(s.feasOnly && s.improved):
+		res.Status = Feasible
+	case s.feasOnly:
+		res.Status = Feasible
+	default:
+		res.Status = Optimal
+	}
+	return res, nil
+}
+
+// bottomLevels computes, per task, the longest min-W path from the task to a
+// sink (inclusive). Used as an admissible completion estimate.
+func bottomLevels(g *dag.Graph) ([]float64, error) {
+	rev, err := g.ReverseTopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	bl := make([]float64, g.NumTasks())
+	for _, id := range rev {
+		t := g.Task(id)
+		w := math.Min(t.WBlue, t.WRed)
+		best := 0.0
+		for _, e := range g.Out(id) {
+			if v := bl[g.Edge(e).To]; v > best {
+				best = v
+			}
+		}
+		bl[id] = w + best
+	}
+	return bl, nil
+}
+
+func (s *searcher) budgetExceeded() bool {
+	if s.stopped {
+		return true
+	}
+	if s.nodes > s.maxNodes {
+		s.stopped = true
+		return true
+	}
+	if !s.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.deadline) {
+		s.stopped = true
+		return true
+	}
+	return false
+}
+
+// dfs explores all completions of st depth-first.
+func (s *searcher) dfs(st *core.Partial) {
+	s.nodes++
+	if s.budgetExceeded() {
+		return
+	}
+	if st.Done() {
+		ms := st.MakespanSoFar()
+		if ms < s.best || s.bestSch == nil {
+			s.best = ms
+			s.bestSch = snapshot(st.Schedule())
+			s.improved = true
+		}
+		if s.feasOnly {
+			s.stopped = true
+		}
+		return
+	}
+
+	var moves []core.Candidate
+	for _, id := range st.ReadyTasks() {
+		for _, mu := range platform.Memories {
+			if c := st.Evaluate(id, mu); c.Feasible() {
+				moves = append(moves, c)
+			}
+		}
+	}
+	// Explore small EFT first: good schedules early mean strong pruning.
+	sort.Slice(moves, func(a, b int) bool { return moves[a].EFT < moves[b].EFT })
+	for _, mv := range moves {
+		child := st.Clone()
+		child.Commit(mv)
+		if !s.feasOnly && lbOf(child, s.bottom) >= s.best-schedule.Eps {
+			continue // cannot beat the incumbent
+		}
+		s.dfs(child)
+		if s.stopped {
+			return
+		}
+	}
+}
+
+// lbOf computes an admissible lower bound for a partial schedule: the
+// makespan so far, and for every unassigned task a precedence-only start
+// estimate plus its bottom level.
+func lbOf(st *core.Partial, bottom []float64) float64 {
+	lb := st.MakespanSoFar()
+	g := st.Schedule().Graph
+	for i := 0; i < g.NumTasks(); i++ {
+		id := dag.TaskID(i)
+		if st.Assigned(id) {
+			continue
+		}
+		start := 0.0
+		for _, e := range g.In(id) {
+			from := g.Edge(e).From
+			if st.Assigned(from) {
+				if f := st.Finish(from); f > start {
+					start = f
+				}
+			}
+		}
+		if v := start + bottom[id]; v > lb {
+			lb = v
+		}
+	}
+	return lb
+}
+
+func snapshot(s *schedule.Schedule) *schedule.Schedule {
+	return &schedule.Schedule{
+		Graph:     s.Graph,
+		Platform:  s.Platform,
+		Tasks:     append([]schedule.TaskPlacement(nil), s.Tasks...),
+		CommStart: append([]float64(nil), s.CommStart...),
+	}
+}
+
+// CheckFeasible reports whether any eager list schedule fits the memory bounds,
+// within the given budget. The returned status distinguishes a proven "no"
+// (Infeasible) from an exhausted budget (Unknown).
+func CheckFeasible(g *dag.Graph, p platform.Platform, opt Options) (bool, Status, error) {
+	opt.FeasibilityOnly = true
+	opt.Incumbent = nil
+	res, err := Solve(g, p, opt)
+	if err != nil {
+		return false, Unknown, err
+	}
+	return res.Schedule != nil, res.Status, nil
+}
+
+// Enumerate exhaustively lists the makespans of every complete eager list
+// schedule of a tiny graph (guarded at 8 tasks); tests use it to validate
+// the search.
+func Enumerate(g *dag.Graph, p platform.Platform) ([]float64, error) {
+	if g.NumTasks() > 8 {
+		return nil, fmt.Errorf("exact: Enumerate is restricted to <= 8 tasks, got %d", g.NumTasks())
+	}
+	var out []float64
+	var rec func(st *core.Partial)
+	rec = func(st *core.Partial) {
+		if st.Done() {
+			out = append(out, st.MakespanSoFar())
+			return
+		}
+		for _, id := range st.ReadyTasks() {
+			for _, mu := range platform.Memories {
+				c := st.Evaluate(id, mu)
+				if !c.Feasible() {
+					continue
+				}
+				child := st.Clone()
+				child.Commit(c)
+				rec(child)
+			}
+		}
+	}
+	rec(core.NewPartial(g, p))
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtInsertionShape(t *testing.T) {
+	tab, err := ExtInsertion(Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai := tab.Column("memheft-append")
+	ii := tab.Column("memheft-insertion")
+	if ai < 0 || ii < 0 {
+		t.Fatal("columns missing")
+	}
+	// At the most generous bound both must schedule.
+	last := tab.Rows[len(tab.Rows)-1]
+	if math.IsNaN(last.Values[ai]) || math.IsNaN(last.Values[ii]) {
+		t.Fatal("both policies must fit at ample memory")
+	}
+}
+
+func TestExtOnlineShape(t *testing.T) {
+	tab, err := ExtOnline(Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"memheft", "memminmin", "online-rank", "online-eft"} {
+		if tab.Column(col) < 0 {
+			t.Fatalf("column %s missing", col)
+		}
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	static := last.Values[tab.Column("memheft")]
+	onEFT := last.Values[tab.Column("online-eft")]
+	if math.IsNaN(static) || math.IsNaN(onEFT) {
+		t.Fatal("ample-memory row incomplete")
+	}
+	// The online dispatcher pays for eager transfers and no lookahead;
+	// it must stay within an order of magnitude of the static schedule.
+	if onEFT > static*10 {
+		t.Fatalf("online %g absurdly worse than static %g", onEFT, static)
+	}
+}
+
+func TestExtMultiPoolShape(t *testing.T) {
+	tab, err := ExtMultiPool(Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Device memory shrinks down the rows; the first (largest) bound
+	// must schedule for both heuristics.
+	first := tab.Rows[0]
+	for i, v := range first.Values {
+		if math.IsNaN(v) {
+			t.Fatalf("column %s failed at the largest device memory", tab.Columns[i])
+		}
+	}
+	// Makespan must not improve as device memory shrinks for MemHEFT...
+	// not guaranteed in general for heuristics; only check the weaker
+	// invariant that values are positive when present.
+	for _, r := range tab.Rows {
+		for _, v := range r.Values {
+			if !math.IsNaN(v) && v <= 0 {
+				t.Fatal("nonpositive makespan")
+			}
+		}
+	}
+}

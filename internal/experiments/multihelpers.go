@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/multi"
+)
+
+// multiInstance builds a 3-pool instance from a dual-time graph: pool 0
+// (CPU) keeps the blue time, pool 1 (accelerator A) the red time, pool 2
+// (accelerator B) the mean of the two.
+func multiInstance(g *dag.Graph) *multi.Instance {
+	times := make([][]float64, g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		t := g.Task(dag.TaskID(i))
+		times[i] = []float64{t.WBlue, t.WRed, (t.WBlue + t.WRed) / 2}
+	}
+	return multi.NewInstance(g, times)
+}
+
+// multiPlatform is the 3-pool platform of the multi-pool sweep: a 2-proc
+// CPU pool with generous memory plus two single-proc accelerators with the
+// given device memory.
+func multiPlatform(hostMem, devMem int64) multi.Platform {
+	return multi.NewPlatform(
+		multi.Pool{Procs: 2, Capacity: hostMem},
+		multi.Pool{Procs: 1, Capacity: devMem},
+		multi.Pool{Procs: 1, Capacity: devMem},
+	)
+}
+
+// multiRun executes one generalised heuristic and returns its makespan, or
+// NaN when the instance does not fit.
+func multiRun(in *multi.Instance, p multi.Platform, seed int64, heft bool) (float64, error) {
+	var (
+		s   *multi.Schedule
+		err error
+	)
+	if heft {
+		s, err = multi.MemHEFT(in, p, multi.Options{Seed: seed})
+	} else {
+		s, err = multi.MemMinMin(in, p, multi.Options{Seed: seed})
+	}
+	if err != nil {
+		if errors.Is(err, multi.ErrMemoryBound) {
+			return math.NaN(), nil
+		}
+		return 0, err
+	}
+	return s.Makespan(), nil
+}

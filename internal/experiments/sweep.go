@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/exact"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// HEFTReference runs memory-oblivious HEFT on g and returns its makespan and
+// the larger of its two memory peaks; the paper normalises every sweep by
+// these quantities ("the amount of memory required by HEFT").
+func HEFTReference(g *dag.Graph, p platform.Platform, seed int64) (makespan float64, maxPeak int64, err error) {
+	s, err := core.HEFT(g, p, core.Options{Seed: seed})
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: HEFT reference failed: %w", err)
+	}
+	blue, red := s.MemoryPeaks()
+	peak := blue
+	if red > peak {
+		peak = red
+	}
+	return s.Makespan(), peak, nil
+}
+
+// NormalizedSweepConfig drives the Figure 10 / Figure 12 experiment: for
+// every DAG of a set and every alpha, run the memory-aware heuristics with
+// both memory bounds set to alpha times the HEFT requirement, then average
+// the HEFT-normalised makespans over successful runs and record success
+// rates.
+type NormalizedSweepConfig struct {
+	Graphs   []*dag.Graph
+	Platform platform.Platform // memory bounds ignored
+	Alphas   []float64
+	Seed     int64
+
+	// WithOptimal adds the exact-search reference curve (Figure 10).
+	WithOptimal bool
+	OptNodes    int           // per-instance node budget; 0 = exact.DefaultMaxNodes
+	OptTimeout  time.Duration // per-instance time budget
+}
+
+// DefaultAlphas is the normalised-memory grid of Figures 10 and 12.
+func DefaultAlphas() []float64 {
+	alphas := make([]float64, 0, 20)
+	for a := 0.05; a <= 1.0001; a += 0.05 {
+		alphas = append(alphas, math.Round(a*100)/100)
+	}
+	return alphas
+}
+
+// SweepResult carries the two panels of Figures 10 and 12.
+type SweepResult struct {
+	Makespan *Table // average normalised makespan (successful runs only)
+	Success  *Table // fraction of DAGs scheduled
+}
+
+// NormalizedSweep runs the experiment.
+func NormalizedSweep(cfg NormalizedSweepConfig) (*SweepResult, error) {
+	cols := []string{"MemHEFT", "MemMinMin"}
+	if cfg.WithOptimal {
+		cols = append(cols, "Optimal")
+	}
+	msTable := &Table{Name: "normalized makespan", XLabel: "alpha", Columns: cols}
+	srTable := &Table{Name: "success rate", XLabel: "alpha", Columns: cols}
+
+	type ref struct {
+		ms   float64
+		peak int64
+	}
+	refs := make([]ref, len(cfg.Graphs))
+	for i, g := range cfg.Graphs {
+		ms, peak, err := HEFTReference(g, cfg.Platform, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		refs[i] = ref{ms: ms, peak: peak}
+	}
+
+	algs := []namedAlg{
+		{"MemHEFT", core.MemHEFT},
+		{"MemMinMin", core.MemMinMin},
+	}
+
+	// One cell of work: one DAG at one alpha. Cells are independent, so
+	// they run on a bounded worker pool; the reduction below is
+	// sequential and index-ordered, keeping results bit-for-bit
+	// deterministic regardless of scheduling.
+	type cell struct {
+		norm []float64 // normalised makespan per column; NaN = failed
+		err  error
+	}
+	nA, nG := len(cfg.Alphas), len(cfg.Graphs)
+	cells := make([]cell, nA*nG)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nA*nG {
+		workers = nA * nG
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				ai, gi := idx/nG, idx%nG
+				cells[idx] = sweepCell(cfg, cols, cfg.Alphas[ai], cfg.Graphs[gi], refs[gi].ms, refs[gi].peak, algs)
+			}
+		}()
+	}
+	for idx := range cells {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	for ai, alpha := range cfg.Alphas {
+		sums := make([]float64, len(cols))
+		oks := make([]int, len(cols))
+		for gi := 0; gi < nG; gi++ {
+			c := cells[ai*nG+gi]
+			if c.err != nil {
+				return nil, c.err
+			}
+			for i, v := range c.norm {
+				if !math.IsNaN(v) {
+					oks[i]++
+					sums[i] += v
+				}
+			}
+		}
+		msRow := make([]float64, len(cols))
+		srRow := make([]float64, len(cols))
+		for i := range cols {
+			if oks[i] > 0 {
+				msRow[i] = sums[i] / float64(oks[i])
+			} else {
+				msRow[i] = math.NaN()
+			}
+			srRow[i] = float64(oks[i]) / float64(nG)
+		}
+		msTable.AddRow(alpha, msRow...)
+		srTable.AddRow(alpha, srRow...)
+	}
+	return &SweepResult{Makespan: msTable, Success: srTable}, nil
+}
+
+// sweepCell evaluates one DAG at one alpha: both heuristics plus, when
+// configured, the exact reference seeded with the better heuristic schedule.
+func sweepCell(cfg NormalizedSweepConfig, cols []string, alpha float64, g *dag.Graph, refMS float64, refPeak int64, algs []namedAlg) struct {
+	norm []float64
+	err  error
+} {
+	out := struct {
+		norm []float64
+		err  error
+	}{norm: make([]float64, len(cols))}
+	for i := range out.norm {
+		out.norm[i] = math.NaN()
+	}
+	bound := int64(alpha * float64(refPeak))
+	p := cfg.Platform.WithBounds(bound, bound)
+	var best *schedule.Schedule
+	for ai, alg := range algs {
+		s, err := alg.fn(g, p, core.Options{Seed: cfg.Seed})
+		if err != nil {
+			continue
+		}
+		out.norm[ai] = s.Makespan() / refMS
+		if best == nil || s.Makespan() < best.Makespan() {
+			best = s
+		}
+	}
+	if cfg.WithOptimal {
+		opt := exact.Options{MaxNodes: cfg.OptNodes, Timeout: cfg.OptTimeout, Incumbent: best}
+		res, err := exact.Solve(g, p, opt)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		if res.Schedule != nil {
+			out.norm[len(cols)-1] = res.Makespan / refMS
+		}
+	}
+	return out
+}
+
+// namedAlg pairs a column name with its scheduler.
+type namedAlg struct {
+	name string
+	fn   core.Func
+}
+
+// AbsoluteSweepConfig drives the Figures 11/13/14/15 experiment: one DAG,
+// absolute memory bounds on the x axis, one curve per algorithm (plus
+// optionally the lower bound).
+type AbsoluteSweepConfig struct {
+	Graph      *dag.Graph
+	Platform   platform.Platform // memory bounds ignored
+	Memories   []int64           // bounds applied to both memories
+	Seed       int64
+	Algorithms []string // names from core.Algorithms; nil = all four
+	LowerBound bool
+}
+
+// AbsoluteSweep runs the experiment. Memory-oblivious algorithms (heft,
+// minmin) are reported only at bounds that accommodate their peaks — they
+// appear as the horizontal reference lines of Figure 11.
+func AbsoluteSweep(cfg AbsoluteSweepConfig) (*Table, error) {
+	names := cfg.Algorithms
+	if names == nil {
+		names = []string{"heft", "minmin", "memheft", "memminmin"}
+	}
+	cols := append([]string(nil), names...)
+	if cfg.LowerBound {
+		cols = append(cols, "lowerbound")
+	}
+	table := &Table{Name: "makespan vs memory", XLabel: "memory", Columns: cols}
+
+	lb := math.NaN()
+	if cfg.LowerBound {
+		v, err := exact.LowerBound(cfg.Graph, cfg.Platform)
+		if err != nil {
+			return nil, err
+		}
+		lb = v
+	}
+
+	// Memory-oblivious results are memory-independent; compute once.
+	type obliv struct {
+		ms   float64
+		peak int64
+	}
+	oblivious := map[string]obliv{}
+	for _, name := range names {
+		if name != "heft" && name != "minmin" {
+			continue
+		}
+		fn := core.Algorithms[name]
+		s, err := fn(cfg.Graph, cfg.Platform, core.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s failed: %w", name, err)
+		}
+		blue, red := s.MemoryPeaks()
+		peak := blue
+		if red > peak {
+			peak = red
+		}
+		oblivious[name] = obliv{ms: s.Makespan(), peak: peak}
+	}
+
+	for _, mem := range cfg.Memories {
+		row := make([]float64, len(cols))
+		for i, name := range names {
+			if o, ok := oblivious[name]; ok {
+				if mem >= o.peak {
+					row[i] = o.ms
+				} else {
+					row[i] = math.NaN()
+				}
+				continue
+			}
+			fn, err := core.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			s, err := fn(cfg.Graph, cfg.Platform.WithBounds(mem, mem), core.Options{Seed: cfg.Seed})
+			if err != nil {
+				row[i] = math.NaN()
+				continue
+			}
+			row[i] = s.Makespan()
+		}
+		if cfg.LowerBound {
+			row[len(row)-1] = lb
+		}
+		table.AddRow(float64(mem), row...)
+	}
+	return table, nil
+}
+
+// MemoryGrid returns count bounds spread uniformly over (0, max], rounded to
+// integers and deduplicated; convenient for absolute sweeps.
+func MemoryGrid(max int64, count int) []int64 {
+	if count < 1 {
+		count = 1
+	}
+	var out []int64
+	last := int64(-1)
+	for i := 1; i <= count; i++ {
+		v := int64(math.Round(float64(max) * float64(i) / float64(count)))
+		if v != last {
+			out = append(out, v)
+			last = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+// Package experiments reproduces the evaluation campaign of §6 of the
+// paper: the memory sweeps over the four DAG sets (SmallRandSet,
+// LargeRandSet, LUSet, CholeskySet), the aggregation into normalised
+// makespans and success rates, and renderers for every figure and table.
+// cmd/experiments and the repository benchmarks are thin wrappers around
+// this package.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a generic experiment result: one x column and one y column per
+// series. Missing values (failed runs) are NaN.
+type Table struct {
+	Name    string
+	XLabel  string
+	Columns []string
+	Rows    []Row
+}
+
+// Row is one x value and one cell per column (NaN = missing).
+type Row struct {
+	X      float64
+	Values []float64
+}
+
+// AddRow appends a row; the number of values must match the columns.
+func (t *Table) AddRow(x float64, values ...float64) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row with %d values for %d columns", len(values), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, Row{X: x, Values: append([]float64(nil), values...)})
+}
+
+// Column returns the index of the named column, or -1.
+func (t *Table) Column(name string) int {
+	for i, c := range t.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CSV renders the table as comma-separated values with a header row;
+// missing cells are empty.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%g", r.X)
+		for _, v := range r.Values {
+			b.WriteByte(',')
+			if !math.IsNaN(v) {
+				fmt.Fprintf(&b, "%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-style markdown table; missing
+// cells show a dash.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| %s |", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|")
+	for i := 0; i <= len(t.Columns); i++ {
+		b.WriteString(" --- |")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %.3g |", r.X)
+		for _, v := range r.Values {
+			if math.IsNaN(v) {
+				b.WriteString(" – |")
+			} else {
+				fmt.Fprintf(&b, " %.4g |", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,335 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimise  c.x
+//	subject to  a_r.x (<=|>=|=) b_r   for every constraint r
+//	            x >= 0
+//
+// It is the relaxation engine behind the branch-and-bound MILP solver of
+// internal/mip, which in turn solves the paper's ILP formulation
+// (internal/ilp) on small instances — the role CPLEX plays in the paper.
+// Bland's rule guarantees termination; instances in this repository are
+// small, so the dense tableau and the slow-but-safe pivoting rule are a fine
+// trade-off.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of one constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // a.x <= b
+	GE              // a.x >= b
+	EQ              // a.x == b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "=="
+	}
+}
+
+// Constraint is one row: sum of Coeffs[i]*x_i (Sense) RHS. Coefficients are
+// sparse; absent variables have coefficient zero.
+type Constraint struct {
+	Coeffs map[int]float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars non-negative variables with a
+// minimisation objective.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // length NumVars; nil means the zero objective
+	Constraints []Constraint
+}
+
+// AddConstraint appends a constraint built from the sparse coefficient map.
+func (p *Problem) AddConstraint(coeffs map[int]float64, sense Sense, rhs float64) {
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Sense: sense, RHS: rhs})
+}
+
+// Status classifies the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unbounded"
+	}
+}
+
+// Solution is the result of a successful Solve call.
+type Solution struct {
+	Status    Status
+	X         []float64 // length NumVars; meaningful only when Optimal
+	Objective float64   // c.x; meaningful only when Optimal
+}
+
+const (
+	eps     = 1e-9
+	maxIter = 200000
+)
+
+// tableau is the dense simplex tableau: rows 0..m-1 are constraints in
+// canonical equality form, row m is the objective (z) row. Column n is the
+// right-hand side.
+type tableau struct {
+	m, n  int
+	a     [][]float64 // (m+1) x (n+1)
+	basis []int       // length m
+}
+
+func (t *tableau) pivot(row, col int) {
+	pr := t.a[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := 0; j <= t.n; j++ {
+		pr[j] *= inv
+	}
+	for i := 0; i <= t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j <= t.n; j++ {
+			ri[j] -= f * pr[j]
+		}
+	}
+	t.basis[row] = col
+}
+
+// iterate runs primal simplex on the current tableau until optimality or
+// unboundedness. allowed reports whether a column may enter the basis.
+// Bland's rule: entering = smallest-index column with negative reduced cost;
+// leaving = smallest basis index among minimum-ratio rows.
+func (t *tableau) iterate(allowed func(col int) bool) (Status, error) {
+	for iter := 0; iter < maxIter; iter++ {
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			if allowed(j) && t.a[t.m][j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij <= eps {
+				continue
+			}
+			ratio := t.a[i][t.n] / aij
+			if ratio < bestRatio-eps ||
+				(ratio < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				leave, bestRatio = i, ratio
+			}
+		}
+		if leave < 0 {
+			return Unbounded, nil
+		}
+		t.pivot(leave, enter)
+	}
+	return Optimal, fmt.Errorf("lp: iteration limit (%d) exceeded", maxIter)
+}
+
+// Solve runs two-phase simplex on p.
+func Solve(p *Problem) (*Solution, error) {
+	if p.NumVars < 0 {
+		return nil, fmt.Errorf("lp: negative NumVars")
+	}
+	if p.Objective != nil && len(p.Objective) != p.NumVars {
+		return nil, fmt.Errorf("lp: objective has %d entries for %d variables", len(p.Objective), p.NumVars)
+	}
+	m := len(p.Constraints)
+	nv := p.NumVars
+
+	// Count auxiliary columns. Every inequality gets a slack/surplus;
+	// every >= or == row (after RHS normalisation) gets an artificial.
+	type rowInfo struct {
+		sense Sense
+		neg   bool // row multiplied by -1 to make RHS >= 0
+	}
+	rows := make([]rowInfo, m)
+	nSlack, nArt := 0, 0
+	for r, c := range p.Constraints {
+		sense, rhs := c.Sense, c.RHS
+		neg := rhs < 0
+		if neg {
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		rows[r] = rowInfo{sense: sense, neg: neg}
+		if sense != EQ {
+			nSlack++
+		}
+		if sense != LE {
+			nArt++
+		}
+	}
+	n := nv + nSlack + nArt
+	t := &tableau{m: m, n: n, basis: make([]int, m)}
+	t.a = make([][]float64, m+1)
+	for i := range t.a {
+		t.a[i] = make([]float64, n+1)
+	}
+	artStart := nv + nSlack
+	slack, art := nv, artStart
+	for r, c := range p.Constraints {
+		sign := 1.0
+		if rows[r].neg {
+			sign = -1
+		}
+		for v, coef := range c.Coeffs {
+			if v < 0 || v >= nv {
+				return nil, fmt.Errorf("lp: constraint %d references variable %d of %d", r, v, nv)
+			}
+			t.a[r][v] += sign * coef
+		}
+		t.a[r][n] = sign * c.RHS
+		switch rows[r].sense {
+		case LE:
+			t.a[r][slack] = 1
+			t.basis[r] = slack
+			slack++
+		case GE:
+			t.a[r][slack] = -1
+			slack++
+			t.a[r][art] = 1
+			t.basis[r] = art
+			art++
+		case EQ:
+			t.a[r][art] = 1
+			t.basis[r] = art
+			art++
+		}
+	}
+
+	// Phase 1: minimise the sum of artificials. Canonical z-row:
+	// z[j] = c1[j] - sum over artificial-basic rows of a[r][j], where
+	// c1 is 1 on artificial columns and 0 elsewhere; every initially
+	// basic column then has reduced cost 0 as required.
+	if nArt > 0 {
+		for j := 0; j <= n; j++ {
+			t.a[m][j] = 0
+		}
+		for j := artStart; j < n; j++ {
+			t.a[m][j] = 1
+		}
+		for r := 0; r < m; r++ {
+			if t.basis[r] >= artStart {
+				for j := 0; j <= n; j++ {
+					t.a[m][j] -= t.a[r][j]
+				}
+			}
+		}
+		// Artificials never re-enter the basis.
+		st, err := t.iterate(func(col int) bool { return col < artStart })
+		if err != nil {
+			return nil, err
+		}
+		if st == Unbounded {
+			return nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+		}
+		if -t.a[m][n] > 1e-6 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive lingering artificials out of the basis.
+		for r := 0; r < m; r++ {
+			if t.basis[r] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t.a[r][j]) > eps {
+					t.pivot(r, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: keep the artificial basic at
+				// zero; the allowed() filter below stops it
+				// from re-entering elsewhere.
+				t.a[r][n] = 0
+			}
+		}
+	}
+
+	// Phase 2: original objective. Rebuild the z-row from scratch:
+	// z = c.x with basic variables substituted out.
+	for j := 0; j <= n; j++ {
+		t.a[m][j] = 0
+	}
+	for v := 0; v < nv; v++ {
+		if p.Objective != nil {
+			t.a[m][v] = p.Objective[v]
+		}
+	}
+	for r := 0; r < m; r++ {
+		b := t.basis[r]
+		coef := t.a[m][b]
+		if coef == 0 {
+			continue
+		}
+		for j := 0; j <= n; j++ {
+			t.a[m][j] -= coef * t.a[r][j]
+		}
+	}
+	st, err := t.iterate(func(col int) bool { return col < artStart })
+	if err != nil {
+		return nil, err
+	}
+	if st == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	sol := &Solution{Status: Optimal, X: make([]float64, nv)}
+	for r := 0; r < m; r++ {
+		if t.basis[r] < nv {
+			sol.X[t.basis[r]] = t.a[r][n]
+		}
+	}
+	for v := 0; v < nv; v++ {
+		if sol.X[v] < 0 && sol.X[v] > -1e-7 {
+			sol.X[v] = 0
+		}
+		if p.Objective != nil {
+			sol.Objective += p.Objective[v] * sol.X[v]
+		}
+	}
+	return sol, nil
+}

@@ -1,0 +1,240 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimpleMinimisation(t *testing.T) {
+	// min x0 + x1 s.t. x0 + 2x1 >= 4, 3x0 + x1 >= 6 -> x=(1.6, 1.2), obj 2.8.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint(map[int]float64{0: 1, 1: 2}, GE, 4)
+	p.AddConstraint(map[int]float64{0: 3, 1: 1}, GE, 6)
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(s.Objective, 2.8) {
+		t.Fatalf("got %v obj %g", s.Status, s.Objective)
+	}
+	if !approx(s.X[0], 1.6) || !approx(s.X[1], 1.2) {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestMaximisationViaNegation(t *testing.T) {
+	// max 3x+2y s.t. x+y <= 4, x+3y <= 6 -> x=4, y=0, obj 12.
+	p := &Problem{NumVars: 2, Objective: []float64{-3, -2}}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, LE, 4)
+	p.AddConstraint(map[int]float64{0: 1, 1: 3}, LE, 6)
+	s := solveOK(t, p)
+	if !approx(s.Objective, -12) {
+		t.Fatalf("obj = %g, want -12", s.Objective)
+	}
+	if !approx(s.X[0], 4) || !approx(s.X[1], 0) {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x+y s.t. x + y = 5, x - y = 1 -> (3,2), obj 5.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 5)
+	p.AddConstraint(map[int]float64{0: 1, 1: -1}, EQ, 1)
+	s := solveOK(t, p)
+	if !approx(s.X[0], 3) || !approx(s.X[1], 2) {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint(map[int]float64{0: 1}, GE, 5)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 3)
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{-1, 0}}
+	p.AddConstraint(map[int]float64{1: 1}, LE, 3)
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalisation(t *testing.T) {
+	// x0 - x1 <= -2 with min x0: x0 = 0, x1 >= 2.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 0}}
+	p.AddConstraint(map[int]float64{0: 1, 1: -1}, LE, -2)
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(s.X[0], 0) || s.X[1] < 2-1e-9 {
+		t.Fatalf("sol = %+v", s)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	p := &Problem{NumVars: 2}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 3)
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.X[0]+s.X[1], 3) {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Duplicate equalities leave a redundant row in phase 1.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 2}}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 4)
+	p.AddConstraint(map[int]float64{0: 2, 1: 2}, EQ, 8)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 1)
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(s.Objective, 1*4+0) { // x=(4,0)
+		t.Fatalf("sol = %+v", s)
+	}
+}
+
+func TestDegenerateCycleGuard(t *testing.T) {
+	// Classic Beale cycling example; Bland's rule must terminate.
+	p := &Problem{NumVars: 4, Objective: []float64{-0.75, 150, -0.02, 6}}
+	p.AddConstraint(map[int]float64{0: 0.25, 1: -60, 2: -0.04, 3: 9}, LE, 0)
+	p.AddConstraint(map[int]float64{0: 0.5, 1: -90, 2: -0.02, 3: 3}, LE, 0)
+	p.AddConstraint(map[int]float64{2: 1}, LE, 1)
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(s.Objective, -0.05) {
+		t.Fatalf("sol = %+v", s)
+	}
+}
+
+func TestBigMStyleScheduling(t *testing.T) {
+	// A toy precedence LP: min M s.t. t1 >= t0 + 3, M >= t1 + 2, t0 >= 0.
+	p := &Problem{NumVars: 3, Objective: []float64{0, 0, 1}} // t0, t1, M
+	p.AddConstraint(map[int]float64{1: 1, 0: -1}, GE, 3)
+	p.AddConstraint(map[int]float64{2: 1, 1: -1}, GE, 2)
+	s := solveOK(t, p)
+	if !approx(s.Objective, 5) {
+		t.Fatalf("makespan = %g, want 5", s.Objective)
+	}
+}
+
+func TestBadVariableIndexRejected(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint(map[int]float64{3: 1}, GE, 1)
+	if _, err := Solve(p); err == nil {
+		t.Fatal("out-of-range variable accepted")
+	}
+}
+
+func TestObjectiveLengthMismatchRejected(t *testing.T) {
+	p := &Problem{NumVars: 3, Objective: []float64{1}}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("short objective accepted")
+	}
+}
+
+func TestPropertyFeasibleSolutionsSatisfyConstraints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(4)
+		p := &Problem{NumVars: nv, Objective: make([]float64, nv)}
+		for v := range p.Objective {
+			p.Objective[v] = float64(rng.Intn(11) - 5)
+		}
+		for r := 0; r < 2+rng.Intn(5); r++ {
+			coeffs := map[int]float64{}
+			for v := 0; v < nv; v++ {
+				if rng.Intn(2) == 0 {
+					coeffs[v] = float64(rng.Intn(9) - 4)
+				}
+			}
+			// Keep RHS >= 0 with <= so x=0 is always feasible and
+			// the instance cannot be infeasible.
+			p.AddConstraint(coeffs, LE, float64(rng.Intn(10)))
+		}
+		s, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if s.Status == Infeasible {
+			return false // x = 0 is feasible by construction
+		}
+		if s.Status == Unbounded {
+			return true
+		}
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for v, coef := range c.Coeffs {
+				lhs += coef * s.X[v]
+			}
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyOptimalityAgainstGridSearch(t *testing.T) {
+	// 2-variable LPs with small integer data: compare against brute-force
+	// evaluation on a fine grid of basic feasible candidates.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := &Problem{NumVars: 2, Objective: []float64{
+			float64(rng.Intn(7) - 3), float64(rng.Intn(7) - 3)}}
+		for r := 0; r < 3; r++ {
+			p.AddConstraint(map[int]float64{
+				0: float64(rng.Intn(5)), 1: float64(rng.Intn(5)),
+			}, LE, float64(rng.Intn(8)+1))
+		}
+		// Bound the box so everything is finite.
+		p.AddConstraint(map[int]float64{0: 1}, LE, 10)
+		p.AddConstraint(map[int]float64{1: 1}, LE, 10)
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		best := math.Inf(1)
+		for x := 0.0; x <= 10; x += 0.25 {
+		inner:
+			for y := 0.0; y <= 10; y += 0.25 {
+				for _, c := range p.Constraints {
+					if c.Coeffs[0]*x+c.Coeffs[1]*y > c.RHS+1e-9 {
+						continue inner
+					}
+				}
+				v := p.Objective[0]*x + p.Objective[1]*y
+				if v < best {
+					best = v
+				}
+			}
+		}
+		return s.Objective <= best+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package memfn implements the staircase "available memory over time"
+// functions that drive the memory-aware heuristics of the paper (§5.1).
+//
+// A Staircase represents a piecewise-constant function free(t) over
+// [0, +inf). The paper stores it as a list of couples [(x1,v1),...,(xl,vl)]
+// with free(t) = vi on [xi, xi+1) and free(t) = vl for t >= xl; this package
+// uses the same representation. The two operations the heuristics need are
+// Reserve (commit memory on an interval, possibly unbounded) and EarliestFit
+// (the smallest t such that free(t') >= need for every t' >= t), which
+// realises the task_mem_EST and comm_mem_EST primitives of Algorithm 1.
+package memfn
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Inf is the positive-infinity time used for unbounded reservations.
+var Inf = math.Inf(1)
+
+type step struct {
+	t float64 // start of the interval
+	v int64   // free memory on [t, next.t)
+}
+
+// Staircase is a piecewise-constant free-memory function. The zero value is
+// not usable; call New.
+type Staircase struct {
+	steps []step // sorted by t; steps[0].t == 0 always
+}
+
+// New returns the constant function free(t) = capacity.
+func New(capacity int64) *Staircase {
+	return &Staircase{steps: []step{{t: 0, v: capacity}}}
+}
+
+// Clone returns an independent copy.
+func (s *Staircase) Clone() *Staircase {
+	return &Staircase{steps: append([]step(nil), s.steps...)}
+}
+
+// Len returns the number of constant pieces (the paper's l).
+func (s *Staircase) Len() int { return len(s.steps) }
+
+// Value returns free(t). Times before 0 are clamped to 0.
+func (s *Staircase) Value(t float64) int64 {
+	if t < 0 {
+		t = 0
+	}
+	// Binary search for the last step with step.t <= t.
+	lo, hi := 0, len(s.steps)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.steps[mid].t <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return s.steps[lo].v
+}
+
+// FinalValue returns the value of the last piece, i.e. free(+inf).
+func (s *Staircase) FinalValue() int64 { return s.steps[len(s.steps)-1].v }
+
+// MinValue returns the global minimum of the function.
+func (s *Staircase) MinValue() int64 {
+	m := s.steps[0].v
+	for _, st := range s.steps[1:] {
+		if st.v < m {
+			m = st.v
+		}
+	}
+	return m
+}
+
+// MinOn returns the minimum of free over [from, to). An empty interval
+// returns the value at from. to may be Inf.
+func (s *Staircase) MinOn(from, to float64) int64 {
+	if from < 0 {
+		from = 0
+	}
+	m := s.Value(from)
+	for _, st := range s.steps {
+		if st.t <= from {
+			continue
+		}
+		if st.t >= to {
+			break
+		}
+		if st.v < m {
+			m = st.v
+		}
+	}
+	return m
+}
+
+// indexAt returns the index of the piece containing time t (t >= 0).
+func (s *Staircase) indexAt(t float64) int {
+	lo, hi := 0, len(s.steps)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.steps[mid].t <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// ensureBreak inserts a breakpoint at time t (if not already present) and
+// returns the index of the piece starting at t.
+func (s *Staircase) ensureBreak(t float64) int {
+	i := s.indexAt(t)
+	if s.steps[i].t == t {
+		return i
+	}
+	s.steps = append(s.steps, step{})
+	copy(s.steps[i+2:], s.steps[i+1:])
+	s.steps[i+1] = step{t: t, v: s.steps[i].v}
+	return i + 1
+}
+
+// Reserve subtracts amount from free on [from, to). A negative amount
+// releases memory. to may be Inf for an open-ended reservation (the typical
+// case for output files whose consumer is not scheduled yet). Reservations
+// are allowed to drive the function negative; callers that must respect a
+// bound check EarliestFit or MinOn first.
+func (s *Staircase) Reserve(from, to float64, amount int64) {
+	if amount == 0 || to <= from {
+		return
+	}
+	if from < 0 {
+		from = 0
+	}
+	i := s.ensureBreak(from)
+	j := len(s.steps) // exclusive
+	if !math.IsInf(to, 1) {
+		j = s.ensureBreak(to)
+		if s.steps[j].t != to {
+			panic("memfn: internal error: missing breakpoint")
+		}
+		// ensureBreak(to) may have shifted index i if to < from is
+		// impossible here, but inserting at to > from never moves i.
+	}
+	for k := i; k < j; k++ {
+		s.steps[k].v -= amount
+	}
+	s.coalesce()
+}
+
+// Release adds amount back to free from time t onward. It is the standard
+// way to return an open-ended reservation (an input file consumed at t, or a
+// cross-memory file whose transfer completes at t).
+func (s *Staircase) Release(t float64, amount int64) {
+	s.Reserve(t, Inf, -amount)
+}
+
+// coalesce merges adjacent pieces with equal values.
+func (s *Staircase) coalesce() {
+	out := s.steps[:1]
+	for _, st := range s.steps[1:] {
+		if st.v == out[len(out)-1].v {
+			continue
+		}
+		out = append(out, st)
+	}
+	s.steps = out
+}
+
+// EarliestFit returns the smallest t >= lowerBound such that free(t') >= need
+// for all t' >= t, or +Inf when no such time exists (the final piece is below
+// need). This is exactly the task_mem_EST / comm_mem_EST computation of
+// Algorithm 1 and runs in O(l) for a staircase with l pieces.
+func (s *Staircase) EarliestFit(lowerBound float64, need int64) float64 {
+	if s.FinalValue() < need {
+		return Inf
+	}
+	// Walk backwards to find the end of the last deficient piece.
+	for i := len(s.steps) - 1; i >= 0; i-- {
+		if s.steps[i].v < need {
+			// Deficient on [steps[i].t, steps[i+1].t); the fit
+			// starts at the next breakpoint. i is never the last
+			// index because FinalValue() >= need.
+			return math.Max(lowerBound, s.steps[i+1].t)
+		}
+	}
+	return math.Max(lowerBound, 0)
+}
+
+// Breakpoints returns copies of the (time, value) pairs, mainly for tests
+// and debugging.
+func (s *Staircase) Breakpoints() (times []float64, values []int64) {
+	times = make([]float64, len(s.steps))
+	values = make([]int64, len(s.steps))
+	for i, st := range s.steps {
+		times[i] = st.t
+		values[i] = st.v
+	}
+	return times, values
+}
+
+// String renders the staircase compactly, e.g. "[0:5 2:3 4:5]".
+func (s *Staircase) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, st := range s.steps {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%g:%d", st.t, st.v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

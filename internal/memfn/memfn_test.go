@@ -1,0 +1,303 @@
+package memfn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsConstant(t *testing.T) {
+	s := New(10)
+	for _, tt := range []float64{0, 1, 100, 1e9} {
+		if v := s.Value(tt); v != 10 {
+			t.Fatalf("Value(%g) = %d, want 10", tt, v)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if s.FinalValue() != 10 {
+		t.Fatalf("FinalValue = %d", s.FinalValue())
+	}
+}
+
+func TestReserveBoundedInterval(t *testing.T) {
+	s := New(10)
+	s.Reserve(2, 5, 4)
+	cases := []struct {
+		t float64
+		v int64
+	}{{0, 10}, {1.999, 10}, {2, 6}, {3, 6}, {4.999, 6}, {5, 10}, {100, 10}}
+	for _, c := range cases {
+		if got := s.Value(c.t); got != c.v {
+			t.Fatalf("Value(%g) = %d, want %d", c.t, got, c.v)
+		}
+	}
+}
+
+func TestReserveOpenEnded(t *testing.T) {
+	s := New(10)
+	s.Reserve(3, Inf, 7)
+	if s.Value(2) != 10 || s.Value(3) != 3 || s.FinalValue() != 3 {
+		t.Fatalf("open-ended reserve wrong: %s", s)
+	}
+}
+
+func TestReleaseUndoesOpenEndedReservation(t *testing.T) {
+	s := New(10)
+	s.Reserve(1, Inf, 6)
+	s.Release(4, 6)
+	if s.Value(0) != 10 || s.Value(2) != 4 || s.Value(4) != 10 || s.Len() != 3 {
+		t.Fatalf("after release: %s", s)
+	}
+}
+
+func TestReserveZeroAmountOrEmptyIntervalIsNoop(t *testing.T) {
+	s := New(5)
+	s.Reserve(1, 1, 3)
+	s.Reserve(3, 2, 3)
+	s.Reserve(0, 10, 0)
+	if s.Len() != 1 || s.Value(0) != 5 {
+		t.Fatalf("no-op reserves changed function: %s", s)
+	}
+}
+
+func TestReserveNegativeTimeClamped(t *testing.T) {
+	s := New(5)
+	s.Reserve(-3, 2, 2)
+	if s.Value(0) != 3 || s.Value(2) != 5 {
+		t.Fatalf("negative-from reserve: %s", s)
+	}
+}
+
+func TestOverlappingReserves(t *testing.T) {
+	s := New(10)
+	s.Reserve(0, 4, 3)
+	s.Reserve(2, 6, 5)
+	want := []struct {
+		t float64
+		v int64
+	}{{0, 7}, {2, 2}, {4, 5}, {6, 10}}
+	for _, c := range want {
+		if got := s.Value(c.t); got != c.v {
+			t.Fatalf("Value(%g) = %d, want %d (%s)", c.t, got, c.v, s)
+		}
+	}
+	if s.MinValue() != 2 {
+		t.Fatalf("MinValue = %d, want 2", s.MinValue())
+	}
+}
+
+func TestMinOn(t *testing.T) {
+	s := New(10)
+	s.Reserve(2, 5, 4) // 6 on [2,5)
+	if got := s.MinOn(0, 2); got != 10 {
+		t.Fatalf("MinOn(0,2) = %d", got)
+	}
+	if got := s.MinOn(0, 3); got != 6 {
+		t.Fatalf("MinOn(0,3) = %d", got)
+	}
+	if got := s.MinOn(5, Inf); got != 10 {
+		t.Fatalf("MinOn(5,inf) = %d", got)
+	}
+	if got := s.MinOn(1, 1); got != 10 { // empty interval: value at from
+		t.Fatalf("MinOn(1,1) = %d", got)
+	}
+}
+
+func TestEarliestFitConstant(t *testing.T) {
+	s := New(10)
+	if got := s.EarliestFit(0, 10); got != 0 {
+		t.Fatalf("EarliestFit(0,10) = %g", got)
+	}
+	if got := s.EarliestFit(3.5, 10); got != 3.5 {
+		t.Fatalf("EarliestFit(3.5,10) = %g", got)
+	}
+	if got := s.EarliestFit(0, 11); !math.IsInf(got, 1) {
+		t.Fatalf("EarliestFit(0,11) = %g, want +inf", got)
+	}
+}
+
+func TestEarliestFitSkipsTemporaryDip(t *testing.T) {
+	s := New(10)
+	s.Reserve(2, 5, 8) // free = 2 on [2,5)
+	// Need 6: free(t') >= 6 for all t' >= t requires t >= 5.
+	if got := s.EarliestFit(0, 6); got != 5 {
+		t.Fatalf("EarliestFit(0,6) = %g, want 5", got)
+	}
+	// Need 2 fits everywhere.
+	if got := s.EarliestFit(0, 2); got != 0 {
+		t.Fatalf("EarliestFit(0,2) = %g, want 0", got)
+	}
+	// Lower bound beyond the dip dominates.
+	if got := s.EarliestFit(7, 6); got != 7 {
+		t.Fatalf("EarliestFit(7,6) = %g, want 7", got)
+	}
+}
+
+func TestEarliestFitOpenEndedDeficit(t *testing.T) {
+	s := New(10)
+	s.Reserve(3, Inf, 9) // free = 1 forever after 3
+	if got := s.EarliestFit(0, 2); !math.IsInf(got, 1) {
+		t.Fatalf("EarliestFit(0,2) = %g, want +inf", got)
+	}
+	if got := s.EarliestFit(0, 1); got != 0 {
+		t.Fatalf("EarliestFit(0,1) = %g, want 0", got)
+	}
+}
+
+func TestEarliestFitMultipleDips(t *testing.T) {
+	s := New(10)
+	s.Reserve(1, 2, 5) // 5 on [1,2)
+	s.Reserve(6, 8, 7) // 3 on [6,8)
+	if got := s.EarliestFit(0, 4); got != 8 {
+		t.Fatalf("EarliestFit(0,4) = %g, want 8", got)
+	}
+	if got := s.EarliestFit(0, 5); got != 8 {
+		t.Fatalf("EarliestFit(0,5) = %g, want 8", got)
+	}
+	if got := s.EarliestFit(0, 3); got != 0 { // min free is exactly 3
+		t.Fatalf("EarliestFit(0,3) = %g, want 0", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := New(10)
+	s.Reserve(1, 3, 2)
+	c := s.Clone()
+	c.Reserve(0, Inf, 5)
+	if s.Value(0) != 10 || s.Value(1) != 8 {
+		t.Fatalf("clone mutation leaked into original: %s", s)
+	}
+}
+
+func TestCoalesceKeepsRepresentationSmall(t *testing.T) {
+	s := New(10)
+	for i := 0; i < 100; i++ {
+		s.Reserve(float64(i), float64(i+1), 3)
+	}
+	// All intervals have the same value 7 on [0,100): representation
+	// should be [0:7, 100:10], i.e. 2 pieces.
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (%s)", s.Len(), s)
+	}
+}
+
+func TestBreakpoints(t *testing.T) {
+	s := New(10)
+	s.Reserve(2, 4, 1)
+	times, values := s.Breakpoints()
+	if len(times) != 3 || times[0] != 0 || times[1] != 2 || times[2] != 4 {
+		t.Fatalf("times = %v", times)
+	}
+	if values[0] != 10 || values[1] != 9 || values[2] != 10 {
+		t.Fatalf("values = %v", values)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := New(5)
+	s.Reserve(1, 2, 3)
+	if got := s.String(); got != "[0:5 1:2 2:5]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randomOps applies a deterministic random mix of reservations and releases
+// and returns the staircase plus a brute-force sampled reference model.
+func randomOps(seed int64) (*Staircase, func(t float64) int64) {
+	rng := rand.New(rand.NewSource(seed))
+	capacity := int64(rng.Intn(100) + 1)
+	s := New(capacity)
+	type op struct {
+		from, to float64
+		amount   int64
+	}
+	var ops []op
+	for i := 0; i < 20; i++ {
+		from := float64(rng.Intn(50))
+		to := from + float64(rng.Intn(20))
+		if rng.Intn(4) == 0 {
+			to = math.Inf(1)
+		}
+		amount := int64(rng.Intn(21) - 10)
+		ops = append(ops, op{from, to, amount})
+		s.Reserve(from, to, amount)
+	}
+	ref := func(t float64) int64 {
+		v := capacity
+		for _, o := range ops {
+			if o.from <= t && t < o.to {
+				v -= o.amount
+			}
+		}
+		return v
+	}
+	return s, ref
+}
+
+func TestPropertyValueMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		s, ref := randomOps(seed)
+		for x := 0.0; x < 80; x += 0.5 {
+			if s.Value(x) != ref(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEarliestFitIsCorrectAndMinimal(t *testing.T) {
+	f := func(seed int64, needRaw uint8) bool {
+		s, ref := randomOps(seed)
+		need := int64(needRaw % 100)
+		got := s.EarliestFit(0, need)
+		if math.IsInf(got, 1) {
+			return s.FinalValue() < need
+		}
+		// Correct: free >= need everywhere after got (sample densely
+		// past every breakpoint region).
+		for x := got; x < got+100; x += 0.25 {
+			if ref(x) < need {
+				return false
+			}
+		}
+		// Minimal: just before got (if got > 0) there is a deficient
+		// point at or after got-0.25... only guaranteed when got is a
+		// breakpoint; check with the model that got-eps is deficient
+		// somewhere in (got-0.5, got) when got > 0.
+		if got > 0 {
+			if ref(got-1e-6) >= need {
+				// got must then equal the lower bound 0; it is
+				// not, so minimality failed.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyReserveReleaseCancels(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(50)
+		for i := 0; i < 10; i++ {
+			from := float64(rng.Intn(30))
+			amt := int64(rng.Intn(10) + 1)
+			s.Reserve(from, Inf, amt)
+			s.Release(from, amt)
+		}
+		return s.Len() == 1 && s.Value(0) == 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

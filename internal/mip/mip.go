@@ -1,0 +1,207 @@
+// Package mip implements a small branch-and-bound solver for mixed-integer
+// linear programs on top of the simplex solver of internal/lp. It plays the
+// role of CPLEX in the paper: solving the ILP formulation of §4 to optimality
+// on small instances. Branching is depth-first on the most fractional
+// integer variable, exploring first the side closer to the relaxation value;
+// bound constraints are added as ordinary LP rows.
+package mip
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Problem couples an LP with integrality requirements.
+type Problem struct {
+	LP      *lp.Problem
+	Integer []int // indices of variables that must take integral values
+}
+
+// Options bounds the search effort.
+type Options struct {
+	MaxNodes int           // 0 means DefaultMaxNodes
+	Timeout  time.Duration // 0 means no time limit
+}
+
+// DefaultMaxNodes is the node budget used when Options.MaxNodes is zero.
+const DefaultMaxNodes = 200000
+
+// Status classifies a solve outcome.
+type Status int
+
+// Solve outcomes. Feasible means the search hit a budget with an incumbent
+// in hand but without proving optimality; Unknown means the budget ran out
+// before any integral solution was found.
+const (
+	Optimal Status = iota
+	Feasible
+	Infeasible
+	Unbounded
+	Unknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "unknown"
+	}
+}
+
+// Result reports the outcome of a branch-and-bound run.
+type Result struct {
+	Status    Status
+	X         []float64 // incumbent, when Status is Optimal or Feasible
+	Objective float64
+	Nodes     int // LP relaxations solved
+}
+
+const intTol = 1e-6
+
+// bound is one branching decision: variable <= / >= value.
+type bound struct {
+	variable int
+	sense    lp.Sense
+	value    float64
+}
+
+// node is a subproblem defined by the accumulated branching bounds.
+type node struct {
+	bounds []bound
+}
+
+// Solve runs branch and bound. The root relaxation statuses Infeasible and
+// Unbounded propagate directly (an unbounded relaxation with integer
+// variables is reported as Unbounded without attempting repair).
+func Solve(p *Problem, opt Options) (*Result, error) {
+	if p.LP == nil {
+		return nil, fmt.Errorf("mip: nil LP")
+	}
+	for _, v := range p.Integer {
+		if v < 0 || v >= p.LP.NumVars {
+			return nil, fmt.Errorf("mip: integer variable %d out of range", v)
+		}
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = time.Now().Add(opt.Timeout)
+	}
+
+	res := &Result{Status: Unknown, Objective: math.Inf(1)}
+	stack := []node{{}}
+	budgetHit := false
+
+	for len(stack) > 0 {
+		if res.Nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			budgetHit = true
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		sol, err := solveWithBounds(p.LP, nd.bounds)
+		if err != nil {
+			return nil, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if len(nd.bounds) == 0 {
+				res.Status = Unbounded
+				return res, nil
+			}
+			// A bounded-below objective cannot become unbounded by
+			// adding bounds; treat as a numerical anomaly and prune.
+			continue
+		}
+		if sol.Objective >= res.Objective-1e-9 {
+			continue // dominated by the incumbent
+		}
+		branchVar, frac := pickBranch(p.Integer, sol.X)
+		if branchVar < 0 {
+			// Integral: new incumbent.
+			res.Objective = sol.Objective
+			res.X = append([]float64(nil), sol.X...)
+			continue
+		}
+		v := sol.X[branchVar]
+		floorNode := node{bounds: append(append([]bound(nil), nd.bounds...),
+			bound{branchVar, lp.LE, math.Floor(v)})}
+		ceilNode := node{bounds: append(append([]bound(nil), nd.bounds...),
+			bound{branchVar, lp.GE, math.Ceil(v)})}
+		// Depth-first; push the farther side first so the closer side
+		// is explored next.
+		if frac <= 0.5 {
+			stack = append(stack, ceilNode, floorNode)
+		} else {
+			stack = append(stack, floorNode, ceilNode)
+		}
+	}
+
+	switch {
+	case res.X != nil && !budgetHit:
+		res.Status = Optimal
+	case res.X != nil:
+		res.Status = Feasible
+	case !budgetHit:
+		res.Status = Infeasible
+	default:
+		res.Status = Unknown
+	}
+	return res, nil
+}
+
+// solveWithBounds solves the LP with the branching bounds appended as rows.
+func solveWithBounds(base *lp.Problem, bounds []bound) (*lp.Solution, error) {
+	prob := &lp.Problem{
+		NumVars:     base.NumVars,
+		Objective:   base.Objective,
+		Constraints: base.Constraints,
+	}
+	if len(bounds) > 0 {
+		prob.Constraints = make([]lp.Constraint, 0, len(base.Constraints)+len(bounds))
+		prob.Constraints = append(prob.Constraints, base.Constraints...)
+		for _, b := range bounds {
+			prob.Constraints = append(prob.Constraints, lp.Constraint{
+				Coeffs: map[int]float64{b.variable: 1},
+				Sense:  b.sense,
+				RHS:    b.value,
+			})
+		}
+	}
+	return lp.Solve(prob)
+}
+
+// pickBranch returns the most fractional integer variable and its fractional
+// part, or (-1, 0) when every integer variable is integral.
+func pickBranch(integer []int, x []float64) (int, float64) {
+	best, bestDist := -1, 0.0
+	var bestFrac float64
+	for _, v := range integer {
+		frac := x[v] - math.Floor(x[v])
+		dist := math.Min(frac, 1-frac)
+		if dist <= intTol {
+			continue
+		}
+		if dist > bestDist {
+			best, bestDist, bestFrac = v, dist, frac
+		}
+	}
+	return best, bestFrac
+}

@@ -1,0 +1,243 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/lp"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestKnapsackSmall(t *testing.T) {
+	// max 5a+4b+3c s.t. 2a+3b+c <= 5, binaries -> a=1,c=1 ... check:
+	// a+c: weight 3, value 8; a+b: weight 5, value 9. Optimal 9.
+	p := &lp.Problem{NumVars: 3, Objective: []float64{-5, -4, -3}}
+	p.AddConstraint(map[int]float64{0: 2, 1: 3, 2: 1}, lp.LE, 5)
+	for v := 0; v < 3; v++ {
+		p.AddConstraint(map[int]float64{v: 1}, lp.LE, 1)
+	}
+	res, err := Solve(&Problem{LP: p, Integer: []int{0, 1, 2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Objective, -9) {
+		t.Fatalf("res = %+v", res)
+	}
+	if !approx(res.X[0], 1) || !approx(res.X[1], 1) || !approx(res.X[2], 0) {
+		t.Fatalf("x = %v", res.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// min x s.t. x >= 2.3, x integer -> 3.
+	p := &lp.Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint(map[int]float64{0: 1}, lp.GE, 2.3)
+	res, err := Solve(&Problem{LP: p, Integer: []int{0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.X[0], 3) {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min y - x, x binary, y continuous >= 0.7x, y <= 2: LP would pick
+	// x=1, y=0.7 -> obj -0.3.
+	p := &lp.Problem{NumVars: 2, Objective: []float64{-1, 1}}
+	p.AddConstraint(map[int]float64{1: 1, 0: -0.7}, lp.GE, 0)
+	p.AddConstraint(map[int]float64{0: 1}, lp.LE, 1)
+	p.AddConstraint(map[int]float64{1: 1}, lp.LE, 2)
+	res, err := Solve(&Problem{LP: p, Integer: []int{0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Objective, -0.3) {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestInfeasibleIntegerProblem(t *testing.T) {
+	// 0.4 <= x <= 0.6 has no integer point.
+	p := &lp.Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint(map[int]float64{0: 1}, lp.GE, 0.4)
+	p.AddConstraint(map[int]float64{0: 1}, lp.LE, 0.6)
+	res, err := Solve(&Problem{LP: p, Integer: []int{0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRootInfeasible(t *testing.T) {
+	p := &lp.Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint(map[int]float64{0: 1}, lp.GE, 2)
+	p.AddConstraint(map[int]float64{0: 1}, lp.LE, 1)
+	res, err := Solve(&Problem{LP: p, Integer: []int{0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestUnboundedRoot(t *testing.T) {
+	p := &lp.Problem{NumVars: 1, Objective: []float64{-1}}
+	res, err := Solve(&Problem{LP: p, Integer: []int{0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestNodeBudgetReturnsFeasibleOrUnknown(t *testing.T) {
+	// A 10-item knapsack with a 1-node budget cannot prove optimality.
+	rng := rand.New(rand.NewSource(1))
+	p := &lp.Problem{NumVars: 10, Objective: make([]float64, 10)}
+	weights := map[int]float64{}
+	for v := 0; v < 10; v++ {
+		p.Objective[v] = -float64(rng.Intn(10) + 1)
+		weights[v] = float64(rng.Intn(10) + 1)
+		p.AddConstraint(map[int]float64{v: 1}, lp.LE, 1)
+	}
+	p.AddConstraint(weights, lp.LE, 15)
+	res, err := Solve(&Problem{LP: p, Integer: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Feasible && res.Status != Unknown {
+		t.Fatalf("status = %v with 1-node budget", res.Status)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	p := &lp.Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, lp.GE, 3)
+	res, err := Solve(&Problem{LP: p, Integer: []int{0, 1}}, Options{Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status == Optimal {
+		t.Fatalf("optimality proven in one nanosecond? %+v", res)
+	}
+}
+
+func TestBadIntegerIndexRejected(t *testing.T) {
+	p := &lp.Problem{NumVars: 1, Objective: []float64{1}}
+	if _, err := Solve(&Problem{LP: p, Integer: []int{5}}, Options{}); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	if _, err := Solve(&Problem{LP: nil}, Options{}); err == nil {
+		t.Fatal("nil LP accepted")
+	}
+}
+
+func TestPureLPPassesThrough(t *testing.T) {
+	p := &lp.Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint(map[int]float64{0: 1, 1: 2}, lp.GE, 4)
+	res, err := Solve(&Problem{LP: p}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !approx(res.Objective, 2) {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// bruteKnapsack solves a binary knapsack exactly by enumeration.
+func bruteKnapsack(values, weights []float64, capacity float64) float64 {
+	n := len(values)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var v, w float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += values[i]
+				w += weights[i]
+			}
+		}
+		if w <= capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestPropertyKnapsackMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		p := &lp.Problem{NumVars: n, Objective: make([]float64, n)}
+		wRow := map[int]float64{}
+		for i := 0; i < n; i++ {
+			values[i] = float64(rng.Intn(20) + 1)
+			weights[i] = float64(rng.Intn(15) + 1)
+			p.Objective[i] = -values[i]
+			wRow[i] = weights[i]
+			p.AddConstraint(map[int]float64{i: 1}, lp.LE, 1)
+		}
+		capacity := float64(rng.Intn(30) + 5)
+		p.AddConstraint(wRow, lp.LE, capacity)
+		ints := make([]int, n)
+		for i := range ints {
+			ints[i] = i
+		}
+		res, err := Solve(&Problem{LP: p, Integer: ints}, Options{})
+		if err != nil || res.Status != Optimal {
+			return false
+		}
+		want := bruteKnapsack(values, weights, capacity)
+		return approx(-res.Objective, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyIntegerSolutionsAreIntegral(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		p := &lp.Problem{NumVars: n, Objective: make([]float64, n)}
+		for i := 0; i < n; i++ {
+			p.Objective[i] = float64(rng.Intn(9) - 4)
+			p.AddConstraint(map[int]float64{i: 1}, lp.LE, float64(rng.Intn(5)+1))
+		}
+		coeffs := map[int]float64{}
+		for i := 0; i < n; i++ {
+			coeffs[i] = float64(rng.Intn(3) + 1)
+		}
+		p.AddConstraint(coeffs, lp.GE, float64(rng.Intn(6)))
+		ints := make([]int, n)
+		for i := range ints {
+			ints[i] = i
+		}
+		res, err := Solve(&Problem{LP: p, Integer: ints}, Options{})
+		if err != nil {
+			return false
+		}
+		if res.Status != Optimal {
+			return res.Status == Infeasible
+		}
+		for _, i := range ints {
+			if math.Abs(res.X[i]-math.Round(res.X[i])) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

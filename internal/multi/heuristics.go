@@ -1,0 +1,285 @@
+package multi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/memfn"
+)
+
+// ErrMemoryBound is returned (wrapped) when a heuristic cannot fit the
+// instance in the pool capacities.
+var ErrMemoryBound = errors.New("multi: graph cannot be processed within the memory bounds")
+
+// Options tunes a heuristic run.
+type Options struct {
+	Seed int64 // rank tie-breaking seed
+}
+
+var inf = math.Inf(1)
+
+// partial is the multi-pool partial schedule (the k-pool generalisation of
+// core.Partial).
+type partial struct {
+	in *Instance
+	p  Platform
+
+	sched     *Schedule
+	free      []*memfn.Staircase // per pool
+	availProc []float64
+	assigned  []bool
+	finish    []float64
+}
+
+func newPartial(in *Instance, p Platform) *partial {
+	free := make([]*memfn.Staircase, p.NumPools())
+	for k, pool := range p.Pools {
+		free[k] = memfn.New(pool.Capacity)
+	}
+	return &partial{
+		in: in, p: p,
+		sched:     NewSchedule(in, p),
+		free:      free,
+		availProc: make([]float64, p.TotalProcs()),
+		assigned:  make([]bool, in.G.NumTasks()),
+		finish:    make([]float64, in.G.NumTasks()),
+	}
+}
+
+type candidate struct {
+	task dag.TaskID
+	pool int
+	est  float64
+	eft  float64
+	cmu  float64
+}
+
+func (c candidate) feasible() bool { return !math.IsInf(c.eft, 1) }
+
+func (st *partial) ready(id dag.TaskID) bool {
+	if st.assigned[id] {
+		return false
+	}
+	for _, e := range st.in.G.In(id) {
+		if !st.assigned[st.in.G.Edge(e).From] {
+			return false
+		}
+	}
+	return true
+}
+
+// evaluate computes EST/EFT of a ready task on pool k: the four components
+// of §5.1, with "cross" meaning "parent on any other pool".
+func (st *partial) evaluate(id dag.TaskID, k int) candidate {
+	c := candidate{task: id, pool: k, est: inf, eft: inf}
+	lo, hi := st.p.ProcRange(k)
+	if lo == hi {
+		return c
+	}
+	resourceEST := inf
+	for proc := lo; proc < hi; proc++ {
+		if st.availProc[proc] < resourceEST {
+			resourceEST = st.availProc[proc]
+		}
+	}
+	precedenceEST := 0.0
+	var crossFiles int64
+	cmu := 0.0
+	for _, e := range st.in.G.In(id) {
+		edge := st.in.G.Edge(e)
+		aft := st.finish[edge.From]
+		if st.sched.PoolOf(edge.From) == k {
+			if aft > precedenceEST {
+				precedenceEST = aft
+			}
+			continue
+		}
+		if v := aft + edge.Comm; v > precedenceEST {
+			precedenceEST = v
+		}
+		crossFiles += edge.File
+		if edge.Comm > cmu {
+			cmu = edge.Comm
+		}
+	}
+	var outFiles int64
+	for _, e := range st.in.G.Out(id) {
+		outFiles += st.in.G.Edge(e).File
+	}
+	taskMemEST := st.free[k].EarliestFit(0, crossFiles+outFiles)
+	commMemEST := st.free[k].EarliestFit(0, crossFiles)
+
+	est := math.Max(resourceEST, precedenceEST)
+	est = math.Max(est, taskMemEST)
+	est = math.Max(est, commMemEST+cmu)
+	if math.IsInf(est, 1) {
+		return c
+	}
+	c.est = est
+	c.eft = est + st.in.Time(id, k)
+	c.cmu = cmu
+	return c
+}
+
+// best returns the minimum-EFT candidate over all pools (lowest pool index
+// wins ties, matching core's blue preference in the 2-pool case).
+func (st *partial) best(id dag.TaskID) candidate {
+	b := candidate{task: id, pool: -1, est: inf, eft: inf}
+	for k := range st.p.Pools {
+		c := st.evaluate(id, k)
+		if c.eft < b.eft {
+			b = c
+		}
+	}
+	return b
+}
+
+// commit mirrors core.Partial.Commit for k pools.
+func (st *partial) commit(c candidate) {
+	id, k := c.task, c.pool
+	w := st.in.Time(id, k)
+	start, fin := c.est, c.est+w
+
+	lo, hi := st.p.ProcRange(k)
+	bestProc, bestAvail := -1, math.Inf(-1)
+	for proc := lo; proc < hi; proc++ {
+		if a := st.availProc[proc]; a <= start+Eps && a > bestAvail {
+			bestProc, bestAvail = proc, a
+		}
+	}
+	if bestProc < 0 {
+		panic("multi: no free processor at committed start time")
+	}
+	st.sched.Tasks[id] = Placement{Start: start, Proc: bestProc}
+	st.availProc[bestProc] = fin
+	st.assigned[id] = true
+	st.finish[id] = fin
+
+	for _, e := range st.in.G.In(id) {
+		edge := st.in.G.Edge(e)
+		srcPool := st.sched.PoolOf(edge.From)
+		if srcPool == k {
+			st.free[k].Release(fin, edge.File)
+			continue
+		}
+		st.sched.CommStart[edge.ID] = start - edge.Comm
+		st.free[k].Reserve(start-c.cmu, fin, edge.File)
+		st.free[srcPool].Release(start, edge.File)
+	}
+	for _, e := range st.in.G.Out(id) {
+		st.free[k].Reserve(start, memfn.Inf, st.in.G.Edge(e).File)
+	}
+}
+
+// PriorityList returns tasks by non-increasing mean rank with seeded random
+// tie-breaks.
+func PriorityList(in *Instance, seed int64) ([]dag.TaskID, error) {
+	ranks, err := in.MeanRanks()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tieKey := rng.Perm(in.G.NumTasks())
+	list := make([]dag.TaskID, in.G.NumTasks())
+	for i := range list {
+		list[i] = dag.TaskID(i)
+	}
+	sort.SliceStable(list, func(a, b int) bool {
+		ra, rb := ranks[list[a]], ranks[list[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return tieKey[list[a]] < tieKey[list[b]]
+	})
+	return list, nil
+}
+
+// MemHEFT is Algorithm 1 generalised to k pools.
+func MemHEFT(in *Instance, p Platform, opt Options) (*Schedule, error) {
+	if err := in.Validate(p); err != nil {
+		return nil, err
+	}
+	remaining, err := PriorityList(in, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	st := newPartial(in, p)
+	for len(remaining) > 0 {
+		placed := false
+		for index, id := range remaining {
+			if !st.ready(id) {
+				continue
+			}
+			c := st.best(id)
+			if !c.feasible() {
+				continue
+			}
+			st.commit(c)
+			remaining = append(remaining[:index], remaining[index+1:]...)
+			placed = true
+			break
+		}
+		if !placed {
+			return st.sched, fmt.Errorf("%w (MemHEFT: %d tasks unscheduled)", ErrMemoryBound, len(remaining))
+		}
+	}
+	return st.sched, nil
+}
+
+// MemMinMin is Algorithm 2 generalised to k pools.
+func MemMinMin(in *Instance, p Platform, opt Options) (*Schedule, error) {
+	if err := in.Validate(p); err != nil {
+		return nil, err
+	}
+	g := in.G
+	st := newPartial(in, p)
+	pending := make([]int, g.NumTasks())
+	var ready []dag.TaskID
+	for i := 0; i < g.NumTasks(); i++ {
+		pending[i] = len(g.In(dag.TaskID(i)))
+		if pending[i] == 0 {
+			ready = append(ready, dag.TaskID(i))
+		}
+	}
+	for len(ready) > 0 {
+		bestIdx := -1
+		var bestCand candidate
+		for idx, id := range ready {
+			c := st.best(id)
+			if !c.feasible() {
+				continue
+			}
+			if bestIdx < 0 || c.eft < bestCand.eft || (c.eft == bestCand.eft && id < bestCand.task) {
+				bestIdx, bestCand = idx, c
+			}
+		}
+		if bestIdx < 0 {
+			return st.sched, fmt.Errorf("%w (MemMinMin: %d ready tasks all blocked)", ErrMemoryBound, len(ready))
+		}
+		st.commit(bestCand)
+		ready = append(ready[:bestIdx], ready[bestIdx+1:]...)
+		for _, e := range g.Out(bestCand.task) {
+			child := g.Edge(e).To
+			pending[child]--
+			if pending[child] == 0 {
+				lo, hi := 0, len(ready)
+				for lo < hi {
+					mid := (lo + hi) / 2
+					if ready[mid] < child {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				ready = append(ready, 0)
+				copy(ready[lo+1:], ready[lo:])
+				ready[lo] = child
+			}
+		}
+	}
+	return st.sched, nil
+}

@@ -1,0 +1,129 @@
+// Package platform describes the dual-memory heterogeneous platform of the
+// paper: P1 identical "blue" processors sharing a blue memory of capacity
+// MBlue, and P2 identical "red" processors sharing a red memory of capacity
+// MRed (Figure 1 of the paper). Blue conventionally models the CPU side and
+// red the accelerator (GPU/FPGA) side.
+package platform
+
+import "fmt"
+
+// Memory identifies one of the two memories.
+type Memory int
+
+const (
+	// Blue is the memory shared by the first P1 processors (CPU side).
+	Blue Memory = iota
+	// Red is the memory shared by the last P2 processors (accelerator side).
+	Red
+)
+
+// Memories lists both memories, convenient for range loops.
+var Memories = [2]Memory{Blue, Red}
+
+// Other returns the opposite memory.
+func (m Memory) Other() Memory {
+	if m == Blue {
+		return Red
+	}
+	return Blue
+}
+
+// String returns "blue" or "red".
+func (m Memory) String() string {
+	if m == Blue {
+		return "blue"
+	}
+	return "red"
+}
+
+// Unlimited is a memory capacity large enough to never constrain a schedule;
+// using it turns MemHEFT into plain HEFT and MemMinMin into plain MinMin.
+const Unlimited int64 = 1 << 62
+
+// Platform is a dual-memory machine description.
+type Platform struct {
+	PBlue int   // number of blue processors (P1)
+	PRed  int   // number of red processors (P2)
+	MBlue int64 // capacity of the blue memory
+	MRed  int64 // capacity of the red memory
+}
+
+// New returns a platform with the given processor counts and memory bounds.
+func New(pBlue, pRed int, mBlue, mRed int64) Platform {
+	return Platform{PBlue: pBlue, PRed: pRed, MBlue: mBlue, MRed: mRed}
+}
+
+// Unbounded returns the same platform with both memories unlimited.
+func (p Platform) Unbounded() Platform {
+	p.MBlue, p.MRed = Unlimited, Unlimited
+	return p
+}
+
+// WithBounds returns the same platform with the given memory capacities.
+func (p Platform) WithBounds(mBlue, mRed int64) Platform {
+	p.MBlue, p.MRed = mBlue, mRed
+	return p
+}
+
+// Procs returns the number of processors attached to memory m.
+func (p Platform) Procs(m Memory) int {
+	if m == Blue {
+		return p.PBlue
+	}
+	return p.PRed
+}
+
+// Capacity returns the capacity of memory m.
+func (p Platform) Capacity(m Memory) int64 {
+	if m == Blue {
+		return p.MBlue
+	}
+	return p.MRed
+}
+
+// TotalProcs returns P1 + P2.
+func (p Platform) TotalProcs() int { return p.PBlue + p.PRed }
+
+// MemoryOf returns the memory a processor index operates on, following the
+// paper's numbering: processors 0..P1-1 are blue, P1..P1+P2-1 are red.
+func (p Platform) MemoryOf(proc int) Memory {
+	if proc < p.PBlue {
+		return Blue
+	}
+	return Red
+}
+
+// ProcRange returns the half-open interval [lo, hi) of processor indices
+// attached to memory m.
+func (p Platform) ProcRange(m Memory) (lo, hi int) {
+	if m == Blue {
+		return 0, p.PBlue
+	}
+	return p.PBlue, p.PBlue + p.PRed
+}
+
+// Validate rejects platforms without processors or with negative capacities.
+func (p Platform) Validate() error {
+	if p.PBlue < 0 || p.PRed < 0 {
+		return fmt.Errorf("platform: negative processor count (P1=%d, P2=%d)", p.PBlue, p.PRed)
+	}
+	if p.PBlue+p.PRed == 0 {
+		return fmt.Errorf("platform: no processors")
+	}
+	if p.MBlue < 0 || p.MRed < 0 {
+		return fmt.Errorf("platform: negative memory capacity (blue=%d, red=%d)", p.MBlue, p.MRed)
+	}
+	return nil
+}
+
+// String formats the platform compactly.
+func (p Platform) String() string {
+	return fmt.Sprintf("platform{P1=%d P2=%d Mblue=%s Mred=%s}", p.PBlue, p.PRed, capString(p.MBlue), capString(p.MRed))
+}
+
+func capString(c int64) string {
+	if c >= Unlimited {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", c)
+}

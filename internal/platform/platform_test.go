@@ -1,0 +1,90 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMemoryOther(t *testing.T) {
+	if Blue.Other() != Red || Red.Other() != Blue {
+		t.Fatal("Other wrong")
+	}
+}
+
+func TestMemoryString(t *testing.T) {
+	if Blue.String() != "blue" || Red.String() != "red" {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestMemoryOf(t *testing.T) {
+	p := New(3, 2, 10, 10)
+	for proc, want := range []Memory{Blue, Blue, Blue, Red, Red} {
+		if got := p.MemoryOf(proc); got != want {
+			t.Fatalf("MemoryOf(%d) = %v, want %v", proc, got, want)
+		}
+	}
+}
+
+func TestProcRange(t *testing.T) {
+	p := New(3, 2, 10, 10)
+	if lo, hi := p.ProcRange(Blue); lo != 0 || hi != 3 {
+		t.Fatalf("blue range = [%d,%d)", lo, hi)
+	}
+	if lo, hi := p.ProcRange(Red); lo != 3 || hi != 5 {
+		t.Fatalf("red range = [%d,%d)", lo, hi)
+	}
+	if p.TotalProcs() != 5 {
+		t.Fatalf("TotalProcs = %d", p.TotalProcs())
+	}
+}
+
+func TestProcsAndCapacity(t *testing.T) {
+	p := New(3, 2, 7, 9)
+	if p.Procs(Blue) != 3 || p.Procs(Red) != 2 {
+		t.Fatal("Procs wrong")
+	}
+	if p.Capacity(Blue) != 7 || p.Capacity(Red) != 9 {
+		t.Fatal("Capacity wrong")
+	}
+}
+
+func TestUnboundedAndWithBounds(t *testing.T) {
+	p := New(1, 1, 5, 5)
+	u := p.Unbounded()
+	if u.MBlue != Unlimited || u.MRed != Unlimited {
+		t.Fatal("Unbounded did not lift bounds")
+	}
+	if p.MBlue != 5 {
+		t.Fatal("Unbounded mutated receiver")
+	}
+	w := p.WithBounds(2, 3)
+	if w.MBlue != 2 || w.MRed != 3 || w.PBlue != 1 {
+		t.Fatalf("WithBounds = %+v", w)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := New(1, 1, 1, 1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(0, 0, 1, 1).Validate(); err == nil {
+		t.Fatal("no-processor platform accepted")
+	}
+	if err := New(-1, 2, 1, 1).Validate(); err == nil {
+		t.Fatal("negative processor count accepted")
+	}
+	if err := New(1, 1, -1, 1).Validate(); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if err := New(2, 0, 1, 1).Validate(); err != nil {
+		t.Fatalf("blue-only platform rejected: %v", err)
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	s := New(2, 1, 5, Unlimited).String()
+	if !strings.Contains(s, "P1=2") || !strings.Contains(s, "Mred=inf") || !strings.Contains(s, "Mblue=5") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,69 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// jsonSchedule is the wire format of a schedule. The graph itself is not
+// embedded — schedules are exchanged alongside their graph file — but the
+// platform is, so a schedule file carries everything needed to re-validate
+// against its graph. Intra-memory edges carry a communication start of -1.
+type jsonSchedule struct {
+	PBlue     int             `json:"pblue"`
+	PRed      int             `json:"pred"`
+	MBlue     int64           `json:"mblue"`
+	MRed      int64           `json:"mred"`
+	Tasks     []TaskPlacement `json:"tasks"`
+	CommStart []float64       `json:"commStart"`
+}
+
+// MarshalJSON encodes the schedule (placements, communications, platform).
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	js := jsonSchedule{
+		PBlue: s.Platform.PBlue, PRed: s.Platform.PRed,
+		MBlue: s.Platform.MBlue, MRed: s.Platform.MRed,
+		Tasks:     s.Tasks,
+		CommStart: make([]float64, len(s.CommStart)),
+	}
+	for i, v := range s.CommStart {
+		if math.IsNaN(v) {
+			js.CommStart[i] = -1
+		} else {
+			js.CommStart[i] = v
+		}
+	}
+	return json.Marshal(js)
+}
+
+// DecodeJSON decodes a schedule of graph g from data. The placement and
+// communication slices must match the graph's shape; negative communication
+// starts become NaN (intra-memory edges).
+func DecodeJSON(g *dag.Graph, data []byte) (*Schedule, error) {
+	var js jsonSchedule
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, fmt.Errorf("schedule: decoding: %w", err)
+	}
+	if len(js.Tasks) != g.NumTasks() || len(js.CommStart) != g.NumEdges() {
+		return nil, fmt.Errorf("schedule: shape mismatch: %d/%d placements for a %d/%d graph",
+			len(js.Tasks), len(js.CommStart), g.NumTasks(), g.NumEdges())
+	}
+	s := &Schedule{
+		Graph:     g,
+		Platform:  platform.New(js.PBlue, js.PRed, js.MBlue, js.MRed),
+		Tasks:     js.Tasks,
+		CommStart: make([]float64, len(js.CommStart)),
+	}
+	for i, v := range js.CommStart {
+		if v < 0 {
+			s.CommStart[i] = math.NaN()
+		} else {
+			s.CommStart[i] = v
+		}
+	}
+	return s, nil
+}

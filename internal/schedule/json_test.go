@@ -1,0 +1,70 @@
+package schedule
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := paperS1(2, 5)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(s.Graph, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped schedule invalid: %v", err)
+	}
+	if back.Makespan() != s.Makespan() {
+		t.Fatalf("makespan changed: %g vs %g", back.Makespan(), s.Makespan())
+	}
+	b1, r1 := s.MemoryPeaks()
+	b2, r2 := back.MemoryPeaks()
+	if b1 != b2 || r1 != r2 {
+		t.Fatal("peaks changed across round trip")
+	}
+	for i := range s.Tasks {
+		if s.Tasks[i] != back.Tasks[i] {
+			t.Fatalf("placement %d changed", i)
+		}
+	}
+}
+
+func TestScheduleJSONPreservesIntraMemoryNaN(t *testing.T) {
+	s := paperS1(2, 5)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(s.Graph, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e13, _ := s.Graph.EdgeBetween(0, 2) // intra-memory edge
+	if !back.IsCross(e13.ID) == false {
+		t.Fatal("edge became cross")
+	}
+	if v := back.CommStart[e13.ID]; v == v { // NaN check
+		t.Fatalf("intra-memory comm start not NaN: %g", v)
+	}
+}
+
+func TestDecodeJSONRejectsShapeMismatch(t *testing.T) {
+	s := paperS1(2, 5)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := dag.Chain(3, 1, 1, 1, 1)
+	if _, err := DecodeJSON(other, data); err == nil {
+		t.Fatal("mismatched graph accepted")
+	}
+	if _, err := DecodeJSON(s.Graph, []byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,186 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// SVG renders the schedule as a self-contained Gantt chart: one row per
+// processor (blue rows first), a communications row, and a step plot of the
+// usage of each memory underneath. The output is deterministic, suitable
+// for golden tests and documentation.
+func (s *Schedule) SVG() string {
+	const (
+		width     = 960
+		rowH      = 26
+		leftPad   = 90
+		topPad    = 24
+		memPlotH  = 72
+		rightPad  = 16
+		labelFont = 11
+	)
+	ms := s.Makespan()
+	if ms <= 0 {
+		ms = 1
+	}
+	scale := float64(width-leftPad-rightPad) / ms
+	x := func(t float64) float64 { return leftPad + t*scale }
+
+	procs := s.Platform.TotalProcs()
+	rows := procs + 1 // + communications row
+	chartH := rows * rowH
+	height := topPad + chartH + 2*memPlotH + 3*rowH
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="%d">`+"\n",
+		width, height, labelFont)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Row labels and lanes.
+	for proc := 0; proc < procs; proc++ {
+		y := topPad + proc*rowH
+		colour := "#eef3fb"
+		if s.Platform.MemoryOf(proc) == platform.Red {
+			colour = "#fbeeee"
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+			leftPad, y, width-leftPad-rightPad, rowH-2, colour)
+		fmt.Fprintf(&b, `<text x="4" y="%d">proc %d (%s)</text>`+"\n",
+			y+rowH-9, proc, s.Platform.MemoryOf(proc))
+	}
+	commY := topPad + procs*rowH
+	fmt.Fprintf(&b, `<text x="4" y="%d">transfers</text>`+"\n", commY+rowH-9)
+
+	// Task boxes, sorted for determinism.
+	type box struct {
+		id dag.TaskID
+	}
+	order := make([]dag.TaskID, s.Graph.NumTasks())
+	for i := range order {
+		order[i] = dag.TaskID(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return s.Tasks[order[a]].Start < s.Tasks[order[b]].Start })
+	for _, id := range order {
+		pl := s.Tasks[id]
+		y := topPad + pl.Proc*rowH
+		w := s.Duration(id) * scale
+		if w < 1 {
+			w = 1 // zero-duration (fictitious) tasks stay visible
+		}
+		fill := "#4a86c8"
+		if s.Platform.MemoryOf(pl.Proc) == platform.Red {
+			fill = "#c85b4a"
+		}
+		name := s.Graph.Task(id).Name
+		if name == "" {
+			name = fmt.Sprintf("T%d", id)
+		}
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s" stroke="black" stroke-width="0.4"><title>%s [%.2f,%.2f)</title></rect>`+"\n",
+			x(pl.Start), y+2, w, rowH-6, fill, name, pl.Start, s.Finish(id))
+		if w > 28 {
+			fmt.Fprintf(&b, `<text x="%.2f" y="%d" fill="white">%s</text>`+"\n", x(pl.Start)+2, y+rowH-9, name)
+		}
+	}
+
+	// Communications.
+	for e := 0; e < s.Graph.NumEdges(); e++ {
+		if !s.IsCross(dag.EdgeID(e)) || math.IsNaN(s.CommStart[e]) {
+			continue
+		}
+		edge := s.Graph.Edge(dag.EdgeID(e))
+		w := edge.Comm * scale
+		if w < 1 {
+			w = 1
+		}
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="#999" stroke="black" stroke-width="0.3"><title>%d-&gt;%d [%.2f,%.2f)</title></rect>`+"\n",
+			x(s.CommStart[e]), commY+4, w, rowH-10, edge.From, edge.To, s.CommStart[e], s.CommStart[e]+edge.Comm)
+	}
+
+	// Memory step plots.
+	for mi, mem := range platform.Memories {
+		y0 := topPad + chartH + rowH + mi*(memPlotH+rowH)
+		peak := s.memPeak(mem)
+		if peak == 0 {
+			peak = 1
+		}
+		fmt.Fprintf(&b, `<text x="4" y="%d">%s mem (peak %d)</text>`+"\n", y0+memPlotH/2, mem, s.memPeak(mem))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ccc"/>`+"\n",
+			leftPad, y0+memPlotH, width-rightPad, y0+memPlotH)
+		pts := s.usageSteps(mem)
+		var path strings.Builder
+		cur := int64(0)
+		fmt.Fprintf(&path, "M %.2f %.2f", x(0), float64(y0+memPlotH))
+		for _, p := range pts {
+			yv := float64(y0+memPlotH) - float64(p.usage)/float64(peak)*float64(memPlotH-4)
+			fmt.Fprintf(&path, " L %.2f %.2f", x(p.t), float64(y0+memPlotH)-float64(cur)/float64(peak)*float64(memPlotH-4))
+			fmt.Fprintf(&path, " L %.2f %.2f", x(p.t), yv)
+			cur = p.usage
+		}
+		fmt.Fprintf(&path, " L %.2f %.2f", x(ms), float64(y0+memPlotH)-float64(cur)/float64(peak)*float64(memPlotH-4))
+		colour := "#4a86c8"
+		if mem == platform.Red {
+			colour = "#c85b4a"
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.4"/>`+"\n", path.String(), colour)
+	}
+
+	// Time axis.
+	axisY := topPad + chartH + 4
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", leftPad, axisY, width-rightPad, axisY)
+	fmt.Fprintf(&b, `<text x="%d" y="%d">0</text>`+"\n", leftPad, axisY+14)
+	fmt.Fprintf(&b, `<text x="%.2f" y="%d">%.6g</text>`+"\n", x(ms)-30, axisY+14, ms)
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+type usagePoint struct {
+	t     float64
+	usage int64
+}
+
+// usageSteps returns the cumulative usage of one memory at each change
+// point, in time order.
+func (s *Schedule) usageSteps(mem platform.Memory) []usagePoint {
+	type ev struct {
+		t     float64
+		delta int64
+	}
+	var evs []ev
+	for _, r := range s.residencies() {
+		if r.mem != mem {
+			continue
+		}
+		evs = append(evs, ev{r.from, r.size}, ev{r.to, -r.size})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta < evs[j].delta
+	})
+	var out []usagePoint
+	var cur int64
+	for _, e := range evs {
+		cur += e.delta
+		if len(out) > 0 && out[len(out)-1].t == e.t {
+			out[len(out)-1].usage = cur
+			continue
+		}
+		out = append(out, usagePoint{e.t, cur})
+	}
+	return out
+}
+
+func (s *Schedule) memPeak(mem platform.Memory) int64 {
+	blue, red := s.MemoryPeaks()
+	if mem == platform.Blue {
+		return blue
+	}
+	return red
+}

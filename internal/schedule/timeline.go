@@ -1,0 +1,80 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// Event is one row of a schedule timeline: a task execution or a
+// cross-memory communication.
+type Event struct {
+	Kind  string // "task" or "comm"
+	Label string
+	Start float64
+	End   float64
+	Proc  int // -1 for communications
+}
+
+// Timeline flattens the schedule into a list of events sorted by start time
+// (ties broken by processor then label), convenient for printing and for
+// golden tests.
+func (s *Schedule) Timeline() []Event {
+	g := s.Graph
+	var evs []Event
+	for i := 0; i < g.NumTasks(); i++ {
+		id := dag.TaskID(i)
+		name := g.Task(id).Name
+		if name == "" {
+			name = fmt.Sprintf("T%d", i)
+		}
+		evs = append(evs, Event{
+			Kind:  "task",
+			Label: name,
+			Start: s.Tasks[i].Start,
+			End:   s.Finish(id),
+			Proc:  s.Tasks[i].Proc,
+		})
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if !s.IsCross(dag.EdgeID(e)) || math.IsNaN(s.CommStart[e]) {
+			continue
+		}
+		edge := g.Edge(dag.EdgeID(e))
+		evs = append(evs, Event{
+			Kind:  "comm",
+			Label: fmt.Sprintf("%d->%d", edge.From, edge.To),
+			Start: s.CommStart[e],
+			End:   s.CommStart[e] + edge.Comm,
+			Proc:  -1,
+		})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		if evs[i].Proc != evs[j].Proc {
+			return evs[i].Proc < evs[j].Proc
+		}
+		return evs[i].Label < evs[j].Label
+	})
+	return evs
+}
+
+// Render prints the timeline as a fixed-width table, one line per event.
+func (s *Schedule) Render() string {
+	var b strings.Builder
+	blue, red := s.MemoryPeaks()
+	fmt.Fprintf(&b, "makespan=%g bluePeak=%d redPeak=%d\n", s.Makespan(), blue, red)
+	for _, e := range s.Timeline() {
+		where := "comm"
+		if e.Proc >= 0 {
+			where = fmt.Sprintf("proc %d (%s)", e.Proc, s.Platform.MemoryOf(e.Proc))
+		}
+		fmt.Fprintf(&b, "%8.2f %8.2f  %-5s %-12s on %s\n", e.Start, e.End, e.Kind, e.Label, where)
+	}
+	return b.String()
+}
