@@ -139,6 +139,31 @@ func BenchmarkMemMinMin300(b *testing.B) { benchScheduler(b, core.MemMinMin, 300
 // BenchmarkHEFT1000 measures plain HEFT on a 1000-task DAG.
 func BenchmarkHEFT1000(b *testing.B) { benchScheduler(b, core.HEFT, 1000, 1) }
 
+// BenchmarkMemHEFT3000 and BenchmarkMemHEFT10000 track the incremental
+// engine at production scales the naive implementation could not reach in
+// reasonable time (the per-iteration full rescan is quadratic in n with an
+// O(l) staircase walk inside).
+// (The memory pressure is eased with size: at these scales the random DAGs
+// stop fitting half the HEFT peak — see the feasibility sweep in ISSUE 1.)
+func BenchmarkMemHEFT3000(b *testing.B)  { benchScheduler(b, core.MemHEFT, 3000, 0.7) }
+func BenchmarkMemHEFT10000(b *testing.B) { benchScheduler(b, core.MemHEFT, 10000, 0.9) }
+
+// BenchmarkMemMinMin3000 is the dynamic heuristic at the same scale; its
+// candidate heap with lazy invalidation is what keeps the per-commit cost
+// near the ready-set width instead of a full re-evaluation.
+func BenchmarkMemMinMin3000(b *testing.B) { benchScheduler(b, core.MemMinMin, 3000, 0.7) }
+
+// BenchmarkMemHEFTReference300 and BenchmarkMemMinMinReference300 run the
+// retained naive oracles on the 300-task instance, pinning the speedup of
+// the incremental paths (the golden-equivalence tests prove the schedules
+// are identical).
+func BenchmarkMemHEFTReference300(b *testing.B) {
+	benchScheduler(b, core.MemHEFTReference, 300, 0.5)
+}
+func BenchmarkMemMinMinReference300(b *testing.B) {
+	benchScheduler(b, core.MemMinMinReference, 300, 0.5)
+}
+
 // --- Ablations (design choices called out in DESIGN.md) ---
 
 // BenchmarkAblationBroadcastPipeline compares scheduling the LU graph with

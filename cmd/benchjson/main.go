@@ -1,0 +1,131 @@
+// Command benchjson runs the scheduler throughput benchmarks in-process via
+// testing.Benchmark and emits a machine-readable JSON report, so the
+// performance trajectory of the hot path can be tracked across PRs (the
+// repo convention is one BENCH_<pr>.json per perf PR at the repository
+// root). The cases mirror the BenchmarkMemHEFT300 / BenchmarkMemMinMin300 /
+// BenchmarkHEFT1000 benchmarks of bench_test.go plus the large-DAG variants
+// (n = 3000 and n = 10000).
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-o BENCH_1.json] [-benchtime 10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/daggen"
+	"repro/internal/experiments"
+)
+
+// Case is one named benchmark configuration.
+type Case struct {
+	Name  string
+	Fn    core.Func
+	Size  int
+	Alpha float64
+}
+
+// Result is the recorded outcome of one case.
+type Result struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	Iterations  int   `json:"iterations"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Suite      string            `json:"suite"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// defaultCases is the tracked suite.
+func defaultCases() []Case {
+	return []Case{
+		{Name: "MemHEFT300", Fn: core.MemHEFT, Size: 300, Alpha: 0.5},
+		{Name: "MemMinMin300", Fn: core.MemMinMin, Size: 300, Alpha: 0.5},
+		{Name: "HEFT1000", Fn: core.HEFT, Size: 1000, Alpha: 1},
+		{Name: "MemHEFT3000", Fn: core.MemHEFT, Size: 3000, Alpha: 0.7},
+		{Name: "MemHEFT10000", Fn: core.MemHEFT, Size: 10000, Alpha: 0.9},
+	}
+}
+
+// run executes one case exactly like bench_test.go's benchScheduler: a
+// daggen graph, the random-set platform, and memory bounds at alpha times
+// the HEFT peak. testing.Benchmark self-calibrates the iteration count.
+func run(c Case) (Result, error) {
+	params := daggen.LargeParams()
+	params.Size = c.Size
+	g, err := daggen.Generate(params, 7)
+	if err != nil {
+		return Result{}, err
+	}
+	p := experiments.RandomPlatform()
+	_, peak, err := experiments.HEFTReference(g, p, 7)
+	if err != nil {
+		return Result{}, err
+	}
+	bound := int64(c.Alpha * float64(peak))
+	p = p.WithBounds(bound, bound)
+	var schedErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Fn(g, p, core.Options{Seed: 7}); err != nil {
+				schedErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if schedErr != nil {
+		return Result{}, schedErr
+	}
+	return Result{
+		NsPerOp:     br.NsPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		Iterations:  br.N,
+	}, nil
+}
+
+// runSuite runs every case and assembles the report.
+func runSuite(cases []Case) (*Report, error) {
+	rep := &Report{Suite: "scheduler-throughput", Benchmarks: make(map[string]Result, len(cases))}
+	for _, c := range cases {
+		r, err := run(c)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: %s: %w", c.Name, err)
+		}
+		rep.Benchmarks[c.Name] = r
+		fmt.Fprintf(os.Stderr, "%-14s %12d ns/op %8d B/op %6d allocs/op (%d iters)\n",
+			c.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Iterations)
+	}
+	return rep, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "output file")
+	flag.Parse()
+	rep, err := runSuite(defaultCases())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

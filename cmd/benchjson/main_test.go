@@ -1,0 +1,24 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRunSuiteTiny runs the harness on a tiny case and checks the report is
+// well-formed JSON with sane numbers.
+func TestRunSuiteTiny(t *testing.T) {
+	rep, err := runSuite([]Case{{Name: "tiny", Fn: core.MemHEFT, Size: 30, Alpha: 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := rep.Benchmarks["tiny"]
+	if !ok || r.NsPerOp <= 0 || r.Iterations <= 0 {
+		t.Fatalf("malformed result: %+v", rep)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,26 @@
 //   - the full experiment harness reproducing every figure and table of the
 //     paper's evaluation (see EXPERIMENTS.md).
 //
+// # Performance architecture
+//
+// The scheduling hot path is incremental (see internal/core and
+// internal/memfn): a commit perturbs only one processor, one or two memory
+// staircases and the readiness of the committed task's children, so the
+// engine re-derives only what changed. Each memory carries an epoch counter
+// bumped on every mutation; candidate evaluations are memoized per
+// (task, memory) and reused while the memory's epoch and the task's parents
+// are unchanged. Ready-ness is tracked with in-degree counters, the
+// makespan is a running max, MemMinMin keeps its candidates in an
+// EFT-ordered heap with lazy invalidation, and the free-memory staircases
+// answer earliest-fit queries in O(log l) through a lazily repaired
+// suffix-minimum array, with all reservations of one commit spliced in a
+// single suffix-local merge pass. Repeated scheduling of the same graph
+// (memory sweeps, benchmarks) reuses the memoized priority list and
+// per-graph statics. None of this changes results: the naive
+// implementations are retained as reference oracles (MemHEFTReference,
+// MemMinMinReference) and golden-equivalence tests assert bit-identical
+// schedules.
+//
 // Quickstart:
 //
 //	g := memsched.NewGraph()

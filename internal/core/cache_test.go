@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// buildChain returns a fresh 3-task chain graph.
+func buildChain(extra bool) *dag.Graph {
+	g := dag.New()
+	a := g.AddTask("a", 2, 1)
+	b := g.AddTask("b", 1, 2)
+	c := g.AddTask("c", 3, 3)
+	g.MustAddEdge(a, b, 2, 1)
+	g.MustAddEdge(b, c, 1, 1)
+	if extra {
+		d := g.AddTask("d", 5, 5)
+		g.MustAddEdge(a, d, 1, 1)
+	}
+	return g
+}
+
+// TestPriorityListCacheInvalidation checks that the (graph, seed) memo is a
+// pure cache: repeated calls return equal fresh slices, mutating the
+// returned slice is safe, a different seed misses, and growing the graph
+// after a hit invalidates the entry.
+func TestPriorityListCacheInvalidation(t *testing.T) {
+	g := buildChain(false)
+	l1, err := PriorityList(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := PriorityList(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1) != len(l2) {
+		t.Fatalf("cached list length %d, want %d", len(l2), len(l1))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("cached list %v differs from first %v", l2, l1)
+		}
+	}
+	// The returned slice must be caller-owned.
+	l2[0], l2[len(l2)-1] = l2[len(l2)-1], l2[0]
+	l3, err := PriorityList(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range l1 {
+		if l3[i] != l1[i] {
+			t.Fatalf("mutating a returned list corrupted the cache: %v, want %v", l3, l1)
+		}
+	}
+	// Grow the graph: the memo must miss and reflect the new task.
+	g.AddTask("late", 1, 1)
+	l4, err := PriorityList(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l4) != g.NumTasks() {
+		t.Fatalf("stale cache after graph growth: %d tasks listed, graph has %d", len(l4), g.NumTasks())
+	}
+	// Different seed on the same graph: must recompute, and match a fresh
+	// identical graph's list.
+	fresh := buildChain(false)
+	fresh.AddTask("late", 1, 1)
+	lf, err := PriorityList(fresh, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := PriorityList(g, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lf {
+		if lf[i] != lg[i] {
+			t.Fatalf("seed switch returned stale list %v, want %v", lg, lf)
+		}
+	}
+}
+
+// TestGraphStaticsCacheInvalidation checks that NewPartial's memoized
+// per-graph inputs track graph growth.
+func TestGraphStaticsCacheInvalidation(t *testing.T) {
+	g := buildChain(false)
+	p := platform.New(1, 1, 100, 100)
+	st := NewPartial(g, p)
+	if got := len(st.ReadyTasks()); got != 1 {
+		t.Fatalf("chain has %d sources, want 1", got)
+	}
+	if st.outFiles[0] != 2 {
+		t.Fatalf("task 0 outFiles = %d, want 2", st.outFiles[0])
+	}
+	// Add a second edge out of task 0 and a new source: statics must
+	// refresh.
+	g = buildChain(true)
+	st2 := NewPartial(g, p)
+	if st2.outFiles[0] != 3 {
+		t.Fatalf("after growth, task 0 outFiles = %d, want 3", st2.outFiles[0])
+	}
+	// Same pointer growth (the dangerous case): mutate g in place.
+	g.AddTask("src2", 4, 4)
+	st3 := NewPartial(g, p)
+	if len(st3.pending) != g.NumTasks() {
+		t.Fatalf("stale statics: pending has %d entries, graph %d tasks", len(st3.pending), g.NumTasks())
+	}
+	if got := len(st3.ReadyTasks()); got != 2 {
+		t.Fatalf("after adding a source, %d ready tasks, want 2", got)
+	}
+	// validateCached: valid graph caches success; a new graph revalidates.
+	if err := validateCached(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateCached(g); err != nil {
+		t.Fatal(err)
+	}
+	bad := dag.New()
+	x := bad.AddTask("x", -1, 1)
+	_ = x
+	if err := validateCached(bad); err == nil {
+		t.Fatal("negative processing time not rejected through the cache")
+	}
+}

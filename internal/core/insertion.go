@@ -72,32 +72,16 @@ func (st *Partial) evaluateInsertion(id dag.TaskID, mu platform.Memory) Candidat
 	if lo == hi || st.ins == nil {
 		return c
 	}
-	precedenceEST := 0.0
-	var crossFiles int64
-	cmu := 0.0
-	for _, e := range st.g.In(id) {
-		edge := st.g.Edge(e)
-		aft := st.finish[edge.From]
-		if st.sched.MemoryOf(edge.From) == mu {
-			if aft > precedenceEST {
-				precedenceEST = aft
-			}
-			continue
+	precedenceEST, crossFiles, cmu := st.staticFor(id, mu)
+	var taskMemEST, commMemEST float64
+	if !st.unbounded[mu] {
+		if need := crossFiles + st.outFiles[id]; need != 0 {
+			taskMemEST = st.free[mu].EarliestFit(0, need)
 		}
-		if v := aft + edge.Comm; v > precedenceEST {
-			precedenceEST = v
-		}
-		crossFiles += edge.File
-		if edge.Comm > cmu {
-			cmu = edge.Comm
+		if crossFiles != 0 {
+			commMemEST = st.free[mu].EarliestFit(0, crossFiles)
 		}
 	}
-	var outFiles int64
-	for _, e := range st.g.Out(id) {
-		outFiles += st.g.Edge(e).File
-	}
-	taskMemEST := st.free[mu].EarliestFit(0, crossFiles+outFiles)
-	commMemEST := st.free[mu].EarliestFit(0, crossFiles)
 	lower := math.Max(precedenceEST, taskMemEST)
 	lower = math.Max(lower, commMemEST+cmu)
 	if math.IsInf(lower, 1) {
@@ -137,24 +121,8 @@ func (st *Partial) commitInsertion(c Candidate) {
 	if fin > st.availProc[bestProc] {
 		st.availProc[bestProc] = fin
 	}
-	st.assigned[id] = true
-	st.finish[id] = fin
-	st.nDone++
-
-	for _, e := range st.g.In(id) {
-		edge := st.g.Edge(e)
-		parentMem := st.sched.MemoryOf(edge.From)
-		if parentMem == mu {
-			st.free[mu].Release(fin, edge.File)
-			continue
-		}
-		st.sched.CommStart[edge.ID] = start - edge.Comm
-		st.free[mu].Reserve(start-c.CMu, fin, edge.File)
-		st.free[parentMem].Release(start, edge.File)
-	}
-	for _, e := range st.g.Out(id) {
-		st.free[mu].Reserve(start, memfnInf, st.g.Edge(e).File)
-	}
+	st.finishTask(id, fin)
+	st.commitFiles(id, mu, start, fin, c.CMu)
 }
 
 // MemHEFTInsertion runs Algorithm 1 with classical HEFT's insertion-based

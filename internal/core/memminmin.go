@@ -13,51 +13,59 @@ import (
 // Unlike MemHEFT there is no static priority; the order emerges dynamically,
 // which lets small early-released tasks jump ahead (the behaviour §6.2.3
 // blames for MemMinMin's early failures on linear-algebra DAGs).
+//
+// The ready candidates live in a heap ordered by (EFT, task ID) — the exact
+// tie-breaking of the reference linear scan — with lazy invalidation: after
+// a commit, only the entries whose memoized evaluation went stale (their
+// memory's epoch moved, or a parent committed) are re-evaluated before the
+// minimum is popped. An EFT can decrease when a commit releases memory, so
+// every stale entry is refreshed before trusting the heap order. Since a
+// commit always bumps its own memory's epoch, the refresh loop visits every
+// entry each iteration (the per-memory cache still halves the evaluations);
+// that O(width) sweep, not the heap order, is the dominant cost, and the
+// heap's job is to hand back the (EFT, ID) minimum with the reference
+// scan's exact tie-breaking.
 func memMinMin(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := g.Validate(); err != nil {
+	if err := validateCached(g); err != nil {
 		return nil, err
 	}
 	st := NewPartial(g, p)
 
-	// Ready set, kept sorted by task ID for deterministic tie-breaking.
-	pending := make([]int, g.NumTasks()) // unassigned-parent count
-	var ready []dag.TaskID
-	for i := 0; i < g.NumTasks(); i++ {
-		pending[i] = len(g.In(dag.TaskID(i)))
-		if pending[i] == 0 {
-			ready = append(ready, dag.TaskID(i))
-		}
+	h := make(eftHeap, 0, g.NumTasks())
+	for _, id := range st.ReadyTasks() {
+		h = append(h, eftEntry{id: id, cand: st.Best(id)})
 	}
+	h.init()
 
 	scheduled := 0
-	for len(ready) > 0 {
-		bestIdx := -1
-		var bestCand Candidate
-		for idx, id := range ready {
-			c := st.Best(id)
-			if !c.Feasible() {
-				continue
-			}
-			if bestIdx < 0 || c.EFT < bestCand.EFT || (c.EFT == bestCand.EFT && id < bestCand.Task) {
-				bestIdx, bestCand = idx, c
+	for len(h) > 0 {
+		// Lazy invalidation: refresh stale memoized candidates, then
+		// restore the heap order in one pass.
+		changed := false
+		for i := range h {
+			if !st.BestFresh(h[i].id) {
+				h[i].cand = st.Best(h[i].id)
+				changed = true
 			}
 		}
-		if bestIdx < 0 {
+		if changed {
+			h.init()
+		}
+		best := h[0]
+		if !best.cand.Feasible() {
+			// The heap minimum is infeasible, hence so is every
+			// ready task.
 			return st.sched, fmt.Errorf("%w (MemMinMin: %d of %d tasks unscheduled, %d ready tasks all blocked)",
-				ErrMemoryBound, g.NumTasks()-scheduled, g.NumTasks(), len(ready))
+				ErrMemoryBound, g.NumTasks()-scheduled, g.NumTasks(), len(h))
 		}
-		st.Commit(bestCand)
+		st.Commit(best.cand)
 		scheduled++
-		ready = append(ready[:bestIdx], ready[bestIdx+1:]...)
-		for _, e := range g.Out(bestCand.Task) {
-			child := g.Edge(e).To
-			pending[child]--
-			if pending[child] == 0 {
-				ready = insertSorted(ready, child)
-			}
+		h.popMin()
+		for _, child := range st.NewlyReady() {
+			h.push(eftEntry{id: child, cand: st.Best(child)})
 		}
 	}
 	if scheduled != g.NumTasks() {
@@ -65,6 +73,76 @@ func memMinMin(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedu
 		return st.sched, fmt.Errorf("core: MemMinMin scheduled %d of %d tasks", scheduled, g.NumTasks())
 	}
 	return st.sched, nil
+}
+
+// eftEntry is one ready task with its memoized best candidate.
+type eftEntry struct {
+	id   dag.TaskID
+	cand Candidate
+}
+
+// eftHeap is a binary min-heap of ready candidates ordered by (EFT, task
+// ID), matching the tie-breaking of the naive scan ("smaller EFT, then
+// smaller ID"). Infeasible candidates carry EFT = +inf and sink to the
+// bottom; inf comparisons are always false, so ties (including inf-inf)
+// fall through to the ID order, which keeps the comparator strict and
+// total.
+type eftHeap []eftEntry
+
+func (h eftHeap) less(a, b int) bool {
+	if h[a].cand.EFT != h[b].cand.EFT {
+		return h[a].cand.EFT < h[b].cand.EFT
+	}
+	return h[a].id < h[b].id
+}
+
+func (h eftHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h eftHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && h.less(l, m) {
+			m = l
+		}
+		if r < len(h) && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h *eftHeap) push(e eftEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			return
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eftHeap) popMin() {
+	s := *h
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	if n > 0 {
+		s.siftDown(0)
+	}
 }
 
 // insertSorted inserts id into the ID-sorted slice.

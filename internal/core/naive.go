@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// This file retains the pre-incremental implementations of Algorithm 1 and
+// Algorithm 2 as executable reference oracles. They bypass every layer of
+// the incremental engine that could conceivably change behaviour — no
+// candidate memoization, no static-part caching, ready-ness by scanning
+// parents, mid-slice deletes, linear min scans — so the golden-equivalence
+// tests can assert that the optimized schedulers produce bit-identical
+// schedules. They are exported (rather than test-only) so the benchmark
+// harness can track the speedup of the incremental paths against them.
+
+// readyByScan re-derives Ready(id) the naive way, ignoring the maintained
+// in-degree counters.
+func (st *Partial) readyByScan(id dag.TaskID) bool {
+	if st.assigned[id] {
+		return false
+	}
+	for _, e := range st.g.In(id) {
+		if !st.assigned[st.g.Edge(e).From] {
+			return false
+		}
+	}
+	return true
+}
+
+// makespanByScan re-derives MakespanSoFar the naive way, ignoring the
+// running max.
+func (st *Partial) makespanByScan() float64 {
+	ms := 0.0
+	for i, done := range st.assigned {
+		if done && st.finish[i] > ms {
+			ms = st.finish[i]
+		}
+	}
+	return ms
+}
+
+// MemHEFTReference is the naive implementation of Algorithm 1: every
+// iteration restarts from the head of the priority list, re-derives
+// ready-ness by scanning parents and re-evaluates both memory candidates of
+// every visited task from scratch. It is the oracle MemHEFT is tested
+// against and must not be "optimized".
+func MemHEFTReference(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	remaining, err := PriorityList(g, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	st := NewPartial(g, p)
+	st.noCache = true
+	for len(remaining) > 0 {
+		placed := false
+		for index, id := range remaining {
+			if !st.readyByScan(id) {
+				continue
+			}
+			c := st.Best(id)
+			if !c.Feasible() {
+				continue
+			}
+			st.Commit(c)
+			remaining = append(remaining[:index], remaining[index+1:]...)
+			placed = true
+			break
+		}
+		if !placed {
+			return st.sched, fmt.Errorf("%w (MemHEFT: %d of %d tasks unscheduled, first stuck task %d)",
+				ErrMemoryBound, len(remaining), g.NumTasks(), remaining[0])
+		}
+	}
+	return st.sched, nil
+}
+
+// MemMinMinReference is the naive implementation of Algorithm 2: every
+// iteration evaluates both memory candidates of every ready task from
+// scratch and picks the minimum-EFT pair by linear scan (ties towards the
+// smaller task ID). It is the oracle MemMinMin is tested against and must
+// not be "optimized".
+func MemMinMinReference(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	st := NewPartial(g, p)
+	st.noCache = true
+
+	// Ready set, kept sorted by task ID for deterministic tie-breaking.
+	pending := make([]int, g.NumTasks()) // unassigned-parent count
+	var ready []dag.TaskID
+	for i := 0; i < g.NumTasks(); i++ {
+		pending[i] = len(g.In(dag.TaskID(i)))
+		if pending[i] == 0 {
+			ready = append(ready, dag.TaskID(i))
+		}
+	}
+
+	scheduled := 0
+	for len(ready) > 0 {
+		bestIdx := -1
+		var bestCand Candidate
+		for idx, id := range ready {
+			c := st.Best(id)
+			if !c.Feasible() {
+				continue
+			}
+			if bestIdx < 0 || c.EFT < bestCand.EFT || (c.EFT == bestCand.EFT && id < bestCand.Task) {
+				bestIdx, bestCand = idx, c
+			}
+		}
+		if bestIdx < 0 {
+			return st.sched, fmt.Errorf("%w (MemMinMin: %d of %d tasks unscheduled, %d ready tasks all blocked)",
+				ErrMemoryBound, g.NumTasks()-scheduled, g.NumTasks(), len(ready))
+		}
+		st.Commit(bestCand)
+		scheduled++
+		ready = append(ready[:bestIdx], ready[bestIdx+1:]...)
+		for _, e := range g.Out(bestCand.Task) {
+			child := g.Edge(e).To
+			pending[child]--
+			if pending[child] == 0 {
+				ready = insertSorted(ready, child)
+			}
+		}
+	}
+	if scheduled != g.NumTasks() {
+		return st.sched, fmt.Errorf("core: MemMinMin scheduled %d of %d tasks", scheduled, g.NumTasks())
+	}
+	return st.sched, nil
+}

@@ -144,6 +144,11 @@ func (g *Graph) EdgeBetween(src, dst TaskID) (Edge, bool) {
 	return g.edges[id], true
 }
 
+// Edges returns the internal edge slice, indexed by EdgeID in insertion
+// order. The returned slice must not be modified; it exists so hot loops can
+// avoid the per-call bounds check and struct copy of Edge.
+func (g *Graph) Edges() []Edge { return g.edges }
+
 // Out returns the IDs of the edges leaving task id. The returned slice must
 // not be modified.
 func (g *Graph) Out(id TaskID) []EdgeID { return g.out[id] }

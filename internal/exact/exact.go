@@ -96,6 +96,27 @@ type searcher struct {
 	deadline time.Time
 	feasOnly bool
 	stopped  bool
+
+	// pool holds exhausted Partial nodes for reuse: dfs clones into them
+	// via CloneInto instead of allocating a full new state per node.
+	pool []*core.Partial
+	// movesStack holds one reusable candidate buffer per search depth.
+	movesStack [][]core.Candidate
+}
+
+// getClone copies st into a pooled Partial (or a fresh one when the pool is
+// empty).
+func (s *searcher) getClone(st *core.Partial) *core.Partial {
+	var dst *core.Partial
+	if n := len(s.pool); n > 0 {
+		dst, s.pool = s.pool[n-1], s.pool[:n-1]
+	}
+	return st.CloneInto(dst)
+}
+
+// putClone returns an exhausted node to the pool.
+func (s *searcher) putClone(st *core.Partial) {
+	s.pool = append(s.pool, st)
 }
 
 // Solve runs the branch-and-bound search for g on p.
@@ -126,7 +147,7 @@ func Solve(g *dag.Graph, p platform.Platform, opt Options) (*Result, error) {
 		s.bestSch = opt.Incumbent
 		s.best = opt.Incumbent.Makespan()
 	}
-	s.dfs(core.NewPartial(g, p))
+	s.dfs(core.NewPartial(g, p), 0)
 
 	res := &Result{Makespan: s.best, Schedule: s.bestSch, Nodes: s.nodes}
 	switch {
@@ -181,8 +202,9 @@ func (s *searcher) budgetExceeded() bool {
 	return false
 }
 
-// dfs explores all completions of st depth-first.
-func (s *searcher) dfs(st *core.Partial) {
+// dfs explores all completions of st depth-first. depth indexes the
+// reusable per-level candidate buffer.
+func (s *searcher) dfs(st *core.Partial, depth int) {
 	s.nodes++
 	if s.budgetExceeded() {
 		return
@@ -200,7 +222,10 @@ func (s *searcher) dfs(st *core.Partial) {
 		return
 	}
 
-	var moves []core.Candidate
+	if depth >= len(s.movesStack) {
+		s.movesStack = append(s.movesStack, nil)
+	}
+	moves := s.movesStack[depth][:0]
 	for _, id := range st.ReadyTasks() {
 		for _, mu := range platform.Memories {
 			if c := st.Evaluate(id, mu); c.Feasible() {
@@ -208,15 +233,18 @@ func (s *searcher) dfs(st *core.Partial) {
 			}
 		}
 	}
+	s.movesStack[depth] = moves
 	// Explore small EFT first: good schedules early mean strong pruning.
 	sort.Slice(moves, func(a, b int) bool { return moves[a].EFT < moves[b].EFT })
 	for _, mv := range moves {
-		child := st.Clone()
+		child := s.getClone(st)
 		child.Commit(mv)
 		if !s.feasOnly && lbOf(child, s.bottom) >= s.best-schedule.Eps {
+			s.putClone(child)
 			continue // cannot beat the incumbent
 		}
-		s.dfs(child)
+		s.dfs(child, depth+1)
+		s.putClone(child)
 		if s.stopped {
 			return
 		}

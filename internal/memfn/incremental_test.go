@@ -1,0 +1,155 @@
+package memfn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomMutate applies n random Reserve/Release calls to s and returns the
+// same calls as a batch for replay.
+func randomMutate(rng *rand.Rand, s *Staircase, n int) []Delta {
+	var ops []Delta
+	for i := 0; i < n; i++ {
+		from := rng.Float64() * 100
+		to := from + rng.Float64()*20
+		if rng.Intn(4) == 0 {
+			to = Inf
+		}
+		amount := int64(rng.Intn(21) - 10)
+		ops = append(ops, Delta{From: from, To: to, Amount: amount})
+		s.Reserve(from, to, amount)
+	}
+	return ops
+}
+
+// TestEarliestFitMatchesLinear cross-checks the suffix-min binary search
+// against the paper's O(l) backward walk after random mutation bursts.
+func TestEarliestFitMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		s := New(int64(rng.Intn(100) + 1))
+		randomMutate(rng, s, rng.Intn(30))
+		for q := 0; q < 20; q++ {
+			lb := rng.Float64() * 120
+			need := int64(rng.Intn(120) - 10)
+			got := s.EarliestFit(lb, need)
+			want := s.EarliestFitLinear(lb, need)
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("trial %d: EarliestFit(%g, %d) = %g, linear walk says %g on %v",
+					trial, lb, need, got, want, s)
+			}
+		}
+	}
+}
+
+// TestSufminConsistencyAfterMutations verifies the lazily rebuilt suffix-min
+// array against a direct recomputation after every Reserve/Release/coalesce.
+func TestSufminConsistencyAfterMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New(50)
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			s.Reserve(rng.Float64()*50, rng.Float64()*80, int64(rng.Intn(9)-4))
+		case 1:
+			s.Release(rng.Float64()*50, int64(rng.Intn(5)))
+		default:
+			s.ReserveBatch([]Delta{
+				{From: rng.Float64() * 50, To: rng.Float64() * 80, Amount: int64(rng.Intn(9) - 4)},
+				{From: rng.Float64() * 50, To: Inf, Amount: int64(rng.Intn(5) - 2)},
+			})
+		}
+		// Force the rebuild and compare against a direct suffix scan.
+		s.EarliestFit(0, 1)
+		if !s.sufminOK {
+			t.Fatal("sufmin not rebuilt by EarliestFit")
+		}
+		if len(s.sufmin) != len(s.steps) {
+			t.Fatalf("sufmin length %d, steps %d", len(s.sufmin), len(s.steps))
+		}
+		m := s.steps[len(s.steps)-1].v
+		for j := len(s.steps) - 1; j >= 0; j-- {
+			if s.steps[j].v < m {
+				m = s.steps[j].v
+			}
+			if s.sufmin[j] != m {
+				t.Fatalf("step %d: sufmin = %d, want %d on %v", j, s.sufmin[j], m, s)
+			}
+		}
+	}
+}
+
+// TestReserveBatchMatchesSequential verifies that splicing a whole set of
+// deltas at once yields the exact same canonical staircase as sequential
+// Reserve calls.
+func TestReserveBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		cap := int64(rng.Intn(200) + 1)
+		seq := New(cap)
+		ops := randomMutate(rng, seq, rng.Intn(12))
+
+		batch := New(cap)
+		batch.ReserveBatch(ops)
+
+		ts, vs := seq.Breakpoints()
+		tb, vb := batch.Breakpoints()
+		if len(ts) != len(tb) {
+			t.Fatalf("trial %d: %d pieces sequential vs %d batched\nseq   %v\nbatch %v",
+				trial, len(ts), len(tb), seq, batch)
+		}
+		for i := range ts {
+			if ts[i] != tb[i] || vs[i] != vb[i] {
+				t.Fatalf("trial %d: piece %d differs\nseq   %v\nbatch %v", trial, i, seq, batch)
+			}
+		}
+	}
+}
+
+// TestReserveBatchEdgeCases exercises the skip conditions of ReserveBatch.
+func TestReserveBatchEdgeCases(t *testing.T) {
+	s := New(10)
+	s.ReserveBatch(nil)
+	s.ReserveBatch([]Delta{
+		{From: 5, To: 3, Amount: 2},   // inverted interval: no-op
+		{From: 1, To: 1, Amount: 2},   // empty interval: no-op
+		{From: 2, To: 8, Amount: 0},   // zero amount: no-op
+		{From: -4, To: -1, Amount: 3}, // entirely before 0: no-op
+	})
+	if s.Len() != 1 || s.Value(0) != 10 {
+		t.Fatalf("no-op batch changed the staircase: %v", s)
+	}
+	// Clamped start: [-2, 3) behaves as [0, 3).
+	s.ReserveBatch([]Delta{{From: -2, To: 3, Amount: 4}})
+	ref := New(10)
+	ref.Reserve(-2, 3, 4)
+	if s.String() != ref.String() {
+		t.Fatalf("clamped batch %v, want %v", s, ref)
+	}
+}
+
+// TestCloneIntoReuse verifies CloneInto both with nil and a reused target.
+func TestCloneIntoReuse(t *testing.T) {
+	s := New(20)
+	s.Reserve(1, 5, 7)
+	s.EarliestFit(0, 15) // make sufmin valid so the copy path is exercised
+
+	c := s.CloneInto(nil)
+	if c.String() != s.String() {
+		t.Fatalf("clone %v, want %v", c, s)
+	}
+	// Mutating the clone must not touch the original.
+	c.Reserve(2, 3, 1)
+	if s.String() == c.String() {
+		t.Fatal("clone aliases the original")
+	}
+	// Reuse the clone's storage for a fresh copy.
+	c2 := s.CloneInto(c)
+	if c2 != c || c2.String() != s.String() {
+		t.Fatalf("CloneInto reuse: got %v, want %v", c2, s)
+	}
+	if got, want := c2.EarliestFit(0, 15), s.EarliestFitLinear(0, 15); got != want {
+		t.Fatalf("clone EarliestFit = %g, want %g", got, want)
+	}
+}

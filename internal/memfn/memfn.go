@@ -8,11 +8,23 @@
 // Reserve (commit memory on an interval, possibly unbounded) and EarliestFit
 // (the smallest t such that free(t') >= need for every t' >= t), which
 // realises the task_mem_EST and comm_mem_EST primitives of Algorithm 1.
+//
+// Performance notes. EarliestFit is the hot primitive: every candidate
+// evaluation of MemHEFT/MemMinMin calls it twice. The paper's backward walk
+// is O(l); this implementation instead maintains a suffix-minimum array
+// sufmin[i] = min(v[i..l-1]) (rebuilt lazily after mutations) which is
+// non-decreasing in i, so the fit point is found by binary search in
+// O(log l). The walk is kept as EarliestFitLinear, the reference oracle for
+// tests. Mutations arrive in bursts (one Commit touches one staircase with
+// up to deg+1 reservations), so ReserveBatch applies a whole set of deltas
+// in a single merge pass over the pieces instead of deg+1 independent
+// breakpoint insertions.
 package memfn
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"strings"
 )
 
@@ -28,6 +40,23 @@ type step struct {
 // not usable; call New.
 type Staircase struct {
 	steps []step // sorted by t; steps[0].t == 0 always
+
+	// sufmin[i] = min(steps[i..].v), fully valid only when sufminOK. It
+	// is repaired lazily on the first EarliestFit after a mutation burst.
+	// Mutations are suffix-local (schedulers commit near the time
+	// frontier), so dirtyFrom records the first piece index touched since
+	// the last repair: entries below it still match the unchanged prefix
+	// and are reused, entries from it on are recomputed, and the repair
+	// propagates leftwards only as far as the suffix minimum actually
+	// changed.
+	sufmin    []int64
+	sufminOK  bool
+	dirtyFrom int
+
+	// Scratch buffers reused across ReserveBatch calls.
+	evScratch   []batchEvent
+	stepScratch []step
+	oneOp       [1]Delta
 }
 
 // New returns the constant function free(t) = capacity.
@@ -36,8 +65,20 @@ func New(capacity int64) *Staircase {
 }
 
 // Clone returns an independent copy.
-func (s *Staircase) Clone() *Staircase {
-	return &Staircase{steps: append([]step(nil), s.steps...)}
+func (s *Staircase) Clone() *Staircase { return s.CloneInto(nil) }
+
+// CloneInto copies s into dst, reusing dst's storage when possible, and
+// returns dst. A nil dst allocates a fresh Staircase. The scratch buffers of
+// dst are kept (they carry no state between operations).
+func (s *Staircase) CloneInto(dst *Staircase) *Staircase {
+	if dst == nil {
+		dst = &Staircase{}
+	}
+	dst.steps = append(dst.steps[:0], s.steps...)
+	dst.sufminOK = s.sufminOK
+	dst.dirtyFrom = s.dirtyFrom
+	dst.sufmin = append(dst.sufmin[:0], s.sufmin...)
+	return dst
 }
 
 // Len returns the number of constant pieces (the paper's l).
@@ -48,17 +89,7 @@ func (s *Staircase) Value(t float64) int64 {
 	if t < 0 {
 		t = 0
 	}
-	// Binary search for the last step with step.t <= t.
-	lo, hi := 0, len(s.steps)-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if s.steps[mid].t <= t {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	return s.steps[lo].v
+	return s.steps[s.indexAt(t)].v
 }
 
 // FinalValue returns the value of the last piece, i.e. free(+inf).
@@ -66,6 +97,9 @@ func (s *Staircase) FinalValue() int64 { return s.steps[len(s.steps)-1].v }
 
 // MinValue returns the global minimum of the function.
 func (s *Staircase) MinValue() int64 {
+	if s.sufminOK {
+		return s.sufmin[0]
+	}
 	m := s.steps[0].v
 	for _, st := range s.steps[1:] {
 		if st.v < m {
@@ -96,6 +130,39 @@ func (s *Staircase) MinOn(from, to float64) int64 {
 	return m
 }
 
+// indexAtFromEnd returns the index of the piece containing time t (t >= 0),
+// galloping backwards from the last piece before binary-searching: the
+// schedulers mutate near the time frontier, so the few adjacent probes
+// usually bracket t without walking the whole breakpoint array.
+func (s *Staircase) indexAtFromEnd(t float64) int {
+	steps := s.steps
+	hi := len(steps) - 1
+	if steps[hi].t <= t {
+		return hi
+	}
+	// Invariant from here: steps[hi].t > t and steps[lo].t <= t (the
+	// first piece starts at 0 and t is clamped non-negative).
+	stride := 1
+	lo := hi - stride
+	for lo > 0 && steps[lo].t > t {
+		hi = lo
+		stride *= 2
+		lo = hi - stride
+		if lo < 0 {
+			lo = 0
+		}
+	}
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if steps[mid].t <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // indexAt returns the index of the piece containing time t (t >= 0).
 func (s *Staircase) indexAt(t float64) int {
 	lo, hi := 0, len(s.steps)-1
@@ -110,45 +177,14 @@ func (s *Staircase) indexAt(t float64) int {
 	return lo
 }
 
-// ensureBreak inserts a breakpoint at time t (if not already present) and
-// returns the index of the piece starting at t.
-func (s *Staircase) ensureBreak(t float64) int {
-	i := s.indexAt(t)
-	if s.steps[i].t == t {
-		return i
-	}
-	s.steps = append(s.steps, step{})
-	copy(s.steps[i+2:], s.steps[i+1:])
-	s.steps[i+1] = step{t: t, v: s.steps[i].v}
-	return i + 1
-}
-
 // Reserve subtracts amount from free on [from, to). A negative amount
 // releases memory. to may be Inf for an open-ended reservation (the typical
 // case for output files whose consumer is not scheduled yet). Reservations
 // are allowed to drive the function negative; callers that must respect a
 // bound check EarliestFit or MinOn first.
 func (s *Staircase) Reserve(from, to float64, amount int64) {
-	if amount == 0 || to <= from {
-		return
-	}
-	if from < 0 {
-		from = 0
-	}
-	i := s.ensureBreak(from)
-	j := len(s.steps) // exclusive
-	if !math.IsInf(to, 1) {
-		j = s.ensureBreak(to)
-		if s.steps[j].t != to {
-			panic("memfn: internal error: missing breakpoint")
-		}
-		// ensureBreak(to) may have shifted index i if to < from is
-		// impossible here, but inserting at to > from never moves i.
-	}
-	for k := i; k < j; k++ {
-		s.steps[k].v -= amount
-	}
-	s.coalesce()
+	s.oneOp[0] = Delta{From: from, To: to, Amount: amount}
+	s.ReserveBatch(s.oneOp[:])
 }
 
 // Release adds amount back to free from time t onward. It is the standard
@@ -158,23 +194,212 @@ func (s *Staircase) Release(t float64, amount int64) {
 	s.Reserve(t, Inf, -amount)
 }
 
-// coalesce merges adjacent pieces with equal values.
-func (s *Staircase) coalesce() {
-	out := s.steps[:1]
-	for _, st := range s.steps[1:] {
-		if st.v == out[len(out)-1].v {
+// Delta is one interval reservation for ReserveBatch: subtract Amount from
+// free on [From, To). A negative Amount releases; To may be Inf.
+type Delta struct {
+	From, To float64
+	Amount   int64
+}
+
+// batchEvent is a value change at time t in the sweep of ReserveBatch.
+type batchEvent struct {
+	t float64
+	d int64
+}
+
+// ReserveBatch applies a set of reservations in one merge pass over the
+// pieces. It is equivalent to calling Reserve once per delta (the staircase
+// is canonical after coalescing, so the results are identical) but costs
+// O(l + k log k) for k deltas instead of O(k·l). Commit uses it to splice a
+// task's whole set of file reservations at once.
+func (s *Staircase) ReserveBatch(ops []Delta) {
+	evs := s.evScratch[:0]
+	for _, op := range ops {
+		if op.Amount == 0 || op.To <= op.From {
 			continue
 		}
-		out = append(out, st)
+		from := op.From
+		if from < 0 {
+			from = 0
+		}
+		if op.To <= from {
+			continue
+		}
+		evs = append(evs, batchEvent{t: from, d: -op.Amount})
+		if !math.IsInf(op.To, 1) {
+			evs = append(evs, batchEvent{t: op.To, d: op.Amount})
+		}
 	}
-	s.steps = out
+	s.evScratch = evs[:0]
+	if len(evs) == 0 {
+		return
+	}
+	// One Commit combines to a handful of events, so a branch-light
+	// insertion sort beats the general sorter; fall back for big batches.
+	if len(evs) <= 32 {
+		for i := 1; i < len(evs); i++ {
+			for j := i; j > 0 && evs[j].t < evs[j-1].t; j-- {
+				evs[j], evs[j-1] = evs[j-1], evs[j]
+			}
+		}
+	} else {
+		slices.SortFunc(evs, func(a, b batchEvent) int {
+			switch {
+			case a.t < b.t:
+				return -1
+			case a.t > b.t:
+				return 1
+			}
+			return 0
+		})
+	}
+
+	// The pieces strictly before the one containing the first event keep
+	// both their index and their value: merge only the suffix from that
+	// piece on, coalescing on the fly (a piece is emitted only when its
+	// value differs from the previously emitted one), then splice the
+	// merged suffix back in place. Schedulers commit near the time
+	// frontier, so the untouched prefix is most of the staircase.
+	steps := s.steps
+	i0 := s.indexAtFromEnd(evs[0].t)
+	out := s.stepScratch[:0]
+	if cap(out) < len(steps)-i0+len(evs) {
+		out = make([]step, 0, 2*(len(steps)+len(evs)))
+	}
+	var lastV int64
+	haveLast := i0 > 0
+	if haveLast {
+		lastV = steps[i0-1].v
+	}
+	var delta int64
+	ei := 0
+	for i := i0; i < len(steps); i++ {
+		stp := steps[i]
+		next := Inf
+		if i+1 < len(steps) {
+			next = steps[i+1].t
+		}
+		for ei < len(evs) && evs[ei].t == stp.t {
+			delta += evs[ei].d
+			ei++
+		}
+		if v := stp.v + delta; !haveLast || v != lastV {
+			out = append(out, step{t: stp.t, v: v})
+			lastV, haveLast = v, true
+		}
+		for ei < len(evs) && evs[ei].t < next {
+			t := evs[ei].t
+			for ei < len(evs) && evs[ei].t == t {
+				delta += evs[ei].d
+				ei++
+			}
+			if v := stp.v + delta; v != lastV {
+				out = append(out, step{t: t, v: v})
+				lastV = v
+			}
+		}
+		if ei == len(evs) {
+			// No events left: the remaining pieces all shift by the
+			// same delta, so their pairwise differences — and hence
+			// canonical form — are preserved; only the first may
+			// coalesce into the previously emitted piece.
+			for i++; i < len(steps); i++ {
+				stp := steps[i]
+				if v := stp.v + delta; v != lastV {
+					out = append(out, step{t: stp.t, v: v})
+					lastV = v
+				}
+			}
+			break
+		}
+	}
+	s.steps = append(steps[:i0], out...)
+	s.stepScratch = out[:0]
+	if i0 < s.dirtyFrom {
+		s.dirtyFrom = i0
+	}
+	s.sufminOK = false
+}
+
+// rebuildSufmin repairs the suffix-minimum array: entries from dirtyFrom on
+// are recomputed, then the repair propagates leftwards through the
+// untouched prefix only while the suffix minimum seen from each piece
+// actually changed.
+func (s *Staircase) rebuildSufmin() {
+	n := len(s.steps)
+	if s.dirtyFrom >= n {
+		// The last mutation coalesced the whole suffix away; the new
+		// final piece still needs a fresh entry to drive the
+		// propagation.
+		s.dirtyFrom = n - 1
+	}
+	if cap(s.sufmin) < n {
+		// Grow with headroom: the staircase lengthens a little on
+		// every commit, so sizing to the exact length would
+		// reallocate on each rebuild.
+		grown := make([]int64, n, max(2*cap(s.sufmin), cap(s.steps)))
+		copy(grown, s.sufmin[:min(len(s.sufmin), s.dirtyFrom)])
+		s.sufmin = grown
+	} else {
+		s.sufmin = s.sufmin[:n]
+	}
+	i := n - 1
+	m := s.steps[i].v
+	for ; i >= s.dirtyFrom; i-- {
+		if v := s.steps[i].v; v < m {
+			m = v
+		}
+		s.sufmin[i] = m
+	}
+	for ; i >= 0; i-- {
+		m = s.steps[i].v
+		if nxt := s.sufmin[i+1]; nxt < m {
+			m = nxt
+		}
+		if s.sufmin[i] == m {
+			break // everything further left is unchanged too
+		}
+		s.sufmin[i] = m
+	}
+	s.sufminOK = true
+	s.dirtyFrom = n
 }
 
 // EarliestFit returns the smallest t >= lowerBound such that free(t') >= need
 // for all t' >= t, or +Inf when no such time exists (the final piece is below
 // need). This is exactly the task_mem_EST / comm_mem_EST computation of
-// Algorithm 1 and runs in O(l) for a staircase with l pieces.
+// Algorithm 1. The suffix-minimum array makes it O(log l) amortised (one
+// O(l) rebuild after each mutation burst); EarliestFitLinear is the paper's
+// O(l) walk, kept as the reference oracle.
 func (s *Staircase) EarliestFit(lowerBound float64, need int64) float64 {
+	if s.steps[len(s.steps)-1].v < need {
+		return Inf
+	}
+	if !s.sufminOK {
+		s.rebuildSufmin()
+	}
+	if s.sufmin[0] >= need {
+		// The whole function fits: the binary search would land on
+		// the first piece.
+		return math.Max(lowerBound, s.steps[0].t)
+	}
+	// sufmin is non-decreasing in i: find the first piece from which the
+	// whole suffix fits.
+	lo, hi := 0, len(s.steps)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.sufmin[mid] >= need {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return math.Max(lowerBound, s.steps[lo].t)
+}
+
+// EarliestFitLinear is the paper's O(l) backward walk. It is retained as the
+// reference implementation that EarliestFit is tested against.
+func (s *Staircase) EarliestFitLinear(lowerBound float64, need int64) float64 {
 	if s.FinalValue() < need {
 		return Inf
 	}
