@@ -1,6 +1,7 @@
 package memsched
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -29,19 +30,32 @@ type (
 	Task = dag.Task
 	// Edge is a dependency carrying a file.
 	Edge = dag.Edge
-	// Platform describes the dual-memory machine.
-	Platform = platform.Platform
-	// Memory identifies the blue or red memory.
-	Memory = platform.Memory
-	// Schedule is a complete mapping of a graph onto a platform.
+
+	// Pool is one memory with its attached identical processors.
+	Pool = multi.Pool
+	// Platform is an ordered list of memory pools — the one platform
+	// abstraction of the package. The paper's dual-memory machine is its
+	// 2-pool case (pool 0 blue/CPU-side, pool 1 red/accelerator-side):
+	// build one with NewDualPlatform, or any pool count with NewPlatform.
+	Platform = multi.Platform
+	// Schedule is a complete mapping of a graph onto a dual-memory
+	// platform, produced by the incremental dual engine.
 	Schedule = schedule.Schedule
-	// Options tunes a heuristic run (tie-break seed).
+	// PoolSchedule is a schedule on a k-pool platform, produced by the
+	// generalised engine.
+	PoolSchedule = multi.Schedule
+	// Instance couples a DAG with a per-pool Times[task][pool] matrix for
+	// k-pool scheduling.
+	Instance = multi.Instance
+	// Memory identifies the blue or red memory of the dual model.
+	Memory = platform.Memory
+
+	// Options tunes a deprecated facade heuristic call (tie-break seed).
+	// New code passes WithSeed to Session.Schedule instead.
 	Options = core.Options
-	// SchedulerFunc is the common signature of all schedulers.
-	SchedulerFunc = core.Func
 )
 
-// Memories.
+// Memories of the dual model.
 const (
 	Blue = platform.Blue
 	Red  = platform.Red
@@ -56,50 +70,37 @@ func NewGraph() *Graph { return dag.New() }
 // ReadGraph decodes and validates a JSON graph from r.
 func ReadGraph(r io.Reader) (*Graph, error) { return dag.Read(r) }
 
-// NewPlatform returns a platform with pBlue/pRed processors and the given
-// memory capacities.
-func NewPlatform(pBlue, pRed int, mBlue, mRed int64) Platform {
-	return platform.New(pBlue, pRed, mBlue, mRed)
+// NewPlatform builds a platform from memory pools; the pool order defines
+// the global processor numbering.
+func NewPlatform(pools ...Pool) Platform { return multi.NewPlatform(pools...) }
+
+// NewDualPlatform builds the paper's dual-memory platform as its 2-pool
+// case: pBlue processors sharing a blue memory of capacity mBlue (pool 0)
+// and pRed processors sharing a red memory of capacity mRed (pool 1).
+func NewDualPlatform(pBlue, pRed int, mBlue, mRed int64) Platform {
+	return NewPlatform(Pool{Procs: pBlue, Capacity: mBlue}, Pool{Procs: pRed, Capacity: mRed})
 }
 
-// Schedulers of the paper. HEFT and MinMin ignore the platform's memory
-// bounds; MemHEFT and MemMinMin enforce them and return an error wrapping
-// ErrMemoryBound when the graph does not fit.
-var (
-	HEFT      = core.HEFT
-	MinMin    = core.MinMin
-	MemHEFT   = core.MemHEFT
-	MemMinMin = core.MemMinMin
-)
+// NewInstance couples a graph (structure, files, communication times) with
+// a Times[task][pool] processing-time matrix for k-pool scheduling. Prefer
+// NewSession with WithPoolTimes.
+func NewInstance(g *Graph, times [][]float64) *Instance {
+	return multi.NewInstance(g, times)
+}
 
 // ErrMemoryBound is returned (wrapped) when a memory-aware heuristic cannot
-// schedule the graph within the platform's memory bounds.
+// schedule the graph within the platform's memory bounds — by both the dual
+// and the k-pool engine.
 var ErrMemoryBound = core.ErrMemoryBound
 
-// SchedulerByName resolves "heft", "minmin", "memheft" or "memminmin".
-func SchedulerByName(name string) (SchedulerFunc, error) { return core.ByName(name) }
-
 // LowerBound returns a makespan lower bound valid for every schedule of g
-// on p (critical path and aggregate work arguments).
-func LowerBound(g *Graph, p Platform) (float64, error) { return exact.LowerBound(g, p) }
-
-// OptimalOptions bounds the effort of the exact search.
-type OptimalOptions struct {
-	MaxNodes int           // 0 = exact.DefaultMaxNodes
-	Timeout  time.Duration // 0 = unlimited
-}
-
-// Optimal runs the branch-and-bound search for the best list schedule of g
-// on p. It returns the best schedule found and whether optimality (over the
-// list-schedule space) was proven; a nil schedule with proven=true means
-// the instance is infeasible for every list schedule.
-func Optimal(g *Graph, p Platform, opt OptimalOptions) (s *Schedule, proven bool, err error) {
-	res, err := exact.Solve(g, p, exact.Options{MaxNodes: opt.MaxNodes, Timeout: opt.Timeout})
-	if err != nil {
-		return nil, false, err
+// on the 2-pool platform p (critical path and aggregate work arguments).
+func LowerBound(g *Graph, p Platform) (float64, error) {
+	dp, ok := p.Dual()
+	if !ok {
+		return 0, errDualOnly("LowerBound")
 	}
-	proven = res.Status == exact.Optimal || res.Status == exact.Infeasible
-	return res.Schedule, proven, nil
+	return exact.LowerBound(g, dp)
 }
 
 // Workload generators.
@@ -151,57 +152,10 @@ const (
 	FullScale = experiments.Full
 )
 
-// Multi-memory extension (the paper's §7 future work): platforms with any
-// number of memory pools, each with its own processors and capacity.
-type (
-	// MemoryPool is one memory with its attached processors.
-	MemoryPool = multi.Pool
-	// MultiPlatform is an ordered list of memory pools.
-	MultiPlatform = multi.Platform
-	// MultiInstance couples a DAG with a per-pool timing matrix.
-	MultiInstance = multi.Instance
-	// MultiSchedule is a schedule on a multi-pool platform.
-	MultiSchedule = multi.Schedule
-	// MultiSchedulerFunc is the signature of the generalised heuristics
-	// as exposed by this facade.
-	MultiSchedulerFunc = func(*MultiInstance, MultiPlatform, Options) (*MultiSchedule, error)
-)
-
-// NewMultiPlatform builds a multi-pool platform.
-func NewMultiPlatform(pools ...MemoryPool) MultiPlatform { return multi.NewPlatform(pools...) }
-
-// NewMultiInstance couples a graph (structure, files, communication times)
-// with a Times[task][pool] processing-time matrix.
-func NewMultiInstance(g *Graph, times [][]float64) *MultiInstance {
-	return multi.NewInstance(g, times)
-}
-
-// DualInstance converts a dual-memory graph into a 2-pool instance (pool 0
-// blue, pool 1 red); the generalised heuristics then reproduce MemHEFT /
-// MemMinMin exactly.
-func DualInstance(g *Graph) *MultiInstance { return multi.FromDual(g) }
-
-// Generalised schedulers for multi-pool platforms.
-var (
-	MultiMemHEFT = func(in *MultiInstance, p MultiPlatform, opt Options) (*MultiSchedule, error) {
-		return multi.MemHEFT(in, p, multi.Options{Seed: opt.Seed})
-	}
-	MultiMemMinMin = func(in *MultiInstance, p MultiPlatform, opt Options) (*MultiSchedule, error) {
-		return multi.MemMinMin(in, p, multi.Options{Seed: opt.Seed})
-	}
-)
-
-// ErrMultiMemoryBound is the multi-pool counterpart of ErrMemoryBound.
-var ErrMultiMemoryBound = multi.ErrMemoryBound
-
-// MemHEFTInsertion runs MemHEFT with classical HEFT's insertion-based
-// processor selection (idle gaps may be filled) instead of the paper's
-// append policy — an ablation of Algorithm 1's processor-selection rule.
-var MemHEFTInsertion = core.MemHEFTInsertion
-
 // Online runtime simulation (the StarPU-style integration the paper's
 // conclusion proposes): scheduling decisions happen at runtime events with
-// eager transfers and memory admission control.
+// eager transfers and memory admission control. Run it with
+// Session.Simulate.
 
 // SimPolicy selects the online dispatch order.
 type SimPolicy = sim.Policy
@@ -219,12 +173,181 @@ const (
 // ErrSimStuck is returned (wrapped) when the online run deadlocks on memory.
 var ErrSimStuck = sim.ErrStuck
 
-// Simulate runs the online dispatcher for g on p and returns the emitted,
-// validated schedule.
+// errDualOnly is the rejection for dual-only entry points fed a k-pool
+// platform; errDualSessionOnly additionally demands a dual (non-pool-times)
+// session. Both share one error identity.
+func errDualOnly(what string) error {
+	return &dualOnlyError{what: what}
+}
+
+func errDualSessionOnly(what string) error {
+	return &dualOnlyError{what: what, needSession: true}
+}
+
+type dualOnlyError struct {
+	what        string
+	needSession bool
+}
+
+func (e *dualOnlyError) Error() string {
+	if e.needSession {
+		return "memsched: " + e.what + " requires a dual session on a 2-pool platform"
+	}
+	return "memsched: " + e.what + " requires a 2-pool (dual-memory) platform"
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated facade: the pre-Session flat API, kept as thin wrappers for one
+// release. See the MIGRATION section of CHANGES.md for the mapping.
+// ---------------------------------------------------------------------------
+
+// SchedulerFunc is the signature of the deprecated flat heuristic entry
+// points. They accept any Platform but reject pool counts other than 2.
+//
+// Deprecated: create a Session and call Schedule with WithScheduler.
+type SchedulerFunc = func(*Graph, Platform, Options) (*Schedule, error)
+
+// wrapDual adapts a context-first dual-memory heuristic to the deprecated
+// flat signature.
+func wrapDual(fn core.Func) SchedulerFunc {
+	return func(g *Graph, p Platform, opt Options) (*Schedule, error) {
+		dp, ok := p.Dual()
+		if !ok {
+			return nil, errDualOnly("the flat scheduler API")
+		}
+		return fn(context.Background(), g, dp, opt)
+	}
+}
+
+// Schedulers of the paper. HEFT and MinMin ignore the platform's memory
+// bounds; MemHEFT and MemMinMin enforce them and return an error wrapping
+// ErrMemoryBound when the graph does not fit. MemHEFTInsertion is the
+// insertion-policy ablation of MemHEFT.
+//
+// Deprecated: create a Session and call Schedule with WithScheduler (and
+// WithInsertion for the ablation). These wrappers carry no session memos:
+// every call recomputes the priority list and graph statics, so hot loops
+// (sweeps, services) should migrate to a Session to keep the cached cost.
+var (
+	HEFT             = wrapDual(core.HEFT)
+	MinMin           = wrapDual(core.MinMin)
+	MemHEFT          = wrapDual(core.MemHEFT)
+	MemMinMin        = wrapDual(core.MemMinMin)
+	MemHEFTInsertion = wrapDual(core.MemHEFTInsertion)
+)
+
+// SchedulerByName resolves a registered scheduler name (case-insensitive;
+// see Schedulers for the registry) to the deprecated flat signature.
+//
+// Deprecated: pass WithScheduler(name) to Session.Schedule.
+func SchedulerByName(name string) (SchedulerFunc, error) {
+	fn, err := core.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return wrapDual(fn), nil
+}
+
+// OptimalOptions bounds the effort of the deprecated Optimal wrapper.
+//
+// Deprecated: pass WithMaxNodes / WithTimeout to Session.Optimal.
+type OptimalOptions struct {
+	MaxNodes int           // 0 = the default node budget
+	Timeout  time.Duration // 0 = unlimited
+}
+
+// Optimal runs the branch-and-bound search for the best list schedule of g
+// on the 2-pool platform p. It returns the best schedule found and whether
+// optimality (over the list-schedule space) was proven; a nil schedule with
+// proven=true means the instance is infeasible for every list schedule.
+//
+// Deprecated: create a Session and call Optimal.
+func Optimal(g *Graph, p Platform, opt OptimalOptions) (s *Schedule, proven bool, err error) {
+	dp, ok := p.Dual()
+	if !ok {
+		return nil, false, errDualOnly("Optimal")
+	}
+	res, err := exact.Solve(context.Background(), g, dp, exact.Options{MaxNodes: opt.MaxNodes, Timeout: opt.Timeout})
+	if err != nil {
+		return nil, false, err
+	}
+	proven = res.Status == exact.Optimal || res.Status == exact.Infeasible
+	return res.Schedule, proven, nil
+}
+
+// Simulate runs the online dispatcher for g on the 2-pool platform p and
+// returns the emitted, validated schedule.
+//
+// Deprecated: create a Session and call Simulate with WithPolicy.
 func Simulate(g *Graph, p Platform, policy SimPolicy, seed int64) (*Schedule, error) {
-	res, err := sim.Run(g, p, sim.Options{Policy: policy, Seed: seed})
+	dp, ok := p.Dual()
+	if !ok {
+		return nil, errDualOnly("Simulate")
+	}
+	res, err := sim.Run(context.Background(), g, dp, sim.Options{Policy: policy, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
 	return res.Schedule, nil
 }
+
+// Deprecated names of the unified pool surface: before the Session redesign
+// the k-pool generalisation lived behind a parallel Multi* type system.
+type (
+	// MemoryPool is the old name of Pool.
+	//
+	// Deprecated: use Pool.
+	MemoryPool = Pool
+	// MultiPlatform is the old name of Platform (pools are the primary
+	// model now; dual-memory is the 2-pool case).
+	//
+	// Deprecated: use Platform.
+	MultiPlatform = Platform
+	// MultiInstance is the old name of Instance.
+	//
+	// Deprecated: use Instance, or NewSession with WithPoolTimes.
+	MultiInstance = Instance
+	// MultiSchedule is the old name of PoolSchedule.
+	//
+	// Deprecated: use PoolSchedule.
+	MultiSchedule = PoolSchedule
+	// MultiSchedulerFunc is the signature of the deprecated generalised
+	// heuristics.
+	//
+	// Deprecated: create a k-pool Session and call Schedule.
+	MultiSchedulerFunc = func(*MultiInstance, MultiPlatform, Options) (*MultiSchedule, error)
+)
+
+// NewMultiPlatform builds a multi-pool platform.
+//
+// Deprecated: use NewPlatform.
+func NewMultiPlatform(pools ...Pool) Platform { return NewPlatform(pools...) }
+
+// NewMultiInstance couples a graph with a Times[task][pool] matrix.
+//
+// Deprecated: use NewInstance, or NewSession with WithPoolTimes.
+func NewMultiInstance(g *Graph, times [][]float64) *Instance { return NewInstance(g, times) }
+
+// DualInstance converts a dual-memory graph into a 2-pool instance (pool 0
+// blue, pool 1 red); the generalised heuristics then reproduce MemHEFT /
+// MemMinMin exactly.
+func DualInstance(g *Graph) *Instance { return multi.FromDual(g) }
+
+// Generalised schedulers for multi-pool platforms.
+//
+// Deprecated: create a Session (WithPoolTimes for explicit matrices) and
+// call Schedule with WithScheduler.
+var (
+	MultiMemHEFT MultiSchedulerFunc = func(in *MultiInstance, p MultiPlatform, opt Options) (*MultiSchedule, error) {
+		return multi.MemHEFT(context.Background(), in, p, multi.Options{Seed: opt.Seed})
+	}
+	MultiMemMinMin MultiSchedulerFunc = func(in *MultiInstance, p MultiPlatform, opt Options) (*MultiSchedule, error) {
+		return multi.MemMinMin(context.Background(), in, p, multi.Options{Seed: opt.Seed})
+	}
+)
+
+// ErrMultiMemoryBound is the old name of the shared memory-bound sentinel;
+// it is the same error value as ErrMemoryBound.
+//
+// Deprecated: use ErrMemoryBound.
+var ErrMultiMemoryBound = multi.ErrMemoryBound

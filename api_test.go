@@ -13,7 +13,7 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 	b := g.AddTask("solve", 6, 3)
 	g.MustAddEdge(a, b, 2, 1)
 
-	p := NewPlatform(2, 1, 8, 4)
+	p := NewDualPlatform(2, 1, 8, 4)
 	s, err := MemHEFT(g, p, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -39,7 +39,7 @@ func TestFacadeSchedulersRegistered(t *testing.T) {
 
 func TestFacadeErrMemoryBound(t *testing.T) {
 	g := PaperExample()
-	p := NewPlatform(1, 1, 2, 2)
+	p := NewDualPlatform(1, 1, 2, 2)
 	_, err := MemMinMin(g, p, Options{})
 	if !errors.Is(err, ErrMemoryBound) {
 		t.Fatalf("err = %v", err)
@@ -63,7 +63,7 @@ func TestFacadeGraphJSONRoundTrip(t *testing.T) {
 
 func TestFacadeOptimalOnPaperExample(t *testing.T) {
 	g := PaperExample()
-	s, proven, err := Optimal(g, NewPlatform(1, 1, 4, 4), OptimalOptions{})
+	s, proven, err := Optimal(g, NewDualPlatform(1, 1, 4, 4), OptimalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestFacadeOptimalOnPaperExample(t *testing.T) {
 		t.Fatalf("proven=%v s=%v", proven, s)
 	}
 	// Infeasible case: nil schedule with proven=true.
-	s, proven, err = Optimal(g, NewPlatform(1, 1, 2, 2), OptimalOptions{})
+	s, proven, err = Optimal(g, NewDualPlatform(1, 1, 2, 2), OptimalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestFacadeOptimalOnPaperExample(t *testing.T) {
 }
 
 func TestFacadeLowerBound(t *testing.T) {
-	lb, err := LowerBound(PaperExample(), NewPlatform(1, 1, 10, 10))
+	lb, err := LowerBound(PaperExample(), NewDualPlatform(1, 1, 10, 10))
 	if err != nil || lb != 5 {
 		t.Fatalf("lb=%g err=%v", lb, err)
 	}
@@ -109,7 +109,7 @@ func TestFacadeMemoryConstants(t *testing.T) {
 	if Blue.String() != "blue" || Red.String() != "red" {
 		t.Fatal("memory constants wrong")
 	}
-	p := NewPlatform(1, 1, Unlimited, Unlimited)
+	p := NewDualPlatform(1, 1, Unlimited, Unlimited)
 	if !strings.Contains(p.String(), "inf") {
 		t.Fatal("Unlimited not formatted as inf")
 	}
@@ -132,7 +132,7 @@ func TestFacadeMultiPool(t *testing.T) {
 		}
 	}
 	// Differential against the dual-memory scheduler.
-	dual, err := MemHEFT(g, NewPlatform(1, 1, 10, 10), Options{Seed: 1})
+	dual, err := MemHEFT(g, NewDualPlatform(1, 1, 10, 10), Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestFacadeEndToEndLU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	unbounded := NewPlatform(12, 3, Unlimited, Unlimited)
+	unbounded := NewDualPlatform(12, 3, Unlimited, Unlimited)
 	ref, err := HEFT(g, unbounded, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -166,7 +166,7 @@ func TestFacadeEndToEndLU(t *testing.T) {
 	if red > peak {
 		peak = red
 	}
-	tight := NewPlatform(12, 3, peak/2, peak/2)
+	tight := NewDualPlatform(12, 3, peak/2, peak/2)
 	s, err := MemHEFT(g, tight, Options{Seed: 1})
 	if err != nil {
 		t.Fatalf("MemHEFT at half the HEFT peak: %v", err)
@@ -182,7 +182,7 @@ func TestFacadeEndToEndLU(t *testing.T) {
 
 func TestFacadeSimulateAndInsertion(t *testing.T) {
 	g := PaperExample()
-	p := NewPlatform(1, 1, 10, 10)
+	p := NewDualPlatform(1, 1, 10, 10)
 	for _, pol := range []SimPolicy{SimRankPolicy, SimEFTPolicy} {
 		s, err := Simulate(g, p, pol, 1)
 		if err != nil {
@@ -192,7 +192,7 @@ func TestFacadeSimulateAndInsertion(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := Simulate(g, NewPlatform(1, 1, 2, 2), SimRankPolicy, 1); !errors.Is(err, ErrSimStuck) {
+	if _, err := Simulate(g, NewDualPlatform(1, 1, 2, 2), SimRankPolicy, 1); !errors.Is(err, ErrSimStuck) {
 		t.Fatalf("err = %v", err)
 	}
 	s, err := MemHEFTInsertion(g, p, Options{Seed: 1})

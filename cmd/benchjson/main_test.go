@@ -3,14 +3,12 @@ package main
 import (
 	"encoding/json"
 	"testing"
-
-	"repro/internal/core"
 )
 
 // TestRunSuiteTiny runs the harness on a tiny case and checks the report is
 // well-formed JSON with sane numbers.
 func TestRunSuiteTiny(t *testing.T) {
-	rep, err := runSuite([]Case{{Name: "tiny", Fn: core.MemHEFT, Size: 30, Alpha: 0.8}})
+	rep, err := runSuite([]Case{{Name: "tiny", Scheduler: "memheft", Size: 30, Alpha: 0.8}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,12 +8,15 @@
 //	experiments -fig fig10 -scale full -seed 1 -out results/
 //
 // Figures: table1, fig10, fig11, fig12, fig13, fig14, fig15, all.
+// -timeout bounds the whole campaign end to end through context
+// cancellation, so long full-scale sweeps are interruptible.
 // Scale "full" reproduces the paper's instance sizes (Fig. 12 then runs 100
 // DAGs of 1000 tasks and takes tens of minutes); "quick" runs reduced
 // instances in seconds while preserving the qualitative shapes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,19 +29,26 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "which figure to regenerate (table1, fig10..fig15, all)")
-		scale = flag.String("scale", "quick", "experiment scale: quick or full")
-		seed  = flag.Int64("seed", 1, "base seed for workload generation")
-		out   = flag.String("out", "results", "output directory")
+		fig     = flag.String("fig", "all", "which figure to regenerate (table1, fig10..fig15, all)")
+		scale   = flag.String("scale", "quick", "experiment scale: quick or full")
+		seed    = flag.Int64("seed", 1, "base seed for workload generation")
+		out     = flag.String("out", "results", "output directory")
+		timeout = flag.Duration("timeout", 0, "interrupt the campaign after this duration (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*fig, *scale, *seed, *out); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *fig, *scale, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, scaleName string, seed int64, out string) error {
+func run(ctx context.Context, fig, scaleName string, seed int64, out string) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "quick":
@@ -68,42 +78,42 @@ func run(fig, scaleName string, seed int64, out string) error {
 			return writeBoth(out, "table1", t.CSV(), md.String())
 		}},
 		{"fig10", func() error {
-			res, err := experiments.Fig10(scale, seed)
+			res, err := experiments.Fig10(ctx, scale, seed)
 			if err != nil {
 				return err
 			}
 			return writeSweep(out, "fig10", res)
 		}},
 		{"fig11", func() error {
-			t, err := experiments.Fig11(scale, seed)
+			t, err := experiments.Fig11(ctx, scale, seed)
 			if err != nil {
 				return err
 			}
 			return writeBoth(out, "fig11", t.CSV(), t.Markdown())
 		}},
 		{"fig12", func() error {
-			res, err := experiments.Fig12(scale, seed)
+			res, err := experiments.Fig12(ctx, scale, seed)
 			if err != nil {
 				return err
 			}
 			return writeSweep(out, "fig12", res)
 		}},
 		{"fig13", func() error {
-			t, err := experiments.Fig13(scale, seed)
+			t, err := experiments.Fig13(ctx, scale, seed)
 			if err != nil {
 				return err
 			}
 			return writeBoth(out, "fig13", t.CSV(), t.Markdown())
 		}},
 		{"fig14", func() error {
-			t, err := experiments.Fig14(scale, seed)
+			t, err := experiments.Fig14(ctx, scale, seed)
 			if err != nil {
 				return err
 			}
 			return writeBoth(out, "fig14", t.CSV(), t.Markdown())
 		}},
 		{"fig15", func() error {
-			t, err := experiments.Fig15(scale, seed)
+			t, err := experiments.Fig15(ctx, scale, seed)
 			if err != nil {
 				return err
 			}
@@ -113,21 +123,21 @@ func run(fig, scaleName string, seed int64, out string) error {
 		// processor policy, the online dispatcher, and the k-memory
 		// generalisation.
 		{"ext-insertion", func() error {
-			t, err := experiments.ExtInsertion(scale, seed)
+			t, err := experiments.ExtInsertion(ctx, scale, seed)
 			if err != nil {
 				return err
 			}
 			return writeBoth(out, "ext-insertion", t.CSV(), t.Markdown())
 		}},
 		{"ext-online", func() error {
-			t, err := experiments.ExtOnline(scale, seed)
+			t, err := experiments.ExtOnline(ctx, scale, seed)
 			if err != nil {
 				return err
 			}
 			return writeBoth(out, "ext-online", t.CSV(), t.Markdown())
 		}},
 		{"ext-multipool", func() error {
-			t, err := experiments.ExtMultiPool(scale, seed)
+			t, err := experiments.ExtMultiPool(ctx, scale, seed)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunTable1(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("table1", "quick", 1, dir); err != nil {
+	if err := run(tctx, "table1", "quick", 1, dir); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "table1.md"))
@@ -28,7 +29,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunFig11Quick(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("fig11", "quick", 1, dir); err != nil {
+	if err := run(tctx, "fig11", "quick", 1, dir); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig11.csv", "fig11.md"} {
@@ -44,7 +45,7 @@ func TestRunFig11Quick(t *testing.T) {
 
 func TestRunFig12QuickWritesBothPanels(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("fig12", "quick", 1, dir); err != nil {
+	if err := run(tctx, "fig12", "quick", 1, dir); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig12_makespan.csv", "fig12_success.csv", "fig12_makespan.md", "fig12_success.md"} {
@@ -56,10 +57,10 @@ func TestRunFig12QuickWritesBothPanels(t *testing.T) {
 
 func TestRunRejectsBadArgs(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("table1", "enormous", 1, dir); err == nil {
+	if err := run(tctx, "table1", "enormous", 1, dir); err == nil {
 		t.Fatal("bad scale accepted")
 	}
-	if err := run("fig99", "quick", 1, dir); err == nil {
+	if err := run(tctx, "fig99", "quick", 1, dir); err == nil {
 		t.Fatal("bad figure accepted")
 	}
 }
@@ -67,7 +68,7 @@ func TestRunRejectsBadArgs(t *testing.T) {
 func TestRunExtensionFigures(t *testing.T) {
 	dir := t.TempDir()
 	for _, fig := range []string{"ext-insertion", "ext-online", "ext-multipool"} {
-		if err := run(fig, "quick", 1, dir); err != nil {
+		if err := run(tctx, fig, "quick", 1, dir); err != nil {
 			t.Fatalf("%s: %v", fig, err)
 		}
 		if _, err := os.Stat(filepath.Join(dir, fig+".csv")); err != nil {
@@ -81,7 +82,7 @@ func TestRunAllQuick(t *testing.T) {
 		t.Skip("runs the whole quick campaign")
 	}
 	dir := t.TempDir()
-	if err := run("all", "quick", 1, dir); err != nil {
+	if err := run(tctx, "all", "quick", 1, dir); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -92,3 +93,6 @@ func TestRunAllQuick(t *testing.T) {
 		t.Fatalf("only %d result files", len(entries))
 	}
 }
+
+// tctx is the shared background context of the package tests.
+var tctx = context.Background()

@@ -8,20 +8,22 @@
 //	memsched -example -algo memminmin -mblue 4 -mred 4
 //
 // With -example the built-in four-task DAG of the paper's Figure 2 is used
-// instead of a file. -timeline prints the event table; -dot writes the graph
-// in Graphviz syntax to the given path; -json writes the schedule as JSON.
+// instead of a file. -timeout interrupts long runs; -timeline prints the
+// event table; -dot writes the graph in Graphviz syntax to the given path;
+// -json writes the schedule as JSON.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"strings"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/dag"
-	"repro/internal/platform"
+	memsched "repro"
 	"repro/internal/schedule"
 )
 
@@ -29,36 +31,37 @@ func main() {
 	var (
 		graphPath = flag.String("graph", "", "path to a JSON task graph")
 		example   = flag.Bool("example", false, "use the paper's four-task example DAG")
-		algo      = flag.String("algo", "memheft", "heuristic: heft, minmin, memheft or memminmin")
+		algo      = flag.String("algo", "memheft", "heuristic: "+strings.Join(memsched.Schedulers(), ", "))
 		pBlue     = flag.Int("pblue", 1, "number of blue (CPU-side) processors")
 		pRed      = flag.Int("pred", 1, "number of red (accelerator-side) processors")
 		mBlue     = flag.Int64("mblue", -1, "blue memory capacity (-1 = unlimited)")
 		mRed      = flag.Int64("mred", -1, "red memory capacity (-1 = unlimited)")
 		seed      = flag.Int64("seed", 1, "tie-breaking seed")
+		timeout   = flag.Duration("timeout", 0, "interrupt the run after this duration (0 = none)")
 		timeline  = flag.Bool("timeline", false, "print the full event timeline")
 		dotPath   = flag.String("dot", "", "write the graph in Graphviz format to this path")
 		jsonOut   = flag.Bool("json", false, "print the schedule as JSON")
 		svgPath   = flag.String("svg", "", "write a Gantt chart of the schedule (SVG) to this path")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *example, *algo, *pBlue, *pRed, *mBlue, *mRed, *seed, *timeline, *dotPath, *jsonOut, *svgPath); err != nil {
+	if err := run(*graphPath, *example, *algo, *pBlue, *pRed, *mBlue, *mRed, *seed, *timeout, *timeline, *dotPath, *jsonOut, *svgPath); err != nil {
 		fmt.Fprintln(os.Stderr, "memsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath string, example bool, algo string, pBlue, pRed int, mBlue, mRed, seed int64, timeline bool, dotPath string, jsonOut bool, svgPath string) error {
-	var g *dag.Graph
+func run(graphPath string, example bool, algo string, pBlue, pRed int, mBlue, mRed, seed int64, timeout time.Duration, timeline bool, dotPath string, jsonOut bool, svgPath string) error {
+	var g *memsched.Graph
 	switch {
 	case example:
-		g = dag.PaperExample()
+		g = memsched.PaperExample()
 	case graphPath != "":
 		f, err := os.Open(graphPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		g, err = dag.Read(f)
+		g, err = memsched.ReadGraph(f)
 		if err != nil {
 			return err
 		}
@@ -73,30 +76,40 @@ func run(graphPath string, example bool, algo string, pBlue, pRed int, mBlue, mR
 	}
 
 	if mBlue < 0 {
-		mBlue = platform.Unlimited
+		mBlue = memsched.Unlimited
 	}
 	if mRed < 0 {
-		mRed = platform.Unlimited
+		mRed = memsched.Unlimited
 	}
-	p := platform.New(int(pBlue), int(pRed), mBlue, mRed)
-	fn, err := core.ByName(algo)
-	if err != nil {
-		return err
-	}
-	s, err := fn(g, p, core.Options{Seed: seed})
-	if err != nil {
-		return err
-	}
-	if err := s.Validate(); err != nil {
-		return fmt.Errorf("internal error: produced schedule fails validation: %w", err)
+	p := memsched.NewDualPlatform(int(pBlue), int(pRed), mBlue, mRed)
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 
-	blue, red := s.MemoryPeaks()
-	fmt.Printf("algorithm : %s\n", algo)
+	sess, err := memsched.NewSession(g)
+	if err != nil {
+		return err
+	}
+	res, err := sess.Schedule(ctx, p, memsched.WithScheduler(algo), memsched.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	if err := res.Validate(); err != nil {
+		return fmt.Errorf("internal error: produced schedule fails validation: %w", err)
+	}
+	s := res.Schedule
+
+	peaks := res.PeakResidency()
+	fmt.Printf("algorithm : %s\n", res.Stats.Scheduler)
 	fmt.Printf("platform  : %s\n", p)
 	fmt.Printf("tasks     : %d (%d edges)\n", g.NumTasks(), g.NumEdges())
-	fmt.Printf("makespan  : %g\n", s.Makespan())
-	fmt.Printf("peaks     : blue=%d red=%d\n", blue, red)
+	fmt.Printf("makespan  : %g\n", res.Makespan())
+	fmt.Printf("peaks     : blue=%d red=%d\n", peaks[0], peaks[1])
+	fmt.Printf("run       : %v (candidate-cache hit rate %.0f%%)\n", res.Stats.WallTime.Round(time.Microsecond), 100*res.Stats.CacheHitRate())
 
 	if timeline {
 		fmt.Println()
@@ -114,7 +127,7 @@ func run(graphPath string, example bool, algo string, pBlue, pRed int, mBlue, mR
 			RedPeak   int64                    `json:"redPeak"`
 			Tasks     []schedule.TaskPlacement `json:"tasks"`
 			CommStart []float64                `json:"commStart"`
-		}{s.Makespan(), blue, red, s.Tasks, sanitize(s.CommStart)}
+		}{res.Makespan(), peaks[0], peaks[1], s.Tasks, sanitize(s.CommStart)}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {

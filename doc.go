@@ -1,32 +1,66 @@
 // Package memsched is a Go implementation of the memory-aware list
 // scheduling heuristics for hybrid (dual-memory) platforms of Herrmann,
 // Marchal and Robert, "Memory-aware list scheduling for hybrid platforms"
-// (INRIA RR-8461, IPDPS 2014).
+// (INRIA RR-8461, IPDPS 2014), generalised to platforms with any number of
+// memory pools.
 //
-// A hybrid platform has P1 identical "blue" processors sharing a blue
-// memory (think CPUs and host RAM) and P2 identical "red" processors
-// sharing a red memory (think GPUs and device memory). An application is a
-// DAG of tasks; every task has one processing time per processor colour,
-// and every edge carries a data file that occupies memory from its
-// producer's start until its consumer's completion, moving between memories
-// at a communication cost when producer and consumer live on different
-// sides. The problem: minimise the makespan without ever exceeding either
-// memory capacity.
+// A platform is an ordered list of memory pools, each with identical
+// processors sharing one memory (type Platform, NewPlatform). The paper's
+// hybrid platform is the 2-pool case — P1 "blue" processors sharing a blue
+// memory (think CPUs and host RAM) and P2 "red" processors sharing a red
+// memory (think GPUs and device memory) — built with NewDualPlatform. An
+// application is a DAG of tasks; every task has one processing time per
+// pool, and every edge carries a data file that occupies memory from its
+// producer's start until its consumer's completion, moving between pools at
+// a communication cost when producer and consumer live on different sides.
+// The problem: minimise the makespan without ever exceeding any memory
+// capacity.
 //
-// The package exposes:
+// # Sessions
 //
-//   - graph construction and serialisation (type Graph, NewGraph, ReadGraph);
-//   - the four schedulers of the paper — HEFT and MinMin (memory-oblivious
-//     references) and MemHEFT and MemMinMin (the memory-aware variants);
-//   - a schedule validator that checks all model constraints, plus makespan
-//     and per-memory peak reporting;
-//   - workload generators: DAGGEN-style random graphs and tiled LU /
-//     Cholesky factorisation graphs with broadcast pipelines;
-//   - exact references for small instances: the paper's ILP formulation
-//     solved by a built-in branch-and-bound MILP solver, and a combinatorial
-//     optimal search over list schedules;
-//   - the full experiment harness reproducing every figure and table of the
-//     paper's evaluation (see EXPERIMENTS.md).
+// All scheduling goes through a Session, created once per graph:
+//
+//	g := memsched.NewGraph()
+//	a := g.AddTask("prepare", 3, 1) // 3 time units on blue, 1 on red
+//	b := g.AddTask("solve", 6, 3)
+//	g.MustAddEdge(a, b, 2, 1) // a 2-unit file, 1 time unit to move across
+//
+//	sess, err := memsched.NewSession(g)
+//	if err != nil { ... }
+//	p := memsched.NewDualPlatform(2, 1, 8, 4) // 2 blue procs, 1 red, memories 8 and 4
+//	res, err := sess.Schedule(ctx, p, memsched.WithScheduler("memheft"), memsched.WithSeed(1))
+//	if err != nil { ... }
+//	fmt.Println(res.Makespan(), res.PeakResidency(), res.Stats.CacheHitRate())
+//
+// The session owns the per-graph memos (validated statics, seeded priority
+// lists) that repeated dual-memory scheduling reuses — the pattern of every
+// memory sweep — and is safe for concurrent use: goroutines scheduling
+// different graphs through different sessions share nothing. The k-pool
+// engine currently memoizes only the instance matrix. Every entry point takes
+// a context.Context with cooperative cancellation; WithTimeout is a
+// convenience wrapper over it.
+//
+// Session methods:
+//
+//   - Schedule runs a registered heuristic (Schedulers lists them): the
+//     paper's MemHEFT and MemMinMin, their memory-oblivious references HEFT
+//     and MinMin, and the insertion-policy ablation. Dual sessions on
+//     2-pool platforms run the incremental dual-memory engine; pool-time
+//     sessions (WithPoolTimes) run the generalised k-pool engine.
+//   - Optimal runs the exact branch-and-bound reference over list
+//     schedules, reporting nodes explored and whether optimality was
+//     proven.
+//   - Simulate runs the online StarPU-style dispatcher (WithPolicy selects
+//     rank or EFT dispatch order).
+//
+// Each call returns a Result carrying the schedule plus structured stats:
+// makespan, per-pool peak residency, candidate-cache hit rate, search
+// nodes, wall time.
+//
+// The package also exposes graph construction and serialisation (Graph,
+// NewGraph, ReadGraph), workload generators (DAGGEN-style random graphs,
+// tiled LU/Cholesky factorisations), a schedule validator, and the full
+// experiment harness reproducing the paper's figures (see EXPERIMENTS.md).
 //
 // # Performance architecture
 //
@@ -41,24 +75,23 @@
 // EFT-ordered heap with lazy invalidation, and the free-memory staircases
 // answer earliest-fit queries in O(log l) through a lazily repaired
 // suffix-minimum array, with all reservations of one commit spliced in a
-// single suffix-local merge pass. Repeated scheduling of the same graph
-// (memory sweeps, benchmarks) reuses the memoized priority list and
-// per-graph statics. None of this changes results: the naive
-// implementations are retained as reference oracles (MemHEFTReference,
-// MemMinMinReference) and golden-equivalence tests assert bit-identical
-// schedules.
+// single suffix-local merge pass. Sessions own the cross-run memos
+// (priority lists, graph statics, validation), so repeated scheduling of
+// the same graph — memory sweeps, benchmarks, server traffic — pays the
+// ranking phase once per (graph, seed). None of this changes results: the
+// naive implementations are retained as reference oracles
+// (MemHEFTReference, MemMinMinReference in internal/core) and
+// golden-equivalence tests assert bit-identical schedules, including under
+// concurrent session use.
 //
-// Quickstart:
+// # Deprecated flat API
 //
-//	g := memsched.NewGraph()
-//	a := g.AddTask("prepare", 3, 1) // 3 time units on blue, 1 on red
-//	b := g.AddTask("solve", 6, 3)
-//	g.MustAddEdge(a, b, 2, 1) // a 2-unit file, 1 time unit to move across
-//
-//	p := memsched.NewPlatform(2, 1, 8, 4) // 2 blue procs, 1 red, memories 8 and 4
-//	s, err := memsched.MemHEFT(g, p, memsched.Options{})
-//	if err != nil { ... }
-//	fmt.Println(s.Makespan())
+// The pre-Session facade (MemHEFT, MultiMemHEFT, SchedulerByName, Optimal,
+// Simulate as top-level functions, and the parallel Multi* type names)
+// survives as thin deprecated wrappers for one release; the one breaking
+// change is NewPlatform, repurposed for pool lists — old four-argument
+// callers switch to NewDualPlatform. See the MIGRATION section of
+// CHANGES.md for the full mapping.
 //
 // See the examples/ directory for complete programs.
 package memsched

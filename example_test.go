@@ -1,6 +1,7 @@
 package memsched_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -8,39 +9,47 @@ import (
 )
 
 // The paper's four-task example scheduled with MemHEFT under the memory
-// bounds where the memory/makespan trade-off appears (§3.3).
-func ExampleMemHEFT() {
+// bounds where the memory/makespan trade-off appears (§3.3), through the
+// Session API.
+func ExampleSession_Schedule() {
 	g := memsched.PaperExample()
-	p := memsched.NewPlatform(1, 1, 4, 4)
-	s, err := memsched.MemHEFT(g, p, memsched.Options{Seed: 1})
+	sess, err := memsched.NewSession(g)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	p := memsched.NewDualPlatform(1, 1, 4, 4)
+	res, err := sess.Schedule(context.Background(), p, memsched.WithSeed(1))
 	if err != nil {
 		fmt.Println("does not fit:", err)
 		return
 	}
-	blue, red := s.MemoryPeaks()
-	fmt.Printf("makespan %g, peaks (%d,%d)\n", s.Makespan(), blue, red)
+	peaks := res.PeakResidency()
+	fmt.Printf("makespan %g, peaks (%d,%d)\n", res.Makespan(), peaks[0], peaks[1])
 	// Output: makespan 10, peaks (4,4)
 }
 
 // Memory-aware scheduling fails cleanly when the graph cannot fit.
-func ExampleMemMinMin_memoryBound() {
+func ExampleSession_Schedule_memoryBound() {
 	g := memsched.PaperExample()
-	p := memsched.NewPlatform(1, 1, 2, 2) // task T3 alone needs 4 units
-	_, err := memsched.MemMinMin(g, p, memsched.Options{})
+	sess, _ := memsched.NewSession(g)
+	p := memsched.NewDualPlatform(1, 1, 2, 2) // task T3 alone needs 4 units
+	_, err := sess.Schedule(context.Background(), p, memsched.WithScheduler("memminmin"))
 	fmt.Println(errors.Is(err, memsched.ErrMemoryBound))
 	// Output: true
 }
 
 // The exact reference search proves the paper's optimal trade-off: with
 // both memories capped at 4 units the best achievable makespan is 7.
-func ExampleOptimal() {
+func ExampleSession_Optimal() {
 	g := memsched.PaperExample()
-	s, proven, err := memsched.Optimal(g, memsched.NewPlatform(1, 1, 4, 4), memsched.OptimalOptions{})
+	sess, _ := memsched.NewSession(g)
+	res, err := sess.Optimal(context.Background(), memsched.NewDualPlatform(1, 1, 4, 4))
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	fmt.Printf("makespan %g (proven %v)\n", s.Makespan(), proven)
+	fmt.Printf("makespan %g (proven %v)\n", res.Makespan(), res.Stats.Proven)
 	// Output: makespan 7 (proven true)
 }
 
@@ -63,4 +72,17 @@ func ExampleGenerateRandom() {
 	}
 	fmt.Println(g.NumTasks())
 	// Output: 30
+}
+
+// The scheduler registry is case-insensitive and enumerable.
+func ExampleSchedulers() {
+	for _, name := range memsched.Schedulers() {
+		fmt.Println(name)
+	}
+	// Output:
+	// heft
+	// memheft
+	// memheft-insertion
+	// memminmin
+	// minmin
 }

@@ -1,10 +1,11 @@
 // Cholesky: the Figure 15 scenario. Builds the tiled Cholesky task graph,
-// prints its structure, schedules it at a few memory budgets and validates
-// every schedule against the model — a template for plugging your own
-// workflow into the library.
+// prints its structure, schedules it at a few memory budgets through one
+// session and validates every schedule against the model — a template for
+// plugging your own workflow into the library.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -23,31 +24,32 @@ func main() {
 	fmt.Printf("Cholesky %dx%d: %d tasks, %d edges\n", tiles, tiles, g.NumTasks(), g.NumEdges())
 	fmt.Printf("lower-triangular footprint: %d tiles\n\n", tiles*(tiles+1)/2)
 
-	// A coarse bisection for each heuristic: the smallest memory budget
-	// (same on both sides) at which it still schedules the graph.
-	p := memsched.NewPlatform(12, 3, memsched.Unlimited, memsched.Unlimited)
-	ref, err := memsched.HEFT(g, p, memsched.Options{Seed: 1})
+	sess, err := memsched.NewSession(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	b, r := ref.MemoryPeaks()
-	hi := b
-	if r > hi {
-		hi = r
+	ctx := context.Background()
+
+	// A coarse bisection for each heuristic: the smallest memory budget
+	// (same on both sides) at which it still schedules the graph. The
+	// session's memos make the repeated rescheduling cheap.
+	p := memsched.NewDualPlatform(12, 3, memsched.Unlimited, memsched.Unlimited)
+	ref, err := sess.Schedule(ctx, p, memsched.WithScheduler("heft"), memsched.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	peaks := ref.PeakResidency()
+	hi := peaks[0]
+	if peaks[1] > hi {
+		hi = peaks[1]
 	}
 
-	for _, algo := range []struct {
-		name string
-		fn   memsched.SchedulerFunc
-	}{
-		{"MemHEFT", memsched.MemHEFT},
-		{"MemMinMin", memsched.MemMinMin},
-	} {
+	for _, name := range []string{"memheft", "memminmin"} {
 		lo, high := int64(1), hi
 		for lo < high {
 			mid := (lo + high) / 2
-			pb := memsched.NewPlatform(12, 3, mid, mid)
-			if _, err := algo.fn(g, pb, memsched.Options{Seed: 1}); err == nil {
+			pb := memsched.NewDualPlatform(12, 3, mid, mid)
+			if _, err := sess.Schedule(ctx, pb, memsched.WithScheduler(name), memsched.WithSeed(1)); err == nil {
 				high = mid
 			} else if errors.Is(err, memsched.ErrMemoryBound) {
 				lo = mid + 1
@@ -55,30 +57,25 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		pb := memsched.NewPlatform(12, 3, lo, lo)
-		s, err := algo.fn(g, pb, memsched.Options{Seed: 1})
+		pb := memsched.NewDualPlatform(12, 3, lo, lo)
+		res, err := sess.Schedule(ctx, pb, memsched.WithScheduler(name), memsched.WithSeed(1))
 		if err != nil {
-			log.Fatalf("%s failed at its own threshold: %v", algo.name, err)
+			log.Fatalf("%s failed at its own threshold: %v", name, err)
 		}
-		if err := s.Validate(); err != nil {
-			log.Fatalf("%s produced an invalid schedule: %v", algo.name, err)
+		if err := res.Validate(); err != nil {
+			log.Fatalf("%s produced an invalid schedule: %v", name, err)
 		}
 		fmt.Printf("%-9s needs >= %3d tiles per memory (HEFT wants %d); makespan there: %.0f ms\n",
-			algo.name, lo, hi, s.Makespan())
+			name, lo, hi, res.Makespan())
 	}
 
 	fmt.Println("\nAt ample memory both heuristics approach the memory-oblivious makespan:")
-	full := memsched.NewPlatform(12, 3, hi, hi)
-	for _, algo := range []struct {
-		name string
-		fn   memsched.SchedulerFunc
-	}{
-		{"HEFT", memsched.HEFT}, {"MemHEFT", memsched.MemHEFT}, {"MemMinMin", memsched.MemMinMin},
-	} {
-		s, err := algo.fn(g, full, memsched.Options{Seed: 1})
+	full := memsched.NewDualPlatform(12, 3, hi, hi)
+	for _, name := range []string{"heft", "memheft", "memminmin"} {
+		res, err := sess.Schedule(ctx, full, memsched.WithScheduler(name), memsched.WithSeed(1))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-9s makespan %.0f ms\n", algo.name, s.Makespan())
+		fmt.Printf("  %-9s makespan %.0f ms\n", name, res.Makespan())
 	}
 }

@@ -1,10 +1,11 @@
 // LU: schedule the tiled LU factorisation of the paper's linear-algebra
 // benchmark on a mirage-like machine (12 CPU cores + 3 GPUs) and show how
 // the memory-aware heuristics trade makespan for device-memory footprint —
-// the experiment behind Figure 14.
+// the experiment behind Figure 14, run through one scheduling session.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -21,34 +22,41 @@ func main() {
 	fmt.Printf("LU %dx%d: %d tasks, %d edges (files are tiles, transfers cost 50 ms)\n\n",
 		tiles, tiles, g.NumTasks(), g.NumEdges())
 
-	// First, the memory-oblivious reference: how much memory would HEFT
-	// want?
-	unbounded := memsched.NewPlatform(12, 3, memsched.Unlimited, memsched.Unlimited)
-	ref, err := memsched.HEFT(g, unbounded, memsched.Options{Seed: 1})
+	sess, err := memsched.NewSession(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	blue, red := ref.MemoryPeaks()
-	fmt.Printf("HEFT needs %d blue tiles and %d red tiles for makespan %.0f ms\n\n", blue, red, ref.Makespan())
+	ctx := context.Background()
 
-	peak := blue
-	if red > peak {
-		peak = red
+	// First, the memory-oblivious reference: how much memory would HEFT
+	// want?
+	unbounded := memsched.NewDualPlatform(12, 3, memsched.Unlimited, memsched.Unlimited)
+	ref, err := sess.Schedule(ctx, unbounded, memsched.WithScheduler("heft"), memsched.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	peaks := ref.PeakResidency()
+	fmt.Printf("HEFT needs %d blue tiles and %d red tiles for makespan %.0f ms\n\n",
+		peaks[0], peaks[1], ref.Makespan())
+
+	peak := peaks[0]
+	if peaks[1] > peak {
+		peak = peaks[1]
 	}
 	fmt.Println("memory(tiles)  MemHEFT(ms)  MemMinMin(ms)")
 	for frac := 10; frac >= 3; frac-- {
 		bound := peak * int64(frac) / 10
-		p := memsched.NewPlatform(12, 3, bound, bound)
+		p := memsched.NewDualPlatform(12, 3, bound, bound)
 		row := fmt.Sprintf("%13d", bound)
-		for _, fn := range []memsched.SchedulerFunc{memsched.MemHEFT, memsched.MemMinMin} {
-			s, err := fn(g, p, memsched.Options{Seed: 1})
+		for _, name := range []string{"memheft", "memminmin"} {
+			res, err := sess.Schedule(ctx, p, memsched.WithScheduler(name), memsched.WithSeed(1))
 			switch {
 			case errors.Is(err, memsched.ErrMemoryBound):
 				row += fmt.Sprintf("  %11s", "-")
 			case err != nil:
 				log.Fatal(err)
 			default:
-				row += fmt.Sprintf("  %11.0f", s.Makespan())
+				row += fmt.Sprintf("  %11.0f", res.Makespan())
 			}
 		}
 		fmt.Println(row)

@@ -1,12 +1,13 @@
 // Multiaccel: the extension proposed in the paper's conclusion — a platform
 // with MORE than two memories (here a CPU pool plus two different
 // accelerator types, each with its own device memory). Tasks come in
-// flavours that prefer different accelerators; the generalised MemHEFT and
-// MemMinMin spread them across pools while respecting all three memory
-// budgets.
+// flavours that prefer different accelerators; a pool-time session runs the
+// generalised MemHEFT and MemMinMin, spreading them across pools while
+// respecting all three memory budgets.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -67,29 +68,33 @@ func main() {
 			times[i] = []float64{base * 6, base * 5, base}
 		}
 	}
-	inst := memsched.NewMultiInstance(g, times)
+	sess, err := memsched.NewSession(g, memsched.WithPoolTimes(times))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	fmt.Printf("pipeline: %d tasks, %d edges over a CPU pool and two accelerators\n\n", g.NumTasks(), g.NumEdges())
 	fmt.Println("device-mem  MemHEFT-k  MemMinMin-k   pool peaks (MemHEFT-k)")
 	for _, devMem := range []int64{40, 24, 16, 12, 8} {
-		p := memsched.NewMultiPlatform(
-			memsched.MemoryPool{Procs: 4, Capacity: 120},    // CPU: plenty of RAM
-			memsched.MemoryPool{Procs: 1, Capacity: devMem}, // accelerator A
-			memsched.MemoryPool{Procs: 1, Capacity: devMem}, // accelerator B
+		p := memsched.NewPlatform(
+			memsched.Pool{Procs: 4, Capacity: 120},    // CPU: plenty of RAM
+			memsched.Pool{Procs: 1, Capacity: devMem}, // accelerator A
+			memsched.Pool{Procs: 1, Capacity: devMem}, // accelerator B
 		)
 		line := fmt.Sprintf("%10d", devMem)
 		var peaks []int64
-		for _, fn := range []memsched.MultiSchedulerFunc{memsched.MultiMemHEFT, memsched.MultiMemMinMin} {
-			s, err := fn(inst, p, memsched.Options{Seed: 7})
+		for _, name := range []string{"memheft", "memminmin"} {
+			res, err := sess.Schedule(ctx, p, memsched.WithScheduler(name), memsched.WithSeed(7))
 			switch {
-			case errors.Is(err, memsched.ErrMultiMemoryBound):
+			case errors.Is(err, memsched.ErrMemoryBound):
 				line += fmt.Sprintf("  %9s", "-")
 			case err != nil:
 				log.Fatal(err)
 			default:
-				line += fmt.Sprintf("  %9.0f", s.Makespan())
+				line += fmt.Sprintf("  %9.0f", res.Makespan())
 				if peaks == nil {
-					peaks = s.MemoryPeaks()
+					peaks = res.PeakResidency()
 				}
 			}
 		}

@@ -1,9 +1,11 @@
-// Quickstart: build a small workflow by hand, schedule it with every
-// heuristic under a tight memory budget, and compare against the exact
-// optimum — the paper's Figure 2 example, end to end.
+// Quickstart: build a small workflow by hand, open a scheduling session for
+// it, run every registered heuristic under a tight memory budget, and
+// compare against the exact optimum — the paper's Figure 2 example, end to
+// end through the Session API.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -16,48 +18,49 @@ func main() {
 	// accelerator (red) side.
 	g := memsched.PaperExample()
 
+	// One session per graph: it owns the priority-list and statics memos,
+	// so every Schedule call below reuses them.
+	sess, err := memsched.NewSession(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	// One CPU-side processor, one accelerator, and equal memory bounds
 	// that get progressively tighter.
 	for _, bound := range []int64{6, 5, 4, 3} {
-		p := memsched.NewPlatform(1, 1, bound, bound)
+		p := memsched.NewDualPlatform(1, 1, bound, bound)
 		fmt.Printf("== memory bound %d on each side ==\n", bound)
 
-		for _, algo := range []struct {
-			name string
-			fn   memsched.SchedulerFunc
-		}{
-			{"HEFT     ", memsched.HEFT},
-			{"MinMin   ", memsched.MinMin},
-			{"MemHEFT  ", memsched.MemHEFT},
-			{"MemMinMin", memsched.MemMinMin},
-		} {
-			s, err := algo.fn(g, p, memsched.Options{Seed: 1})
+		for _, name := range []string{"heft", "minmin", "memheft", "memminmin"} {
+			res, err := sess.Schedule(ctx, p, memsched.WithScheduler(name), memsched.WithSeed(1))
 			if err != nil {
 				if errors.Is(err, memsched.ErrMemoryBound) {
-					fmt.Printf("  %s  does not fit\n", algo.name)
+					fmt.Printf("  %-9s  does not fit\n", name)
 					continue
 				}
 				log.Fatal(err)
 			}
-			blue, red := s.MemoryPeaks()
+			peaks := res.PeakResidency()
 			fits := "fits"
-			if blue > bound || red > bound {
+			if peaks[0] > bound || peaks[1] > bound {
 				// The oblivious heuristics ignore the bound;
 				// report honestly.
-				fits = fmt.Sprintf("EXCEEDS bound (peaks %d/%d)", blue, red)
+				fits = fmt.Sprintf("EXCEEDS bound (peaks %d/%d)", peaks[0], peaks[1])
 			}
-			fmt.Printf("  %s  makespan %-4g %s\n", algo.name, s.Makespan(), fits)
+			fmt.Printf("  %-9s  makespan %-4g %s\n", name, res.Makespan(), fits)
 		}
 
 		// The exact reference (tiny graph, instant).
-		opt, proven, err := memsched.Optimal(g, p, memsched.OptimalOptions{})
+		opt, err := sess.Optimal(ctx, p)
 		switch {
 		case err != nil:
 			log.Fatal(err)
-		case opt == nil:
-			fmt.Println("  Optimal    infeasible for every list schedule")
+		case opt.Schedule == nil:
+			fmt.Println("  optimal    infeasible for every list schedule")
 		default:
-			fmt.Printf("  Optimal    makespan %-4g (proven=%v)\n", opt.Makespan(), proven)
+			fmt.Printf("  optimal    makespan %-4g (proven=%v, %d nodes)\n",
+				opt.Makespan(), opt.Stats.Proven, opt.Stats.Nodes)
 		}
 		fmt.Println()
 	}

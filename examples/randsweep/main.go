@@ -1,10 +1,12 @@
 // Randsweep: generate a DAGGEN-style random workflow, sweep the memory
 // budget from generous to starved, and print the resulting
-// makespan/feasibility profile of all four heuristics together with the
-// theoretical lower bound — a miniature of the paper's Figure 11.
+// makespan/feasibility profile of the memory-aware heuristics together with
+// the theoretical lower bound — a miniature of the paper's Figure 11, run
+// through one scheduling session.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -18,40 +20,45 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	p := memsched.NewPlatform(2, 2, memsched.Unlimited, memsched.Unlimited)
-	ref, err := memsched.HEFT(g, p, memsched.Options{Seed: 42})
+	sess, err := memsched.NewSession(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	blue, red := ref.MemoryPeaks()
-	peak := blue
-	if red > peak {
-		peak = red
+	ctx := context.Background()
+
+	p := memsched.NewDualPlatform(2, 2, memsched.Unlimited, memsched.Unlimited)
+	ref, err := sess.Schedule(ctx, p, memsched.WithScheduler("heft"), memsched.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
 	}
-	lb, err := memsched.LowerBound(g, p)
+	peaks := ref.PeakResidency()
+	peak := peaks[0]
+	if peaks[1] > peak {
+		peak = peaks[1]
+	}
+	lb, err := sess.LowerBound(p)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("random DAG: %d tasks, %d edges; HEFT makespan %g with peaks (%d, %d)\n",
-		g.NumTasks(), g.NumEdges(), ref.Makespan(), blue, red)
+		g.NumTasks(), g.NumEdges(), ref.Makespan(), peaks[0], peaks[1])
 	fmt.Printf("makespan lower bound (any schedule): %g\n\n", lb)
 
 	fmt.Println("bound  MemHEFT  MemMinMin   (normalised to HEFT)")
 	for pct := 100; pct >= 10; pct -= 10 {
 		bound := peak * int64(pct) / 100
-		pb := memsched.NewPlatform(2, 2, bound, bound)
+		pb := memsched.NewDualPlatform(2, 2, bound, bound)
 		line := fmt.Sprintf("%4d%%", pct)
-		for _, fn := range []memsched.SchedulerFunc{memsched.MemHEFT, memsched.MemMinMin} {
-			s, err := fn(g, pb, memsched.Options{Seed: 42})
+		for _, name := range []string{"memheft", "memminmin"} {
+			res, err := sess.Schedule(ctx, pb, memsched.WithScheduler(name), memsched.WithSeed(42))
 			switch {
 			case errors.Is(err, memsched.ErrMemoryBound):
 				line += fmt.Sprintf("  %7s", "-")
 			case err != nil:
 				log.Fatal(err)
 			default:
-				line += fmt.Sprintf("  %7.3f", s.Makespan()/ref.Makespan())
+				line += fmt.Sprintf("  %7.3f", res.Makespan()/ref.Makespan())
 			}
 		}
 		fmt.Println(line)

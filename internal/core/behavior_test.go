@@ -32,7 +32,7 @@ func TestMemHEFTSkipsBlockedHighPriorityTask(t *testing.T) {
 
 	// Memory 4: big (needs 8) never fits, small (needs 2) does.
 	p := platform.New(1, 1, 4, 4)
-	s, err := MemHEFT(g, p, Options{Seed: 1})
+	s, err := MemHEFT(tctx, g, p, Options{Seed: 1})
 	if err == nil {
 		t.Fatal("expected failure: big can never fit")
 	}
@@ -59,7 +59,7 @@ func TestMemHEFTListScanOrder(t *testing.T) {
 	g.MustAddEdge(b, bChild, 1, 1)
 
 	p := platform.New(2, 2, 6, 6)
-	s, err := MemHEFT(g, p, Options{Seed: 1})
+	s, err := MemHEFT(tctx, g, p, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,8 +76,8 @@ func TestSameSeedIsDeterministic(t *testing.T) {
 	g := randomDAG(99, 24)
 	p := platform.New(2, 2, 120, 120)
 	for name, fn := range Algorithms {
-		s1, err1 := fn(g, p, Options{Seed: 5})
-		s2, err2 := fn(g, p, Options{Seed: 5})
+		s1, err1 := fn(tctx, g, p, Options{Seed: 5})
+		s2, err2 := fn(tctx, g, p, Options{Seed: 5})
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("%s: nondeterministic feasibility", name)
 		}
@@ -97,7 +97,7 @@ func TestCommunicationsAreALAP(t *testing.T) {
 	// start (as-late-as-possible placement).
 	g := randomDAG(7, 20)
 	p := platform.New(1, 1, platform.Unlimited, platform.Unlimited)
-	s, err := MemHEFT(g, p, Options{Seed: 7})
+	s, err := MemHEFT(tctx, g, p, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestStressLinalgAllHeuristicsValidate(t *testing.T) {
 		for _, build := range []string{"lu", "cholesky"} {
 			g := buildLinalg(t, build, n)
 			unb := platform.New(3, 2, platform.Unlimited, platform.Unlimited)
-			ref, err := HEFT(g, unb, Options{Seed: 1})
+			ref, err := HEFT(tctx, g, unb, Options{Seed: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -181,7 +181,7 @@ func TestStressLinalgAllHeuristicsValidate(t *testing.T) {
 				bound := peak * frac / 10
 				p := platform.New(3, 2, bound, bound)
 				for name, fn := range Algorithms {
-					s, err := fn(g, p, Options{Seed: 2})
+					s, err := fn(tctx, g, p, Options{Seed: 2})
 					if err != nil {
 						continue
 					}

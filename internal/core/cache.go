@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// Caches owns the per-graph memoized scheduler inputs that used to live in
+// process globals (a single statics slot and a single priority-list slot
+// under package mutexes): the graph statics consumed by every Partial, the
+// validation result, and the priority lists of MemHEFT keyed by tie-break
+// seed. A memsched.Session creates one Caches per graph, which makes the
+// memos concurrency-safe and contention-free across sessions by
+// construction — two goroutines scheduling different graphs no longer share
+// (and thrash) anything.
+//
+// All methods tolerate a nil receiver, which simply computes fresh: the
+// reference oracles and one-shot callers pass no cache at all.
+//
+// Growth is bounded by construction: the statics are one slot (a session is
+// one graph), and the priority memo holds at most maxPriorityEntries seeds
+// before evicting. The task/edge counts guard against the graph growing
+// between calls (tasks and edges are append-only and immutable once added,
+// so the counts pin the graph's content); growth re-keys the cache and
+// drops every memo.
+type Caches struct {
+	mu             sync.Mutex
+	g              *dag.Graph
+	nTasks, nEdges int
+	statics        *graphStatics
+	priority       map[int64][]dag.TaskID
+}
+
+// NewCaches returns an empty cache set, ready to be shared by any number of
+// goroutines scheduling the same graph.
+func NewCaches() *Caches { return &Caches{} }
+
+// maxPriorityEntries bounds the per-seed priority-list memo. Sweeps use one
+// seed (sometimes a handful); beyond the bound an arbitrary entry is
+// evicted, which only costs a recompute.
+const maxPriorityEntries = 64
+
+// rekey points the cache at g, dropping every memo when the graph or its
+// append-only content changed. The caller holds c.mu.
+func (c *Caches) rekey(g *dag.Graph) {
+	if c.g == g && c.nTasks == g.NumTasks() && c.nEdges == g.NumEdges() {
+		return
+	}
+	c.g, c.nTasks, c.nEdges = g, g.NumTasks(), g.NumEdges()
+	c.statics = nil
+	c.priority = nil
+}
+
+// staticsOf returns the memoized statics of g, computing them on a miss.
+func (c *Caches) staticsOf(g *dag.Graph) *graphStatics {
+	if c == nil {
+		return computeStatics(g)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rekey(g)
+	if c.statics == nil {
+		c.statics = computeStatics(g)
+	}
+	return c.statics
+}
+
+// PriorityList returns the memoized MemHEFT priority list of (g, seed),
+// computing it on a miss. The returned slice is a fresh copy the caller may
+// mutate. The O(n log n) ranking runs outside the mutex so a miss never
+// blocks concurrent hits on the same session; two goroutines racing on the
+// same cold seed simply both compute (deterministically identical) lists
+// and one wins the store.
+func (c *Caches) PriorityList(g *dag.Graph, seed int64) ([]dag.TaskID, error) {
+	if c == nil {
+		return PriorityList(g, seed)
+	}
+	c.mu.Lock()
+	c.rekey(g)
+	if list, ok := c.priority[seed]; ok {
+		out := append([]dag.TaskID(nil), list...)
+		c.mu.Unlock()
+		return out, nil
+	}
+	nTasks, nEdges := c.nTasks, c.nEdges
+	c.mu.Unlock()
+
+	list, err := PriorityList(g, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	// Store only while the cache is still keyed to the graph content the
+	// list was derived from (mutating a graph mid-session is forbidden,
+	// but a stale entry must not survive it).
+	if c.g == g && c.nTasks == nTasks && c.nEdges == nEdges {
+		if _, ok := c.priority[seed]; !ok {
+			if c.priority == nil {
+				c.priority = make(map[int64][]dag.TaskID)
+			}
+			for len(c.priority) >= maxPriorityEntries {
+				for k := range c.priority {
+					delete(c.priority, k)
+					break
+				}
+			}
+			c.priority[seed] = append([]dag.TaskID(nil), list...)
+		}
+	}
+	c.mu.Unlock()
+	return list, nil
+}
+
+// Validate is Graph.Validate with a successful result memoized (an
+// unchanged graph cannot become invalid).
+func (c *Caches) Validate(g *dag.Graph) error {
+	if c == nil {
+		return g.Validate()
+	}
+	c.mu.Lock()
+	c.rekey(g)
+	if c.statics == nil {
+		c.statics = computeStatics(g)
+	}
+	s := c.statics
+	done := s.validated
+	c.mu.Unlock()
+	if done {
+		return nil
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	s.validated = true
+	c.mu.Unlock()
+	return nil
+}
+
+// computeStatics derives the per-graph immutable inputs of a Partial.
+func computeStatics(g *dag.Graph) *graphStatics {
+	n := g.NumTasks()
+	edges := g.Edges()
+	s := &graphStatics{
+		wOn:      [2][]float64{make([]float64, n), make([]float64, n)},
+		outFiles: make([]int64, n),
+		inDegree: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		id := dag.TaskID(i)
+		s.inDegree[i] = len(g.In(id))
+		if s.inDegree[i] == 0 {
+			s.sources = append(s.sources, id)
+		}
+		for _, e := range g.Out(id) {
+			s.outFiles[i] += edges[e].File
+		}
+		t := g.Task(id)
+		s.wOn[platform.Blue][i] = t.WBlue
+		s.wOn[platform.Red][i] = t.WRed
+	}
+	return s
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/dag"
@@ -22,17 +23,18 @@ func buildChain(extra bool) *dag.Graph {
 	return g
 }
 
-// TestPriorityListCacheInvalidation checks that the (graph, seed) memo is a
-// pure cache: repeated calls return equal fresh slices, mutating the
-// returned slice is safe, a different seed misses, and growing the graph
-// after a hit invalidates the entry.
-func TestPriorityListCacheInvalidation(t *testing.T) {
+// TestCachesPriorityListInvalidation checks that the per-session
+// (graph, seed) memo is a pure cache: repeated calls return equal fresh
+// slices, mutating the returned slice is safe, a different seed misses, and
+// growing the graph after a hit invalidates the entry.
+func TestCachesPriorityListInvalidation(t *testing.T) {
 	g := buildChain(false)
-	l1, err := PriorityList(g, 7)
+	c := NewCaches()
+	l1, err := c.PriorityList(g, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	l2, err := PriorityList(g, 7)
+	l2, err := c.PriorityList(g, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +48,7 @@ func TestPriorityListCacheInvalidation(t *testing.T) {
 	}
 	// The returned slice must be caller-owned.
 	l2[0], l2[len(l2)-1] = l2[len(l2)-1], l2[0]
-	l3, err := PriorityList(g, 7)
+	l3, err := c.PriorityList(g, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,22 +59,22 @@ func TestPriorityListCacheInvalidation(t *testing.T) {
 	}
 	// Grow the graph: the memo must miss and reflect the new task.
 	g.AddTask("late", 1, 1)
-	l4, err := PriorityList(g, 7)
+	l4, err := c.PriorityList(g, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(l4) != g.NumTasks() {
 		t.Fatalf("stale cache after graph growth: %d tasks listed, graph has %d", len(l4), g.NumTasks())
 	}
-	// Different seed on the same graph: must recompute, and match a fresh
-	// identical graph's list.
+	// Different seed on the same graph: must recompute, and match the
+	// pure computation on a fresh identical graph.
 	fresh := buildChain(false)
 	fresh.AddTask("late", 1, 1)
 	lf, err := PriorityList(fresh, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lg, err := PriorityList(g, 13)
+	lg, err := c.PriorityList(g, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,12 +85,31 @@ func TestPriorityListCacheInvalidation(t *testing.T) {
 	}
 }
 
-// TestGraphStaticsCacheInvalidation checks that NewPartial's memoized
-// per-graph inputs track graph growth.
-func TestGraphStaticsCacheInvalidation(t *testing.T) {
+// TestCachesPriorityListBounded checks the per-seed memo cannot grow
+// without bound: far more seeds than the cap leave at most the cap behind.
+func TestCachesPriorityListBounded(t *testing.T) {
 	g := buildChain(false)
+	c := NewCaches()
+	for seed := int64(0); seed < 4*maxPriorityEntries; seed++ {
+		if _, err := c.PriorityList(g, seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	n := len(c.priority)
+	c.mu.Unlock()
+	if n > maxPriorityEntries {
+		t.Fatalf("priority memo grew to %d entries, cap is %d", n, maxPriorityEntries)
+	}
+}
+
+// TestCachesStaticsInvalidation checks that the memoized per-graph inputs
+// of NewPartialCached track graph growth.
+func TestCachesStaticsInvalidation(t *testing.T) {
+	g := buildChain(false)
+	c := NewCaches()
 	p := platform.New(1, 1, 100, 100)
-	st := NewPartial(g, p)
+	st := NewPartialCached(g, p, c)
 	if got := len(st.ReadyTasks()); got != 1 {
 		t.Fatalf("chain has %d sources, want 1", got)
 	}
@@ -98,30 +119,97 @@ func TestGraphStaticsCacheInvalidation(t *testing.T) {
 	// Add a second edge out of task 0 and a new source: statics must
 	// refresh.
 	g = buildChain(true)
-	st2 := NewPartial(g, p)
+	st2 := NewPartialCached(g, p, c)
 	if st2.outFiles[0] != 3 {
 		t.Fatalf("after growth, task 0 outFiles = %d, want 3", st2.outFiles[0])
 	}
 	// Same pointer growth (the dangerous case): mutate g in place.
 	g.AddTask("src2", 4, 4)
-	st3 := NewPartial(g, p)
+	st3 := NewPartialCached(g, p, c)
 	if len(st3.pending) != g.NumTasks() {
 		t.Fatalf("stale statics: pending has %d entries, graph %d tasks", len(st3.pending), g.NumTasks())
 	}
 	if got := len(st3.ReadyTasks()); got != 2 {
 		t.Fatalf("after adding a source, %d ready tasks, want 2", got)
 	}
-	// validateCached: valid graph caches success; a new graph revalidates.
-	if err := validateCached(g); err != nil {
+	// Validate: a valid graph caches success; a new graph revalidates.
+	if err := c.Validate(g); err != nil {
 		t.Fatal(err)
 	}
-	if err := validateCached(g); err != nil {
+	if err := c.Validate(g); err != nil {
 		t.Fatal(err)
 	}
 	bad := dag.New()
-	x := bad.AddTask("x", -1, 1)
-	_ = x
-	if err := validateCached(bad); err == nil {
+	bad.AddTask("x", -1, 1)
+	if err := c.Validate(bad); err == nil {
 		t.Fatal("negative processing time not rejected through the cache")
+	}
+}
+
+// TestNilCachesComputeFresh checks the nil-receiver path every one-shot
+// caller takes: no cache, same results.
+func TestNilCachesComputeFresh(t *testing.T) {
+	g := buildChain(true)
+	var c *Caches
+	list, err := c.PriorityList(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure, err := PriorityList(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pure {
+		if list[i] != pure[i] {
+			t.Fatalf("nil-cache list %v, want %v", list, pure)
+		}
+	}
+	if err := c.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if NewPartialCached(g, platform.New(1, 1, 10, 10), nil) == nil {
+		t.Fatal("nil-cache NewPartialCached failed")
+	}
+}
+
+// TestCachesConcurrentSameGraph hammers one cache set from many goroutines
+// (the session concurrency contract); run with -race.
+func TestCachesConcurrentSameGraph(t *testing.T) {
+	g := buildChain(true)
+	c := NewCaches()
+	want, err := PriorityList(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := c.Validate(g); err != nil {
+					errs <- err
+					return
+				}
+				list, err := c.PriorityList(g, 5)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range want {
+					if list[j] != want[j] {
+						t.Errorf("goroutine saw list %v, want %v", list, want)
+						return
+					}
+				}
+				_ = NewPartialCached(g, platform.New(2, 1, 50, 50), c)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

@@ -29,9 +29,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"repro/internal/dag"
 	"repro/internal/platform"
@@ -39,8 +42,10 @@ import (
 )
 
 // ErrMemoryBound is returned (wrapped) when a heuristic cannot schedule the
-// graph within the platform's memory bounds.
-var ErrMemoryBound = errors.New("core: graph cannot be processed within the memory bounds")
+// graph within the platform's memory bounds. The multi-pool generalisation
+// (internal/multi) shares this sentinel, so one errors.Is check covers both
+// engines.
+var ErrMemoryBound = errors.New("memsched: graph cannot be processed within the memory bounds")
 
 // Options tunes a heuristic run. The zero value is ready to use.
 type Options struct {
@@ -48,57 +53,105 @@ type Options struct {
 	// (§5.1 breaks rank ties randomly). Runs with equal seeds are
 	// reproducible.
 	Seed int64
+
+	// Caches, when non-nil, serves the per-graph memos (priority lists,
+	// graph statics, validation) owned by the caller — typically a
+	// memsched.Session. A nil Caches computes everything fresh.
+	Caches *Caches
+
+	// Stats, when non-nil, receives run statistics (candidate-cache hit
+	// counters) accumulated over the run.
+	Stats *RunStats
 }
 
-// Func is the common signature of all scheduling heuristics in this package.
-type Func func(*dag.Graph, platform.Platform, Options) (*schedule.Schedule, error)
+// RunStats carries the per-run statistics a heuristic reports through
+// Options.Stats.
+type RunStats struct {
+	// CacheHits / CacheMisses count candidate evaluations served from the
+	// epoch-invalidated (task, memory) memo vs recomputed.
+	CacheHits, CacheMisses uint64
+	// Makespan is the running-max makespan of the produced schedule, so
+	// callers need not rescan the schedule to report it.
+	Makespan float64
+}
+
+// Func is the common signature of all scheduling heuristics in this
+// package. The context is checked cooperatively in the scheduling loop;
+// cancellation returns ctx.Err() wrapped. A nil context is treated as
+// context.Background().
+type Func func(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error)
+
+// cancelStride is how many main-loop iterations pass between cooperative
+// context checks: frequent enough to interrupt sweeps promptly, sparse
+// enough to be invisible in the per-schedule benchmarks.
+const cancelStride = 64
+
+// ctxErr polls ctx every cancelStride-th step (nil ctx never cancels).
+func ctxErr(ctx context.Context, step int) error {
+	if ctx == nil || step%cancelStride != 0 {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // MemHEFT schedules g on p with Algorithm 1 of the paper: HEFT's upward-rank
 // priority list, a memory selection phase minimising the earliest finish
 // time under memory constraints, and a scan that skips tasks that do not
 // currently fit (restarting from the head of the list after every
 // assignment). It returns ErrMemoryBound when no remaining task fits.
-func MemHEFT(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
-	return memHEFT(g, p, opt)
+func MemHEFT(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	return memHEFT(ctx, g, p, opt)
 }
 
 // MemMinMin schedules g on p with Algorithm 2 of the paper: among all ready
 // tasks, repeatedly pick the (task, memory) pair with the minimum earliest
 // finish time under memory constraints.
-func MemMinMin(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
-	return memMinMin(g, p, opt)
+func MemMinMin(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	return memMinMin(ctx, g, p, opt)
 }
 
 // HEFT is the classical memory-oblivious heuristic of Topcuoglu et al.,
 // obtained by running MemHEFT with unlimited memories (the paper notes in
 // §6.2.1 that the decisions then coincide). The memory bounds of p are
 // ignored.
-func HEFT(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
-	return memHEFT(g, p.Unbounded(), opt)
+func HEFT(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	return memHEFT(ctx, g, p.Unbounded(), opt)
 }
 
 // MinMin is the classical memory-oblivious MinMin heuristic of Braun et al.,
 // obtained by running MemMinMin with unlimited memories. The memory bounds
 // of p are ignored.
-func MinMin(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
-	return memMinMin(g, p.Unbounded(), opt)
+func MinMin(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	return memMinMin(ctx, g, p.Unbounded(), opt)
 }
 
-// Algorithms lists the four heuristics by their paper names.
+// Algorithms is the scheduler registry: the four heuristics of the paper by
+// their paper names, plus the insertion-policy ablation.
 var Algorithms = map[string]Func{
-	"heft":      HEFT,
-	"minmin":    MinMin,
-	"memheft":   MemHEFT,
-	"memminmin": MemMinMin,
+	"heft":              HEFT,
+	"minmin":            MinMin,
+	"memheft":           MemHEFT,
+	"memminmin":         MemMinMin,
+	"memheft-insertion": MemHEFTInsertion,
 }
 
-// ByName returns the heuristic registered under name (case-sensitive, as in
-// Algorithms) or an error listing the valid names.
+// Names returns the registered scheduler names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(Algorithms))
+	for name := range Algorithms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the heuristic registered under name (case-insensitive,
+// surrounding space ignored) or an error listing the registered names.
 func ByName(name string) (Func, error) {
-	if f, ok := Algorithms[name]; ok {
+	if f, ok := Algorithms[strings.ToLower(strings.TrimSpace(name))]; ok {
 		return f, nil
 	}
-	return nil, fmt.Errorf("core: unknown heuristic %q (want heft, minmin, memheft or memminmin)", name)
+	return nil, fmt.Errorf("core: unknown heuristic %q (registered: %s)", name, strings.Join(Names(), ", "))
 }
 
 // inf is the infeasibility marker used throughout the EST computations.

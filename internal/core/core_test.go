@@ -14,7 +14,7 @@ import (
 
 func mustSchedule(t *testing.T, f Func, g *dag.Graph, p platform.Platform, seed int64) *schedule.Schedule {
 	t.Helper()
-	s, err := f(g, p, Options{Seed: seed})
+	s, err := f(tctx, g, p, Options{Seed: seed})
 	if err != nil {
 		t.Fatalf("scheduling failed: %v", err)
 	}
@@ -90,7 +90,7 @@ func TestMemHEFTRespectsMemoryBounds(t *testing.T) {
 	g := dag.PaperExample()
 	for _, m := range []int64{4, 5, 6, 10} {
 		p := platform.New(1, 1, m, m)
-		s, err := MemHEFT(g, p, Options{})
+		s, err := MemHEFT(tctx, g, p, Options{})
 		if err != nil {
 			continue // infeasible for the heuristic: acceptable here
 		}
@@ -108,7 +108,7 @@ func TestMemMinMinRespectsMemoryBounds(t *testing.T) {
 	g := dag.PaperExample()
 	for _, m := range []int64{4, 5, 6, 10} {
 		p := platform.New(1, 1, m, m)
-		s, err := MemMinMin(g, p, Options{})
+		s, err := MemMinMin(tctx, g, p, Options{})
 		if err != nil {
 			continue
 		}
@@ -141,11 +141,11 @@ func TestMemHEFTFailsWhenMemoryTooSmall(t *testing.T) {
 	g := dag.PaperExample()
 	// Even executing a single task needs its files in memory; T3 needs 4.
 	p := platform.New(1, 1, 2, 2)
-	_, err := MemHEFT(g, p, Options{})
+	_, err := MemHEFT(tctx, g, p, Options{})
 	if !errors.Is(err, ErrMemoryBound) {
 		t.Fatalf("err = %v, want ErrMemoryBound", err)
 	}
-	_, err = MemMinMin(g, p, Options{})
+	_, err = MemMinMin(tctx, g, p, Options{})
 	if !errors.Is(err, ErrMemoryBound) {
 		t.Fatalf("err = %v, want ErrMemoryBound", err)
 	}
@@ -171,10 +171,10 @@ func TestChainNeedsTwoFilesDuringInnerTasks(t *testing.T) {
 	// Inner chain tasks hold input+output (2 files of size 3): bound 5
 	// must fail, bound 6 must succeed.
 	g := dag.Chain(4, 1, 1, 3, 1)
-	if _, err := MemHEFT(g, platform.New(1, 0, 5, 0), Options{}); !errors.Is(err, ErrMemoryBound) {
+	if _, err := MemHEFT(tctx, g, platform.New(1, 0, 5, 0), Options{}); !errors.Is(err, ErrMemoryBound) {
 		t.Fatalf("bound 5 accepted: %v", err)
 	}
-	s, err := MemHEFT(g, platform.New(1, 0, 6, 0), Options{})
+	s, err := MemHEFT(tctx, g, platform.New(1, 0, 6, 0), Options{})
 	if err != nil {
 		t.Fatalf("bound 6 rejected: %v", err)
 	}
@@ -190,7 +190,7 @@ func TestForkJoinMemoryForcesSerialisation(t *testing.T) {
 	g := dag.ForkJoin(6, 1, 1, 2, 1)
 	p := platform.New(2, 2, 12, 12)
 	for _, f := range []Func{MemHEFT, MemMinMin} {
-		s, err := f(g, p, Options{Seed: 3})
+		s, err := f(tctx, g, p, Options{Seed: 3})
 		if err != nil {
 			t.Fatalf("forkjoin infeasible: %v", err)
 		}
@@ -232,7 +232,7 @@ func TestZeroCostBroadcastTasks(t *testing.T) {
 	g.MustAddEdge(b2, c2, 1, 1)
 	p := platform.New(1, 1, 10, 10)
 	for name, f := range Algorithms {
-		s, err := f(g, p, Options{Seed: 2})
+		s, err := f(tctx, g, p, Options{Seed: 2})
 		if err != nil {
 			t.Fatalf("%s failed: %v", name, err)
 		}
@@ -266,14 +266,14 @@ func TestSingleTaskGraph(t *testing.T) {
 func TestEmptyGraph(t *testing.T) {
 	g := dag.New()
 	p := platform.New(1, 1, 1, 1)
-	s, err := MemHEFT(g, p, Options{})
+	s, err := MemHEFT(tctx, g, p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Makespan() != 0 {
 		t.Fatal("empty graph has nonzero makespan")
 	}
-	if _, err := MemMinMin(g, p, Options{}); err != nil {
+	if _, err := MemMinMin(tctx, g, p, Options{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -295,10 +295,10 @@ func TestRedOnlyPlatform(t *testing.T) {
 
 func TestInvalidPlatformRejected(t *testing.T) {
 	g := dag.PaperExample()
-	if _, err := MemHEFT(g, platform.New(0, 0, 1, 1), Options{}); err == nil {
+	if _, err := MemHEFT(tctx, g, platform.New(0, 0, 1, 1), Options{}); err == nil {
 		t.Fatal("no-processor platform accepted")
 	}
-	if _, err := MemMinMin(g, platform.New(0, 0, 1, 1), Options{}); err == nil {
+	if _, err := MemMinMin(tctx, g, platform.New(0, 0, 1, 1), Options{}); err == nil {
 		t.Fatal("no-processor platform accepted")
 	}
 }
@@ -325,7 +325,7 @@ func TestPropertyHeuristicsProduceValidSchedules(t *testing.T) {
 		g := randomDAG(seed, 20)
 		p := platform.New(2, 2, platform.Unlimited, platform.Unlimited)
 		for _, fn := range []Func{MemHEFT, MemMinMin} {
-			s, err := fn(g, p, Options{Seed: seed})
+			s, err := fn(tctx, g, p, Options{Seed: seed})
 			if err != nil {
 				return false
 			}
@@ -346,7 +346,7 @@ func TestPropertyBoundedRunsRespectBounds(t *testing.T) {
 		bound := int64(rawBound%200) + 1
 		p := platform.New(2, 2, bound, bound)
 		for _, fn := range []Func{MemHEFT, MemMinMin} {
-			s, err := fn(g, p, Options{Seed: seed})
+			s, err := fn(tctx, g, p, Options{Seed: seed})
 			if err != nil {
 				continue // infeasible is fine; invalid is not
 			}
@@ -374,7 +374,7 @@ func TestPropertyMakespanAtLeastCriticalPath(t *testing.T) {
 		}
 		p := platform.New(2, 2, platform.Unlimited, platform.Unlimited)
 		for _, fn := range []Func{HEFT, MinMin} {
-			s, err := fn(g, p, Options{Seed: seed})
+			s, err := fn(tctx, g, p, Options{Seed: seed})
 			if err != nil {
 				return false
 			}
@@ -402,8 +402,8 @@ func TestPropertyTotalFilesBoundMatchesOblivious(t *testing.T) {
 		p := platform.New(1, 1, total, total)
 		pairs := [][2]Func{{HEFT, MemHEFT}, {MinMin, MemMinMin}}
 		for _, pair := range pairs {
-			a, errA := pair[0](g, p, Options{Seed: seed})
-			b, errB := pair[1](g, p, Options{Seed: seed})
+			a, errA := pair[0](tctx, g, p, Options{Seed: seed})
+			b, errB := pair[1](tctx, g, p, Options{Seed: seed})
 			if errA != nil || errB != nil {
 				return false
 			}

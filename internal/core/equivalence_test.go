@@ -44,9 +44,16 @@ func sameSchedule(t *testing.T, tag string, got, want *schedule.Schedule) {
 // instance and requires identical outcomes: same error classification and,
 // when both succeed, identical schedules.
 func checkPair(t *testing.T, tag string, opt, ref Func, g *dag.Graph, p platform.Platform, seed int64) (failed bool) {
+	return checkPairCached(t, tag, opt, ref, g, p, seed, nil)
+}
+
+// checkPairCached is checkPair with the optimized side running under a
+// caller-owned cache set (the session configuration); a cache shared across
+// many calls must not perturb a single bit either.
+func checkPairCached(t *testing.T, tag string, opt, ref Func, g *dag.Graph, p platform.Platform, seed int64, caches *Caches) (failed bool) {
 	t.Helper()
-	so, eo := opt(g, p, Options{Seed: seed})
-	sr, er := ref(g, p, Options{Seed: seed})
+	so, eo := opt(tctx, g, p, Options{Seed: seed, Caches: caches})
+	sr, er := ref(tctx, g, p, Options{Seed: seed})
 	if (eo == nil) != (er == nil) {
 		t.Fatalf("%s: optimized err=%v, reference err=%v", tag, eo, er)
 	}
@@ -81,7 +88,7 @@ func TestGoldenEquivalenceRandomSweep(t *testing.T) {
 		}
 		p := platform.New(1+rng.Intn(3), 1+rng.Intn(3), platform.Unlimited, platform.Unlimited)
 		// Peak memory of the unbounded run calibrates the pressure.
-		s, err := MemHEFT(g, p, Options{Seed: seed})
+		s, err := MemHEFT(tctx, g, p, Options{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,11 +97,14 @@ func TestGoldenEquivalenceRandomSweep(t *testing.T) {
 		if peakRed > peak {
 			peak = peakRed
 		}
+		// One cache set per graph, shared across the whole pressure
+		// sweep — the exact configuration a session runs with.
+		caches := NewCaches()
 		for _, alpha := range alphas {
 			bound := int64(alpha * float64(peak))
 			bp := p.WithBounds(bound, bound)
-			checkPair(t, "memheft", MemHEFT, MemHEFTReference, g, bp, seed)
-			checkPair(t, "memminmin", MemMinMin, MemMinMinReference, g, bp, seed)
+			checkPairCached(t, "memheft", MemHEFT, MemHEFTReference, g, bp, seed, caches)
+			checkPairCached(t, "memminmin", MemMinMin, MemMinMinReference, g, bp, seed, caches)
 			runs += 2
 		}
 	}
@@ -127,7 +137,7 @@ func TestGoldenEquivalenceInsertionPolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := platform.New(2, 2, 400, 400)
-	got, err := MemHEFTInsertion(g, p, Options{Seed: 3})
+	got, err := MemHEFTInsertion(tctx, g, p, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,11 +276,11 @@ func TestCloneIntoIndependence(t *testing.T) {
 		}
 	}
 	// The original still schedules to the same result as a fresh run.
-	want, err := MemMinMinReference(g, p, Options{Seed: 1})
+	want, err := MemMinMinReference(tctx, g, p, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got2, err := MemMinMin(g, p, Options{Seed: 1})
+	got2, err := MemMinMin(tctx, g, p, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

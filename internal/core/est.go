@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sync"
 
 	"repro/internal/dag"
 	"repro/internal/memfn"
@@ -74,6 +73,10 @@ type Partial struct {
 
 	batchMu, batchOther []memfn.Delta // Commit scratch, reused
 
+	// hits and misses count memoized candidate lookups served fresh vs
+	// recomputed; sessions surface the ratio in their result stats.
+	hits, misses uint64
+
 	// noCache disables all memoization; the reference oracles of naive.go
 	// set it so every Evaluate recomputes from scratch.
 	noCache bool
@@ -107,8 +110,7 @@ type evalSlot struct {
 // graphStatics holds the per-graph immutable inputs of a Partial: task
 // durations per memory, output file totals, in-degrees and sources. Sweeps
 // schedule the same graph many times (varying only the platform bounds), so
-// the most recent graph's statics are memoized under the same append-only
-// guard as the priority list.
+// a session memoizes its graph's statics in a Caches (see cache.go).
 type graphStatics struct {
 	wOn       [2][]float64
 	outFiles  []int64
@@ -117,79 +119,17 @@ type graphStatics struct {
 	validated bool         // a successful Graph.Validate ran for this graph
 }
 
-// The cache is a single slot: it retains at most one graph (and its O(n)
-// derived arrays) for the process lifetime, trading that bounded pinning
-// for hit rates on the sweep pattern. Alternating between graphs simply
-// recomputes, which is the uncached cost.
-var staticsCache struct {
-	sync.Mutex
-	g              *dag.Graph
-	nTasks, nEdges int
-	s              *graphStatics
-}
-
-// staticsFor returns the memoized statics of g, computing them on a cache
-// miss.
-func staticsFor(g *dag.Graph) *graphStatics {
-	staticsCache.Lock()
-	if staticsCache.g == g && staticsCache.nTasks == g.NumTasks() && staticsCache.nEdges == g.NumEdges() {
-		s := staticsCache.s
-		staticsCache.Unlock()
-		return s
-	}
-	staticsCache.Unlock()
-
-	n := g.NumTasks()
-	edges := g.Edges()
-	s := &graphStatics{
-		wOn:      [2][]float64{make([]float64, n), make([]float64, n)},
-		outFiles: make([]int64, n),
-		inDegree: make([]int, n),
-	}
-	for i := 0; i < n; i++ {
-		id := dag.TaskID(i)
-		s.inDegree[i] = len(g.In(id))
-		if s.inDegree[i] == 0 {
-			s.sources = append(s.sources, id)
-		}
-		for _, e := range g.Out(id) {
-			s.outFiles[i] += edges[e].File
-		}
-		t := g.Task(id)
-		s.wOn[platform.Blue][i] = t.WBlue
-		s.wOn[platform.Red][i] = t.WRed
-	}
-
-	staticsCache.Lock()
-	staticsCache.g, staticsCache.nTasks, staticsCache.nEdges = g, n, g.NumEdges()
-	staticsCache.s = s
-	staticsCache.Unlock()
-	return s
-}
-
-// validateCached is Graph.Validate with the result of a successful run
-// memoized in the statics cache (an unchanged graph cannot become invalid).
-func validateCached(g *dag.Graph) error {
-	s := staticsFor(g)
-	staticsCache.Lock()
-	done := s.validated
-	staticsCache.Unlock()
-	if done {
-		return nil
-	}
-	if err := g.Validate(); err != nil {
-		return err
-	}
-	staticsCache.Lock()
-	s.validated = true
-	staticsCache.Unlock()
-	return nil
-}
-
-// NewPartial returns an empty partial schedule for g on p.
+// NewPartial returns an empty partial schedule for g on p, deriving the
+// graph statics from scratch.
 func NewPartial(g *dag.Graph, p platform.Platform) *Partial {
+	return NewPartialCached(g, p, nil)
+}
+
+// NewPartialCached is NewPartial serving the per-graph statics from c (a
+// nil c computes them fresh).
+func NewPartialCached(g *dag.Graph, p platform.Platform, c *Caches) *Partial {
 	n := g.NumTasks()
-	gs := staticsFor(g)
+	gs := c.staticsOf(g)
 	st := &Partial{
 		g:           g,
 		edges:       g.Edges(),
@@ -247,6 +187,7 @@ func (st *Partial) CloneInto(dst *Partial) *Partial {
 	dst.outFiles = st.outFiles // immutable, shared
 	dst.wOn = st.wOn           // immutable, shared
 	dst.unbounded = st.unbounded
+	dst.hits, dst.misses = st.hits, st.misses
 	dst.noCache = st.noCache
 	if st.ins == nil {
 		dst.ins = nil
@@ -276,6 +217,20 @@ func (st *Partial) Finish(id dag.TaskID) float64 { return st.finish[id] }
 // MakespanSoFar returns the latest committed finish time. It is a running
 // max maintained by Commit, O(1).
 func (st *Partial) MakespanSoFar() float64 { return st.makespan }
+
+// CacheStats returns how many candidate evaluations were served from the
+// (task, memory) memo versus recomputed.
+func (st *Partial) CacheStats() (hits, misses uint64) { return st.hits, st.misses }
+
+// reportStats accumulates the candidate-cache counters and the running
+// makespan into rs (nil-safe).
+func (st *Partial) reportStats(rs *RunStats) {
+	if rs != nil {
+		rs.CacheHits += st.hits
+		rs.CacheMisses += st.misses
+		rs.Makespan = st.makespan
+	}
+}
 
 // Candidate is the outcome of evaluating one (task, memory) pair.
 type Candidate struct {
@@ -393,8 +348,10 @@ func (st *Partial) Evaluate(id dag.TaskID, mu platform.Memory) Candidate {
 	}
 	e := &st.slots[2*int(id)+int(mu)]
 	if st.slotFresh(e, id, mu) {
+		st.hits++
 		return e.cand
 	}
+	st.misses++
 	var c Candidate
 	if st.blockedOn(id, mu) {
 		// The infeasible candidate evaluate would build, minus the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/dag"
@@ -128,6 +129,6 @@ func (st *Partial) commitInsertion(c Candidate) {
 // MemHEFTInsertion runs Algorithm 1 with classical HEFT's insertion-based
 // processor selection instead of the paper's append policy. Everything else
 // (priority list, memory accounting, ALAP communications) is identical.
-func MemHEFTInsertion(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
-	return memHEFTWith(g, p, opt, true)
+func MemHEFTInsertion(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	return memHEFTWith(ctx, g, p, opt, true)
 }

@@ -49,7 +49,7 @@ func TestMemHEFTInsertionProducesValidSchedules(t *testing.T) {
 		g := randomDAG(seed, 20)
 		for _, bound := range []int64{40, platform.Unlimited} {
 			p := platform.New(2, 2, bound, bound)
-			s, err := MemHEFTInsertion(g, p, Options{Seed: seed})
+			s, err := MemHEFTInsertion(tctx, g, p, Options{Seed: seed})
 			if err != nil {
 				continue
 			}
@@ -121,11 +121,11 @@ func TestInsertionFillsGap(t *testing.T) {
 	// property: insertion's makespan <= append's makespan on this
 	// instance for the same seed.
 	for seed := int64(0); seed < 10; seed++ {
-		a, err := MemHEFT(g, p, Options{Seed: seed})
+		a, err := MemHEFT(tctx, g, p, Options{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := MemHEFTInsertion(g, p, Options{Seed: seed})
+		b, err := MemHEFTInsertion(tctx, g, p, Options{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +147,7 @@ func TestInsertionZeroDurationTasks(t *testing.T) {
 	g.MustAddEdge(a, b, 1, 1)
 	g.MustAddEdge(b, c, 1, 1)
 	p := platform.New(1, 0, 10, 0)
-	s, err := MemHEFTInsertion(g, p, Options{Seed: 1})
+	s, err := MemHEFTInsertion(tctx, g, p, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,47 +1,22 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"slices"
-	"sync"
 
 	"repro/internal/dag"
 	"repro/internal/platform"
 	"repro/internal/schedule"
 )
 
-// priorityCache memoizes the most recent PriorityList computation. Sweeps
-// (and the throughput benchmarks) schedule the same graph with the same seed
-// over and over while varying only the memory bounds; the ranking phase —
-// upward ranks, seeded permutation, sort — is a pure function of (graph,
-// seed), so it is computed once. The task/edge counts guard against the
-// graph growing between calls (tasks and edges are append-only and
-// immutable once added, so the counts pin the graph's content).
-var priorityCache struct {
-	sync.Mutex
-	g              *dag.Graph
-	seed           int64
-	nTasks, nEdges int
-	list           []dag.TaskID
-}
-
 // PriorityList returns the task IDs sorted by non-increasing upward rank,
 // with rank ties broken by a random permutation drawn from seed (§5.1:
-// "tie-breaking is done randomly"). It is exported for tests and for the
-// ablation benchmarks that compare tie-breaking strategies. The result is a
-// fresh slice the caller may mutate; repeated calls for the same (graph,
-// seed) are served from a memo.
+// "tie-breaking is done randomly"). It is a pure function of (graph, seed);
+// sessions memoize it per seed through Caches.PriorityList, which is what
+// the sweeps and benchmarks hit.
 func PriorityList(g *dag.Graph, seed int64) ([]dag.TaskID, error) {
-	priorityCache.Lock()
-	if priorityCache.g == g && priorityCache.seed == seed &&
-		priorityCache.nTasks == g.NumTasks() && priorityCache.nEdges == g.NumEdges() {
-		out := append([]dag.TaskID(nil), priorityCache.list...)
-		priorityCache.Unlock()
-		return out, nil
-	}
-	priorityCache.Unlock()
-
 	ranks, err := g.UpwardRanks()
 	if err != nil {
 		return nil, err
@@ -66,20 +41,14 @@ func PriorityList(g *dag.Graph, seed int64) ([]dag.TaskID, error) {
 		}
 		return 1
 	})
-
-	priorityCache.Lock()
-	priorityCache.g, priorityCache.seed = g, seed
-	priorityCache.nTasks, priorityCache.nEdges = g.NumTasks(), g.NumEdges()
-	priorityCache.list = append(priorityCache.list[:0], list...)
-	priorityCache.Unlock()
 	return list, nil
 }
 
 // memHEFT is Algorithm 1: walk the priority list, schedule the first task
 // that currently fits, and restart from the head of the list after every
 // assignment.
-func memHEFT(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
-	return memHEFTWith(g, p, opt, false)
+func memHEFT(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+	return memHEFTWith(ctx, g, p, opt, false)
 }
 
 // memHEFTWith optionally enables the insertion-based processor policy.
@@ -90,21 +59,27 @@ func memHEFT(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule
 // are skipped in place and compacted lazily instead of being deleted from
 // the middle of the list at every assignment. Commit order — and therefore
 // the schedule — is identical to MemHEFTReference (see naive.go).
-func memHEFTWith(g *dag.Graph, p platform.Platform, opt Options, insertion bool) (*schedule.Schedule, error) {
+func memHEFTWith(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options, insertion bool) (*schedule.Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	remaining, err := PriorityList(g, opt.Seed)
+	remaining, err := opt.Caches.PriorityList(g, opt.Seed)
 	if err != nil {
 		return nil, err
 	}
-	st := NewPartial(g, p)
+	st := NewPartialCached(g, p, opt.Caches)
+	defer st.reportStats(opt.Stats)
 	if insertion {
 		st.ins = newInsertionState(p.TotalProcs())
 	}
 	left := len(remaining)
 	head := 0 // index of the first unscheduled entry
+	step := 0
 	for left > 0 {
+		if err := ctxErr(ctx, step); err != nil {
+			return st.sched, fmt.Errorf("core: MemHEFT interrupted: %w", err)
+		}
+		step++
 		for head < len(remaining) && st.Assigned(remaining[head]) {
 			head++
 		}

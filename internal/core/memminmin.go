@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dag"
@@ -25,14 +26,15 @@ import (
 // that O(width) sweep, not the heap order, is the dominant cost, and the
 // heap's job is to hand back the (EFT, ID) minimum with the reference
 // scan's exact tie-breaking.
-func memMinMin(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+func memMinMin(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := validateCached(g); err != nil {
+	if err := opt.Caches.Validate(g); err != nil {
 		return nil, err
 	}
-	st := NewPartial(g, p)
+	st := NewPartialCached(g, p, opt.Caches)
+	defer st.reportStats(opt.Stats)
 
 	h := make(eftHeap, 0, g.NumTasks())
 	for _, id := range st.ReadyTasks() {
@@ -42,6 +44,9 @@ func memMinMin(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedu
 
 	scheduled := 0
 	for len(h) > 0 {
+		if err := ctxErr(ctx, scheduled); err != nil {
+			return st.sched, fmt.Errorf("core: MemMinMin interrupted: %w", err)
+		}
 		// Lazy invalidation: refresh stale memoized candidates, then
 		// restore the heap order in one pass.
 		changed := false

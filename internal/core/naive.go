@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dag"
@@ -47,8 +48,9 @@ func (st *Partial) makespanByScan() float64 {
 // iteration restarts from the head of the priority list, re-derives
 // ready-ness by scanning parents and re-evaluates both memory candidates of
 // every visited task from scratch. It is the oracle MemHEFT is tested
-// against and must not be "optimized".
-func MemHEFTReference(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+// against and must not be "optimized"; the context and the memoization
+// options are deliberately ignored.
+func MemHEFTReference(_ context.Context, g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -85,8 +87,9 @@ func MemHEFTReference(g *dag.Graph, p platform.Platform, opt Options) (*schedule
 // iteration evaluates both memory candidates of every ready task from
 // scratch and picks the minimum-EFT pair by linear scan (ties towards the
 // smaller task ID). It is the oracle MemMinMin is tested against and must
-// not be "optimized".
-func MemMinMinReference(g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
+// not be "optimized"; the context and the memoization options are
+// deliberately ignored.
+func MemMinMinReference(_ context.Context, g *dag.Graph, p platform.Platform, opt Options) (*schedule.Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -72,7 +72,7 @@ func TestSearchMatchesNaiveClonePerNode(t *testing.T) {
 			t.Fatal(err)
 		}
 		p := platform.New(1, 1, 60, 60)
-		res, err := Solve(g, p, Options{MaxNodes: 30000})
+		res, err := Solve(tctx, g, p, Options{MaxNodes: 30000})
 		if err != nil {
 			t.Fatal(err)
 		}

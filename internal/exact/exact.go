@@ -12,6 +12,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -63,14 +64,22 @@ func (s Status) String() string {
 
 // Options bounds the search effort.
 type Options struct {
-	MaxNodes int           // 0 means DefaultMaxNodes
-	Timeout  time.Duration // 0 means none
+	MaxNodes int // 0 means DefaultMaxNodes
+	// Timeout is a convenience wrapper around context cancellation: when
+	// positive, Solve derives a context.WithTimeout from its context. An
+	// expired budget is not an error — the search reports the incumbent
+	// with a Feasible/Unknown status, exactly like an exhausted node
+	// budget.
+	Timeout time.Duration
 	// Incumbent seeds the search with a known feasible schedule (e.g. a
 	// heuristic result); branches that cannot beat it are pruned.
 	Incumbent *schedule.Schedule
 	// FeasibilityOnly stops at the first complete schedule and disables
 	// bound pruning.
 	FeasibilityOnly bool
+	// Caches, when non-nil, serves the per-graph memos (statics,
+	// validation) owned by the caller — typically a memsched.Session.
+	Caches *core.Caches
 }
 
 // DefaultMaxNodes is the node budget used when Options.MaxNodes is zero.
@@ -93,7 +102,7 @@ type searcher struct {
 	improved bool
 	nodes    int
 	maxNodes int
-	deadline time.Time
+	ctx      context.Context
 	feasOnly bool
 	stopped  bool
 
@@ -119,9 +128,20 @@ func (s *searcher) putClone(st *core.Partial) {
 	s.pool = append(s.pool, st)
 }
 
-// Solve runs the branch-and-bound search for g on p.
-func Solve(g *dag.Graph, p platform.Platform, opt Options) (*Result, error) {
-	if err := g.Validate(); err != nil {
+// Solve runs the branch-and-bound search for g on p. The context cancels
+// the search cooperatively (checked every 1024 nodes): a cancelled search
+// is not an error, it reports the best incumbent found so far with a
+// Feasible or Unknown status, exactly like an exhausted node budget.
+func Solve(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
+	if err := opt.Caches.Validate(g); err != nil {
 		return nil, err
 	}
 	if err := p.Validate(); err != nil {
@@ -135,19 +155,17 @@ func Solve(g *dag.Graph, p platform.Platform, opt Options) (*Result, error) {
 		g: g, p: p, bottom: bottom,
 		best:     math.Inf(1),
 		maxNodes: opt.MaxNodes,
+		ctx:      ctx,
 		feasOnly: opt.FeasibilityOnly,
 	}
 	if s.maxNodes <= 0 {
 		s.maxNodes = DefaultMaxNodes
 	}
-	if opt.Timeout > 0 {
-		s.deadline = time.Now().Add(opt.Timeout)
-	}
 	if opt.Incumbent != nil {
 		s.bestSch = opt.Incumbent
 		s.best = opt.Incumbent.Makespan()
 	}
-	s.dfs(core.NewPartial(g, p), 0)
+	s.dfs(core.NewPartialCached(g, p, opt.Caches), 0)
 
 	res := &Result{Makespan: s.best, Schedule: s.bestSch, Nodes: s.nodes}
 	switch {
@@ -195,7 +213,7 @@ func (s *searcher) budgetExceeded() bool {
 		s.stopped = true
 		return true
 	}
-	if !s.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.deadline) {
+	if s.nodes%1024 == 0 && s.ctx.Err() != nil {
 		s.stopped = true
 		return true
 	}
@@ -290,10 +308,10 @@ func snapshot(s *schedule.Schedule) *schedule.Schedule {
 // CheckFeasible reports whether any eager list schedule fits the memory bounds,
 // within the given budget. The returned status distinguishes a proven "no"
 // (Infeasible) from an exhausted budget (Unknown).
-func CheckFeasible(g *dag.Graph, p platform.Platform, opt Options) (bool, Status, error) {
+func CheckFeasible(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options) (bool, Status, error) {
 	opt.FeasibilityOnly = true
 	opt.Incumbent = nil
-	res, err := Solve(g, p, opt)
+	res, err := Solve(ctx, g, p, opt)
 	if err != nil {
 		return false, Unknown, err
 	}

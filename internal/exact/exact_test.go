@@ -30,7 +30,7 @@ func TestLowerBoundPaperExample(t *testing.T) {
 func TestOptimalPaperExampleUnlimited(t *testing.T) {
 	g := dag.PaperExample()
 	p := platform.New(1, 1, platform.Unlimited, platform.Unlimited)
-	res, err := Solve(g, p, Options{})
+	res, err := Solve(tctx, g, p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestOptimalPaperExampleMemoryFour(t *testing.T) {
 	// memory: makespan 7.
 	g := dag.PaperExample()
 	p := platform.New(1, 1, 4, 4)
-	res, err := Solve(g, p, Options{})
+	res, err := Solve(tctx, g, p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,14 +70,14 @@ func TestOptimalPaperExampleMemoryFour(t *testing.T) {
 func TestInfeasibleWhenMemoryTooSmall(t *testing.T) {
 	g := dag.PaperExample()
 	p := platform.New(1, 1, 2, 2) // T3 alone needs 4
-	res, err := Solve(g, p, Options{})
+	res, err := Solve(tctx, g, p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Status != Infeasible {
 		t.Fatalf("status = %v, want infeasible", res.Status)
 	}
-	ok, st, err := CheckFeasible(g, p, Options{})
+	ok, st, err := CheckFeasible(tctx, g, p, Options{})
 	if err != nil || ok || st != Infeasible {
 		t.Fatalf("CheckFeasible = %v/%v/%v", ok, st, err)
 	}
@@ -86,14 +86,14 @@ func TestInfeasibleWhenMemoryTooSmall(t *testing.T) {
 func TestFeasibilityOnlyStopsEarly(t *testing.T) {
 	g := dag.PaperExample()
 	p := platform.New(1, 1, 10, 10)
-	res, err := Solve(g, p, Options{FeasibilityOnly: true})
+	res, err := Solve(tctx, g, p, Options{FeasibilityOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Status != Feasible || res.Schedule == nil {
 		t.Fatalf("res = %+v", res)
 	}
-	full, _ := Solve(g, p, Options{})
+	full, _ := Solve(tctx, g, p, Options{})
 	if res.Nodes > full.Nodes {
 		t.Fatalf("feasibility search (%d nodes) slower than full search (%d)", res.Nodes, full.Nodes)
 	}
@@ -102,18 +102,18 @@ func TestFeasibilityOnlyStopsEarly(t *testing.T) {
 func TestIncumbentPrunes(t *testing.T) {
 	g := dag.PaperExample()
 	p := platform.New(1, 1, 10, 10)
-	h, err := core.MemHEFT(g, p, core.Options{})
+	h, err := core.MemHEFT(tctx, g, p, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(g, p, Options{Incumbent: h})
+	res, err := Solve(tctx, g, p, Options{Incumbent: h})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Status != Optimal || res.Makespan > h.Makespan() {
 		t.Fatalf("res = %+v vs heuristic %g", res, h.Makespan())
 	}
-	plain, _ := Solve(g, p, Options{})
+	plain, _ := Solve(tctx, g, p, Options{})
 	if res.Nodes > plain.Nodes {
 		t.Fatalf("seeded search explored more nodes (%d) than unseeded (%d)", res.Nodes, plain.Nodes)
 	}
@@ -122,7 +122,7 @@ func TestIncumbentPrunes(t *testing.T) {
 func TestNodeBudgetReportsUnknownOrFeasible(t *testing.T) {
 	g := dag.Chain(6, 2, 3, 1, 1)
 	p := platform.New(1, 1, 10, 10)
-	res, err := Solve(g, p, Options{MaxNodes: 2})
+	res, err := Solve(tctx, g, p, Options{MaxNodes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestSolveMatchesEnumerateMinimum(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Solve(g, p, Options{})
+		res, err := Solve(tctx, g, p, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,12 +172,12 @@ func TestOptimalNeverWorseThanHeuristics(t *testing.T) {
 	f := func(seed int64) bool {
 		g := smallRandom(seed)
 		p := platform.New(1, 1, 25, 25)
-		res, err := Solve(g, p, Options{MaxNodes: 300000})
+		res, err := Solve(tctx, g, p, Options{MaxNodes: 300000})
 		if err != nil || res.Status == Unknown || res.Status == Feasible {
 			return true // budget blowups do not falsify the property
 		}
 		for _, f := range []core.Func{core.MemHEFT, core.MemMinMin} {
-			hs, err := f(g, p, core.Options{Seed: seed})
+			hs, err := f(tctx, g, p, core.Options{Seed: seed})
 			if err != nil {
 				continue
 			}
@@ -199,7 +199,7 @@ func TestOptimalSchedulesValidate(t *testing.T) {
 	f := func(seed int64) bool {
 		g := smallRandom(seed)
 		p := platform.New(1, 1, 30, 30)
-		res, err := Solve(g, p, Options{MaxNodes: 300000})
+		res, err := Solve(tctx, g, p, Options{MaxNodes: 300000})
 		if err != nil {
 			return false
 		}
@@ -221,7 +221,7 @@ func TestLowerBoundHoldsForOptimal(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := Solve(g, p, Options{MaxNodes: 300000})
+		res, err := Solve(tctx, g, p, Options{MaxNodes: 300000})
 		if err != nil || res.Schedule == nil {
 			return true
 		}
@@ -268,7 +268,7 @@ func TestTimeoutStopsSearch(t *testing.T) {
 	// a budgeted status.
 	g := smallRandom(3)
 	p := platform.New(1, 1, 30, 30)
-	res, err := Solve(g, p, Options{Timeout: 1, MaxNodes: 1 << 30})
+	res, err := Solve(tctx, g, p, Options{Timeout: 1, MaxNodes: 1 << 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestLowerBoundOnCyclicGraphFails(t *testing.T) {
 	if _, err := LowerBound(g, platform.New(1, 1, 1, 1)); err == nil {
 		t.Fatal("cyclic graph accepted")
 	}
-	if _, err := Solve(g, platform.New(1, 1, 1, 1), Options{}); err == nil {
+	if _, err := Solve(tctx, g, platform.New(1, 1, 1, 1), Options{}); err == nil {
 		t.Fatal("cyclic graph accepted by Solve")
 	}
 }

@@ -46,7 +46,7 @@ func TestTableColumn(t *testing.T) {
 
 func TestHEFTReference(t *testing.T) {
 	g := dag.PaperExample()
-	ms, peak, err := HEFTReference(g, RandomPlatform(), 1)
+	ms, peak, err := HEFTReference(tctx, g, RandomPlatform(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestNormalizedSweepSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NormalizedSweep(NormalizedSweepConfig{
+	res, err := NormalizedSweep(tctx, NormalizedSweepConfig{
 		Graphs:   graphs,
 		Platform: RandomPlatform(),
 		Alphas:   []float64{0.3, 1.0},
@@ -135,7 +135,7 @@ func TestNormalizedSweepWithOptimal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NormalizedSweep(NormalizedSweepConfig{
+	res, err := NormalizedSweep(tctx, NormalizedSweepConfig{
 		Graphs:      graphs,
 		Platform:    RandomPlatform(),
 		Alphas:      []float64{0.8},
@@ -172,11 +172,11 @@ func TestAbsoluteSweepFig11Shape(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := RandomPlatform()
-	_, peak, err := HEFTReference(g, p, 3)
+	_, peak, err := HEFTReference(tctx, g, p, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := AbsoluteSweep(AbsoluteSweepConfig{
+	tab, err := AbsoluteSweep(tctx, AbsoluteSweepConfig{
 		Graph:      g,
 		Platform:   p,
 		Memories:   MemoryGrid(peak+peak/10, 8),
@@ -215,23 +215,23 @@ func TestAbsoluteSweepFig11Shape(t *testing.T) {
 }
 
 func TestQuickFiguresRun(t *testing.T) {
-	if _, err := Fig11(Quick, 7); err != nil {
+	if _, err := Fig11(tctx, Quick, 7); err != nil {
 		t.Fatalf("Fig11: %v", err)
 	}
-	tab, err := Fig14(Quick, 7)
+	tab, err := Fig14(tctx, Quick, 7)
 	if err != nil {
 		t.Fatalf("Fig14: %v", err)
 	}
 	if tab.Column("memheft") < 0 || tab.Column("memminmin") < 0 {
 		t.Fatal("Fig14 columns wrong")
 	}
-	if _, err := Fig15(Quick, 7); err != nil {
+	if _, err := Fig15(tctx, Quick, 7); err != nil {
 		t.Fatalf("Fig15: %v", err)
 	}
 }
 
 func TestQuickFig12Runs(t *testing.T) {
-	res, err := Fig12(Quick, 9)
+	res, err := Fig12(tctx, Quick, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestQuickFig12Runs(t *testing.T) {
 }
 
 func TestQuickFig10Runs(t *testing.T) {
-	res, err := Fig10(Quick, 13)
+	res, err := Fig10(tctx, Quick, 13)
 	if err != nil {
 		t.Fatal(err)
 	}

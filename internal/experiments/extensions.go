@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -19,7 +20,11 @@ import (
 
 // ExtInsertion sweeps absolute memory on one random DAG and compares the
 // paper's MemHEFT (append policy) against the insertion-based variant.
-func ExtInsertion(scale Scale, seed int64) (*Table, error) {
+func ExtInsertion(ctx context.Context, scale Scale, seed int64) (*Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	caches := core.NewCaches()
 	params := daggen.SmallParams()
 	params.Size = 60
 	steps := 20
@@ -32,7 +37,7 @@ func ExtInsertion(scale Scale, seed int64) (*Table, error) {
 		return nil, err
 	}
 	p := RandomPlatform()
-	_, peak, err := HEFTReference(g, p, seed)
+	_, peak, err := heftReferenceCached(ctx, g, p, seed, caches)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +47,7 @@ func ExtInsertion(scale Scale, seed int64) (*Table, error) {
 		pb := p.WithBounds(mem, mem)
 		row := make([]float64, 2)
 		for i, fn := range []core.Func{core.MemHEFT, core.MemHEFTInsertion} {
-			s, err := fn(g, pb, core.Options{Seed: seed})
+			s, err := fn(ctx, g, pb, core.Options{Seed: seed, Caches: caches})
 			if err != nil {
 				if errors.Is(err, core.ErrMemoryBound) {
 					row[i] = math.NaN()
@@ -63,7 +68,11 @@ func ExtInsertion(scale Scale, seed int64) (*Table, error) {
 // accounting, so the online curves are expected to stop earlier and sit
 // higher — quantifying what the paper's proposed StarPU integration would
 // give up without lookahead.
-func ExtOnline(scale Scale, seed int64) (*Table, error) {
+func ExtOnline(ctx context.Context, scale Scale, seed int64) (*Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	caches := core.NewCaches()
 	tiles := 8
 	steps := 16
 	if scale == Quick {
@@ -75,7 +84,7 @@ func ExtOnline(scale Scale, seed int64) (*Table, error) {
 		return nil, err
 	}
 	p := MiragePlatform()
-	_, peak, err := HEFTReference(g, p, seed)
+	_, peak, err := heftReferenceCached(ctx, g, p, seed, caches)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +94,7 @@ func ExtOnline(scale Scale, seed int64) (*Table, error) {
 		pb := p.WithBounds(mem, mem)
 		row := make([]float64, 4)
 		for i, fn := range []core.Func{core.MemHEFT, core.MemMinMin} {
-			s, err := fn(g, pb, core.Options{Seed: seed})
+			s, err := fn(ctx, g, pb, core.Options{Seed: seed, Caches: caches})
 			if err != nil {
 				if errors.Is(err, core.ErrMemoryBound) {
 					row[i] = math.NaN()
@@ -96,7 +105,7 @@ func ExtOnline(scale Scale, seed int64) (*Table, error) {
 			row[i] = s.Makespan()
 		}
 		for i, pol := range []sim.Policy{sim.RankPolicy, sim.EFTPolicy} {
-			res, err := sim.Run(g, pb, sim.Options{Policy: pol, Seed: seed})
+			res, err := sim.Run(ctx, g, pb, sim.Options{Policy: pol, Seed: seed})
 			if err != nil {
 				if errors.Is(err, sim.ErrStuck) {
 					row[2+i] = math.NaN()
@@ -115,7 +124,7 @@ func ExtOnline(scale Scale, seed int64) (*Table, error) {
 // (CPU + two accelerator types) on a flavoured random workload, showing the
 // k-memory generalisation at work. Returns makespan per device-memory size
 // for the generalised heuristics.
-func ExtMultiPool(scale Scale, seed int64) (*Table, error) {
+func ExtMultiPool(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	params := daggen.SmallParams()
 	params.Size = 45
 	if scale == Quick {
@@ -125,10 +134,10 @@ func ExtMultiPool(scale Scale, seed int64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return multiPoolSweep(g, seed)
+	return multiPoolSweep(ctx, g, seed)
 }
 
-func multiPoolSweep(g *dag.Graph, seed int64) (*Table, error) {
+func multiPoolSweep(ctx context.Context, g *dag.Graph, seed int64) (*Table, error) {
 	// Pool times: CPU keeps the blue time; accelerator A gets the red
 	// time; accelerator B gets the mean — three genuinely different
 	// speeds per task.
@@ -145,8 +154,8 @@ func multiPoolSweep(g *dag.Graph, seed int64) (*Table, error) {
 		p := multiPlatform(total*2, dev)
 		row := make([]float64, 2)
 		for i, fn := range []func() (float64, error){
-			func() (float64, error) { return multiRun(inst, p, seed, true) },
-			func() (float64, error) { return multiRun(inst, p, seed, false) },
+			func() (float64, error) { return multiRun(ctx, inst, p, seed, true) },
+			func() (float64, error) { return multiRun(ctx, inst, p, seed, false) },
 		} {
 			v, err := fn()
 			if err != nil {

@@ -6,7 +6,7 @@ import (
 )
 
 func TestExtInsertionShape(t *testing.T) {
-	tab, err := ExtInsertion(Quick, 3)
+	tab, err := ExtInsertion(tctx, Quick, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestExtInsertionShape(t *testing.T) {
 }
 
 func TestExtOnlineShape(t *testing.T) {
-	tab, err := ExtOnline(Quick, 3)
+	tab, err := ExtOnline(tctx, Quick, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestExtOnlineShape(t *testing.T) {
 }
 
 func TestExtMultiPoolShape(t *testing.T) {
-	tab, err := ExtMultiPool(Quick, 3)
+	tab, err := ExtMultiPool(tctx, Quick, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/dag"
@@ -48,7 +49,7 @@ func Table1Kernels() []string {
 
 // Fig10 reproduces Figure 10: SmallRandSet, normalised makespan and success
 // rate for MemHEFT, MemMinMin and the exact-search reference.
-func Fig10(scale Scale, seed int64) (*SweepResult, error) {
+func Fig10(ctx context.Context, scale Scale, seed int64) (*SweepResult, error) {
 	count := 50
 	optNodes := 200000
 	optTimeout := 2 * time.Second
@@ -63,7 +64,7 @@ func Fig10(scale Scale, seed int64) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NormalizedSweep(NormalizedSweepConfig{
+	return NormalizedSweep(ctx, NormalizedSweepConfig{
 		Graphs:      graphs,
 		Platform:    RandomPlatform(),
 		Alphas:      alphas,
@@ -76,13 +77,13 @@ func Fig10(scale Scale, seed int64) (*SweepResult, error) {
 
 // Fig11 reproduces Figure 11: makespan versus absolute memory for one DAG of
 // SmallRandSet, all four heuristics plus the lower bound.
-func Fig11(scale Scale, seed int64) (*Table, error) {
+func Fig11(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	g, err := daggen.Generate(daggen.SmallParams(), seed)
 	if err != nil {
 		return nil, err
 	}
 	p := RandomPlatform()
-	_, peak, err := HEFTReference(g, p, seed)
+	_, peak, err := HEFTReference(ctx, g, p, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +91,7 @@ func Fig11(scale Scale, seed int64) (*Table, error) {
 	if scale == Quick {
 		steps = 10
 	}
-	return AbsoluteSweep(AbsoluteSweepConfig{
+	return AbsoluteSweep(ctx, AbsoluteSweepConfig{
 		Graph:      g,
 		Platform:   p,
 		Memories:   MemoryGrid(peak+peak/10, steps),
@@ -102,7 +103,7 @@ func Fig11(scale Scale, seed int64) (*Table, error) {
 // Fig12 reproduces Figure 12: LargeRandSet, normalised makespan and success
 // rate for the two memory-aware heuristics. At Full scale this runs the
 // paper's 100 DAGs of 1000 tasks and takes a while; Quick shrinks both.
-func Fig12(scale Scale, seed int64) (*SweepResult, error) {
+func Fig12(ctx context.Context, scale Scale, seed int64) (*SweepResult, error) {
 	params := daggen.LargeParams()
 	count := 100
 	alphas := DefaultAlphas()
@@ -115,7 +116,7 @@ func Fig12(scale Scale, seed int64) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NormalizedSweep(NormalizedSweepConfig{
+	return NormalizedSweep(ctx, NormalizedSweepConfig{
 		Graphs:   graphs,
 		Platform: RandomPlatform(),
 		Alphas:   alphas,
@@ -126,7 +127,7 @@ func Fig12(scale Scale, seed int64) (*SweepResult, error) {
 // Fig13 reproduces Figure 13: makespan versus absolute memory for one DAG of
 // LargeRandSet, the four heuristics (no lower bound is drawn in the paper's
 // figure, but including it costs nothing).
-func Fig13(scale Scale, seed int64) (*Table, error) {
+func Fig13(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	params := daggen.LargeParams()
 	steps := 25
 	if scale == Quick {
@@ -138,11 +139,11 @@ func Fig13(scale Scale, seed int64) (*Table, error) {
 		return nil, err
 	}
 	p := RandomPlatform()
-	_, peak, err := HEFTReference(g, p, seed)
+	_, peak, err := HEFTReference(ctx, g, p, seed)
 	if err != nil {
 		return nil, err
 	}
-	return AbsoluteSweep(AbsoluteSweepConfig{
+	return AbsoluteSweep(ctx, AbsoluteSweepConfig{
 		Graph:    g,
 		Platform: p,
 		Memories: MemoryGrid(peak+peak/10, steps),
@@ -152,7 +153,7 @@ func Fig13(scale Scale, seed int64) (*Table, error) {
 
 // Fig14 reproduces Figure 14: the LU factorisation of a 13x13 tiled matrix
 // on the mirage platform, makespan versus memory (in tiles).
-func Fig14(scale Scale, seed int64) (*Table, error) {
+func Fig14(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	tiles := 13
 	steps := 25
 	if scale == Quick {
@@ -163,12 +164,12 @@ func Fig14(scale Scale, seed int64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return linalgSweep(g, seed, steps)
+	return linalgSweep(ctx, g, seed, steps)
 }
 
 // Fig15 reproduces Figure 15: the Cholesky factorisation of a 13x13 tiled
 // matrix on the mirage platform.
-func Fig15(scale Scale, seed int64) (*Table, error) {
+func Fig15(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	tiles := 13
 	steps := 25
 	if scale == Quick {
@@ -179,19 +180,19 @@ func Fig15(scale Scale, seed int64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return linalgSweep(g, seed, steps)
+	return linalgSweep(ctx, g, seed, steps)
 }
 
 // linalgSweep is the common body of Figures 14 and 15: sweep absolute
 // memory (in tiles) on the mirage platform for the two memory-aware
 // heuristics, as in the paper's figures.
-func linalgSweep(g *dag.Graph, seed int64, steps int) (*Table, error) {
+func linalgSweep(ctx context.Context, g *dag.Graph, seed int64, steps int) (*Table, error) {
 	p := MiragePlatform()
-	_, peak, err := HEFTReference(g, p, seed)
+	_, peak, err := HEFTReference(ctx, g, p, seed)
 	if err != nil {
 		return nil, err
 	}
-	return AbsoluteSweep(AbsoluteSweepConfig{
+	return AbsoluteSweep(ctx, AbsoluteSweepConfig{
 		Graph:      g,
 		Platform:   p,
 		Memories:   MemoryGrid(peak+peak/10, steps),

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -33,15 +34,15 @@ func multiPlatform(hostMem, devMem int64) multi.Platform {
 
 // multiRun executes one generalised heuristic and returns its makespan, or
 // NaN when the instance does not fit.
-func multiRun(in *multi.Instance, p multi.Platform, seed int64, heft bool) (float64, error) {
+func multiRun(ctx context.Context, in *multi.Instance, p multi.Platform, seed int64, heft bool) (float64, error) {
 	var (
 		s   *multi.Schedule
 		err error
 	)
 	if heft {
-		s, err = multi.MemHEFT(in, p, multi.Options{Seed: seed})
+		s, err = multi.MemHEFT(ctx, in, p, multi.Options{Seed: seed})
 	} else {
-		s, err = multi.MemMinMin(in, p, multi.Options{Seed: seed})
+		s, err = multi.MemMinMin(ctx, in, p, multi.Options{Seed: seed})
 	}
 	if err != nil {
 		if errors.Is(err, multi.ErrMemoryBound) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -17,17 +18,8 @@ import (
 // HEFTReference runs memory-oblivious HEFT on g and returns its makespan and
 // the larger of its two memory peaks; the paper normalises every sweep by
 // these quantities ("the amount of memory required by HEFT").
-func HEFTReference(g *dag.Graph, p platform.Platform, seed int64) (makespan float64, maxPeak int64, err error) {
-	s, err := core.HEFT(g, p, core.Options{Seed: seed})
-	if err != nil {
-		return 0, 0, fmt.Errorf("experiments: HEFT reference failed: %w", err)
-	}
-	blue, red := s.MemoryPeaks()
-	peak := blue
-	if red > peak {
-		peak = red
-	}
-	return s.Makespan(), peak, nil
+func HEFTReference(ctx context.Context, g *dag.Graph, p platform.Platform, seed int64) (makespan float64, maxPeak int64, err error) {
+	return heftReferenceCached(ctx, g, p, seed, nil)
 }
 
 // NormalizedSweepConfig drives the Figure 10 / Figure 12 experiment: for
@@ -62,8 +54,12 @@ type SweepResult struct {
 	Success  *Table // fraction of DAGs scheduled
 }
 
-// NormalizedSweep runs the experiment.
-func NormalizedSweep(cfg NormalizedSweepConfig) (*SweepResult, error) {
+// NormalizedSweep runs the experiment. The context cancels the sweep
+// between (and inside) cells; a cancelled sweep returns ctx's error.
+func NormalizedSweep(ctx context.Context, cfg NormalizedSweepConfig) (*SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cols := []string{"MemHEFT", "MemMinMin"}
 	if cfg.WithOptimal {
 		cols = append(cols, "Optimal")
@@ -75,9 +71,15 @@ func NormalizedSweep(cfg NormalizedSweepConfig) (*SweepResult, error) {
 		ms   float64
 		peak int64
 	}
+	// One cache set per graph: every alpha of a graph reuses the same
+	// priority list and statics, and concurrent workers on different
+	// graphs share nothing (the former process-global single-slot caches
+	// made them thrash and serialize).
+	caches := make([]*core.Caches, len(cfg.Graphs))
 	refs := make([]ref, len(cfg.Graphs))
 	for i, g := range cfg.Graphs {
-		ms, peak, err := HEFTReference(g, cfg.Platform, cfg.Seed)
+		caches[i] = core.NewCaches()
+		ms, peak, err := heftReferenceCached(ctx, g, cfg.Platform, cfg.Seed, caches[i])
 		if err != nil {
 			return nil, err
 		}
@@ -110,8 +112,12 @@ func NormalizedSweep(cfg NormalizedSweepConfig) (*SweepResult, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
+				if err := ctx.Err(); err != nil {
+					cells[idx] = cell{err: err}
+					continue
+				}
 				ai, gi := idx/nG, idx%nG
-				cells[idx] = sweepCell(cfg, cols, cfg.Alphas[ai], cfg.Graphs[gi], refs[gi].ms, refs[gi].peak, algs)
+				cells[idx] = sweepCell(ctx, cfg, cols, cfg.Alphas[ai], cfg.Graphs[gi], refs[gi].ms, refs[gi].peak, algs, caches[gi])
 			}
 		}()
 	}
@@ -154,7 +160,7 @@ func NormalizedSweep(cfg NormalizedSweepConfig) (*SweepResult, error) {
 
 // sweepCell evaluates one DAG at one alpha: both heuristics plus, when
 // configured, the exact reference seeded with the better heuristic schedule.
-func sweepCell(cfg NormalizedSweepConfig, cols []string, alpha float64, g *dag.Graph, refMS float64, refPeak int64, algs []namedAlg) struct {
+func sweepCell(ctx context.Context, cfg NormalizedSweepConfig, cols []string, alpha float64, g *dag.Graph, refMS float64, refPeak int64, algs []namedAlg, caches *core.Caches) struct {
 	norm []float64
 	err  error
 } {
@@ -169,8 +175,12 @@ func sweepCell(cfg NormalizedSweepConfig, cols []string, alpha float64, g *dag.G
 	p := cfg.Platform.WithBounds(bound, bound)
 	var best *schedule.Schedule
 	for ai, alg := range algs {
-		s, err := alg.fn(g, p, core.Options{Seed: cfg.Seed})
+		s, err := alg.fn(ctx, g, p, core.Options{Seed: cfg.Seed, Caches: caches})
 		if err != nil {
+			if ctx.Err() != nil {
+				out.err = ctx.Err()
+				return out
+			}
 			continue
 		}
 		out.norm[ai] = s.Makespan() / refMS
@@ -179,8 +189,8 @@ func sweepCell(cfg NormalizedSweepConfig, cols []string, alpha float64, g *dag.G
 		}
 	}
 	if cfg.WithOptimal {
-		opt := exact.Options{MaxNodes: cfg.OptNodes, Timeout: cfg.OptTimeout, Incumbent: best}
-		res, err := exact.Solve(g, p, opt)
+		opt := exact.Options{MaxNodes: cfg.OptNodes, Timeout: cfg.OptTimeout, Incumbent: best, Caches: caches}
+		res, err := exact.Solve(ctx, g, p, opt)
 		if err != nil {
 			out.err = err
 			return out
@@ -190,6 +200,20 @@ func sweepCell(cfg NormalizedSweepConfig, cols []string, alpha float64, g *dag.G
 		}
 	}
 	return out
+}
+
+// heftReferenceCached is HEFTReference with a session-style cache set.
+func heftReferenceCached(ctx context.Context, g *dag.Graph, p platform.Platform, seed int64, caches *core.Caches) (makespan float64, maxPeak int64, err error) {
+	s, err := core.HEFT(ctx, g, p, core.Options{Seed: seed, Caches: caches})
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: HEFT reference failed: %w", err)
+	}
+	blue, red := s.MemoryPeaks()
+	peak := blue
+	if red > peak {
+		peak = red
+	}
+	return s.Makespan(), peak, nil
 }
 
 // namedAlg pairs a column name with its scheduler.
@@ -212,8 +236,13 @@ type AbsoluteSweepConfig struct {
 
 // AbsoluteSweep runs the experiment. Memory-oblivious algorithms (heft,
 // minmin) are reported only at bounds that accommodate their peaks — they
-// appear as the horizontal reference lines of Figure 11.
-func AbsoluteSweep(cfg AbsoluteSweepConfig) (*Table, error) {
+// appear as the horizontal reference lines of Figure 11. The context
+// cancels the sweep between memory steps.
+func AbsoluteSweep(ctx context.Context, cfg AbsoluteSweepConfig) (*Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	caches := core.NewCaches()
 	names := cfg.Algorithms
 	if names == nil {
 		names = []string{"heft", "minmin", "memheft", "memminmin"}
@@ -244,7 +273,7 @@ func AbsoluteSweep(cfg AbsoluteSweepConfig) (*Table, error) {
 			continue
 		}
 		fn := core.Algorithms[name]
-		s, err := fn(cfg.Graph, cfg.Platform, core.Options{Seed: cfg.Seed})
+		s, err := fn(ctx, cfg.Graph, cfg.Platform, core.Options{Seed: cfg.Seed, Caches: caches})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s failed: %w", name, err)
 		}
@@ -257,6 +286,9 @@ func AbsoluteSweep(cfg AbsoluteSweepConfig) (*Table, error) {
 	}
 
 	for _, mem := range cfg.Memories {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := make([]float64, len(cols))
 		for i, name := range names {
 			if o, ok := oblivious[name]; ok {
@@ -271,8 +303,11 @@ func AbsoluteSweep(cfg AbsoluteSweepConfig) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			s, err := fn(cfg.Graph, cfg.Platform.WithBounds(mem, mem), core.Options{Seed: cfg.Seed})
+			s, err := fn(ctx, cfg.Graph, cfg.Platform.WithBounds(mem, mem), core.Options{Seed: cfg.Seed, Caches: caches})
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
 				row[i] = math.NaN()
 				continue
 			}

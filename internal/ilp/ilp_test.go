@@ -176,7 +176,7 @@ func TestILPMatchesExactSearchOnTinyInstances(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eres, err := exact.Solve(g, p, exact.Options{})
+		eres, err := exact.Solve(tctx, g, p, exact.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,7 +201,7 @@ func TestILPNeverWorseThanExactSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eres, err := exact.Solve(g, p, exact.Options{})
+	eres, err := exact.Solve(tctx, g, p, exact.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -285,7 +285,7 @@ func TestSchedulableOnMiragePlatform(t *testing.T) {
 		}
 		p := platform.New(12, 3, 60, 60)
 		for name, f := range core.Algorithms {
-			s, err := f(g, p, core.Options{Seed: 1})
+			s, err := f(tctx, g, p, core.Options{Seed: 1})
 			if err != nil {
 				t.Fatalf("%s failed on 5x5: %v", name, err)
 			}

@@ -1,24 +1,29 @@
 package multi
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/memfn"
 )
 
 // ErrMemoryBound is returned (wrapped) when a heuristic cannot fit the
-// instance in the pool capacities.
-var ErrMemoryBound = errors.New("multi: graph cannot be processed within the memory bounds")
+// instance in the pool capacities. It is the same sentinel as the
+// dual-memory engine's, so one errors.Is check covers both engines.
+var ErrMemoryBound = core.ErrMemoryBound
 
 // Options tunes a heuristic run.
 type Options struct {
 	Seed int64 // rank tie-breaking seed
 }
+
+// Func is the common signature of the generalised heuristics.
+type Func func(ctx context.Context, in *Instance, p Platform, opt Options) (*Schedule, error)
 
 var inf = math.Inf(1)
 
@@ -198,8 +203,9 @@ func PriorityList(in *Instance, seed int64) ([]dag.TaskID, error) {
 	return list, nil
 }
 
-// MemHEFT is Algorithm 1 generalised to k pools.
-func MemHEFT(in *Instance, p Platform, opt Options) (*Schedule, error) {
+// MemHEFT is Algorithm 1 generalised to k pools. The context is checked
+// cooperatively once per placement.
+func MemHEFT(ctx context.Context, in *Instance, p Platform, opt Options) (*Schedule, error) {
 	if err := in.Validate(p); err != nil {
 		return nil, err
 	}
@@ -209,6 +215,11 @@ func MemHEFT(in *Instance, p Platform, opt Options) (*Schedule, error) {
 	}
 	st := newPartial(in, p)
 	for len(remaining) > 0 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return st.sched, fmt.Errorf("multi: MemHEFT interrupted: %w", err)
+			}
+		}
 		placed := false
 		for index, id := range remaining {
 			if !st.ready(id) {
@@ -230,8 +241,9 @@ func MemHEFT(in *Instance, p Platform, opt Options) (*Schedule, error) {
 	return st.sched, nil
 }
 
-// MemMinMin is Algorithm 2 generalised to k pools.
-func MemMinMin(in *Instance, p Platform, opt Options) (*Schedule, error) {
+// MemMinMin is Algorithm 2 generalised to k pools. The context is checked
+// cooperatively once per placement.
+func MemMinMin(ctx context.Context, in *Instance, p Platform, opt Options) (*Schedule, error) {
 	if err := in.Validate(p); err != nil {
 		return nil, err
 	}
@@ -246,6 +258,11 @@ func MemMinMin(in *Instance, p Platform, opt Options) (*Schedule, error) {
 		}
 	}
 	for len(ready) > 0 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return st.sched, fmt.Errorf("multi: MemMinMin interrupted: %w", err)
+			}
+		}
 		bestIdx := -1
 		var bestCand candidate
 		for idx, id := range ready {

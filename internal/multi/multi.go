@@ -19,8 +19,10 @@ package multi
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/dag"
+	"repro/internal/platform"
 )
 
 // Pool is one memory with its attached identical processors.
@@ -37,6 +39,63 @@ type Platform struct {
 
 // NewPlatform builds a platform from pools.
 func NewPlatform(pools ...Pool) Platform { return Platform{Pools: pools} }
+
+// FromDualPlatform lifts a dual-memory platform into its 2-pool equivalent:
+// pool 0 is blue, pool 1 is red.
+func FromDualPlatform(p platform.Platform) Platform {
+	return NewPlatform(
+		Pool{Procs: p.PBlue, Capacity: p.MBlue},
+		Pool{Procs: p.PRed, Capacity: p.MRed},
+	)
+}
+
+// Dual projects a 2-pool platform back onto the dual-memory model (pool 0
+// blue, pool 1 red); ok is false for any other pool count. This is the
+// bridge the session layer uses to route 2-pool requests onto the
+// incremental dual-memory engine.
+func (p Platform) Dual() (dp platform.Platform, ok bool) {
+	if len(p.Pools) != 2 {
+		return platform.Platform{}, false
+	}
+	return platform.New(p.Pools[0].Procs, p.Pools[1].Procs, p.Pools[0].Capacity, p.Pools[1].Capacity), true
+}
+
+// Unbounded returns the same platform with every pool's capacity unlimited.
+func (p Platform) Unbounded() Platform {
+	return p.WithUniformBounds(platform.Unlimited)
+}
+
+// WithUniformBounds returns the same platform with every pool capacity set
+// to c.
+func (p Platform) WithUniformBounds(c int64) Platform {
+	pools := make([]Pool, len(p.Pools))
+	for k, pool := range p.Pools {
+		pool.Capacity = c
+		pools[k] = pool
+	}
+	return Platform{Pools: pools}
+}
+
+// Capacity returns the capacity of pool k.
+func (p Platform) Capacity(k int) int64 { return p.Pools[k].Capacity }
+
+// String formats the platform compactly, one procs@capacity entry per pool.
+func (p Platform) String() string {
+	var b strings.Builder
+	b.WriteString("platform{")
+	for k, pool := range p.Pools {
+		if k > 0 {
+			b.WriteByte(' ')
+		}
+		cap := "inf"
+		if pool.Capacity < platform.Unlimited {
+			cap = fmt.Sprintf("%d", pool.Capacity)
+		}
+		fmt.Fprintf(&b, "%d@%s", pool.Procs, cap)
+	}
+	b.WriteString("}")
+	return b.String()
+}
 
 // NumPools returns the number of memory pools.
 func (p Platform) NumPools() int { return len(p.Pools) }

@@ -2,6 +2,7 @@ package multi
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -99,14 +100,14 @@ func TestTwoPoolMatchesCore(t *testing.T) {
 			mp := dualPlatform(2, 2, bound, bound)
 			pairs := []struct {
 				dual  core.Func
-				multi func(*Instance, Platform, Options) (*Schedule, error)
+				multi Func
 			}{
 				{core.MemHEFT, MemHEFT},
 				{core.MemMinMin, MemMinMin},
 			}
 			for _, pair := range pairs {
-				ds, derr := pair.dual(g, dp, core.Options{Seed: seed})
-				ms, merr := pair.multi(in, mp, Options{Seed: seed})
+				ds, derr := pair.dual(tctx, g, dp, core.Options{Seed: seed})
+				ms, merr := pair.multi(tctx, in, mp, Options{Seed: seed})
 				if (derr == nil) != (merr == nil) {
 					return false
 				}
@@ -115,6 +116,15 @@ func TestTwoPoolMatchesCore(t *testing.T) {
 				}
 				for i := 0; i < g.NumTasks(); i++ {
 					if ds.Tasks[i].Start != ms.Tasks[i].Start || ds.Tasks[i].Proc != ms.Tasks[i].Proc {
+						return false
+					}
+				}
+				// The communication schedules must collapse too:
+				// same ALAP starts on cross edges, same NaN
+				// markers on intra-pool edges.
+				for e := 0; e < g.NumEdges(); e++ {
+					dc, mc := ds.CommStart[e], ms.CommStart[e]
+					if dc != mc && !(math.IsNaN(dc) && math.IsNaN(mc)) {
 						return false
 					}
 				}
@@ -127,6 +137,35 @@ func TestTwoPoolMatchesCore(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTwoPoolMatchesCoreViaDualBridge checks the platform bridge both
+// directions: FromDualPlatform followed by Dual round-trips, and the
+// generalised engine on the lifted platform reproduces the dual engine.
+func TestTwoPoolMatchesCoreViaDualBridge(t *testing.T) {
+	g := dag.PaperExample()
+	dp := platform.New(1, 1, 4, 4)
+	mp := FromDualPlatform(dp)
+	back, ok := mp.Dual()
+	if !ok || back != dp {
+		t.Fatalf("round trip lost the platform: %v -> %v (ok=%v)", dp, back, ok)
+	}
+	if _, ok := NewPlatform(Pool{1, 4}).Dual(); ok {
+		t.Fatal("1-pool platform claimed to be dual")
+	}
+	ds, err := core.MemHEFT(tctx, g, dp, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := MemHEFT(tctx, FromDual(g), mp, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Tasks {
+		if ds.Tasks[i].Start != ms.Tasks[i].Start || ds.Tasks[i].Proc != ms.Tasks[i].Proc {
+			t.Fatalf("task %d: dual %+v vs lifted %+v", i, ds.Tasks[i], ms.Tasks[i])
+		}
 	}
 }
 
@@ -150,8 +189,8 @@ func TestThreePoolPrefersSpecialisedAccelerators(t *testing.T) {
 	}
 	in := NewInstance(g, times)
 	p := NewPlatform(Pool{2, 100}, Pool{1, 100}, Pool{1, 100})
-	for _, fn := range []func(*Instance, Platform, Options) (*Schedule, error){MemHEFT, MemMinMin} {
-		s, err := fn(in, p, Options{Seed: 1})
+	for _, fn := range []Func{MemHEFT, MemMinMin} {
+		s, err := fn(tctx, in, p, Options{Seed: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,8 +221,8 @@ func TestThreePoolMemoryBoundsRespected(t *testing.T) {
 		}
 		in := NewInstance(g, times)
 		p := NewPlatform(Pool{1, bound}, Pool{1, bound}, Pool{1, bound})
-		for _, fn := range []func(*Instance, Platform, Options) (*Schedule, error){MemHEFT, MemMinMin} {
-			s, err := fn(in, p, Options{Seed: seed})
+		for _, fn := range []Func{MemHEFT, MemMinMin} {
+			s, err := fn(tctx, in, p, Options{Seed: seed})
 			if err != nil {
 				if !errors.Is(err, ErrMemoryBound) {
 					return false
@@ -221,9 +260,9 @@ func TestMoreMemoriesCanBeatTwo(t *testing.T) {
 	in3 := NewInstance(g, times)
 
 	p2 := dualPlatform(1, 1, 24, 24)
-	_, err2 := MemHEFT(in2, p2, Options{Seed: 1})
+	_, err2 := MemHEFT(tctx, in2, p2, Options{Seed: 1})
 	p3 := NewPlatform(Pool{1, 24}, Pool{1, 24}, Pool{1, 24})
-	s3, err3 := MemHEFT(in3, p3, Options{Seed: 1})
+	s3, err3 := MemHEFT(tctx, in3, p3, Options{Seed: 1})
 	if err3 != nil {
 		t.Fatalf("3-pool run failed: %v", err3)
 	}
@@ -237,7 +276,7 @@ func TestScheduleAccessors(t *testing.T) {
 	g := dag.PaperExample()
 	in := FromDual(g)
 	p := dualPlatform(1, 1, 100, 100)
-	s, err := MemMinMin(in, p, Options{Seed: 1})
+	s, err := MemMinMin(tctx, in, p, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,10 +296,10 @@ func TestHeuristicsFailCleanlyOnTinyMemory(t *testing.T) {
 	g := dag.PaperExample()
 	in := FromDual(g)
 	p := dualPlatform(1, 1, 2, 2)
-	if _, err := MemHEFT(in, p, Options{}); !errors.Is(err, ErrMemoryBound) {
+	if _, err := MemHEFT(tctx, in, p, Options{}); !errors.Is(err, ErrMemoryBound) {
 		t.Fatalf("MemHEFT err = %v", err)
 	}
-	if _, err := MemMinMin(in, p, Options{}); !errors.Is(err, ErrMemoryBound) {
+	if _, err := MemMinMin(tctx, in, p, Options{}); !errors.Is(err, ErrMemoryBound) {
 		t.Fatalf("MemMinMin err = %v", err)
 	}
 }

@@ -15,6 +15,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -98,8 +99,12 @@ type runtime struct {
 }
 
 // Run simulates the online execution of g on p and returns the emitted
-// schedule (already validated) and statistics.
-func Run(g *dag.Graph, p platform.Platform, opt Options) (*Result, error) {
+// schedule (already validated) and statistics. The context cancels the
+// event loop cooperatively; cancellation returns ctx.Err() wrapped.
+func Run(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,6 +131,11 @@ func Run(g *dag.Graph, p platform.Platform, opt Options) (*Result, error) {
 
 	events := 0
 	for {
+		if events%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run interrupted: %w", err)
+			}
+		}
 		events++
 		progress := rt.dispatch(opt)
 		if rt.done() {

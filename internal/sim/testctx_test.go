@@ -1,0 +1,6 @@
+package sim
+
+import "context"
+
+// tctx is the shared background context of the package tests.
+var tctx = context.Background()

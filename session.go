@@ -1,0 +1,408 @@
+package memsched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/multi"
+	"repro/internal/sim"
+)
+
+// Session is the primary scheduling handle: it is created once for a task
+// graph and owns every per-graph memo the dual-memory engine uses — the
+// validated statics, the seeded priority lists, and the candidate caches'
+// inputs. Those memos used to live in process-global single slots; a
+// Session makes them per-graph, concurrency-safe and bounded by
+// construction, so any number of goroutines can call Schedule concurrently
+// on any number of sessions without contending. (The generalised k-pool
+// engine memoizes only the instance matrix so far; its ranking phase is
+// recomputed per call.)
+//
+// A Session built with NewSession carries the graph's dual (blue/red)
+// processing times: scheduling it on a 2-pool platform runs the incremental
+// dual-memory engine, while platforms with another pool count are rejected
+// (the dual times define only two columns). A Session built with
+// WithPoolTimes carries an explicit per-pool timing matrix and always runs
+// the generalised k-pool engine.
+type Session struct {
+	g      *Graph
+	times  [][]float64 // nil = dual times from the graph
+	caches *core.Caches
+
+	mu   sync.Mutex
+	inst *multi.Instance // lazily built for the k-pool engine
+}
+
+// SessionOption configures a Session at creation.
+type SessionOption func(*Session) error
+
+// WithPoolTimes supplies an explicit Times[task][pool] processing-time
+// matrix, turning the session into a k-pool session: Schedule then always
+// runs the generalised engine and the platform's pool count must match the
+// matrix width. The graph's WBlue/WRed fields are ignored.
+func WithPoolTimes(times [][]float64) SessionOption {
+	return func(s *Session) error {
+		if len(times) != s.g.NumTasks() {
+			return fmt.Errorf("memsched: pool-time matrix has %d rows for %d tasks", len(times), s.g.NumTasks())
+		}
+		s.times = times
+		return nil
+	}
+}
+
+// NewSession validates g once and returns a scheduling session for it. The
+// graph must not be mutated while the session is in use.
+func NewSession(g *Graph, opts ...SessionOption) (*Session, error) {
+	if g == nil {
+		return nil, errors.New("memsched: nil graph")
+	}
+	s := &Session{g: g, caches: core.NewCaches()}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.caches.Validate(g); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Graph returns the session's task graph.
+func (s *Session) Graph() *Graph { return s.g }
+
+// instance returns (building lazily) the multi-pool instance of the
+// session: the explicit pool times, or the dual columns of the graph.
+func (s *Session) instance() *multi.Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inst == nil {
+		if s.times != nil {
+			s.inst = multi.NewInstance(s.g, s.times)
+		} else {
+			s.inst = multi.FromDual(s.g)
+		}
+	}
+	return s.inst
+}
+
+// scheduleConfig collects the functional options of one scheduling call.
+type scheduleConfig struct {
+	seed      int64
+	scheduler string
+	insertion bool
+	policy    SimPolicy
+	timeout   time.Duration
+	maxNodes  int
+}
+
+// ScheduleOption tunes one Schedule, Optimal or Simulate call.
+type ScheduleOption func(*scheduleConfig)
+
+// WithSeed sets the tie-breaking seed of the priority phase (runs with
+// equal seeds are reproducible). The default is 0.
+func WithSeed(seed int64) ScheduleOption {
+	return func(c *scheduleConfig) { c.seed = seed }
+}
+
+// WithScheduler selects a registered heuristic by name (case-insensitive;
+// see Schedulers). The default is "memheft".
+func WithScheduler(name string) ScheduleOption {
+	return func(c *scheduleConfig) { c.scheduler = name }
+}
+
+// WithInsertion switches MemHEFT's processor selection to classical HEFT's
+// insertion-based policy (idle gaps may be filled) instead of the paper's
+// append policy. Only valid with the "memheft" scheduler on a dual session.
+func WithInsertion() ScheduleOption {
+	return func(c *scheduleConfig) { c.insertion = true }
+}
+
+// WithPolicy selects the online dispatch policy of Simulate (ignored by
+// Schedule and Optimal). The default is SimRankPolicy.
+func WithPolicy(p SimPolicy) ScheduleOption {
+	return func(c *scheduleConfig) { c.policy = p }
+}
+
+// WithTimeout is a convenience wrapper around context cancellation: the
+// call derives a context.WithTimeout from its context. For Optimal it
+// bounds the search like an exhausted node budget (best incumbent is
+// reported); for Schedule and Simulate expiry interrupts the run with an
+// error wrapping context.DeadlineExceeded.
+func WithTimeout(d time.Duration) ScheduleOption {
+	return func(c *scheduleConfig) { c.timeout = d }
+}
+
+// WithMaxNodes bounds the node budget of Optimal's branch-and-bound search
+// (0 means the default budget). Ignored by Schedule and Simulate.
+func WithMaxNodes(n int) ScheduleOption {
+	return func(c *scheduleConfig) { c.maxNodes = n }
+}
+
+// newScheduleConfig applies opts over the defaults.
+func newScheduleConfig(opts []ScheduleOption) scheduleConfig {
+	cfg := scheduleConfig{scheduler: "memheft"}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.scheduler = strings.ToLower(strings.TrimSpace(cfg.scheduler))
+	return cfg
+}
+
+// withTimeout wraps ctx with cfg.timeout when set (nil ctx = background).
+func (cfg scheduleConfig) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.timeout > 0 {
+		return context.WithTimeout(ctx, cfg.timeout)
+	}
+	return ctx, func() {}
+}
+
+// Stats carries the structured statistics of one scheduling call.
+type Stats struct {
+	// Scheduler is the registry name of the heuristic that ran ("optimal"
+	// for the exact search, "sim-rank"/"sim-eft" for the simulator).
+	Scheduler string
+	// Makespan of the produced schedule (+Inf when none was produced).
+	Makespan float64
+	// CacheHits / CacheMisses count candidate evaluations served from the
+	// epoch-invalidated memo vs recomputed (dual engine only).
+	CacheHits, CacheMisses uint64
+	// Nodes is the number of branch-and-bound nodes explored (Optimal).
+	Nodes int
+	// Proven reports whether Optimal proved optimality (or infeasibility)
+	// over the list-schedule space.
+	Proven bool
+	// Events is the number of dispatcher invocations (Simulate).
+	Events int
+	// WallTime is the end-to-end duration of the call.
+	WallTime time.Duration
+}
+
+// CacheHitRate returns the fraction of candidate evaluations served from
+// the memo (0 when nothing was evaluated).
+func (st Stats) CacheHitRate() float64 {
+	total := st.CacheHits + st.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(total)
+}
+
+// Result couples the schedule produced by a session call with its
+// statistics. Exactly one of Schedule and Pools is set: Schedule on the
+// dual-memory fast path (2-pool platform, dual session), Pools when the
+// generalised k-pool engine ran. The accessor methods dispatch to
+// whichever is present.
+type Result struct {
+	// Schedule is the dual-memory schedule (nil on the k-pool path, and
+	// nil when Optimal proves infeasibility).
+	Schedule *Schedule
+	// Pools is the generalised k-pool schedule (nil on the dual path).
+	Pools *PoolSchedule
+	// Stats are the structured statistics of the call.
+	Stats Stats
+
+	peaksOnce sync.Once
+	peaks     []int64
+}
+
+// Makespan returns the schedule's makespan (+Inf when the result carries no
+// schedule).
+func (r *Result) Makespan() float64 { return r.Stats.Makespan }
+
+// PeakResidency returns the peak memory residency of every pool (blue then
+// red on the dual path). It is computed on first use and cached; nil when
+// the result carries no schedule.
+func (r *Result) PeakResidency() []int64 {
+	r.peaksOnce.Do(func() {
+		switch {
+		case r.Schedule != nil:
+			blue, red := r.Schedule.MemoryPeaks()
+			r.peaks = []int64{blue, red}
+		case r.Pools != nil:
+			r.peaks = r.Pools.MemoryPeaks()
+		}
+	})
+	return r.peaks
+}
+
+// Validate re-checks every model constraint on the carried schedule.
+func (r *Result) Validate() error {
+	switch {
+	case r.Schedule != nil:
+		return r.Schedule.Validate()
+	case r.Pools != nil:
+		return r.Pools.Validate()
+	}
+	return errors.New("memsched: result carries no schedule")
+}
+
+// Schedule runs a list-scheduling heuristic for the session's graph on p
+// and returns the schedule with statistics. The heuristic defaults to
+// MemHEFT; select another with WithScheduler (see Schedulers for the
+// registry). Dual sessions on 2-pool platforms run the incremental
+// dual-memory engine; k-pool sessions run the generalised engine. The
+// context cancels the run cooperatively; heuristics that cannot fit the
+// graph in memory return an error wrapping ErrMemoryBound.
+//
+// Schedule is safe for concurrent use, including concurrent calls on the
+// same session.
+func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOption) (*Result, error) {
+	cfg := newScheduleConfig(opts)
+	ctx, cancel := cfg.withTimeout(ctx)
+	defer cancel()
+	start := time.Now()
+
+	if dp, ok := p.Dual(); ok && s.times == nil {
+		fn, err := core.ByName(cfg.scheduler)
+		if err != nil {
+			return nil, err
+		}
+		name := cfg.scheduler
+		if cfg.insertion {
+			if name != "memheft" {
+				return nil, fmt.Errorf("memsched: WithInsertion requires the memheft scheduler, got %q", cfg.scheduler)
+			}
+			fn, name = core.MemHEFTInsertion, "memheft-insertion"
+		}
+		var rs core.RunStats
+		sched, err := fn(ctx, s.g, dp, core.Options{Seed: cfg.seed, Caches: s.caches, Stats: &rs})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Schedule: sched,
+			Stats: Stats{
+				Scheduler:   name,
+				Makespan:    rs.Makespan,
+				CacheHits:   rs.CacheHits,
+				CacheMisses: rs.CacheMisses,
+				WallTime:    time.Since(start),
+			},
+		}, nil
+	}
+
+	if cfg.insertion {
+		return nil, errDualSessionOnly("WithInsertion")
+	}
+	in := s.instance()
+	var (
+		msched *PoolSchedule
+		err    error
+	)
+	switch cfg.scheduler {
+	case "memheft":
+		msched, err = multi.MemHEFT(ctx, in, p, multi.Options{Seed: cfg.seed})
+	case "memminmin":
+		msched, err = multi.MemMinMin(ctx, in, p, multi.Options{Seed: cfg.seed})
+	case "heft":
+		msched, err = multi.MemHEFT(ctx, in, p.Unbounded(), multi.Options{Seed: cfg.seed})
+	case "minmin":
+		msched, err = multi.MemMinMin(ctx, in, p.Unbounded(), multi.Options{Seed: cfg.seed})
+	default:
+		if _, nerr := core.ByName(cfg.scheduler); nerr != nil {
+			return nil, nerr
+		}
+		return nil, fmt.Errorf("memsched: scheduler %q is not available on k-pool platforms", cfg.scheduler)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Pools: msched,
+		Stats: Stats{
+			Scheduler: cfg.scheduler,
+			Makespan:  msched.Makespan(),
+			WallTime:  time.Since(start),
+		},
+	}, nil
+}
+
+// Optimal runs the branch-and-bound search for the best list schedule of
+// the session's graph on p. It requires a dual session and a 2-pool
+// platform. The result's Stats report the nodes explored and whether
+// optimality (over the list-schedule space) was proven; a nil
+// Result.Schedule with Stats.Proven means the instance is infeasible for
+// every list schedule. Cancelling the context (or WithTimeout expiring)
+// stops the search and reports the best incumbent, like an exhausted
+// WithMaxNodes budget.
+func (s *Session) Optimal(ctx context.Context, p Platform, opts ...ScheduleOption) (*Result, error) {
+	cfg := newScheduleConfig(opts)
+	dp, ok := p.Dual()
+	if !ok || s.times != nil {
+		return nil, errDualSessionOnly("Optimal")
+	}
+	start := time.Now()
+	res, err := exact.Solve(ctx, s.g, dp, exact.Options{
+		MaxNodes: cfg.maxNodes,
+		Timeout:  cfg.timeout,
+		Caches:   s.caches,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schedule: res.Schedule,
+		Stats: Stats{
+			Scheduler: "optimal",
+			Makespan:  res.Makespan,
+			Nodes:     res.Nodes,
+			Proven:    res.Status == exact.Optimal || res.Status == exact.Infeasible,
+			WallTime:  time.Since(start),
+		},
+	}, nil
+}
+
+// Simulate runs the online StarPU-style dispatcher for the session's graph
+// on p (dual sessions on 2-pool platforms only) and returns the emitted,
+// validated schedule. Select the dispatch order with WithPolicy; a
+// deadlocked run returns an error wrapping ErrSimStuck.
+func (s *Session) Simulate(ctx context.Context, p Platform, opts ...ScheduleOption) (*Result, error) {
+	cfg := newScheduleConfig(opts)
+	dp, ok := p.Dual()
+	if !ok || s.times != nil {
+		return nil, errDualSessionOnly("Simulate")
+	}
+	ctx, cancel := cfg.withTimeout(ctx)
+	defer cancel()
+	start := time.Now()
+	res, err := sim.Run(ctx, s.g, dp, sim.Options{Policy: cfg.policy, Seed: cfg.seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schedule: res.Schedule,
+		Stats: Stats{
+			Scheduler: "sim-" + cfg.policy.String(),
+			Makespan:  res.Schedule.Makespan(),
+			Events:    res.Events,
+			WallTime:  time.Since(start),
+		},
+	}, nil
+}
+
+// LowerBound returns a makespan lower bound valid for every schedule of the
+// session's graph on p (critical path and aggregate work arguments). It
+// requires a dual session and a 2-pool platform: the bound is derived from
+// the graph's dual processing times, which a WithPoolTimes session ignores.
+func (s *Session) LowerBound(p Platform) (float64, error) {
+	dp, ok := p.Dual()
+	if !ok || s.times != nil {
+		return 0, errDualSessionOnly("LowerBound")
+	}
+	return exact.LowerBound(s.g, dp)
+}
+
+// Schedulers returns the names registered with the scheduler registry,
+// sorted; WithScheduler and SchedulerByName accept any of them
+// (case-insensitively).
+func Schedulers() []string { return core.Names() }

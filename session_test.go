@@ -1,0 +1,405 @@
+package memsched
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daggen"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// dualOf converts a facade 2-pool platform to the internal dual form for
+// the reference oracles.
+func dualOf(t *testing.T, p Platform) platform.Platform {
+	t.Helper()
+	dp, ok := p.Dual()
+	if !ok {
+		t.Fatal("not a 2-pool platform")
+	}
+	return dp
+}
+
+// sameDualSchedule compares placements and communication starts with exact
+// float equality.
+func sameDualSchedule(t *testing.T, tag string, got, want *schedule.Schedule) {
+	t.Helper()
+	if len(got.Tasks) != len(want.Tasks) {
+		t.Fatalf("%s: %d task placements, want %d", tag, len(got.Tasks), len(want.Tasks))
+	}
+	for i := range want.Tasks {
+		if got.Tasks[i] != want.Tasks[i] {
+			t.Fatalf("%s: task %d placed %+v, reference says %+v", tag, i, got.Tasks[i], want.Tasks[i])
+		}
+	}
+	for i := range want.CommStart {
+		g, w := got.CommStart[i], want.CommStart[i]
+		if g != w && !(math.IsNaN(g) && math.IsNaN(w)) {
+			t.Fatalf("%s: comm %d starts at %g, reference says %g", tag, i, g, w)
+		}
+	}
+}
+
+// TestSessionGoldenEquivalence sweeps memory pressures and asserts that
+// Session.Schedule — the cached, session-owned path — produces schedules
+// bit-identical to the retained naive reference oracles, for both
+// heuristics, including identical failure classification.
+func TestSessionGoldenEquivalence(t *testing.T) {
+	ctx := context.Background()
+	g, err := daggen.Generate(daggen.SmallParams(), 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded := NewDualPlatform(2, 2, Unlimited, Unlimited)
+	ref, err := sess.Schedule(ctx, unbounded, WithScheduler("memheft"), WithSeed(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := ref.PeakResidency()
+	peak := peaks[0]
+	if peaks[1] > peak {
+		peak = peaks[1]
+	}
+	oracles := map[string]core.Func{
+		"memheft":   core.MemHEFTReference,
+		"memminmin": core.MemMinMinReference,
+	}
+	for _, alpha := range []float64{0.3, 0.5, 0.8, 1.0} {
+		bound := int64(alpha * float64(peak))
+		p := NewDualPlatform(2, 2, bound, bound)
+		for name, oracle := range oracles {
+			// Twice per instance: the second call is served from the
+			// session's warm memos and must not diverge.
+			for round := 0; round < 2; round++ {
+				res, gotErr := sess.Schedule(ctx, p, WithScheduler(name), WithSeed(41))
+				want, wantErr := oracle(ctx, g, dualOf(t, p), core.Options{Seed: 41})
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("%s alpha=%g: session err=%v, reference err=%v", name, alpha, gotErr, wantErr)
+				}
+				if gotErr != nil {
+					if !errors.Is(gotErr, ErrMemoryBound) {
+						t.Fatalf("%s alpha=%g: unexpected error kind %v", name, alpha, gotErr)
+					}
+					continue
+				}
+				sameDualSchedule(t, name, res.Schedule, want)
+				if res.Stats.Makespan != want.Makespan() {
+					t.Fatalf("%s: stats makespan %g, schedule says %g", name, res.Stats.Makespan, want.Makespan())
+				}
+			}
+		}
+	}
+}
+
+// TestSessionDualAsTwoPool checks the collapsed surface both ways: a
+// pool-times session carrying the dual columns (forced through the
+// generalised k-pool engine) must reproduce the dual engine's placements
+// exactly on the same 2-pool platform.
+func TestSessionDualAsTwoPool(t *testing.T) {
+	ctx := context.Background()
+	g, err := daggen.Generate(daggen.SmallParams(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([][]float64, g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		task := g.Task(TaskID(i))
+		times[i] = []float64{task.WBlue, task.WRed}
+	}
+	dualSess, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolSess, err := NewSession(g, WithPoolTimes(times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bound := range []int64{40, 120, Unlimited} {
+		p := NewDualPlatform(2, 2, bound, bound)
+		for _, name := range []string{"memheft", "memminmin"} {
+			dres, derr := dualSess.Schedule(ctx, p, WithScheduler(name), WithSeed(17))
+			mres, merr := poolSess.Schedule(ctx, p, WithScheduler(name), WithSeed(17))
+			if (derr == nil) != (merr == nil) {
+				t.Fatalf("%s bound=%d: dual err=%v, pool err=%v", name, bound, derr, merr)
+			}
+			if derr != nil {
+				if !errors.Is(derr, ErrMemoryBound) || !errors.Is(merr, ErrMemoryBound) {
+					t.Fatalf("%s bound=%d: error kinds diverge: %v vs %v", name, bound, derr, merr)
+				}
+				continue
+			}
+			if dres.Schedule == nil || mres.Pools == nil {
+				t.Fatalf("%s bound=%d: engine routing wrong: dual=%v pools=%v", name, bound, dres.Schedule != nil, mres.Pools != nil)
+			}
+			for i := range dres.Schedule.Tasks {
+				dp, mp := dres.Schedule.Tasks[i], mres.Pools.Tasks[i]
+				if dp.Start != mp.Start || dp.Proc != mp.Proc {
+					t.Fatalf("%s bound=%d: task %d dual %+v vs pools %+v", name, bound, i, dp, mp)
+				}
+			}
+			if err := mres.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestConcurrentSessionsDifferentGraphs is the contention regression test
+// for the deleted process-global caches: two sessions over two different
+// graphs are hammered from many goroutines concurrently (run under -race),
+// and every result must stay bit-identical to the single-threaded
+// reference. With the old single-slot globals this pattern thrashed the
+// slot and serialized on the package mutexes.
+func TestConcurrentSessionsDifferentGraphs(t *testing.T) {
+	ctx := context.Background()
+	params := daggen.SmallParams()
+	params.Size = 40
+	g1, err := daggen.Generate(params, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := daggen.Generate(params, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewDualPlatform(2, 2, 300, 300)
+	type fixture struct {
+		sess *Session
+		want map[string]*schedule.Schedule
+		g    *Graph
+	}
+	fixtures := make([]fixture, 0, 2)
+	for _, g := range []*Graph{g1, g2} {
+		sess, err := NewSession(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string]*schedule.Schedule{}
+		for name, oracle := range map[string]core.Func{
+			"memheft":   core.MemHEFTReference,
+			"memminmin": core.MemMinMinReference,
+		} {
+			s, err := oracle(ctx, g, dualOf(t, p), core.Options{Seed: 9})
+			if err != nil {
+				t.Fatalf("reference %s: %v", name, err)
+			}
+			want[name] = s
+		}
+		fixtures = append(fixtures, fixture{sess: sess, want: want, g: g})
+	}
+
+	const goroutines, iters = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				fx := fixtures[(w+i)%len(fixtures)]
+				name := "memheft"
+				if (w+i)%4 >= 2 {
+					name = "memminmin"
+				}
+				res, err := fx.sess.Schedule(ctx, p, WithScheduler(name), WithSeed(9))
+				if err != nil {
+					t.Errorf("goroutine %d: %v", w, err)
+					return
+				}
+				got, want := res.Schedule, fx.want[name]
+				for j := range want.Tasks {
+					if got.Tasks[j] != want.Tasks[j] {
+						t.Errorf("goroutine %d: %s task %d placed %+v, want %+v", w, name, j, got.Tasks[j], want.Tasks[j])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestSchedulerRegistry covers the registry satellite: enumeration is
+// sorted, resolution is case-insensitive, and errors list every registered
+// name.
+func TestSchedulerRegistry(t *testing.T) {
+	names := Schedulers()
+	if len(names) < 4 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("registry not sorted: %v", names)
+		}
+	}
+	for _, variant := range []string{"memheft", "MemHEFT", "MEMHEFT", "  memheft "} {
+		if _, err := SchedulerByName(variant); err != nil {
+			t.Fatalf("SchedulerByName(%q): %v", variant, err)
+		}
+	}
+	_, err := SchedulerByName("bogus")
+	if err == nil {
+		t.Fatal("bogus scheduler accepted")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("registry error %q does not list %q", err, name)
+		}
+	}
+	// WithScheduler goes through the same registry.
+	sess, err := NewSession(PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewDualPlatform(1, 1, 10, 10)
+	if _, err := sess.Schedule(context.Background(), p, WithScheduler("MemMinMin")); err != nil {
+		t.Fatalf("case-insensitive WithScheduler: %v", err)
+	}
+	if _, err := sess.Schedule(context.Background(), p, WithScheduler("nope")); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+// TestSessionContextCancellation checks cooperative cancellation end to
+// end: an already-cancelled context interrupts Schedule and Simulate with
+// the context error, and Optimal treats it as an exhausted budget.
+func TestSessionContextCancellation(t *testing.T) {
+	params := daggen.SmallParams()
+	params.Size = 100
+	g, err := daggen.Generate(params, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewDualPlatform(2, 2, Unlimited, Unlimited)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.Schedule(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Schedule on cancelled ctx: err = %v", err)
+	}
+	if _, err := sess.Simulate(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Simulate on cancelled ctx: err = %v", err)
+	}
+	// Optimal: cancellation behaves like an exhausted budget, not an
+	// error; with no time at all the status cannot be proven.
+	res, err := sess.Optimal(ctx, p, WithMaxNodes(1<<30))
+	if err != nil {
+		t.Fatalf("Optimal on cancelled ctx: %v", err)
+	}
+	if res.Stats.Proven {
+		t.Fatal("cancelled Optimal claimed a proven result")
+	}
+	// WithTimeout wires the same mechanism without a caller context.
+	res, err = sess.Optimal(context.Background(), p, WithTimeout(time.Nanosecond), WithMaxNodes(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Proven {
+		t.Fatal("nanosecond Optimal claimed a proven result")
+	}
+}
+
+// TestSessionStats sanity-checks the structured stats: warm runs hit the
+// candidate cache, wall time is recorded, and Optimal reports its node
+// count.
+func TestSessionStats(t *testing.T) {
+	ctx := context.Background()
+	g, err := daggen.Generate(daggen.SmallParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewDualPlatform(2, 2, 200, 200)
+	res, err := sess.Schedule(ctx, p, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Scheduler != "memheft" {
+		t.Fatalf("default scheduler recorded as %q", res.Stats.Scheduler)
+	}
+	if res.Stats.CacheHits+res.Stats.CacheMisses == 0 {
+		t.Fatal("no candidate evaluations recorded")
+	}
+	if rate := res.Stats.CacheHitRate(); rate < 0 || rate > 1 {
+		t.Fatalf("cache hit rate %g out of range", rate)
+	}
+	if res.Stats.WallTime <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+	if peaks := res.PeakResidency(); len(peaks) != 2 || (peaks[0] == 0 && peaks[1] == 0) {
+		t.Fatalf("peak residency %v", peaks)
+	}
+	opt, err := sess.Optimal(ctx, NewDualPlatform(1, 1, 5, 5), WithMaxNodes(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats.Nodes <= 0 {
+		t.Fatal("Optimal explored no nodes")
+	}
+	sim, err := sess.Simulate(ctx, p, WithPolicy(SimEFTPolicy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Stats.Events <= 0 || sim.Stats.Scheduler != "sim-eft" {
+		t.Fatalf("simulate stats: %+v", sim.Stats)
+	}
+}
+
+// TestSessionKPoolRouting checks the platform-arity rules: dual sessions
+// reject non-2-pool platforms, insertion requires the dual engine, and the
+// deprecated flat API keeps working against 2-pool platforms while
+// rejecting others.
+func TestSessionKPoolRouting(t *testing.T) {
+	ctx := context.Background()
+	g := PaperExample()
+	sess, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three := NewPlatform(Pool{Procs: 1, Capacity: 10}, Pool{Procs: 1, Capacity: 10}, Pool{Procs: 1, Capacity: 10})
+	if _, err := sess.Schedule(ctx, three); err == nil {
+		t.Fatal("dual session accepted a 3-pool platform")
+	}
+	if _, err := sess.Optimal(ctx, three); err == nil {
+		t.Fatal("Optimal accepted a 3-pool platform")
+	}
+	if _, err := sess.Simulate(ctx, three); err == nil {
+		t.Fatal("Simulate accepted a 3-pool platform")
+	}
+	p := NewDualPlatform(1, 1, 10, 10)
+	if _, err := sess.Schedule(ctx, p, WithScheduler("memminmin"), WithInsertion()); err == nil {
+		t.Fatal("WithInsertion accepted for memminmin")
+	}
+	res, err := sess.Schedule(ctx, p, WithInsertion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Scheduler != "memheft-insertion" {
+		t.Fatalf("insertion run recorded as %q", res.Stats.Scheduler)
+	}
+	// Deprecated flat API on the unified platform type.
+	if _, err := MemHEFT(g, p, Options{Seed: 1}); err != nil {
+		t.Fatalf("deprecated MemHEFT: %v", err)
+	}
+	if _, err := MemHEFT(g, three, Options{}); err == nil {
+		t.Fatal("deprecated MemHEFT accepted a 3-pool platform")
+	}
+	if ErrMemoryBound != ErrMultiMemoryBound {
+		t.Fatal("memory-bound sentinels not unified")
+	}
+}
