@@ -2,6 +2,7 @@ package memsched
 
 import (
 	"context"
+	"errors"
 	"io"
 	"time"
 
@@ -333,16 +334,41 @@ func NewMultiInstance(g *Graph, times [][]float64) *Instance { return NewInstanc
 // MemMinMin exactly.
 func DualInstance(g *Graph) *Instance { return multi.FromDual(g) }
 
+// multiViaSession adapts a deprecated generalised-scheduler call onto the
+// Session path: a throwaway Session carries the instance's pool times, so
+// the call runs exactly the code (and memo wiring) a Session user gets —
+// the wrappers used to call the engine directly and silently skipped every
+// memo layer. The session is discarded afterwards, so repeated calls still
+// recompute the ranking phase: hot loops should hold a real Session.
+//
+// One contract change rides along: like every Session call, a failed run
+// returns a nil schedule — the pre-Session wrappers leaked the partial
+// schedule alongside ErrMemoryBound.
+func multiViaSession(in *MultiInstance, p MultiPlatform, name string, seed int64) (*MultiSchedule, error) {
+	if in == nil || in.G == nil {
+		return nil, errors.New("multi: nil graph")
+	}
+	sess, err := NewSession(in.G, WithPoolTimes(in.Times))
+	if err != nil {
+		return nil, err
+	}
+	res, err := sess.Schedule(context.Background(), p, WithScheduler(name), WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	return res.Pools, nil
+}
+
 // Generalised schedulers for multi-pool platforms.
 //
 // Deprecated: create a Session (WithPoolTimes for explicit matrices) and
 // call Schedule with WithScheduler.
 var (
 	MultiMemHEFT MultiSchedulerFunc = func(in *MultiInstance, p MultiPlatform, opt Options) (*MultiSchedule, error) {
-		return multi.MemHEFT(context.Background(), in, p, multi.Options{Seed: opt.Seed})
+		return multiViaSession(in, p, "memheft", opt.Seed)
 	}
 	MultiMemMinMin MultiSchedulerFunc = func(in *MultiInstance, p MultiPlatform, opt Options) (*MultiSchedule, error) {
-		return multi.MemMinMin(context.Background(), in, p, multi.Options{Seed: opt.Seed})
+		return multiViaSession(in, p, "memminmin", opt.Seed)
 	}
 )
 

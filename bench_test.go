@@ -168,6 +168,60 @@ func BenchmarkMemMinMinReference300(b *testing.B) {
 	benchScheduler(b, core.MemMinMinReference, 300, 0.5)
 }
 
+// --- k-pool engine throughput ---
+
+// benchMultiScheduler measures one generalised heuristic on the shared
+// deterministic fixture (host pool + k-1 accelerators, capacities at alpha
+// times the total file volume), with one cache set held across iterations
+// as a k-pool session would.
+func benchMultiScheduler(b *testing.B, fn multi.Func, size, k int, alpha float64, cached bool) {
+	params := daggen.LargeParams()
+	params.Size = size
+	g, err := daggen.Generate(params, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, p := experiments.KPoolBench(g, k, alpha)
+	var caches *multi.Caches
+	if cached {
+		caches = multi.NewCaches()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(tctx, in, p, multi.Options{Seed: 7, Caches: caches}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The incremental k-pool engine across the tracked scales: the paper's
+// "several types of accelerators" extension at 3, 4 and 8 pools.
+func BenchmarkMultiMemHEFT300k3(b *testing.B) {
+	benchMultiScheduler(b, multi.MemHEFT, 300, 3, 0.3, true)
+}
+func BenchmarkMultiMemHEFT1000k4(b *testing.B) {
+	benchMultiScheduler(b, multi.MemHEFT, 1000, 4, 0.3, true)
+}
+func BenchmarkMultiMemHEFT3000k8(b *testing.B) {
+	benchMultiScheduler(b, multi.MemHEFT, 3000, 8, 0.3, true)
+}
+func BenchmarkMultiMemMinMin300k3(b *testing.B) {
+	benchMultiScheduler(b, multi.MemMinMin, 300, 3, 0.3, true)
+}
+func BenchmarkMultiMemMinMin1000k4(b *testing.B) {
+	benchMultiScheduler(b, multi.MemMinMin, 1000, 4, 0.3, true)
+}
+
+// The retained eager oracles on the same instances, pinning the speedup of
+// the incremental k-pool engine (equivalence_test.go proves the schedules
+// are bit-identical).
+func BenchmarkMultiMemHEFTRef1000k4(b *testing.B) {
+	benchMultiScheduler(b, multi.MemHEFTReference, 1000, 4, 0.3, false)
+}
+func BenchmarkMultiMemMinMinRef300k3(b *testing.B) {
+	benchMultiScheduler(b, multi.MemMinMinReference, 300, 3, 0.3, false)
+}
+
 // --- Ablations (design choices called out in DESIGN.md) ---
 
 // BenchmarkAblationBroadcastPipeline compares scheduling the LU graph with

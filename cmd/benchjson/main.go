@@ -2,39 +2,45 @@
 // testing.Benchmark and emits a machine-readable JSON report, so the
 // performance trajectory of the hot path can be tracked across PRs (the
 // repo convention is one BENCH_<pr>.json per perf PR at the repository
-// root). The cases mirror the BenchmarkMemHEFT300 / BenchmarkMemMinMin300 /
-// BenchmarkHEFT1000 benchmarks of bench_test.go plus the large-DAG variants
-// (n = 3000 and n = 10000), and run through the public Session API so the
-// numbers include the session indirection real callers pay.
+// root). The cases mirror the scheduler-throughput benchmarks of
+// bench_test.go — the dual-memory suite runs through the public Session API
+// so the numbers include the session indirection real callers pay, and the
+// k-pool suite (n = 300/1000/3000 at k = 3/4/8, plus the retained eager
+// oracle at n = 1000, k = 4) tracks the generalised engine against its
+// reference.
 //
 // Usage:
 //
 //	go run ./cmd/benchjson -o BENCH_<pr>.json
 //
 // The default output is BENCH.json; pass -o to follow the per-PR naming
-// convention.
+// convention. -repeat N runs every case N times and records the fastest
+// run, which suppresses one-sided scheduler/GC noise on shared runners.
+//
+// Regression gate. With -compare OLD.json the command exits nonzero when
+// any benchmark tracked by both reports got slower than the threshold
+// ratio:
+//
+//	go run ./cmd/benchjson -o fresh.json -compare BENCH_3.json -threshold 1.25
+//
+// CI runs exactly that against the committed baseline (with a generous
+// threshold to absorb runner noise) and uploads the fresh JSON as an
+// artifact. Pass -in FRESH.json to gate an existing report instead of
+// running the suite.
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"testing"
-
-	memsched "repro"
-	"repro/internal/daggen"
-	"repro/internal/experiments"
-	"repro/internal/multi"
+	"sort"
 )
 
-// Case is one named benchmark configuration.
-type Case struct {
-	Name      string
-	Scheduler string // registry name passed to WithScheduler
-	Size      int
-	Alpha     float64
+// Report is the emitted JSON document.
+type Report struct {
+	Suite      string            `json:"suite"`
+	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
 // Result is the recorded outcome of one case.
@@ -45,100 +51,122 @@ type Result struct {
 	Iterations  int   `json:"iterations"`
 }
 
-// Report is the emitted JSON document.
-type Report struct {
-	Suite      string            `json:"suite"`
-	Benchmarks map[string]Result `json:"benchmarks"`
-}
-
-// defaultCases is the tracked suite.
-func defaultCases() []Case {
-	return []Case{
-		{Name: "MemHEFT300", Scheduler: "memheft", Size: 300, Alpha: 0.5},
-		{Name: "MemMinMin300", Scheduler: "memminmin", Size: 300, Alpha: 0.5},
-		{Name: "HEFT1000", Scheduler: "heft", Size: 1000, Alpha: 1},
-		{Name: "MemHEFT3000", Scheduler: "memheft", Size: 3000, Alpha: 0.7},
-		{Name: "MemHEFT10000", Scheduler: "memheft", Size: 10000, Alpha: 0.9},
-	}
-}
-
-// run executes one case exactly like bench_test.go's benchScheduler: a
-// daggen graph, the random-set platform, and memory bounds at alpha times
-// the HEFT peak. The session is created once (as a server would) and the
-// loop measures Session.Schedule. testing.Benchmark self-calibrates the
-// iteration count.
-func run(c Case) (Result, error) {
-	ctx := context.Background()
-	params := daggen.LargeParams()
-	params.Size = c.Size
-	g, err := daggen.Generate(params, 7)
-	if err != nil {
-		return Result{}, err
-	}
-	p := experiments.RandomPlatform()
-	_, peak, err := experiments.HEFTReference(ctx, g, p, 7)
-	if err != nil {
-		return Result{}, err
-	}
-	bound := int64(c.Alpha * float64(peak))
-	pp := multi.FromDualPlatform(p.WithBounds(bound, bound))
-	sess, err := memsched.NewSession(g)
-	if err != nil {
-		return Result{}, err
-	}
-	var schedErr error
-	br := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := sess.Schedule(ctx, pp, memsched.WithScheduler(c.Scheduler), memsched.WithSeed(7)); err != nil {
-				schedErr = err
-				b.FailNow()
-			}
-		}
-	})
-	if schedErr != nil {
-		return Result{}, schedErr
-	}
-	return Result{
-		NsPerOp:     br.NsPerOp(),
-		AllocsPerOp: br.AllocsPerOp(),
-		BytesPerOp:  br.AllocedBytesPerOp(),
-		Iterations:  br.N,
-	}, nil
-}
-
-// runSuite runs every case and assembles the report.
-func runSuite(cases []Case) (*Report, error) {
-	rep := &Report{Suite: "scheduler-throughput", Benchmarks: make(map[string]Result, len(cases))}
-	for _, c := range cases {
-		r, err := run(c)
-		if err != nil {
-			return nil, fmt.Errorf("benchjson: %s: %w", c.Name, err)
-		}
-		rep.Benchmarks[c.Name] = r
-		fmt.Fprintf(os.Stderr, "%-14s %12d ns/op %8d B/op %6d allocs/op (%d iters)\n",
-			c.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Iterations)
-	}
-	return rep, nil
-}
-
 func main() {
 	out := flag.String("o", "BENCH.json", "output file")
+	in := flag.String("in", "", "gate an existing report instead of running the suite")
+	repeat := flag.Int("repeat", 1, "runs per case; the fastest is recorded")
+	compare := flag.String("compare", "", "baseline report to gate against")
+	threshold := flag.Float64("threshold", 1.25, "maximum allowed ns/op ratio vs the baseline")
 	flag.Parse()
-	rep, err := runSuite(defaultCases())
+
+	if *in != "" && *compare == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -in only gates an existing report and requires -compare")
+		os.Exit(2)
+	}
+
+	var (
+		rep *Report
+		err error
+	)
+	if *in != "" {
+		rep, err = readReport(*in)
+	} else {
+		rep, err = runSuite(defaultCases(), *repeat)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+
+	if *in == "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *compare != "" {
+		base, err := readReport(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		regressions, notes := compareReports(base, rep, *threshold)
+		for _, n := range notes {
+			fmt.Fprintln(os.Stderr, n)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past %.2fx vs %s\n",
+				len(regressions), *threshold, *compare)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark gate passed: no regression past %.2fx vs %s\n", *threshold, *compare)
+	}
+}
+
+// readReport loads and sanity-checks a report file.
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return nil, fmt.Errorf("benchjson: %w", err)
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: %s carries no benchmarks", path)
+	}
+	return &rep, nil
+}
+
+// compareReports gates fresh against base: every benchmark present in both
+// reports must not exceed threshold times the baseline ns/op. Benchmarks
+// that exist on only one side are reported as notes, never as failures —
+// the tracked suite is allowed to grow and shrink across PRs. Output is
+// sorted by benchmark name so gate logs are stable across runs.
+func compareReports(base, fresh *Report, threshold float64) (regressions, notes []string) {
+	for _, name := range sortedNames(base.Benchmarks) {
+		old := base.Benchmarks[name]
+		cur, ok := fresh.Benchmarks[name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("note: %s in baseline but not in fresh report", name))
+			continue
+		}
+		if old.NsPerOp <= 0 {
+			notes = append(notes, fmt.Sprintf("note: %s has non-positive baseline ns/op %d", name, old.NsPerOp))
+			continue
+		}
+		ratio := float64(cur.NsPerOp) / float64(old.NsPerOp)
+		if ratio > threshold {
+			regressions = append(regressions, fmt.Sprintf("%s: %d -> %d ns/op (%.2fx > %.2fx)",
+				name, old.NsPerOp, cur.NsPerOp, ratio, threshold))
+		}
+	}
+	for _, name := range sortedNames(fresh.Benchmarks) {
+		if _, ok := base.Benchmarks[name]; !ok {
+			notes = append(notes, fmt.Sprintf("note: %s is new (no baseline)", name))
+		}
+	}
+	return regressions, notes
+}
+
+// sortedNames returns the benchmark names in sorted order.
+func sortedNames(m map[string]Result) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }

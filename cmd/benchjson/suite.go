@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	memsched "repro"
+	"repro/internal/daggen"
+	"repro/internal/experiments"
+	"repro/internal/multi"
+)
+
+// Case is one named benchmark configuration. Dual-memory cases (Pools == 0)
+// run through the public Session API; k-pool cases (Pools >= 2) run the
+// generalised engine on the shared deterministic fixture of
+// experiments.KPoolBench, with Ref selecting the retained eager oracle
+// instead of the incremental scheduler.
+type Case struct {
+	Name      string
+	Scheduler string // registry name passed to WithScheduler
+	Size      int
+	Alpha     float64
+	Pools     int
+	Ref       bool
+}
+
+// defaultCases is the tracked suite.
+func defaultCases() []Case {
+	return []Case{
+		// Dual-memory engine via the Session API (PR 1/PR 2 trajectory).
+		{Name: "MemHEFT300", Scheduler: "memheft", Size: 300, Alpha: 0.5},
+		{Name: "MemMinMin300", Scheduler: "memminmin", Size: 300, Alpha: 0.5},
+		{Name: "HEFT1000", Scheduler: "heft", Size: 1000, Alpha: 1},
+		{Name: "MemHEFT3000", Scheduler: "memheft", Size: 3000, Alpha: 0.7},
+		{Name: "MemHEFT10000", Scheduler: "memheft", Size: 10000, Alpha: 0.9},
+		// k-pool engine (PR 3): incremental vs the retained eager oracle.
+		{Name: "MultiMemHEFT300k3", Scheduler: "memheft", Size: 300, Alpha: 0.3, Pools: 3},
+		{Name: "MultiMemHEFT1000k4", Scheduler: "memheft", Size: 1000, Alpha: 0.3, Pools: 4},
+		{Name: "MultiMemHEFT3000k8", Scheduler: "memheft", Size: 3000, Alpha: 0.3, Pools: 8},
+		{Name: "MultiMemMinMin1000k4", Scheduler: "memminmin", Size: 1000, Alpha: 0.3, Pools: 4},
+		{Name: "MultiMemHEFTRef1000k4", Scheduler: "memheft", Size: 1000, Alpha: 0.3, Pools: 4, Ref: true},
+	}
+}
+
+// run executes one case exactly like bench_test.go's harnesses: a daggen
+// graph, the case's platform, and the per-case memory bound.
+// testing.Benchmark self-calibrates the iteration count.
+func run(c Case) (Result, error) {
+	if c.Pools >= 2 {
+		return runMulti(c)
+	}
+	return runDual(c)
+}
+
+// runDual measures Session.Schedule on the dual-memory fast path. The
+// session is created once (as a server would) and the loop measures the
+// steady-state scheduling cost.
+func runDual(c Case) (Result, error) {
+	ctx := context.Background()
+	params := daggen.LargeParams()
+	params.Size = c.Size
+	g, err := daggen.Generate(params, 7)
+	if err != nil {
+		return Result{}, err
+	}
+	p := experiments.RandomPlatform()
+	_, peak, err := experiments.HEFTReference(ctx, g, p, 7)
+	if err != nil {
+		return Result{}, err
+	}
+	bound := int64(c.Alpha * float64(peak))
+	pp := multi.FromDualPlatform(p.WithBounds(bound, bound))
+	sess, err := memsched.NewSession(g)
+	if err != nil {
+		return Result{}, err
+	}
+	var schedErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Schedule(ctx, pp, memsched.WithScheduler(c.Scheduler), memsched.WithSeed(7)); err != nil {
+				schedErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if schedErr != nil {
+		return Result{}, schedErr
+	}
+	return toResult(br), nil
+}
+
+// runMulti measures the generalised k-pool engine (or its eager reference
+// oracle) on the shared deterministic fixture, holding one cache set across
+// iterations as a k-pool session would.
+func runMulti(c Case) (Result, error) {
+	ctx := context.Background()
+	params := daggen.LargeParams()
+	params.Size = c.Size
+	g, err := daggen.Generate(params, 7)
+	if err != nil {
+		return Result{}, err
+	}
+	in, p := experiments.KPoolBench(g, c.Pools, c.Alpha)
+	var fn multi.Func
+	var caches *multi.Caches
+	switch {
+	case c.Ref && c.Scheduler == "memheft":
+		fn = multi.MemHEFTReference
+	case c.Ref:
+		fn = multi.MemMinMinReference
+	case c.Scheduler == "memheft":
+		fn, caches = multi.MemHEFT, multi.NewCaches()
+	default:
+		fn, caches = multi.MemMinMin, multi.NewCaches()
+	}
+	var schedErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fn(ctx, in, p, multi.Options{Seed: 7, Caches: caches}); err != nil {
+				schedErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if schedErr != nil {
+		return Result{}, schedErr
+	}
+	return toResult(br), nil
+}
+
+func toResult(br testing.BenchmarkResult) Result {
+	return Result{
+		NsPerOp:     br.NsPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		Iterations:  br.N,
+	}
+}
+
+// runSuite runs every case (repeat times each, keeping the fastest run)
+// and assembles the report.
+func runSuite(cases []Case, repeat int) (*Report, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	rep := &Report{Suite: "scheduler-throughput", Benchmarks: make(map[string]Result, len(cases))}
+	for _, c := range cases {
+		var best Result
+		for attempt := 0; attempt < repeat; attempt++ {
+			r, err := run(c)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %s: %w", c.Name, err)
+			}
+			if attempt == 0 || r.NsPerOp < best.NsPerOp {
+				best = r
+			}
+		}
+		rep.Benchmarks[c.Name] = best
+		fmt.Fprintf(os.Stderr, "%-22s %12d ns/op %8d B/op %6d allocs/op (%d iters)\n",
+			c.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp, best.Iterations)
+	}
+	return rep, nil
+}

@@ -32,13 +32,13 @@
 //	if err != nil { ... }
 //	fmt.Println(res.Makespan(), res.PeakResidency(), res.Stats.CacheHitRate())
 //
-// The session owns the per-graph memos (validated statics, seeded priority
-// lists) that repeated dual-memory scheduling reuses — the pattern of every
-// memory sweep — and is safe for concurrent use: goroutines scheduling
-// different graphs through different sessions share nothing. The k-pool
-// engine currently memoizes only the instance matrix. Every entry point takes
-// a context.Context with cooperative cancellation; WithTimeout is a
-// convenience wrapper over it.
+// The session owns the per-graph memos that repeated scheduling reuses —
+// the pattern of every memory sweep: validated statics, seeded priority
+// lists and mean ranks for both the dual-memory and the k-pool engine, plus
+// the k-pool engine's recycled scratch buffers. It is safe for concurrent
+// use: goroutines scheduling different graphs through different sessions
+// share nothing. Every entry point takes a context.Context with cooperative
+// cancellation; WithTimeout is a convenience wrapper over it.
 //
 // Session methods:
 //
@@ -54,8 +54,8 @@
 //     rank or EFT dispatch order).
 //
 // Each call returns a Result carrying the schedule plus structured stats:
-// makespan, per-pool peak residency, candidate-cache hit rate, search
-// nodes, wall time.
+// makespan, per-pool peak residency, candidate-cache hit rate, per-pool
+// task counts (k-pool engine), search nodes, wall time.
 //
 // The package also exposes graph construction and serialisation (Graph,
 // NewGraph, ReadGraph), workload generators (DAGGEN-style random graphs,
@@ -64,25 +64,27 @@
 //
 // # Performance architecture
 //
-// The scheduling hot path is incremental (see internal/core and
-// internal/memfn): a commit perturbs only one processor, one or two memory
-// staircases and the readiness of the committed task's children, so the
-// engine re-derives only what changed. Each memory carries an epoch counter
-// bumped on every mutation; candidate evaluations are memoized per
-// (task, memory) and reused while the memory's epoch and the task's parents
-// are unchanged. Ready-ness is tracked with in-degree counters, the
-// makespan is a running max, MemMinMin keeps its candidates in an
-// EFT-ordered heap with lazy invalidation, and the free-memory staircases
-// answer earliest-fit queries in O(log l) through a lazily repaired
-// suffix-minimum array, with all reservations of one commit spliced in a
-// single suffix-local merge pass. Sessions own the cross-run memos
-// (priority lists, graph statics, validation), so repeated scheduling of
-// the same graph — memory sweeps, benchmarks, server traffic — pays the
-// ranking phase once per (graph, seed). None of this changes results: the
-// naive implementations are retained as reference oracles
-// (MemHEFTReference, MemMinMinReference in internal/core) and
-// golden-equivalence tests assert bit-identical schedules, including under
-// concurrent session use.
+// The scheduling hot path is incremental in both engines (see
+// internal/core, internal/multi and internal/memfn): a commit perturbs only
+// one processor, the staircases of the touched memory pools and the
+// readiness of the committed task's children, so the engines re-derive only
+// what changed. Each pool carries an epoch counter bumped on every
+// mutation; candidate evaluations are memoized per (task, pool) and reused
+// while the pool's epoch and the task's parents are unchanged — on a k-pool
+// platform a commit typically leaves k-1 pools' candidates cached.
+// Ready-ness is tracked with in-degree counters, the makespan is a running
+// max, MemMinMin keeps its candidates in an EFT-ordered heap with lazy
+// invalidation, and the free-memory staircases answer earliest-fit queries
+// in O(log l) through a lazily repaired suffix-minimum array, with all
+// reservations of one commit spliced in one batched suffix-local merge pass
+// per touched pool. Sessions own the cross-run memos (priority lists, mean
+// ranks, graph statics, validation, recycled k-pool scratch), so repeated
+// scheduling of the same graph — memory sweeps, benchmarks, server traffic
+// — pays the ranking phase once per (graph, seed). None of this changes
+// results: the naive implementations are retained as reference oracles
+// (MemHEFTReference / MemMinMinReference in internal/core and their k-pool
+// counterparts in internal/multi) and golden-equivalence tests assert
+// bit-identical schedules, including under concurrent session use.
 //
 // # Deprecated flat API
 //

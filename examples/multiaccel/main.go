@@ -75,7 +75,7 @@ func main() {
 	ctx := context.Background()
 
 	fmt.Printf("pipeline: %d tasks, %d edges over a CPU pool and two accelerators\n\n", g.NumTasks(), g.NumEdges())
-	fmt.Println("device-mem  MemHEFT-k  MemMinMin-k   pool peaks (MemHEFT-k)")
+	fmt.Println("device-mem  MemHEFT-k  MemMinMin-k   MemMinMin-k stats: tasks/pool  peaks/pool  cache-hit")
 	for _, devMem := range []int64{40, 24, 16, 12, 8} {
 		p := memsched.NewPlatform(
 			memsched.Pool{Procs: 4, Capacity: 120},    // CPU: plenty of RAM
@@ -83,7 +83,7 @@ func main() {
 			memsched.Pool{Procs: 1, Capacity: devMem}, // accelerator B
 		)
 		line := fmt.Sprintf("%10d", devMem)
-		var peaks []int64
+		var detail string
 		for _, name := range []string{"memheft", "memminmin"} {
 			res, err := sess.Schedule(ctx, p, memsched.WithScheduler(name), memsched.WithSeed(7))
 			switch {
@@ -93,15 +93,18 @@ func main() {
 				log.Fatal(err)
 			default:
 				line += fmt.Sprintf("  %9.0f", res.Makespan())
-				if peaks == nil {
-					peaks = res.PeakResidency()
+				if name == "memminmin" {
+					// The structured stats of the incremental k-pool
+					// engine: where the tasks landed, the peak memory
+					// residency of every pool, and the fraction of
+					// candidate evaluations served from the
+					// epoch-invalidated memo.
+					detail = fmt.Sprintf("   %v  %v  %4.0f%%",
+						res.Stats.PoolTasks, res.PeakResidency(), 100*res.Stats.CacheHitRate())
 				}
 			}
 		}
-		if peaks != nil {
-			line += fmt.Sprintf("   %v", peaks)
-		}
-		fmt.Println(line)
+		fmt.Println(line + detail)
 	}
 	fmt.Println("\nShrinking the device memories forces work back onto the CPU pool until")
 	fmt.Println("nothing fits — the dual-memory trade-off of the paper, now across three pools.")

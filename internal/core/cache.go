@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/dag"
+	"repro/internal/memo"
 	"repro/internal/platform"
 )
 
@@ -30,7 +31,7 @@ type Caches struct {
 	g              *dag.Graph
 	nTasks, nEdges int
 	statics        *graphStatics
-	priority       map[int64][]dag.TaskID
+	priority       *memo.Bounded[int64, []dag.TaskID]
 }
 
 // NewCaches returns an empty cache set, ready to be shared by any number of
@@ -50,7 +51,9 @@ func (c *Caches) rekey(g *dag.Graph) {
 	}
 	c.g, c.nTasks, c.nEdges = g, g.NumTasks(), g.NumEdges()
 	c.statics = nil
-	c.priority = nil
+	if c.priority != nil {
+		c.priority.Reset()
+	}
 }
 
 // staticsOf returns the memoized statics of g, computing them on a miss.
@@ -79,7 +82,10 @@ func (c *Caches) PriorityList(g *dag.Graph, seed int64) ([]dag.TaskID, error) {
 	}
 	c.mu.Lock()
 	c.rekey(g)
-	if list, ok := c.priority[seed]; ok {
+	if c.priority == nil {
+		c.priority = memo.NewBounded[int64, []dag.TaskID](maxPriorityEntries)
+	}
+	if list, ok := c.priority.Get(seed); ok {
 		out := append([]dag.TaskID(nil), list...)
 		c.mu.Unlock()
 		return out, nil
@@ -97,17 +103,8 @@ func (c *Caches) PriorityList(g *dag.Graph, seed int64) ([]dag.TaskID, error) {
 	// list was derived from (mutating a graph mid-session is forbidden,
 	// but a stale entry must not survive it).
 	if c.g == g && c.nTasks == nTasks && c.nEdges == nEdges {
-		if _, ok := c.priority[seed]; !ok {
-			if c.priority == nil {
-				c.priority = make(map[int64][]dag.TaskID)
-			}
-			for len(c.priority) >= maxPriorityEntries {
-				for k := range c.priority {
-					delete(c.priority, k)
-					break
-				}
-			}
-			c.priority[seed] = append([]dag.TaskID(nil), list...)
+		if _, ok := c.priority.Get(seed); !ok {
+			c.priority.Put(seed, append([]dag.TaskID(nil), list...))
 		}
 	}
 	c.mu.Unlock()

@@ -96,7 +96,7 @@ func TestCachesPriorityListBounded(t *testing.T) {
 		}
 	}
 	c.mu.Lock()
-	n := len(c.priority)
+	n := c.priority.Len()
 	c.mu.Unlock()
 	if n > maxPriorityEntries {
 		t.Fatalf("priority memo grew to %d entries, cap is %d", n, maxPriorityEntries)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/daggen"
 	"repro/internal/linalg"
+	"repro/internal/multi"
 	"repro/internal/sim"
 )
 
@@ -142,6 +143,7 @@ func multiPoolSweep(ctx context.Context, g *dag.Graph, seed int64) (*Table, erro
 	// time; accelerator B gets the mean — three genuinely different
 	// speeds per task.
 	inst := multiInstance(g)
+	mcaches := multi.NewCaches()
 	table := &Table{Name: "multi-pool sweep", XLabel: "device-memory",
 		Columns: []string{"multi-memheft", "multi-memminmin"}}
 	// Reference footprint: total files (a bound that always fits).
@@ -154,8 +156,8 @@ func multiPoolSweep(ctx context.Context, g *dag.Graph, seed int64) (*Table, erro
 		p := multiPlatform(total*2, dev)
 		row := make([]float64, 2)
 		for i, fn := range []func() (float64, error){
-			func() (float64, error) { return multiRun(ctx, inst, p, seed, true) },
-			func() (float64, error) { return multiRun(ctx, inst, p, seed, false) },
+			func() (float64, error) { return multiRun(ctx, inst, p, seed, true, mcaches) },
+			func() (float64, error) { return multiRun(ctx, inst, p, seed, false, mcaches) },
 		} {
 			v, err := fn()
 			if err != nil {

@@ -32,17 +32,45 @@ func multiPlatform(hostMem, devMem int64) multi.Platform {
 	)
 }
 
+// KPoolBench builds the deterministic k-pool benchmark fixture shared by
+// the package benchmarks and cmd/benchjson: pool 0 is a 2-processor host
+// carrying the graph's blue times, pools 1..k-1 are single-processor
+// accelerators whose times start from the red column and grow 20% per
+// additional pool (so placements spread), and every pool's capacity is
+// alpha times the total file volume of the graph.
+func KPoolBench(g *dag.Graph, k int, alpha float64) (*multi.Instance, multi.Platform) {
+	times := make([][]float64, g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		t := g.Task(dag.TaskID(i))
+		row := make([]float64, k)
+		row[0] = t.WBlue
+		for j := 1; j < k; j++ {
+			row[j] = t.WRed * (1 + 0.2*float64(j-1))
+		}
+		times[i] = row
+	}
+	bound := int64(alpha * float64(g.TotalFiles()))
+	pools := make([]multi.Pool, k)
+	pools[0] = multi.Pool{Procs: 2, Capacity: bound}
+	for j := 1; j < k; j++ {
+		pools[j] = multi.Pool{Procs: 1, Capacity: bound}
+	}
+	return multi.NewInstance(g, times), multi.NewPlatform(pools...)
+}
+
 // multiRun executes one generalised heuristic and returns its makespan, or
-// NaN when the instance does not fit.
-func multiRun(ctx context.Context, in *multi.Instance, p multi.Platform, seed int64, heft bool) (float64, error) {
+// NaN when the instance does not fit. The caller-owned caches serve the
+// ranking/statics memos across the sweep, exactly as a Session would.
+func multiRun(ctx context.Context, in *multi.Instance, p multi.Platform, seed int64, heft bool, caches *multi.Caches) (float64, error) {
 	var (
 		s   *multi.Schedule
 		err error
 	)
+	opt := multi.Options{Seed: seed, Caches: caches}
 	if heft {
-		s, err = multi.MemHEFT(ctx, in, p, multi.Options{Seed: seed})
+		s, err = multi.MemHEFT(ctx, in, p, opt)
 	} else {
-		s, err = multi.MemMinMin(ctx, in, p, multi.Options{Seed: seed})
+		s, err = multi.MemMinMin(ctx, in, p, opt)
 	}
 	if err != nil {
 		if errors.Is(err, multi.ErrMemoryBound) {

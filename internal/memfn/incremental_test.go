@@ -153,3 +153,33 @@ func TestCloneIntoReuse(t *testing.T) {
 		t.Fatalf("clone EarliestFit = %g, want %g", got, want)
 	}
 }
+
+// TestReset verifies Reset restores the constant function while reusing
+// storage, and that the staircase behaves like a fresh one afterwards.
+func TestReset(t *testing.T) {
+	s := New(20)
+	s.Reserve(1, 5, 7)
+	s.Reserve(3, Inf, 4)
+	s.EarliestFit(0, 15) // build sufmin so Reset must invalidate it
+
+	s.Reset(12)
+	want := New(12)
+	if s.String() != want.String() {
+		t.Fatalf("after Reset: %v, want %v", s, want)
+	}
+	if got := s.EarliestFit(0, 12); got != 0 {
+		t.Fatalf("EarliestFit(0,12) = %g after Reset", got)
+	}
+	if got := s.EarliestFit(0, 13); got != Inf {
+		t.Fatalf("EarliestFit(0,13) = %g after Reset, want +Inf", got)
+	}
+	// The reset staircase must accept mutations like a fresh one.
+	s.Reserve(2, 4, 5)
+	want.Reserve(2, 4, 5)
+	if s.String() != want.String() {
+		t.Fatalf("mutation after Reset: %v, want %v", s, want)
+	}
+	if got, ref := s.EarliestFit(0, 10), want.EarliestFitLinear(0, 10); got != ref {
+		t.Fatalf("EarliestFit after Reset = %g, reference %g", got, ref)
+	}
+}

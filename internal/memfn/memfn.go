@@ -64,6 +64,17 @@ func New(capacity int64) *Staircase {
 	return &Staircase{steps: []step{{t: 0, v: capacity}}}
 }
 
+// Reset reinitialises the staircase to the constant function
+// free(t) = capacity, reusing its storage. Engines that recycle partial
+// schedules across runs (the k-pool session pool) use it to avoid
+// reallocating the breakpoint arrays on every schedule.
+func (s *Staircase) Reset(capacity int64) {
+	s.steps = append(s.steps[:0], step{t: 0, v: capacity})
+	s.sufmin = s.sufmin[:0]
+	s.sufminOK = false
+	s.dirtyFrom = 0
+}
+
 // Clone returns an independent copy.
 func (s *Staircase) Clone() *Staircase { return s.CloneInto(nil) }
 

@@ -1,0 +1,55 @@
+// Package memo provides the small, bounded memoization primitives shared by
+// the per-session cache layers of the scheduling engines (core.Caches for
+// the dual-memory engine, multi.Caches for the k-pool generalisation).
+//
+// The containers here are deliberately not concurrency-safe: the cache
+// owners already serialise access under their own mutex, and keeping the
+// locking in one place avoids double-locking on every hit.
+package memo
+
+// Bounded is a map from K to V holding at most a fixed number of entries.
+// When full, Put evicts an arbitrary entry — the memoized values are pure
+// functions of their key, so an eviction only ever costs a recompute. The
+// zero value is not usable; call NewBounded.
+type Bounded[K comparable, V any] struct {
+	max int
+	m   map[K]V
+}
+
+// NewBounded returns an empty bounded memo holding at most max entries
+// (max < 1 is treated as 1).
+func NewBounded[K comparable, V any](max int) *Bounded[K, V] {
+	if max < 1 {
+		max = 1
+	}
+	return &Bounded[K, V]{max: max}
+}
+
+// Get returns the memoized value for k.
+func (b *Bounded[K, V]) Get(k K) (V, bool) {
+	v, ok := b.m[k]
+	return v, ok
+}
+
+// Put stores v under k, evicting an arbitrary entry first when the memo is
+// full (an existing entry under k is simply overwritten).
+func (b *Bounded[K, V]) Put(k K, v V) {
+	if b.m == nil {
+		b.m = make(map[K]V, b.max)
+	}
+	if _, exists := b.m[k]; !exists {
+		for len(b.m) >= b.max {
+			for victim := range b.m {
+				delete(b.m, victim)
+				break
+			}
+		}
+	}
+	b.m[k] = v
+}
+
+// Len returns the number of memoized entries.
+func (b *Bounded[K, V]) Len() int { return len(b.m) }
+
+// Reset drops every entry, keeping the bound.
+func (b *Bounded[K, V]) Reset() { clear(b.m) }

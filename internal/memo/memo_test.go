@@ -1,0 +1,68 @@
+package memo
+
+import "testing"
+
+func TestBoundedBasics(t *testing.T) {
+	b := NewBounded[int64, string](2)
+	if _, ok := b.Get(1); ok {
+		t.Fatal("empty memo returned a value")
+	}
+	b.Put(1, "one")
+	b.Put(2, "two")
+	if v, ok := b.Get(1); !ok || v != "one" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	// Overwriting an existing key must not evict anything.
+	b.Put(2, "TWO")
+	if v, _ := b.Get(2); v != "TWO" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len after overwrite = %d, want 2", b.Len())
+	}
+}
+
+func TestBoundedEviction(t *testing.T) {
+	b := NewBounded[int, int](4)
+	for i := 0; i < 100; i++ {
+		b.Put(i, i*i)
+	}
+	if b.Len() > 4 {
+		t.Fatalf("bound violated: %d entries", b.Len())
+	}
+	// Every surviving entry must still carry its own value.
+	for i := 0; i < 100; i++ {
+		if v, ok := b.Get(i); ok && v != i*i {
+			t.Fatalf("entry %d corrupted: %d", i, v)
+		}
+	}
+}
+
+func TestBoundedReset(t *testing.T) {
+	b := NewBounded[string, int](8)
+	b.Put("a", 1)
+	b.Put("b", 2)
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+	if _, ok := b.Get("a"); ok {
+		t.Fatal("Reset kept an entry")
+	}
+	b.Put("c", 3)
+	if v, ok := b.Get("c"); !ok || v != 3 {
+		t.Fatal("memo unusable after Reset")
+	}
+}
+
+func TestBoundedMinimumCapacity(t *testing.T) {
+	b := NewBounded[int, int](0)
+	b.Put(1, 1)
+	b.Put(2, 2)
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+}

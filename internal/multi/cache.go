@@ -1,0 +1,246 @@
+package multi
+
+import (
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/memo"
+)
+
+// Caches owns the per-instance memoized scheduler inputs of the k-pool
+// engine, mirroring core.Caches for the dual engine: the instance statics
+// consumed by every Partial (output totals, in-degrees, sources), the mean
+// upward ranks, the seeded priority lists of MemHEFT, and the validation
+// results. A memsched.Session creates one Caches per k-pool instance, which
+// makes the memos concurrency-safe and contention-free across sessions by
+// construction.
+//
+// All methods tolerate a nil receiver, which simply computes fresh: the
+// reference oracles and one-shot callers pass no cache at all.
+//
+// Growth is bounded by construction: the statics and ranks are one slot (a
+// session is one instance), the priority memo holds at most
+// maxPriorityEntries seeds, and the spare slot recycles at most one Partial.
+// The task/edge counts guard against the graph growing between calls;
+// growth re-keys the cache and drops every memo.
+type Caches struct {
+	mu             sync.Mutex
+	in             *Instance
+	nTasks, nEdges int
+	statics        *instanceStatics
+	ranks          []float64
+	priority       *memo.Bounded[int64, []dag.TaskID]
+
+	// spare recycles the buffers of one finished Partial (candidate slots,
+	// counters, staircases) across Schedule calls — the memory-sweep and
+	// service patterns reschedule the same instance over and over. Only
+	// the bookkeeping is reused; the produced Schedule always escapes to
+	// the caller untouched.
+	spare *Partial
+}
+
+// instanceStatics holds the per-instance immutable inputs of a Partial plus
+// the memoized validation state.
+type instanceStatics struct {
+	outFiles []int64
+	inDegree []int
+	sources  []dag.TaskID
+
+	graphValidated bool // a successful Graph.Validate ran for this graph
+	matrixWidth    int  // pool count the matrix was validated against; 0 = none
+}
+
+// maxPriorityEntries bounds the per-seed priority-list memo, matching the
+// dual engine's bound.
+const maxPriorityEntries = 64
+
+// NewCaches returns an empty cache set, ready to be shared by any number of
+// goroutines scheduling the same instance.
+func NewCaches() *Caches { return &Caches{} }
+
+// rekey points the cache at in, dropping every memo when the instance or
+// its append-only graph content changed. The caller holds c.mu.
+func (c *Caches) rekey(in *Instance) {
+	if c.in == in && c.nTasks == in.G.NumTasks() && c.nEdges == in.G.NumEdges() {
+		return
+	}
+	c.in, c.nTasks, c.nEdges = in, in.G.NumTasks(), in.G.NumEdges()
+	c.statics = nil
+	c.ranks = nil
+	if c.priority != nil {
+		c.priority.Reset()
+	}
+	c.spare = nil
+}
+
+// computeStatics derives the per-instance immutable inputs of a Partial.
+func computeStatics(in *Instance) *instanceStatics {
+	g := in.G
+	n := g.NumTasks()
+	edges := g.Edges()
+	s := &instanceStatics{
+		outFiles: make([]int64, n),
+		inDegree: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		id := dag.TaskID(i)
+		s.inDegree[i] = len(g.In(id))
+		if s.inDegree[i] == 0 {
+			s.sources = append(s.sources, id)
+		}
+		for _, e := range g.Out(id) {
+			s.outFiles[i] += edges[e].File
+		}
+	}
+	return s
+}
+
+// staticsOf returns the memoized statics of in, computing them on a miss.
+func (c *Caches) staticsOf(in *Instance) *instanceStatics {
+	if c == nil {
+		return computeStatics(in)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rekey(in)
+	if c.statics == nil {
+		c.statics = computeStatics(in)
+	}
+	return c.statics
+}
+
+// Validate is Instance.Validate with the successful parts memoized: the
+// graph check runs once per instance, the timing-matrix check once per pool
+// count (an unchanged instance cannot become invalid).
+func (c *Caches) Validate(in *Instance, p Platform) error {
+	if c == nil {
+		return in.Validate(p)
+	}
+	if in == nil || in.G == nil {
+		return in.Validate(p)
+	}
+	c.mu.Lock()
+	c.rekey(in)
+	if c.statics == nil {
+		c.statics = computeStatics(in)
+	}
+	s := c.statics
+	graphDone, matrixDone := s.graphValidated, s.matrixWidth == p.NumPools()
+	c.mu.Unlock()
+	if graphDone && matrixDone {
+		return nil
+	}
+	if !graphDone {
+		if err := in.G.Validate(); err != nil {
+			return err
+		}
+	}
+	if !matrixDone {
+		if err := in.validateMatrix(p.NumPools()); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	s.graphValidated = true
+	s.matrixWidth = p.NumPools()
+	c.mu.Unlock()
+	return nil
+}
+
+// MeanRanks returns the memoized mean upward ranks of in, computing them on
+// a miss. The returned slice is shared and must not be mutated.
+func (c *Caches) MeanRanks(in *Instance) ([]float64, error) {
+	if c == nil {
+		return in.MeanRanks()
+	}
+	c.mu.Lock()
+	c.rekey(in)
+	if r := c.ranks; r != nil {
+		c.mu.Unlock()
+		return r, nil
+	}
+	nTasks, nEdges := c.nTasks, c.nEdges
+	c.mu.Unlock()
+
+	ranks, err := in.MeanRanks()
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if c.in == in && c.nTasks == nTasks && c.nEdges == nEdges && c.ranks == nil {
+		c.ranks = ranks
+	}
+	c.mu.Unlock()
+	return ranks, nil
+}
+
+// PriorityList returns the memoized MemHEFT priority list of (in, seed),
+// computing it on a miss (the O(n log n) sort runs outside the mutex, and
+// reuses the memoized ranks when present). The returned slice is a fresh
+// copy the caller may mutate.
+func (c *Caches) PriorityList(in *Instance, seed int64) ([]dag.TaskID, error) {
+	if c == nil {
+		return PriorityList(in, seed)
+	}
+	c.mu.Lock()
+	c.rekey(in)
+	if c.priority == nil {
+		c.priority = memo.NewBounded[int64, []dag.TaskID](maxPriorityEntries)
+	}
+	if list, ok := c.priority.Get(seed); ok {
+		out := append([]dag.TaskID(nil), list...)
+		c.mu.Unlock()
+		return out, nil
+	}
+	nTasks, nEdges := c.nTasks, c.nEdges
+	c.mu.Unlock()
+
+	ranks, err := c.MeanRanks(in)
+	if err != nil {
+		return nil, err
+	}
+	list := priorityFromRanks(in, ranks, seed)
+
+	c.mu.Lock()
+	// Store only while the cache is still keyed to the instance content
+	// the list was derived from.
+	if c.in == in && c.nTasks == nTasks && c.nEdges == nEdges {
+		if _, ok := c.priority.Get(seed); !ok {
+			c.priority.Put(seed, append([]dag.TaskID(nil), list...))
+		}
+	}
+	c.mu.Unlock()
+	return list, nil
+}
+
+// getSpare pops the recycled Partial (nil receiver or empty slot allocates
+// fresh). The caller must reset it before use.
+func (c *Caches) getSpare() *Partial {
+	if c == nil {
+		return &Partial{}
+	}
+	c.mu.Lock()
+	st := c.spare
+	c.spare = nil
+	c.mu.Unlock()
+	if st == nil {
+		st = &Partial{}
+	}
+	return st
+}
+
+// Recycle hands a finished Partial's buffers back for the next run. The
+// Partial must not be used by the caller afterwards; the schedule it
+// produced stays valid (reset always allocates a fresh one).
+func (c *Caches) Recycle(st *Partial) {
+	if c == nil || st == nil {
+		return
+	}
+	st.sched = nil // drop the escaped schedule; everything else is reused
+	c.mu.Lock()
+	if c.spare == nil {
+		c.spare = st
+	}
+	c.mu.Unlock()
+}

@@ -9,7 +9,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dag"
-	"repro/internal/memfn"
 )
 
 // ErrMemoryBound is returned (wrapped) when a heuristic cannot fit the
@@ -17,9 +16,32 @@ import (
 // dual-memory engine's, so one errors.Is check covers both engines.
 var ErrMemoryBound = core.ErrMemoryBound
 
-// Options tunes a heuristic run.
+// Options tunes a heuristic run. The zero value is ready to use.
 type Options struct {
-	Seed int64 // rank tie-breaking seed
+	// Seed feeds the random tie-breaking of the ranking phase.
+	Seed int64
+
+	// Caches, when non-nil, serves the per-instance memos (mean ranks,
+	// priority lists, statics, validation) owned by the caller —
+	// typically a memsched.Session. A nil Caches computes everything
+	// fresh.
+	Caches *Caches
+
+	// Stats, when non-nil, receives run statistics accumulated over the
+	// run.
+	Stats *RunStats
+}
+
+// RunStats carries the per-run statistics a heuristic reports through
+// Options.Stats.
+type RunStats struct {
+	// CacheHits / CacheMisses count candidate evaluations served from the
+	// epoch-invalidated (task, pool) memo vs recomputed.
+	CacheHits, CacheMisses uint64
+	// Makespan is the running-max makespan of the produced schedule.
+	Makespan float64
+	// PoolTasks is the number of tasks committed to each pool.
+	PoolTasks []int
 }
 
 // Func is the common signature of the generalised heuristics.
@@ -27,166 +49,32 @@ type Func func(ctx context.Context, in *Instance, p Platform, opt Options) (*Sch
 
 var inf = math.Inf(1)
 
-// partial is the multi-pool partial schedule (the k-pool generalisation of
-// core.Partial).
-type partial struct {
-	in *Instance
-	p  Platform
+// cancelStride is how many main-loop iterations pass between cooperative
+// context checks, matching the dual engine's stride.
+const cancelStride = 64
 
-	sched     *Schedule
-	free      []*memfn.Staircase // per pool
-	availProc []float64
-	assigned  []bool
-	finish    []float64
-}
-
-func newPartial(in *Instance, p Platform) *partial {
-	free := make([]*memfn.Staircase, p.NumPools())
-	for k, pool := range p.Pools {
-		free[k] = memfn.New(pool.Capacity)
+// ctxErr polls ctx every cancelStride-th step (nil ctx never cancels).
+func ctxErr(ctx context.Context, step int) error {
+	if ctx == nil || step%cancelStride != 0 {
+		return nil
 	}
-	return &partial{
-		in: in, p: p,
-		sched:     NewSchedule(in, p),
-		free:      free,
-		availProc: make([]float64, p.TotalProcs()),
-		assigned:  make([]bool, in.G.NumTasks()),
-		finish:    make([]float64, in.G.NumTasks()),
-	}
-}
-
-type candidate struct {
-	task dag.TaskID
-	pool int
-	est  float64
-	eft  float64
-	cmu  float64
-}
-
-func (c candidate) feasible() bool { return !math.IsInf(c.eft, 1) }
-
-func (st *partial) ready(id dag.TaskID) bool {
-	if st.assigned[id] {
-		return false
-	}
-	for _, e := range st.in.G.In(id) {
-		if !st.assigned[st.in.G.Edge(e).From] {
-			return false
-		}
-	}
-	return true
-}
-
-// evaluate computes EST/EFT of a ready task on pool k: the four components
-// of §5.1, with "cross" meaning "parent on any other pool".
-func (st *partial) evaluate(id dag.TaskID, k int) candidate {
-	c := candidate{task: id, pool: k, est: inf, eft: inf}
-	lo, hi := st.p.ProcRange(k)
-	if lo == hi {
-		return c
-	}
-	resourceEST := inf
-	for proc := lo; proc < hi; proc++ {
-		if st.availProc[proc] < resourceEST {
-			resourceEST = st.availProc[proc]
-		}
-	}
-	precedenceEST := 0.0
-	var crossFiles int64
-	cmu := 0.0
-	for _, e := range st.in.G.In(id) {
-		edge := st.in.G.Edge(e)
-		aft := st.finish[edge.From]
-		if st.sched.PoolOf(edge.From) == k {
-			if aft > precedenceEST {
-				precedenceEST = aft
-			}
-			continue
-		}
-		if v := aft + edge.Comm; v > precedenceEST {
-			precedenceEST = v
-		}
-		crossFiles += edge.File
-		if edge.Comm > cmu {
-			cmu = edge.Comm
-		}
-	}
-	var outFiles int64
-	for _, e := range st.in.G.Out(id) {
-		outFiles += st.in.G.Edge(e).File
-	}
-	taskMemEST := st.free[k].EarliestFit(0, crossFiles+outFiles)
-	commMemEST := st.free[k].EarliestFit(0, crossFiles)
-
-	est := math.Max(resourceEST, precedenceEST)
-	est = math.Max(est, taskMemEST)
-	est = math.Max(est, commMemEST+cmu)
-	if math.IsInf(est, 1) {
-		return c
-	}
-	c.est = est
-	c.eft = est + st.in.Time(id, k)
-	c.cmu = cmu
-	return c
-}
-
-// best returns the minimum-EFT candidate over all pools (lowest pool index
-// wins ties, matching core's blue preference in the 2-pool case).
-func (st *partial) best(id dag.TaskID) candidate {
-	b := candidate{task: id, pool: -1, est: inf, eft: inf}
-	for k := range st.p.Pools {
-		c := st.evaluate(id, k)
-		if c.eft < b.eft {
-			b = c
-		}
-	}
-	return b
-}
-
-// commit mirrors core.Partial.Commit for k pools.
-func (st *partial) commit(c candidate) {
-	id, k := c.task, c.pool
-	w := st.in.Time(id, k)
-	start, fin := c.est, c.est+w
-
-	lo, hi := st.p.ProcRange(k)
-	bestProc, bestAvail := -1, math.Inf(-1)
-	for proc := lo; proc < hi; proc++ {
-		if a := st.availProc[proc]; a <= start+Eps && a > bestAvail {
-			bestProc, bestAvail = proc, a
-		}
-	}
-	if bestProc < 0 {
-		panic("multi: no free processor at committed start time")
-	}
-	st.sched.Tasks[id] = Placement{Start: start, Proc: bestProc}
-	st.availProc[bestProc] = fin
-	st.assigned[id] = true
-	st.finish[id] = fin
-
-	for _, e := range st.in.G.In(id) {
-		edge := st.in.G.Edge(e)
-		srcPool := st.sched.PoolOf(edge.From)
-		if srcPool == k {
-			st.free[k].Release(fin, edge.File)
-			continue
-		}
-		st.sched.CommStart[edge.ID] = start - edge.Comm
-		st.free[k].Reserve(start-c.cmu, fin, edge.File)
-		st.free[srcPool].Release(start, edge.File)
-	}
-	for _, e := range st.in.G.Out(id) {
-		st.free[k].Reserve(start, memfn.Inf, st.in.G.Edge(e).File)
-	}
+	return ctx.Err()
 }
 
 // PriorityList returns tasks by non-increasing mean rank with seeded random
-// tie-breaks.
+// tie-breaks. It is a pure function of (instance, seed); sessions memoize
+// it per seed through Caches.PriorityList.
 func PriorityList(in *Instance, seed int64) ([]dag.TaskID, error) {
 	ranks, err := in.MeanRanks()
 	if err != nil {
 		return nil, err
 	}
+	return priorityFromRanks(in, ranks, seed), nil
+}
+
+// priorityFromRanks is the sorting half of PriorityList, reused by the
+// cache layer when the ranks are already memoized.
+func priorityFromRanks(in *Instance, ranks []float64, seed int64) []dag.TaskID {
 	rng := rand.New(rand.NewSource(seed))
 	tieKey := rng.Perm(in.G.NumTasks())
 	list := make([]dag.TaskID, in.G.NumTasks())
@@ -200,103 +88,214 @@ func PriorityList(in *Instance, seed int64) ([]dag.TaskID, error) {
 		}
 		return tieKey[list[a]] < tieKey[list[b]]
 	})
-	return list, nil
+	return list
 }
 
-// MemHEFT is Algorithm 1 generalised to k pools. The context is checked
-// cooperatively once per placement.
+// MemHEFT is Algorithm 1 generalised to k pools: walk the priority list,
+// schedule the first ready task that currently fits, restart from the head
+// after every assignment.
+//
+// The scan is incremental, mirroring the dual engine: ready-ness checks are
+// O(1), Best serves memoized candidates for entries whose pool epochs and
+// parents are unchanged since the last pass, and scheduled tasks are
+// skipped in place and compacted lazily. Commit order — and therefore the
+// schedule — is identical to MemHEFTReference (see naive.go). The context
+// is checked cooperatively; cancellation returns ctx.Err() wrapped.
 func MemHEFT(ctx context.Context, in *Instance, p Platform, opt Options) (*Schedule, error) {
-	if err := in.Validate(p); err != nil {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("multi: MemHEFT interrupted: %w", err)
+		}
+	}
+	if err := opt.Caches.Validate(in, p); err != nil {
 		return nil, err
 	}
-	remaining, err := PriorityList(in, opt.Seed)
+	remaining, err := opt.Caches.PriorityList(in, opt.Seed)
 	if err != nil {
 		return nil, err
 	}
-	st := newPartial(in, p)
-	for len(remaining) > 0 {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return st.sched, fmt.Errorf("multi: MemHEFT interrupted: %w", err)
-			}
+	st := NewPartialCached(in, p, opt.Caches)
+	defer opt.Caches.Recycle(st)
+	defer st.reportStats(opt.Stats)
+	left := len(remaining)
+	head := 0 // index of the first unscheduled entry
+	step := 0
+	for left > 0 {
+		if err := ctxErr(ctx, step); err != nil {
+			return st.sched, fmt.Errorf("multi: MemHEFT interrupted: %w", err)
+		}
+		step++
+		for head < len(remaining) && st.Assigned(remaining[head]) {
+			head++
 		}
 		placed := false
-		for index, id := range remaining {
-			if !st.ready(id) {
+		for _, id := range remaining[head:] {
+			if !st.Ready(id) {
 				continue
 			}
-			c := st.best(id)
-			if !c.feasible() {
+			c := st.Best(id)
+			if !c.Feasible() {
 				continue
 			}
-			st.commit(c)
-			remaining = append(remaining[:index], remaining[index+1:]...)
+			st.Commit(c)
+			left--
 			placed = true
 			break
 		}
 		if !placed {
-			return st.sched, fmt.Errorf("%w (MemHEFT: %d tasks unscheduled)", ErrMemoryBound, len(remaining))
+			// remaining[head] is the highest-priority unscheduled
+			// task thanks to the head advance above.
+			return st.sched, fmt.Errorf("%w (MemHEFT: %d of %d tasks unscheduled, first stuck task %d)",
+				ErrMemoryBound, left, in.G.NumTasks(), remaining[head])
+		}
+		// Compact once half the list is scheduled: amortised O(n)
+		// total instead of an O(n) mid-slice delete per assignment.
+		if left > 0 && 2*left <= len(remaining)-head {
+			out := remaining[:0]
+			for _, id := range remaining[head:] {
+				if !st.Assigned(id) {
+					out = append(out, id)
+				}
+			}
+			remaining = out
+			head = 0
 		}
 	}
 	return st.sched, nil
 }
 
-// MemMinMin is Algorithm 2 generalised to k pools. The context is checked
-// cooperatively once per placement.
+// MemMinMin is Algorithm 2 generalised to k pools: among all ready tasks,
+// repeatedly commit the (task, pool) pair with the minimum earliest finish
+// time.
+//
+// The ready candidates live in a heap ordered by (EFT, task ID) — the
+// exact tie-breaking of the reference linear scan — with lazy invalidation:
+// after a commit, only entries whose memoized evaluation went stale are
+// re-evaluated before the minimum is popped. The context is checked
+// cooperatively; cancellation returns ctx.Err() wrapped.
 func MemMinMin(ctx context.Context, in *Instance, p Platform, opt Options) (*Schedule, error) {
-	if err := in.Validate(p); err != nil {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("multi: MemMinMin interrupted: %w", err)
+		}
+	}
+	if err := opt.Caches.Validate(in, p); err != nil {
 		return nil, err
 	}
+	st := NewPartialCached(in, p, opt.Caches)
+	defer opt.Caches.Recycle(st)
+	defer st.reportStats(opt.Stats)
 	g := in.G
-	st := newPartial(in, p)
-	pending := make([]int, g.NumTasks())
-	var ready []dag.TaskID
-	for i := 0; i < g.NumTasks(); i++ {
-		pending[i] = len(g.In(dag.TaskID(i)))
-		if pending[i] == 0 {
-			ready = append(ready, dag.TaskID(i))
+
+	h := make(eftHeap, 0, g.NumTasks())
+	for _, id := range st.ReadyTasks() {
+		h = append(h, eftEntry{id: id, cand: st.Best(id)})
+	}
+	h.init()
+
+	scheduled := 0
+	for len(h) > 0 {
+		if err := ctxErr(ctx, scheduled); err != nil {
+			return st.sched, fmt.Errorf("multi: MemMinMin interrupted: %w", err)
+		}
+		// Lazy invalidation: refresh stale memoized candidates, then
+		// restore the heap order in one pass.
+		changed := false
+		for i := range h {
+			if !st.BestFresh(h[i].id) {
+				h[i].cand = st.Best(h[i].id)
+				changed = true
+			}
+		}
+		if changed {
+			h.init()
+		}
+		best := h[0]
+		if !best.cand.Feasible() {
+			// The heap minimum is infeasible, hence so is every
+			// ready task.
+			return st.sched, fmt.Errorf("%w (MemMinMin: %d of %d tasks unscheduled, %d ready tasks all blocked)",
+				ErrMemoryBound, g.NumTasks()-scheduled, g.NumTasks(), len(h))
+		}
+		st.Commit(best.cand)
+		scheduled++
+		h.popMin()
+		for _, child := range st.NewlyReady() {
+			h.push(eftEntry{id: child, cand: st.Best(child)})
 		}
 	}
-	for len(ready) > 0 {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return st.sched, fmt.Errorf("multi: MemMinMin interrupted: %w", err)
-			}
-		}
-		bestIdx := -1
-		var bestCand candidate
-		for idx, id := range ready {
-			c := st.best(id)
-			if !c.feasible() {
-				continue
-			}
-			if bestIdx < 0 || c.eft < bestCand.eft || (c.eft == bestCand.eft && id < bestCand.task) {
-				bestIdx, bestCand = idx, c
-			}
-		}
-		if bestIdx < 0 {
-			return st.sched, fmt.Errorf("%w (MemMinMin: %d ready tasks all blocked)", ErrMemoryBound, len(ready))
-		}
-		st.commit(bestCand)
-		ready = append(ready[:bestIdx], ready[bestIdx+1:]...)
-		for _, e := range g.Out(bestCand.task) {
-			child := g.Edge(e).To
-			pending[child]--
-			if pending[child] == 0 {
-				lo, hi := 0, len(ready)
-				for lo < hi {
-					mid := (lo + hi) / 2
-					if ready[mid] < child {
-						lo = mid + 1
-					} else {
-						hi = mid
-					}
-				}
-				ready = append(ready, 0)
-				copy(ready[lo+1:], ready[lo:])
-				ready[lo] = child
-			}
-		}
+	if scheduled != g.NumTasks() {
+		// Unreachable for a validated DAG; defensive.
+		return st.sched, fmt.Errorf("multi: MemMinMin scheduled %d of %d tasks", scheduled, g.NumTasks())
 	}
 	return st.sched, nil
+}
+
+// eftEntry is one ready task with its memoized best candidate.
+type eftEntry struct {
+	id   dag.TaskID
+	cand Candidate
+}
+
+// eftHeap is a binary min-heap of ready candidates ordered by (EFT, task
+// ID), matching the tie-breaking of the naive scan. Infeasible candidates
+// carry EFT = +inf and sink to the bottom; inf comparisons are always
+// false, so ties fall through to the ID order, which keeps the comparator
+// strict and total.
+type eftHeap []eftEntry
+
+func (h eftHeap) less(a, b int) bool {
+	if h[a].cand.EFT != h[b].cand.EFT {
+		return h[a].cand.EFT < h[b].cand.EFT
+	}
+	return h[a].id < h[b].id
+}
+
+func (h eftHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h eftHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && h.less(l, m) {
+			m = l
+		}
+		if r < len(h) && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h *eftHeap) push(e eftEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			return
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eftHeap) popMin() {
+	s := *h
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	if n > 0 {
+		s.siftDown(0)
+	}
 }

@@ -15,6 +15,13 @@
 // (resource, precedence, task memory, communication memory). With exactly
 // two pools the algorithms reproduce the decisions of internal/core
 // bit-for-bit, which the tests verify.
+//
+// The engine is incremental, running the same architecture as the dual
+// fast path: an epoch-memoized Partial (see partial.go), session-owned
+// memos in Caches (mean ranks, priority lists, statics, validation,
+// recycled buffers), and batched staircase splices. The pre-incremental
+// eager code is retained in naive.go as MemHEFTReference / MemMinMinReference,
+// the oracles the golden-equivalence tests compare against.
 package multi
 
 import (
@@ -178,18 +185,24 @@ func (in *Instance) Time(id dag.TaskID, k int) float64 { return in.Times[id][k] 
 
 // Validate checks the matrix shape against the graph and platform.
 func (in *Instance) Validate(p Platform) error {
-	if in.G == nil {
+	if in == nil || in.G == nil {
 		return fmt.Errorf("multi: nil graph")
 	}
 	if err := in.G.Validate(); err != nil {
 		return err
 	}
+	return in.validateMatrix(p.NumPools())
+}
+
+// validateMatrix is the timing-matrix half of Validate, split out so the
+// session cache layer can memoize it per pool count.
+func (in *Instance) validateMatrix(nPools int) error {
 	if len(in.Times) != in.G.NumTasks() {
 		return fmt.Errorf("multi: timing matrix has %d rows for %d tasks", len(in.Times), in.G.NumTasks())
 	}
 	for i, row := range in.Times {
-		if len(row) != p.NumPools() {
-			return fmt.Errorf("multi: task %d has %d pool times for %d pools", i, len(row), p.NumPools())
+		if len(row) != nPools {
+			return fmt.Errorf("multi: task %d has %d pool times for %d pools", i, len(row), nPools)
 		}
 		for k, w := range row {
 			if w < 0 {

@@ -15,14 +15,13 @@ import (
 )
 
 // Session is the primary scheduling handle: it is created once for a task
-// graph and owns every per-graph memo the dual-memory engine uses — the
-// validated statics, the seeded priority lists, and the candidate caches'
-// inputs. Those memos used to live in process-global single slots; a
-// Session makes them per-graph, concurrency-safe and bounded by
-// construction, so any number of goroutines can call Schedule concurrently
-// on any number of sessions without contending. (The generalised k-pool
-// engine memoizes only the instance matrix so far; its ranking phase is
-// recomputed per call.)
+// graph and owns every per-graph memo both engines use — the validated
+// statics, the seeded priority lists and mean ranks, the candidate caches'
+// inputs, and the k-pool engine's recycled scratch buffers. Those memos
+// used to live in process-global single slots; a Session makes them
+// per-graph, concurrency-safe and bounded by construction, so any number of
+// goroutines can call Schedule concurrently on any number of sessions
+// without contending.
 //
 // A Session built with NewSession carries the graph's dual (blue/red)
 // processing times: scheduling it on a 2-pool platform runs the incremental
@@ -31,9 +30,10 @@ import (
 // WithPoolTimes carries an explicit per-pool timing matrix and always runs
 // the generalised k-pool engine.
 type Session struct {
-	g      *Graph
-	times  [][]float64 // nil = dual times from the graph
-	caches *core.Caches
+	g       *Graph
+	times   [][]float64 // nil = dual times from the graph
+	caches  *core.Caches
+	mcaches *multi.Caches // k-pool memos: ranks, priority lists, statics, validation
 
 	mu   sync.Mutex
 	inst *multi.Instance // lazily built for the k-pool engine
@@ -62,7 +62,7 @@ func NewSession(g *Graph, opts ...SessionOption) (*Session, error) {
 	if g == nil {
 		return nil, errors.New("memsched: nil graph")
 	}
-	s := &Session{g: g, caches: core.NewCaches()}
+	s := &Session{g: g, caches: core.NewCaches(), mcaches: multi.NewCaches()}
 	for _, opt := range opts {
 		if err := opt(s); err != nil {
 			return nil, err
@@ -174,8 +174,13 @@ type Stats struct {
 	// Makespan of the produced schedule (+Inf when none was produced).
 	Makespan float64
 	// CacheHits / CacheMisses count candidate evaluations served from the
-	// epoch-invalidated memo vs recomputed (dual engine only).
+	// epoch-invalidated memo vs recomputed, by whichever engine ran (the
+	// dual engine memoizes per (task, memory), the k-pool engine per
+	// (task, pool)).
 	CacheHits, CacheMisses uint64
+	// PoolTasks is the number of tasks committed to each pool, in pool
+	// order (k-pool engine only; nil on the dual path).
+	PoolTasks []int
 	// Nodes is the number of branch-and-bound nodes explored (Optimal).
 	Nodes int
 	// Proven reports whether Optimal proved optimality (or infeasibility)
@@ -297,17 +302,19 @@ func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOpti
 	in := s.instance()
 	var (
 		msched *PoolSchedule
+		rs     multi.RunStats
 		err    error
 	)
+	mopt := multi.Options{Seed: cfg.seed, Caches: s.mcaches, Stats: &rs}
 	switch cfg.scheduler {
 	case "memheft":
-		msched, err = multi.MemHEFT(ctx, in, p, multi.Options{Seed: cfg.seed})
+		msched, err = multi.MemHEFT(ctx, in, p, mopt)
 	case "memminmin":
-		msched, err = multi.MemMinMin(ctx, in, p, multi.Options{Seed: cfg.seed})
+		msched, err = multi.MemMinMin(ctx, in, p, mopt)
 	case "heft":
-		msched, err = multi.MemHEFT(ctx, in, p.Unbounded(), multi.Options{Seed: cfg.seed})
+		msched, err = multi.MemHEFT(ctx, in, p.Unbounded(), mopt)
 	case "minmin":
-		msched, err = multi.MemMinMin(ctx, in, p.Unbounded(), multi.Options{Seed: cfg.seed})
+		msched, err = multi.MemMinMin(ctx, in, p.Unbounded(), mopt)
 	default:
 		if _, nerr := core.ByName(cfg.scheduler); nerr != nil {
 			return nil, nerr
@@ -320,9 +327,12 @@ func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOpti
 	return &Result{
 		Pools: msched,
 		Stats: Stats{
-			Scheduler: cfg.scheduler,
-			Makespan:  msched.Makespan(),
-			WallTime:  time.Since(start),
+			Scheduler:   cfg.scheduler,
+			Makespan:    rs.Makespan,
+			CacheHits:   rs.CacheHits,
+			CacheMisses: rs.CacheMisses,
+			PoolTasks:   rs.PoolTasks,
+			WallTime:    time.Since(start),
 		},
 	}, nil
 }

@@ -403,3 +403,163 @@ func TestSessionKPoolRouting(t *testing.T) {
 		t.Fatal("memory-bound sentinels not unified")
 	}
 }
+
+// TestSessionKPoolStats covers the k-pool stats surface added with the
+// incremental engine: candidate-cache counters are reported, the warm
+// second call hits the session memos, and PoolTasks accounts for every
+// task.
+func TestSessionKPoolStats(t *testing.T) {
+	ctx := context.Background()
+	params := daggen.SmallParams()
+	params.Size = 40
+	g, err := daggen.Generate(params, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([][]float64, g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		task := g.Task(TaskID(i))
+		times[i] = []float64{task.WBlue, task.WRed, (task.WBlue + task.WRed) / 2}
+	}
+	sess, err := NewSession(g, WithPoolTimes(times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlatform(
+		Pool{Procs: 2, Capacity: Unlimited},
+		Pool{Procs: 1, Capacity: Unlimited},
+		Pool{Procs: 1, Capacity: Unlimited},
+	)
+	// MemMinMin's lazy heap invalidation re-serves every fresh (task, pool)
+	// slot from the memo, so its hit rate must be strictly positive; on an
+	// unconstrained platform MemHEFT commits the first ready task of every
+	// scan, so only the counters' presence is asserted for it below.
+	mres, err := sess.Schedule(ctx, p, WithScheduler("memminmin"), WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := mres.Stats.CacheHitRate(); rate <= 0 || rate > 1 {
+		t.Fatalf("k-pool memminmin cache hit rate %g, want in (0, 1]", rate)
+	}
+	var prev *Result
+	for round := 0; round < 2; round++ {
+		res, err := sess.Schedule(ctx, p, WithScheduler("memheft"), WithSeed(23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Pools == nil {
+			t.Fatal("k-pool run did not produce a pool schedule")
+		}
+		if res.Stats.CacheHits+res.Stats.CacheMisses == 0 {
+			t.Fatal("no candidate evaluations recorded")
+		}
+		if len(res.Stats.PoolTasks) != 3 {
+			t.Fatalf("PoolTasks = %v, want 3 pools", res.Stats.PoolTasks)
+		}
+		sum := 0
+		for _, n := range res.Stats.PoolTasks {
+			sum += n
+		}
+		if sum != g.NumTasks() {
+			t.Fatalf("PoolTasks %v sums to %d, want %d", res.Stats.PoolTasks, sum, g.NumTasks())
+		}
+		if res.Stats.Makespan != res.Pools.Makespan() {
+			t.Fatalf("stats makespan %g, schedule says %g", res.Stats.Makespan, res.Pools.Makespan())
+		}
+		if peaks := res.PeakResidency(); len(peaks) != 3 {
+			t.Fatalf("peak residency %v", peaks)
+		}
+		if prev != nil {
+			for i := range prev.Pools.Tasks {
+				if prev.Pools.Tasks[i] != res.Pools.Tasks[i] {
+					t.Fatalf("warm round diverged at task %d", i)
+				}
+			}
+		}
+		prev = res
+	}
+}
+
+// TestDeprecatedMultiWrappersRouteThroughSession pins the fixed wrapper
+// path: MultiMemHEFT / MultiMemMinMin must produce exactly the schedule a
+// pool-times Session produces (they used to call the engine directly and
+// skip the session wiring).
+func TestDeprecatedMultiWrappersRouteThroughSession(t *testing.T) {
+	ctx := context.Background()
+	params := daggen.SmallParams()
+	params.Size = 30
+	g, err := daggen.Generate(params, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([][]float64, g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		task := g.Task(TaskID(i))
+		times[i] = []float64{task.WBlue, task.WRed, task.WBlue + 1}
+	}
+	inst := NewInstance(g, times)
+	sess, err := NewSession(g, WithPoolTimes(times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlatform(
+		Pool{Procs: 2, Capacity: 400},
+		Pool{Procs: 1, Capacity: 400},
+		Pool{Procs: 1, Capacity: 400},
+	)
+	for name, fn := range map[string]MultiSchedulerFunc{
+		"memheft":   MultiMemHEFT,
+		"memminmin": MultiMemMinMin,
+	} {
+		got, err := fn(inst, p, Options{Seed: 31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sess.Schedule(ctx, p, WithScheduler(name), WithSeed(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Pools.Tasks {
+			if got.Tasks[i] != want.Pools.Tasks[i] {
+				t.Fatalf("%s wrapper: task %d placed %+v, session says %+v", name, i, got.Tasks[i], want.Pools.Tasks[i])
+			}
+		}
+	}
+	// The wrapper must reject a nil instance cleanly.
+	if _, err := MultiMemHEFT(nil, p, Options{}); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+}
+
+// TestSessionKPoolCancellation mirrors the dual-path cancellation test for
+// the generalised engine: an already-cancelled context interrupts a k-pool
+// Schedule with the context error.
+func TestSessionKPoolCancellation(t *testing.T) {
+	params := daggen.SmallParams()
+	params.Size = 60
+	g, err := daggen.Generate(params, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([][]float64, g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		task := g.Task(TaskID(i))
+		times[i] = []float64{task.WBlue, task.WRed, task.WRed + 2}
+	}
+	sess, err := NewSession(g, WithPoolTimes(times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlatform(
+		Pool{Procs: 1, Capacity: Unlimited},
+		Pool{Procs: 1, Capacity: Unlimited},
+		Pool{Procs: 1, Capacity: Unlimited},
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"memheft", "memminmin"} {
+		if _, err := sess.Schedule(ctx, p, WithScheduler(name)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("k-pool %s on cancelled ctx: err = %v", name, err)
+		}
+	}
+}
