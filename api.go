@@ -71,6 +71,12 @@ func NewGraph() *Graph { return dag.New() }
 // ReadGraph decodes and validates a JSON graph from r.
 func ReadGraph(r io.Reader) (*Graph, error) { return dag.Read(r) }
 
+// GraphHash returns the canonical content hash of g (hex SHA-256 over tasks
+// and sorted edges): equal-content graphs hash equally regardless of edge
+// insertion order. It is the cache key of the scheduling service's session
+// cache; Session.GraphHash returns the same value for plain dual sessions.
+func GraphHash(g *Graph) string { return g.CanonicalHash() }
+
 // NewPlatform builds a platform from memory pools; the pool order defines
 // the global processor numbering.
 func NewPlatform(pools ...Pool) Platform { return multi.NewPlatform(pools...) }
@@ -199,7 +205,7 @@ func (e *dualOnlyError) Error() string {
 
 // ---------------------------------------------------------------------------
 // Deprecated facade: the pre-Session flat API, kept as thin wrappers for one
-// release. See the MIGRATION section of CHANGES.md for the mapping.
+// release. See docs/MIGRATION.md for the mapping.
 // ---------------------------------------------------------------------------
 
 // SchedulerFunc is the signature of the deprecated flat heuristic entry

@@ -1,0 +1,66 @@
+// Command memschedd serves the memory-aware scheduling engines over
+// HTTP/JSON (see package repro/serve for the endpoint reference). It caches
+// warm scheduling sessions per graph, bounds concurrent runs, and shuts
+// down gracefully on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	memschedd -addr 127.0.0.1:8080 -cache 256 -max-inflight 64
+//
+// Smoke test against a running daemon:
+//
+//	curl -s localhost:8080/v1/schedulers
+//	curl -s -X POST localhost:8080/v1/schedule -d '{
+//	  "graph": {"tasks": [{"wblue": 2, "wred": 1}], "edges": []},
+//	  "pools": [{"procs": 1, "capacity": 8}, {"procs": 1, "capacity": 4}]
+//	}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/serve"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cacheSize       = flag.Int("cache", 256, "maximum number of cached graph sessions (LRU)")
+		maxInFlight     = flag.Int("max-inflight", 64, "maximum concurrently executing scheduling runs")
+		maxBytes        = flag.Int64("max-request-bytes", 8<<20, "maximum request body size in bytes")
+		maxRunTime      = flag.Duration("max-runtime", 30*time.Second, "hard cap on one scheduling run")
+		readTimeout     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTimeout    = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain bound on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "memschedd: unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := serve.NewServer(serve.Config{
+		Addr:            *addr,
+		CacheSize:       *cacheSize,
+		MaxInFlight:     *maxInFlight,
+		MaxRequestBytes: *maxBytes,
+		MaxRunTime:      *maxRunTime,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		ShutdownTimeout: *shutdownTimeout,
+		Logf:            log.Printf,
+	})
+	if err := srv.ListenAndServe(ctx); err != nil {
+		log.Fatalf("memschedd: %v", err)
+	}
+}

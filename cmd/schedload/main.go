@@ -1,0 +1,197 @@
+// Command schedload is a load generator for memschedd: it registers a set
+// of random task graphs, hammers the /v1/schedule endpoint from concurrent
+// clients, and reports throughput, latency percentiles and the
+// session-cache hit rate observed by the server.
+//
+// Usage:
+//
+//	schedload -addr http://127.0.0.1:8080 -clients 8 -requests 100 -graphs 16 -tasks 100
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	memsched "repro"
+	"repro/serve"
+)
+
+type loadConfig struct {
+	addr      string
+	clients   int // concurrent client goroutines
+	requests  int // schedule requests per client
+	graphs    int // distinct graphs in the working set
+	tasks     int // tasks per graph
+	scheduler string
+	seed      int64
+	timeout   time.Duration
+}
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "base URL of the memschedd server")
+	flag.IntVar(&cfg.clients, "clients", 8, "concurrent client goroutines")
+	flag.IntVar(&cfg.requests, "requests", 50, "schedule requests per client")
+	flag.IntVar(&cfg.graphs, "graphs", 8, "distinct graphs in the working set")
+	flag.IntVar(&cfg.tasks, "tasks", 100, "tasks per generated graph")
+	flag.StringVar(&cfg.scheduler, "scheduler", "memheft", "heuristic to request")
+	flag.Int64Var(&cfg.seed, "seed", 1, "base seed of the graph generator")
+	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "overall deadline of the load run")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+	defer cancel()
+	rep, err := run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedload:", err)
+		os.Exit(1)
+	}
+	rep.print(os.Stdout)
+	if rep.failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// report aggregates one load run.
+type report struct {
+	sent, failed int
+	elapsed      time.Duration
+	p50, p99     time.Duration
+	hitRate      float64 // session-cache hit rate over the run, from /v1/stats
+	candHitRate  float64 // engine candidate-memo hit rate over the run
+}
+
+func (r report) print(w io.Writer) {
+	ok := r.sent - r.failed
+	fmt.Fprintf(w, "requests  : %d ok, %d failed in %v (%.0f req/s)\n",
+		ok, r.failed, r.elapsed.Round(time.Millisecond), float64(ok)/r.elapsed.Seconds())
+	fmt.Fprintf(w, "latency   : p50 %v, p99 %v\n", r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond))
+	fmt.Fprintf(w, "cache     : session hit rate %.1f%%, candidate hit rate %.1f%%\n",
+		100*r.hitRate, 100*r.candHitRate)
+}
+
+// run generates and registers the graph working set, fans out the
+// configured clients, and derives the report from latencies plus the
+// server's stats delta.
+func run(ctx context.Context, cfg loadConfig) (report, error) {
+	if cfg.clients < 1 || cfg.requests < 1 || cfg.graphs < 1 || cfg.tasks < 1 {
+		return report{}, fmt.Errorf("clients, requests, graphs and tasks must all be >= 1")
+	}
+	client := serve.NewClient(cfg.addr)
+	if err := client.Health(ctx); err != nil {
+		return report{}, fmt.Errorf("server not reachable at %s: %w", cfg.addr, err)
+	}
+
+	params := memsched.SmallRandParams()
+	params.Size = cfg.tasks
+	ids := make([]string, cfg.graphs)
+	for i := range ids {
+		g, err := memsched.GenerateRandom(params, cfg.seed+int64(i))
+		if err != nil {
+			return report{}, fmt.Errorf("generating graph %d: %w", i, err)
+		}
+		reg, err := client.RegisterGraph(ctx, g, nil)
+		if err != nil {
+			return report{}, fmt.Errorf("registering graph %d: %w", i, err)
+		}
+		ids[i] = reg.ID
+	}
+
+	before, err := client.Stats(ctx)
+	if err != nil {
+		return report{}, err
+	}
+
+	// Unbounded pools keep every generated graph feasible, so the run
+	// measures service latency rather than memory_bound rejections.
+	pools := []serve.PoolSpec{{Procs: 2}, {Procs: 2}}
+	latencies := make([][]time.Duration, cfg.clients)
+	failures := make([]int, cfg.clients)
+	attempted := make([]int, cfg.clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, cfg.requests)
+			for i := 0; i < cfg.requests; i++ {
+				id := ids[(c+i)%len(ids)]
+				attempted[c]++
+				t0 := time.Now()
+				_, err := client.Schedule(ctx, serve.ScheduleRequest{
+					GraphID:   id,
+					Pools:     pools,
+					Scheduler: cfg.scheduler,
+					Seed:      cfg.seed,
+				})
+				if err != nil {
+					failures[c]++
+					if ctx.Err() != nil {
+						break
+					}
+					continue
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[c] = lats
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := client.Stats(ctx)
+	if err != nil {
+		return report{}, err
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := report{
+		elapsed:     elapsed,
+		p50:         percentile(all, 0.50),
+		p99:         percentile(all, 0.99),
+		hitRate:     rateDelta(after.SessionHits, before.SessionHits, after.SessionMisses, before.SessionMisses),
+		candHitRate: rateDelta(after.CandidateHits, before.CandidateHits, after.CandidateMisses, before.CandidateMisses),
+	}
+	for c := range failures {
+		rep.failed += failures[c]
+		rep.sent += attempted[c] // counts only requests actually issued (a cancelled run stops early)
+	}
+	return rep, nil
+}
+
+// percentile returns the q-quantile of sorted latencies (zero when empty).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// rateDelta returns hits/(hits+misses) over the counter deltas of one run.
+func rateDelta(hitsAfter, hitsBefore, missAfter, missBefore uint64) float64 {
+	hits := hitsAfter - hitsBefore
+	misses := missAfter - missBefore
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/serve"
+)
+
+// TestLoadRunAgainstLocalServer drives the load generator against an
+// in-process server: every request must succeed and, since the working set
+// is registered up front and fits the cache, the session-cache hit rate
+// must be at least 90% — the service-level acceptance bar for repeated
+// graphs.
+func TestLoadRunAgainstLocalServer(t *testing.T) {
+	ts := httptest.NewServer(serve.NewServer(serve.Config{}).Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := run(ctx, loadConfig{
+		addr:      ts.URL,
+		clients:   4,
+		requests:  25,
+		graphs:    5,
+		tasks:     60,
+		scheduler: "memheft",
+		seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed != 0 {
+		t.Fatalf("%d of %d requests failed", rep.failed, rep.sent)
+	}
+	if rep.hitRate < 0.9 {
+		t.Fatalf("session-cache hit rate %.2f, want >= 0.9", rep.hitRate)
+	}
+	if rep.p50 <= 0 || rep.p99 < rep.p50 {
+		t.Fatalf("implausible latency percentiles: p50 %v, p99 %v", rep.p50, rep.p99)
+	}
+
+	var out strings.Builder
+	rep.print(&out)
+	for _, want := range []string{"requests", "latency", "p99", "session hit rate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(lat, 0.5); p != 5 {
+		t.Fatalf("p50 = %d, want 5", p)
+	}
+	if p := percentile(lat, 0.99); p != 10 {
+		t.Fatalf("p99 = %d, want 10", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %d, want 0", p)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := run(context.Background(), loadConfig{addr: "http://127.0.0.1:0", clients: 0, requests: 1, graphs: 1, tasks: 1}); err == nil {
+		t.Fatal("zero clients should be rejected")
+	}
+}

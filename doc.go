@@ -58,9 +58,10 @@
 // task counts (k-pool engine), search nodes, wall time.
 //
 // The package also exposes graph construction and serialisation (Graph,
-// NewGraph, ReadGraph), workload generators (DAGGEN-style random graphs,
-// tiled LU/Cholesky factorisations), a schedule validator, and the full
-// experiment harness reproducing the paper's figures (see EXPERIMENTS.md).
+// NewGraph, ReadGraph), a canonical per-graph content hash (GraphHash),
+// workload generators (DAGGEN-style random graphs, tiled LU/Cholesky
+// factorisations), a schedule validator, and the full experiment harness
+// reproducing the paper's figures (see EXPERIMENTS.md).
 //
 // # Performance architecture
 //
@@ -85,6 +86,17 @@
 // (MemHEFTReference / MemMinMinReference in internal/core and their k-pool
 // counterparts in internal/multi) and golden-equivalence tests assert
 // bit-identical schedules, including under concurrent session use.
+// docs/ARCHITECTURE.md walks through the whole incremental architecture —
+// epoch invalidation, staircase suffix-min, session memos, the dual vs
+// k-pool routing — in one place.
+//
+// # Scheduling service
+//
+// Package repro/serve exposes Sessions over HTTP/JSON with a bounded LRU
+// session cache keyed by GraphHash, request admission control and graceful
+// shutdown; cmd/memschedd is the daemon and cmd/schedload its load
+// generator. Use it when the request stream crosses a process boundary;
+// embed Sessions directly otherwise.
 //
 // # Deprecated flat API
 //
@@ -92,8 +104,8 @@
 // Simulate as top-level functions, and the parallel Multi* type names)
 // survives as thin deprecated wrappers for one release; the one breaking
 // change is NewPlatform, repurposed for pool lists — old four-argument
-// callers switch to NewDualPlatform. See the MIGRATION section of
-// CHANGES.md for the full mapping.
+// callers switch to NewDualPlatform. See docs/MIGRATION.md for the full
+// mapping.
 //
 // See the examples/ directory for complete programs.
 package memsched

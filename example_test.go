@@ -53,6 +53,60 @@ func ExampleSession_Optimal() {
 	// Output: makespan 7 (proven true)
 }
 
+// The online StarPU-style dispatcher replays the paper example at runtime:
+// scheduling decisions happen at task-completion events, with eager
+// transfers and memory admission control. WithPolicy selects the dispatch
+// order among admissible ready tasks.
+func ExampleSession_Simulate() {
+	g := memsched.PaperExample()
+	sess, _ := memsched.NewSession(g)
+	p := memsched.NewDualPlatform(1, 1, 4, 4)
+	for _, policy := range []memsched.SimPolicy{memsched.SimRankPolicy, memsched.SimEFTPolicy} {
+		res, err := sess.Simulate(context.Background(), p, memsched.WithPolicy(policy))
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s: makespan %g after %d events\n", res.Stats.Scheduler, res.Makespan(), res.Stats.Events)
+	}
+	// Output:
+	// sim-rank: makespan 10 after 5 events
+	// sim-eft: makespan 10 after 5 events
+}
+
+// One session can run every registered heuristic; the memory-aware
+// variants (memheft, memminmin) match their oblivious references (heft,
+// minmin) here because the 6-unit memories never constrain the example.
+func ExampleWithScheduler() {
+	sess, _ := memsched.NewSession(memsched.PaperExample())
+	p := memsched.NewDualPlatform(1, 1, 6, 6)
+	for _, name := range []string{"heft", "memheft", "memminmin"} {
+		res, err := sess.Schedule(context.Background(), p, memsched.WithScheduler(name))
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		peaks := res.PeakResidency()
+		fmt.Printf("%s: makespan %g, peaks (%d,%d)\n", name, res.Makespan(), peaks[0], peaks[1])
+	}
+	// Output:
+	// heft: makespan 6, peaks (3,5)
+	// memheft: makespan 6, peaks (3,5)
+	// memminmin: makespan 7, peaks (0,5)
+}
+
+// Equal-content graphs share one canonical hash — the key under which the
+// scheduling service caches warm sessions.
+func ExampleGraphHash() {
+	a := memsched.PaperExample()
+	b := memsched.PaperExample()
+	fmt.Println(memsched.GraphHash(a) == memsched.GraphHash(b))
+	fmt.Println(len(memsched.GraphHash(a)))
+	// Output:
+	// true
+	// 64
+}
+
 // Building a workflow by hand and inspecting the graph.
 func ExampleNewGraph() {
 	g := memsched.NewGraph()

@@ -1,0 +1,52 @@
+package dag
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+)
+
+// CanonicalHash returns a hex SHA-256 digest of the graph's content: every
+// task (name and both processing times, in ID order) and every edge
+// (endpoints, file size, communication time, sorted by endpoints so the
+// digest is independent of edge-insertion order). Two graphs with equal
+// content hash equally; the hash is the natural cache key for anything that
+// memoizes per-graph work, such as the scheduling service's session cache.
+func (g *Graph) CanonicalHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeFloat := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+
+	writeInt(int64(len(g.tasks)))
+	for _, t := range g.tasks {
+		writeInt(int64(len(t.Name)))
+		h.Write([]byte(t.Name))
+		writeFloat(t.WBlue)
+		writeFloat(t.WRed)
+	}
+
+	edges := append([]Edge(nil), g.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	writeInt(int64(len(edges)))
+	for _, e := range edges {
+		writeInt(int64(e.From))
+		writeInt(int64(e.To))
+		writeInt(e.File)
+		writeFloat(e.Comm)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

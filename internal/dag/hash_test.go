@@ -1,0 +1,58 @@
+package dag
+
+import "testing"
+
+func TestCanonicalHashDeterministic(t *testing.T) {
+	g := PaperExample()
+	if h1, h2 := g.CanonicalHash(), g.CanonicalHash(); h1 != h2 {
+		t.Fatalf("hash not deterministic: %s vs %s", h1, h2)
+	}
+	if h1, h2 := PaperExample().CanonicalHash(), g.Clone().CanonicalHash(); h1 != h2 {
+		t.Fatalf("equal graphs hash differently: %s vs %s", h1, h2)
+	}
+	if len(g.CanonicalHash()) != 64 {
+		t.Fatalf("want 64 hex chars, got %d", len(g.CanonicalHash()))
+	}
+}
+
+func TestCanonicalHashEdgeOrderIndependent(t *testing.T) {
+	a := New()
+	a0, a1, a2 := a.AddTask("x", 1, 2), a.AddTask("y", 3, 4), a.AddTask("z", 5, 6)
+	a.MustAddEdge(a0, a1, 7, 1)
+	a.MustAddEdge(a1, a2, 8, 2)
+
+	b := New()
+	b0, b1, b2 := b.AddTask("x", 1, 2), b.AddTask("y", 3, 4), b.AddTask("z", 5, 6)
+	b.MustAddEdge(b1, b2, 8, 2) // same edges, reversed insertion order
+	b.MustAddEdge(b0, b1, 7, 1)
+
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("edge insertion order changed the hash")
+	}
+}
+
+func TestCanonicalHashDistinguishes(t *testing.T) {
+	base := func() *Graph {
+		g := New()
+		s, d := g.AddTask("s", 1, 2), g.AddTask("d", 3, 4)
+		g.MustAddEdge(s, d, 5, 6)
+		return g
+	}
+	ref := base().CanonicalHash()
+
+	mutations := map[string]func(*Graph){
+		"task name":  func(g *Graph) { g.tasks[0].Name = "S" },
+		"blue time":  func(g *Graph) { g.tasks[0].WBlue = 9 },
+		"red time":   func(g *Graph) { g.tasks[1].WRed = 9 },
+		"file size":  func(g *Graph) { g.edges[0].File = 9 },
+		"comm time":  func(g *Graph) { g.edges[0].Comm = 9 },
+		"extra task": func(g *Graph) { g.AddTask("t", 0, 0) },
+	}
+	for name, mutate := range mutations {
+		g := base()
+		mutate(g)
+		if g.CanonicalHash() == ref {
+			t.Errorf("%s change not reflected in hash", name)
+		}
+	}
+}

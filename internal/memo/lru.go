@@ -1,0 +1,87 @@
+package memo
+
+// LRU is a map from K to V holding at most a fixed number of entries with
+// least-recently-used eviction: Get and Put both refresh an entry's recency,
+// and a full Put evicts the entry untouched for longest. It complements
+// Bounded, whose arbitrary eviction is fine for pure recomputable memos;
+// LRU is for caches whose values are expensive to rebuild and whose access
+// pattern has temporal locality — the scheduling service's session cache.
+//
+// Like the rest of the package, LRU is not concurrency-safe: the owner
+// serialises access under its own mutex. The zero value is not usable; call
+// NewLRU.
+type LRU[K comparable, V any] struct {
+	max     int
+	entries map[K]*lruEntry[K, V]
+	// head.next is the most recently used entry, head.prev the least;
+	// the ring always contains head itself, so list edits need no nil
+	// checks.
+	head lruEntry[K, V]
+}
+
+type lruEntry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *lruEntry[K, V]
+}
+
+// NewLRU returns an empty LRU cache holding at most max entries (max < 1 is
+// treated as 1).
+func NewLRU[K comparable, V any](max int) *LRU[K, V] {
+	if max < 1 {
+		max = 1
+	}
+	l := &LRU[K, V]{max: max, entries: make(map[K]*lruEntry[K, V], max)}
+	l.head.prev = &l.head
+	l.head.next = &l.head
+	return l
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (l *LRU[K, V]) Get(k K) (V, bool) {
+	e, ok := l.entries[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	l.moveToFront(e)
+	return e.val, true
+}
+
+// Put stores v under k as the most recently used entry, evicting the least
+// recently used entry first when the cache is full.
+func (l *LRU[K, V]) Put(k K, v V) {
+	if e, ok := l.entries[k]; ok {
+		e.val = v
+		l.moveToFront(e)
+		return
+	}
+	if len(l.entries) >= l.max {
+		oldest := l.head.prev
+		l.unlink(oldest)
+		delete(l.entries, oldest.key)
+	}
+	e := &lruEntry[K, V]{key: k, val: v}
+	l.entries[k] = e
+	l.pushFront(e)
+}
+
+// Len returns the number of cached entries.
+func (l *LRU[K, V]) Len() int { return len(l.entries) }
+
+func (l *LRU[K, V]) unlink(e *lruEntry[K, V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (l *LRU[K, V]) pushFront(e *lruEntry[K, V]) {
+	e.prev = &l.head
+	e.next = l.head.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (l *LRU[K, V]) moveToFront(e *lruEntry[K, V]) {
+	l.unlink(e)
+	l.pushFront(e)
+}

@@ -1,0 +1,80 @@
+package memo
+
+import "testing"
+
+func TestLRUBasic(t *testing.T) {
+	l := NewLRU[string, int](2)
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	l.Put("a", 1)
+	l.Put("b", 2)
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	l := NewLRU[string, int](2)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	l.Get("a")    // refresh a: b is now the LRU entry
+	l.Put("c", 3) // evicts b
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := l.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+}
+
+func TestLRUPutRefreshesRecency(t *testing.T) {
+	l := NewLRU[string, int](2)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	l.Put("a", 10) // overwrite refreshes a; b becomes LRU
+	l.Put("c", 3)  // evicts b
+	if v, ok := l.Get("a"); !ok || v != 10 {
+		t.Fatalf("Get(a) = %d, %v, want 10, true", v, ok)
+	}
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	l := NewLRU[int, int](0) // clamped to 1
+	l.Put(1, 1)
+	l.Put(2, 2)
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+	if _, ok := l.Get(2); !ok {
+		t.Fatal("latest entry missing")
+	}
+}
+
+func TestLRUChurn(t *testing.T) {
+	const capN = 8
+	l := NewLRU[int, int](capN)
+	for i := 0; i < 1000; i++ {
+		l.Put(i, i)
+		if l.Len() > capN {
+			t.Fatalf("Len = %d exceeds capacity %d", l.Len(), capN)
+		}
+	}
+	// The last cap keys inserted must all be present.
+	for i := 1000 - capN; i < 1000; i++ {
+		if v, ok := l.Get(i); !ok || v != i {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+}

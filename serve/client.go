@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	memsched "repro"
+)
+
+// Client is a typed client for the scheduling service. The zero value is
+// not usable; call NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"), using http.DefaultClient unless overridden with
+// WithHTTPClient.
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{base: baseURL, http: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport reuse, test doubles).
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// RegisterGraph registers g (with an optional pool-time matrix; pass nil
+// for a dual graph) and returns its id.
+func (c *Client) RegisterGraph(ctx context.Context, g *memsched.Graph, times [][]float64) (RegisterResponse, error) {
+	raw, err := json.Marshal(g)
+	if err != nil {
+		return RegisterResponse{}, fmt.Errorf("serve: encoding graph: %w", err)
+	}
+	var out RegisterResponse
+	err = c.post(ctx, "/v1/graphs", RegisterRequest{Graph: raw, Times: times}, &out)
+	return out, err
+}
+
+// Schedule runs a list-scheduling heuristic as described by req.
+func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (ScheduleResponse, error) {
+	var out ScheduleResponse
+	err := c.post(ctx, "/v1/schedule", req, &out)
+	return out, err
+}
+
+// Simulate runs the online dispatcher as described by req (Policy selects
+// the dispatch order; Scheduler and Insertion are ignored).
+func (c *Client) Simulate(ctx context.Context, req ScheduleRequest) (ScheduleResponse, error) {
+	var out ScheduleResponse
+	err := c.post(ctx, "/v1/simulate", req, &out)
+	return out, err
+}
+
+// Schedulers lists the heuristic names registered on the server.
+func (c *Client) Schedulers(ctx context.Context) ([]string, error) {
+	var out SchedulersResponse
+	if err := c.get(ctx, "/v1/schedulers", &out); err != nil {
+		return nil, err
+	}
+	return out.Schedulers, nil
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.get(ctx, "/v1/stats", &out)
+	return out, err
+}
+
+// Health probes /healthz; a nil error means the server answered.
+func (c *Client) Health(ctx context.Context) error {
+	return c.get(ctx, "/healthz", &map[string]string{})
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("serve: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr ErrorResponse
+		if jerr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&apiErr); jerr != nil || apiErr.Error == "" {
+			return &APIError{Status: resp.StatusCode, Code: CodeInternal,
+				Message: fmt.Sprintf("unexpected response (status %s)", resp.Status)}
+		}
+		return &APIError{Status: resp.StatusCode, Code: apiErr.Code, Message: apiErr.Error}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve: decoding response: %w", err)
+	}
+	return nil
+}

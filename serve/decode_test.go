@@ -1,0 +1,257 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/serve"
+)
+
+// post sends raw JSON to path and returns the recorded response.
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// decodeError asserts the response is a structured ErrorResponse and
+// returns it.
+func decodeError(t *testing.T, w *httptest.ResponseRecorder) serve.ErrorResponse {
+	t.Helper()
+	var e serve.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body is not JSON: %v (body %q)", err, w.Body.String())
+	}
+	if e.Error == "" || e.Code == "" {
+		t.Fatalf("error body missing fields: %q", w.Body.String())
+	}
+	return e
+}
+
+const validGraph = `{"tasks":[{"wblue":2,"wred":1},{"wblue":1,"wred":2}],` +
+	`"edges":[{"from":0,"to":1,"file":1,"comm":1}]}`
+
+// TestScheduleRejections is the table-driven 4xx coverage of the schedule
+// and register decode paths: every malformed or invalid request must yield
+// the right status and structured code, never a 5xx or an unstructured
+// body.
+func TestScheduleRejections(t *testing.T) {
+	h := serve.NewServer(serve.Config{MaxRequestBytes: 64 << 10}).Handler()
+
+	cases := []struct {
+		name     string
+		path     string
+		body     string
+		status   int
+		code     string
+		contains string
+	}{
+		{
+			name:   "malformed JSON",
+			path:   "/v1/schedule",
+			body:   `{"graph": nope}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: "malformed JSON",
+		},
+		{
+			name:   "empty body",
+			path:   "/v1/schedule",
+			body:   ``,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+		},
+		{
+			name:   "neither graph nor graph_id",
+			path:   "/v1/schedule",
+			body:   `{"pools":[{"procs":1},{"procs":1}]}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: `"graph_id" or "graph"`,
+		},
+		{
+			name: "both graph and graph_id",
+			path: "/v1/schedule",
+			body: `{"graph_id":"abc","graph":` + validGraph +
+				`,"pools":[{"procs":1},{"procs":1}]}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: "exactly one",
+		},
+		{
+			name:   "unknown graph id",
+			path:   "/v1/schedule",
+			body:   `{"graph_id":"deadbeef","pools":[{"procs":1},{"procs":1}]}`,
+			status: http.StatusNotFound, code: serve.CodeNotFound,
+			contains: "not registered",
+		},
+		{
+			name: "unknown scheduler",
+			path: "/v1/schedule",
+			body: `{"graph":` + validGraph +
+				`,"pools":[{"procs":1},{"procs":1}],"scheduler":"quantum-annealer"}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: "unknown scheduler",
+		},
+		{
+			name: "cycle-containing graph",
+			path: "/v1/schedule",
+			body: `{"graph":{"tasks":[{"wblue":1,"wred":1},{"wblue":1,"wred":1}],` +
+				`"edges":[{"from":0,"to":1,"file":1,"comm":0},{"from":1,"to":0,"file":1,"comm":0}]},` +
+				`"pools":[{"procs":1},{"procs":1}]}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: "cycle",
+		},
+		{
+			name: "edge referencing missing task",
+			path: "/v1/schedule",
+			body: `{"graph":{"tasks":[{"wblue":1,"wred":1}],` +
+				`"edges":[{"from":0,"to":7,"file":1,"comm":0}]},` +
+				`"pools":[{"procs":1},{"procs":1}]}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: "missing task",
+		},
+		{
+			name: "negative processing time",
+			path: "/v1/schedule",
+			body: `{"graph":{"tasks":[{"wblue":-1,"wred":1}],"edges":[]},` +
+				`"pools":[{"procs":1},{"procs":1}]}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: "negative",
+		},
+		{
+			name:   "missing pools",
+			path:   "/v1/schedule",
+			body:   `{"graph":` + validGraph + `}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: `"pools"`,
+		},
+		{
+			name: "platform without processors",
+			path: "/v1/schedule",
+			body: `{"graph":` + validGraph +
+				`,"pools":[{"procs":0},{"procs":0}]}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: "no processors",
+		},
+		{
+			name: "negative timeout",
+			path: "/v1/schedule",
+			body: `{"graph":` + validGraph +
+				`,"pools":[{"procs":1},{"procs":1}],"timeout_ms":-5}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: "timeout_ms",
+		},
+		{
+			name: "times with graph_id",
+			path: "/v1/schedule",
+			body: `{"graph_id":"abc","times":[[1,2]],` +
+				`"pools":[{"procs":1},{"procs":1}]}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: "times",
+		},
+		{
+			name: "times matrix wrong shape",
+			path: "/v1/schedule",
+			body: `{"graph":` + validGraph + `,"times":[[1,2]],` +
+				`"pools":[{"procs":1},{"procs":1}]}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: "matrix",
+		},
+		{
+			name: "insertion with wrong scheduler",
+			path: "/v1/schedule",
+			body: `{"graph":` + validGraph +
+				`,"pools":[{"procs":1},{"procs":1}],"scheduler":"memminmin","insertion":true}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: "WithInsertion",
+		},
+		{
+			name: "unknown simulate policy",
+			path: "/v1/simulate",
+			body: `{"graph":` + validGraph +
+				`,"pools":[{"procs":1},{"procs":1}],"policy":"lifo"}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: "unknown policy",
+		},
+		{
+			name:   "register without graph",
+			path:   "/v1/graphs",
+			body:   `{}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+			contains: `"graph"`,
+		},
+		{
+			name:   "register malformed graph",
+			path:   "/v1/graphs",
+			body:   `{"graph":{"tasks":"not-a-list"}}`,
+			status: http.StatusBadRequest, code: serve.CodeBadRequest,
+		},
+		{
+			name:   "oversized request",
+			path:   "/v1/graphs",
+			body:   `{"graph":{"tasks":[` + strings.Repeat(`{"wblue":1,"wred":1},`, 10000) + `]}}`,
+			status: http.StatusRequestEntityTooLarge, code: serve.CodeTooLarge,
+			contains: "exceeds",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := post(t, h, tc.path, tc.body)
+			if w.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", w.Code, tc.status, w.Body.String())
+			}
+			e := decodeError(t, w)
+			if e.Code != tc.code {
+				t.Fatalf("code = %q, want %q", e.Code, tc.code)
+			}
+			if tc.contains != "" && !strings.Contains(e.Error, tc.contains) {
+				t.Fatalf("error %q does not mention %q", e.Error, tc.contains)
+			}
+		})
+	}
+}
+
+func TestUnknownRouteIs404JSON(t *testing.T) {
+	h := serve.NewServer(serve.Config{}).Handler()
+	w := post(t, h, "/v2/teleport", `{}`)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", w.Code)
+	}
+	if e := decodeError(t, w); e.Code != serve.CodeNotFound {
+		t.Fatalf("code = %q, want %q", e.Code, serve.CodeNotFound)
+	}
+}
+
+// FuzzRegisterGraph throws arbitrary bodies at the register endpoint: the
+// server must always answer with valid JSON and never a 5xx, whatever the
+// payload. The seed corpus covers the interesting shapes (valid, truncated,
+// cyclic, out-of-range references, huge numbers, deep nesting).
+func FuzzRegisterGraph(f *testing.F) {
+	f.Add(`{"graph":` + validGraph + `}`)
+	f.Add(`{"graph":{"tasks":[],"edges":[]}}`)
+	f.Add(`{"graph":{"tasks":[{"wblue":1e308,"wred":-0}],"edges":[]}}`)
+	f.Add(`{"graph":{"tasks":[{"wblue":1,"wred":1}],"edges":[{"from":0,"to":0,"file":1,"comm":0}]}}`)
+	f.Add(`{"graph":{"tasks":[{"wblue":1,"wred":1},{"wblue":1,"wred":1}],` +
+		`"edges":[{"from":0,"to":1,"file":1,"comm":0},{"from":1,"to":0,"file":1,"comm":0}]}}`)
+	f.Add(`{"graph":{"tasks":[{"wblue":1,"wred":1}],"edges":[{"from":-1,"to":9,"file":-3,"comm":-1}]}}`)
+	f.Add(`{"graph":`)
+	f.Add(`[[[[[[[[`)
+	f.Add(`{"graph":{"tasks":[{"name":"` + strings.Repeat("x", 100) + `","wblue":0,"wred":0}]},"times":[[1]]}`)
+	f.Add(`{"graph":` + validGraph + `,"times":[[1,2],[3]]}`)
+
+	h := serve.NewServer(serve.Config{MaxRequestBytes: 1 << 20}).Handler()
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/graphs", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code >= 500 {
+			t.Fatalf("5xx on fuzzed input: %d (body %q)", w.Code, body)
+		}
+		if !json.Valid(w.Body.Bytes()) {
+			t.Fatalf("non-JSON response %q for input %q", w.Body.String(), body)
+		}
+	})
+}

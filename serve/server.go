@@ -1,0 +1,543 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	memsched "repro"
+	"repro/internal/memo"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// default (see the field comments).
+type Config struct {
+	// Addr is the listen address of ListenAndServe (default "127.0.0.1:8080").
+	Addr string
+	// CacheSize bounds the session LRU cache (default 256 graphs).
+	CacheSize int
+	// MaxInFlight bounds the number of requests concurrently doing
+	// CPU-bound work (body decode, graph validation, scheduling runs);
+	// excess requests wait for a slot (default 64).
+	MaxInFlight int
+	// MaxRequestBytes bounds request bodies (default 8 MiB); larger
+	// payloads get a structured 413.
+	MaxRequestBytes int64
+	// MaxRunTime caps one scheduling run (default 30s); a request's
+	// timeout_ms may shorten it but never extend past the cap.
+	MaxRunTime time.Duration
+	// ReadTimeout / WriteTimeout configure the HTTP server of
+	// ListenAndServe (defaults 10s / 60s).
+	ReadTimeout, WriteTimeout time.Duration
+	// ShutdownTimeout bounds the graceful drain of ListenAndServe after
+	// its context is cancelled (default 10s); runs still alive afterwards
+	// have their contexts cancelled.
+	ShutdownTimeout time.Duration
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8080"
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	if c.MaxRunTime <= 0 {
+		c.MaxRunTime = 30 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 60 * time.Second
+	}
+	if c.ShutdownTimeout <= 0 {
+		c.ShutdownTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the HTTP scheduling service. Create one with NewServer, mount
+// Handler on any HTTP server, or run the full lifecycle (listen, serve,
+// graceful shutdown) with ListenAndServe.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	sem   chan struct{}
+	start time.Time
+
+	smu      sync.Mutex
+	sessions *memo.LRU[string, *memsched.Session]
+
+	requests, scheduled          atomic.Uint64
+	sessionHits, sessionMisses   atomic.Uint64
+	candidateHits, candidateMiss atomic.Uint64
+	inFlight                     atomic.Int64
+
+	readyOnce sync.Once
+	ready     chan struct{}
+	boundAddr atomic.Value // string, set once the listener is bound
+}
+
+// NewServer builds a Server from cfg (zero value = all defaults).
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		sessions: memo.NewLRU[string, *memsched.Session](cfg.CacheSize),
+		start:    time.Now(),
+		ready:    make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleRegister)
+	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) { s.handleRun(w, r, false) })
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) { s.handleRun(w, r, true) })
+	mux.HandleFunc("GET /v1/schedulers", s.handleSchedulers)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no such endpoint: %s %s", r.Method, r.URL.Path))
+	})
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler (all /v1 endpoints plus
+// /healthz), independent of the ListenAndServe lifecycle.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// ListenAndServe binds cfg.Addr and serves until ctx is cancelled, then
+// shuts down gracefully: the listener closes immediately, in-flight
+// requests get cfg.ShutdownTimeout to drain, and any still alive afterwards
+// have their request contexts cancelled so runs stop cooperatively. It
+// returns nil after a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		s.readyOnce.Do(func() { close(s.ready) })
+		return err
+	}
+	s.boundAddr.Store(ln.Addr().String())
+	s.readyOnce.Do(func() { close(s.ready) })
+	s.cfg.Logf("memschedd: listening on %s (cache %d sessions, %d in-flight)",
+		ln.Addr(), s.cfg.CacheSize, s.cfg.MaxInFlight)
+
+	baseCtx, cancelRuns := context.WithCancel(context.Background())
+	defer cancelRuns()
+	srv := &http.Server{
+		Handler:      s.Handler(),
+		ReadTimeout:  s.cfg.ReadTimeout,
+		WriteTimeout: s.cfg.WriteTimeout,
+		BaseContext:  func(net.Listener) context.Context { return baseCtx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.cfg.Logf("memschedd: shutting down (draining up to %v)", s.cfg.ShutdownTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+	shutErr := srv.Shutdown(shutCtx)
+	cancelRuns() // cut the request contexts of anything that outlived the drain
+	if shutErr != nil {
+		_ = srv.Close()
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	if shutErr != nil {
+		return fmt.Errorf("serve: shutdown: %w", shutErr)
+	}
+	s.cfg.Logf("memschedd: shutdown complete")
+	return nil
+}
+
+// Addr returns the bound listen address of ListenAndServe; it blocks until
+// the listener is bound (useful with ":0") and returns "" if binding
+// failed.
+func (s *Server) Addr() string {
+	<-s.ready
+	if a, ok := s.boundAddr.Load().(string); ok {
+		return a
+	}
+	return ""
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() StatsResponse {
+	s.smu.Lock()
+	cached := s.sessions.Len()
+	s.smu.Unlock()
+	return StatsResponse{
+		Requests:        s.requests.Load(),
+		Scheduled:       s.scheduled.Load(),
+		SessionHits:     s.sessionHits.Load(),
+		SessionMisses:   s.sessionMisses.Load(),
+		SessionsCached:  cached,
+		SessionCapacity: s.cfg.CacheSize,
+		CandidateHits:   s.candidateHits.Load(),
+		CandidateMisses: s.candidateMiss.Load(),
+		InFlight:        s.inFlight.Load(),
+		MaxInFlight:     s.cfg.MaxInFlight,
+		UptimeMS:        time.Since(s.start).Milliseconds(),
+	}
+}
+
+// acquire takes one in-flight slot, waiting until one frees or ctx ends.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	s.inFlight.Add(-1)
+	<-s.sem
+}
+
+// decodeBody decodes the JSON request body into v under the configured size
+// bound, reporting (status, code) classified errors.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return err
+		}
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "malformed JSON: "+err.Error())
+		return err
+	}
+	return nil
+}
+
+// buildSession decodes an inline graph (plus optional times matrix) into a
+// validated Session. Errors have already been written to w.
+func (s *Server) buildSession(w http.ResponseWriter, raw json.RawMessage, times [][]float64) (*memsched.Session, bool) {
+	g := memsched.NewGraph()
+	if err := json.Unmarshal(raw, g); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "malformed graph: "+err.Error())
+		return nil, false
+	}
+	var opts []memsched.SessionOption
+	if times != nil {
+		opts = append(opts, memsched.WithPoolTimes(times))
+	}
+	sess, err := memsched.NewSession(g, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid graph: "+err.Error())
+		return nil, false
+	}
+	return sess, true
+}
+
+// intern stores sess in the session cache under its canonical hash. When an
+// identical session is already resident the warm one is returned and kept
+// (cached = true).
+func (s *Server) intern(sess *memsched.Session) (resident *memsched.Session, cached bool) {
+	key := sess.GraphHash()
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if warm, ok := s.sessions.Get(key); ok {
+		return warm, true
+	}
+	s.sessions.Put(key, sess)
+	return sess, false
+}
+
+func (s *Server) lookup(id string) (*memsched.Session, bool) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return s.sessions.Get(id)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	// Registration decodes and validates arbitrary graphs — CPU-bound
+	// work that shares the in-flight budget with the scheduling runs.
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, http.StatusRequestTimeout, CodeTimeout, "request cancelled while waiting for an in-flight slot")
+		return
+	}
+	defer s.release()
+
+	var req RegisterRequest
+	if s.decodeBody(w, r, &req) != nil {
+		return
+	}
+	if len(req.Graph) == 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, `missing "graph"`)
+		return
+	}
+	sess, ok := s.buildSession(w, req.Graph, req.Times)
+	if !ok {
+		return
+	}
+	sess, cached := s.intern(sess)
+	g := sess.Graph()
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		ID:     sess.GraphHash(),
+		Tasks:  g.NumTasks(),
+		Edges:  g.NumEdges(),
+		Cached: cached,
+	})
+}
+
+// resolveSession turns the request's graph reference (id or inline) into a
+// session, preferring a cached warm one. Errors have been written to w.
+func (s *Server) resolveSession(w http.ResponseWriter, req *ScheduleRequest) (sess *memsched.Session, fromCache, ok bool) {
+	switch {
+	case req.GraphID != "" && len(req.Graph) > 0:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, `set exactly one of "graph_id" and "graph"`)
+		return nil, false, false
+	case req.GraphID != "":
+		if req.Times != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, `"times" requires an inline "graph" (a registered id already carries its matrix)`)
+			return nil, false, false
+		}
+		sess, found := s.lookup(req.GraphID)
+		if !found {
+			s.sessionMisses.Add(1)
+			writeError(w, http.StatusNotFound, CodeNotFound,
+				fmt.Sprintf("graph %q is not registered (register it or inline it; the cache is bounded, so it may have been evicted)", req.GraphID))
+			return nil, false, false
+		}
+		s.sessionHits.Add(1)
+		return sess, true, true
+	case len(req.Graph) > 0:
+		built, ok := s.buildSession(w, req.Graph, req.Times)
+		if !ok {
+			return nil, false, false
+		}
+		sess, cached := s.intern(built)
+		if cached {
+			s.sessionHits.Add(1)
+		} else {
+			s.sessionMisses.Add(1)
+		}
+		return sess, cached, true
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, `set "graph_id" or "graph"`)
+		return nil, false, false
+	}
+}
+
+// platformOf validates and builds the request's platform. Errors have been
+// written to w.
+func platformOf(w http.ResponseWriter, specs []PoolSpec) (memsched.Platform, bool) {
+	if len(specs) == 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, `missing "pools"`)
+		return memsched.Platform{}, false
+	}
+	pools := make([]memsched.Pool, len(specs))
+	for i, spec := range specs {
+		capacity := int64(memsched.Unlimited)
+		if spec.Capacity != nil {
+			capacity = *spec.Capacity
+		}
+		pools[i] = memsched.Pool{Procs: spec.Procs, Capacity: capacity}
+	}
+	p := memsched.NewPlatform(pools...)
+	if err := p.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid platform: "+err.Error())
+		return memsched.Platform{}, false
+	}
+	return p, true
+}
+
+// knownScheduler reports whether name resolves in the scheduler registry.
+func knownScheduler(name string) bool {
+	name = strings.ToLower(strings.TrimSpace(name))
+	for _, n := range memsched.Schedulers() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, simulate bool) {
+	// The semaphore bounds the whole expensive span — body decode, graph
+	// validation and the scheduling run — not just the engine call:
+	// multi-MB inline graphs cost real CPU before scheduling starts.
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, http.StatusRequestTimeout, CodeTimeout, "request cancelled while waiting for an in-flight slot")
+		return
+	}
+	defer s.release()
+
+	var req ScheduleRequest
+	if s.decodeBody(w, r, &req) != nil {
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, `"timeout_ms" must be >= 0`)
+		return
+	}
+	var policy memsched.SimPolicy
+	if simulate {
+		switch strings.ToLower(strings.TrimSpace(req.Policy)) {
+		case "", "rank":
+			policy = memsched.SimRankPolicy
+		case "eft":
+			policy = memsched.SimEFTPolicy
+		default:
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("unknown policy %q (known: rank, eft)", req.Policy))
+			return
+		}
+	}
+	scheduler := req.Scheduler
+	if scheduler == "" {
+		scheduler = "memheft"
+	}
+	if !simulate && !knownScheduler(scheduler) {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("unknown scheduler %q (known: %s)", req.Scheduler, strings.Join(memsched.Schedulers(), ", ")))
+		return
+	}
+	sess, fromCache, ok := s.resolveSession(w, &req)
+	if !ok {
+		return
+	}
+	p, ok := platformOf(w, req.Pools)
+	if !ok {
+		return
+	}
+
+	ctx := r.Context()
+	timeout := s.cfg.MaxRunTime
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	var (
+		res *memsched.Result
+		err error
+	)
+	if simulate {
+		res, err = sess.Simulate(ctx, p, memsched.WithPolicy(policy), memsched.WithSeed(req.Seed))
+	} else {
+		opts := []memsched.ScheduleOption{memsched.WithScheduler(scheduler), memsched.WithSeed(req.Seed)}
+		if req.Insertion {
+			opts = append(opts, memsched.WithInsertion())
+		}
+		res, err = sess.Schedule(ctx, p, opts...)
+	}
+	if err != nil {
+		status, code := classify(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	s.scheduled.Add(1)
+	s.candidateHits.Add(res.Stats.CacheHits)
+	s.candidateMiss.Add(res.Stats.CacheMisses)
+
+	resp := ScheduleResponse{
+		GraphID:       sess.GraphHash(),
+		Scheduler:     res.Stats.Scheduler,
+		Makespan:      res.Makespan(),
+		Peaks:         res.PeakResidency(),
+		PoolTasks:     res.Stats.PoolTasks,
+		CacheHits:     res.Stats.CacheHits,
+		CacheMisses:   res.Stats.CacheMisses,
+		CacheHitRate:  res.Stats.CacheHitRate(),
+		Events:        res.Stats.Events,
+		WallMicros:    res.Stats.WallTime.Microseconds(),
+		SessionCached: fromCache,
+	}
+	if req.Placements {
+		resp.TaskPlacements = placementsOf(res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func placementsOf(res *memsched.Result) []Placement {
+	switch {
+	case res.Schedule != nil:
+		out := make([]Placement, len(res.Schedule.Tasks))
+		for i, t := range res.Schedule.Tasks {
+			out[i] = Placement{Task: i, Start: t.Start, Proc: t.Proc}
+		}
+		return out
+	case res.Pools != nil:
+		out := make([]Placement, len(res.Pools.Tasks))
+		for i, t := range res.Pools.Tasks {
+			out[i] = Placement{Task: i, Start: t.Start, Proc: t.Proc}
+		}
+		return out
+	}
+	return nil
+}
+
+func (s *Server) handleSchedulers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, SchedulersResponse{Schedulers: memsched.Schedulers()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// classify maps a scheduling error onto an HTTP status and error code. The
+// inputs were validated before the run, so anything left is either a model
+// rejection (does not fit, deadlocks, engine/platform mismatch) or a
+// timeout.
+func classify(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, memsched.ErrMemoryBound):
+		return http.StatusUnprocessableEntity, CodeMemoryBound
+	case errors.Is(err, memsched.ErrSimStuck):
+		return http.StatusUnprocessableEntity, CodeSimStuck
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout, CodeTimeout
+	default:
+		return http.StatusBadRequest, CodeBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}

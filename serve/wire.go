@@ -1,0 +1,174 @@
+// Package serve exposes the Session scheduling API as an HTTP/JSON service.
+//
+// The server (NewServer) registers task graphs, schedules or simulates them
+// on a platform described in the request, and reports structured statistics.
+// Sessions — the per-graph memo holders of package memsched — are cached in
+// a bounded LRU keyed by the graph's canonical content hash, so repeated
+// requests for the same graph hit warm rank/statics memos: exactly the
+// access pattern of a scheduling service placed in front of a stream of
+// recurring workflows. Command memschedd wraps the server in a binary;
+// Client is the typed Go client; command schedload is a load generator
+// built on it.
+//
+// Endpoints:
+//
+//	POST /v1/graphs      register a graph (and optional pool-time matrix),
+//	                     returns its canonical hash as the graph id
+//	POST /v1/schedule    run a list-scheduling heuristic (graph inline or
+//	                     by id) on the pools given in the request
+//	POST /v1/simulate    run the online dispatcher (dual graphs, 2 pools)
+//	GET  /v1/schedulers  list the registered heuristic names
+//	GET  /v1/stats       server counters: session-cache hits/misses,
+//	                     engine candidate-cache totals, in-flight gauge
+//	GET  /healthz        liveness probe
+//
+// Every error response is structured JSON: {"error": ..., "code": ...}.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// PoolSpec describes one memory pool of the request's platform. A nil
+// Capacity means unlimited.
+type PoolSpec struct {
+	Procs    int    `json:"procs"`
+	Capacity *int64 `json:"capacity,omitempty"`
+}
+
+// RegisterRequest registers a task graph (package wire format of
+// memsched.Graph) and, optionally, an explicit Times[task][pool] matrix for
+// k-pool scheduling (the matrix becomes part of the graph id).
+type RegisterRequest struct {
+	Graph json.RawMessage `json:"graph"`
+	Times [][]float64     `json:"times,omitempty"`
+}
+
+// RegisterResponse reports the registered graph's id — its canonical
+// content hash — and size. Cached is true when an identical graph was
+// already resident, in which case its warm session was kept.
+type RegisterResponse struct {
+	ID     string `json:"id"`
+	Tasks  int    `json:"tasks"`
+	Edges  int    `json:"edges"`
+	Cached bool   `json:"cached"`
+}
+
+// ScheduleRequest asks for one scheduling (or simulation) run. Exactly one
+// of GraphID and Graph must be set; Pools describes the platform. The
+// option fields mirror the Session option set: Scheduler and Seed map to
+// WithScheduler/WithSeed, Insertion to WithInsertion, TimeoutMS to
+// WithTimeout, and Policy (simulate only: "rank" or "eft") to WithPolicy.
+// Placements requests the full per-task placement list in the response.
+type ScheduleRequest struct {
+	GraphID string          `json:"graph_id,omitempty"`
+	Graph   json.RawMessage `json:"graph,omitempty"`
+	Times   [][]float64     `json:"times,omitempty"`
+
+	Pools []PoolSpec `json:"pools"`
+
+	Scheduler  string `json:"scheduler,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	Insertion  bool   `json:"insertion,omitempty"`
+	TimeoutMS  int64  `json:"timeout_ms,omitempty"`
+	Policy     string `json:"policy,omitempty"`
+	Placements bool   `json:"placements,omitempty"`
+}
+
+// Placement is one task's slot in a schedule: its start time and global
+// processor index (pool 0 owns the first processors, pool 1 the next block,
+// and so on).
+type Placement struct {
+	Task  int     `json:"task"`
+	Start float64 `json:"start"`
+	Proc  int     `json:"proc"`
+}
+
+// ScheduleResponse reports one scheduling run: the schedule-level results
+// plus the statistics of memsched.Stats that apply to the run.
+type ScheduleResponse struct {
+	GraphID       string  `json:"graph_id"`
+	Scheduler     string  `json:"scheduler"`
+	Makespan      float64 `json:"makespan"`
+	Peaks         []int64 `json:"peaks"`
+	PoolTasks     []int   `json:"pool_tasks,omitempty"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	Events        int     `json:"events,omitempty"`
+	WallMicros    int64   `json:"wall_us"`
+	SessionCached bool    `json:"session_cached"`
+
+	TaskPlacements []Placement `json:"task_placements,omitempty"`
+}
+
+// SchedulersResponse is the payload of GET /v1/schedulers.
+type SchedulersResponse struct {
+	Schedulers []string `json:"schedulers"`
+}
+
+// StatsResponse is the payload of GET /v1/stats.
+type StatsResponse struct {
+	// Requests counts every request served; Scheduled only the
+	// schedule/simulate runs that produced a schedule.
+	Requests  uint64 `json:"requests"`
+	Scheduled uint64 `json:"scheduled"`
+	// SessionHits / SessionMisses count schedule-path session-cache
+	// lookups; SessionsCached is the current cache population and
+	// SessionCapacity its bound.
+	SessionHits     uint64 `json:"session_cache_hits"`
+	SessionMisses   uint64 `json:"session_cache_misses"`
+	SessionsCached  int    `json:"sessions_cached"`
+	SessionCapacity int    `json:"session_cache_capacity"`
+	// CandidateHits / CandidateMisses aggregate the engines' per-run
+	// candidate-memo counters (memsched.Stats.CacheHits/CacheMisses)
+	// over all runs.
+	CandidateHits   uint64 `json:"candidate_cache_hits"`
+	CandidateMisses uint64 `json:"candidate_cache_misses"`
+	// InFlight is the current number of register/schedule/simulate
+	// requests holding a semaphore slot, bounded by MaxInFlight.
+	InFlight    int64 `json:"in_flight"`
+	MaxInFlight int   `json:"max_in_flight"`
+	// UptimeMS is the time since the server was constructed.
+	UptimeMS int64 `json:"uptime_ms"`
+}
+
+// SessionHitRate returns the fraction of schedule-path lookups served by a
+// cached session (0 when nothing was looked up).
+func (st StatsResponse) SessionHitRate() float64 {
+	total := st.SessionHits + st.SessionMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.SessionHits) / float64(total)
+}
+
+// Error codes used in ErrorResponse.Code.
+const (
+	CodeBadRequest  = "bad_request"  // malformed or invalid request
+	CodeNotFound    = "not_found"    // unknown route or graph id
+	CodeTooLarge    = "too_large"    // request body over the configured bound
+	CodeMemoryBound = "memory_bound" // the graph does not fit the platform's memories
+	CodeSimStuck    = "sim_stuck"    // the online dispatcher deadlocked on memory
+	CodeTimeout     = "timeout"      // the run's timeout expired or the client left
+	CodeInternal    = "internal"     // unexpected server-side failure
+)
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// APIError is the typed error the Client returns for non-2xx responses.
+type APIError struct {
+	Status  int    // HTTP status code
+	Code    string // machine-readable code (Code* constants)
+	Message string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: %s (http %d, code %s)", e.Message, e.Status, e.Code)
+}

@@ -2,8 +2,12 @@ package memsched
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"time"
@@ -37,6 +41,7 @@ type Session struct {
 
 	mu   sync.Mutex
 	inst *multi.Instance // lazily built for the k-pool engine
+	hash string          // lazily computed canonical content hash
 }
 
 // SessionOption configures a Session at creation.
@@ -76,6 +81,36 @@ func NewSession(g *Graph, opts ...SessionOption) (*Session, error) {
 
 // Graph returns the session's task graph.
 func (s *Session) Graph() *Graph { return s.g }
+
+// GraphHash returns the canonical content hash identifying what the session
+// schedules: the graph's CanonicalHash (see GraphHash at package level),
+// extended with a digest of the explicit pool-time matrix for WithPoolTimes
+// sessions. Two sessions with equal hashes produce identical schedules for
+// identical calls, which makes the hash the natural key for caching sessions
+// across requests — the scheduling service in package serve does exactly
+// that. The hash is computed once and memoized.
+func (s *Session) GraphHash() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hash == "" {
+		s.hash = s.g.CanonicalHash()
+		if s.times != nil {
+			h := sha256.New()
+			h.Write([]byte(s.hash))
+			var buf [8]byte
+			for _, row := range s.times {
+				for _, w := range row {
+					binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w))
+					h.Write(buf[:])
+				}
+				binary.LittleEndian.PutUint64(buf[:], ^uint64(0)) // row separator
+				h.Write(buf[:])
+			}
+			s.hash = hex.EncodeToString(h.Sum(nil))
+		}
+	}
+	return s.hash
+}
 
 // instance returns (building lazily) the multi-pool instance of the
 // session: the explicit pool times, or the dual columns of the graph.
