@@ -10,7 +10,6 @@ import (
 	"repro/internal/dag"
 	"repro/internal/daggen"
 	"repro/internal/exact"
-	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/multi"
 	"repro/internal/platform"
@@ -140,24 +139,12 @@ func CholeskyGraph(cfg LinalgConfig) (*Graph, error) { return linalg.Cholesky(cf
 // PaperExample returns the four-task toy DAG of Figure 2 of the paper.
 func PaperExample() *Graph { return dag.PaperExample() }
 
-// Experiment harness re-exports (see EXPERIMENTS.md for the mapping to the
-// paper's figures and tables).
-type (
-	// ResultTable is a rendered experiment result (CSV / markdown).
-	ResultTable = experiments.Table
-	// SweepResult couples the makespan and success-rate panels of the
-	// normalised-memory sweeps (Figures 10 and 12).
-	SweepResult = experiments.SweepResult
-)
-
-// Experiment scales.
-const (
-	// QuickScale shrinks instance counts so a full campaign runs in
-	// seconds.
-	QuickScale = experiments.Quick
-	// FullScale reproduces the paper's parameters exactly.
-	FullScale = experiments.Full
-)
+// The experiment-harness re-exports (ResultTable, SweepResult, QuickScale,
+// FullScale) moved out of this package when internal/experiments was
+// rebuilt on top of the public sweep engine (package repro/sweep): the
+// harness now imports this package, so the aliases would cycle. Import
+// repro/internal/experiments from within this module, or use package sweep
+// for the grid-evaluation shape; see docs/MIGRATION.md.
 
 // Online runtime simulation (the StarPU-style integration the paper's
 // conclusion proposes): scheduling decisions happen at runtime events with

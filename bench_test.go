@@ -1,4 +1,4 @@
-package memsched
+package memsched_test
 
 // One benchmark per table and figure of the paper's evaluation (§6), plus
 // ablation benchmarks for the design choices called out in DESIGN.md. The
@@ -21,6 +21,7 @@ import (
 	"repro/internal/multi"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/sweep"
 )
 
 // --- Table 1 ---
@@ -221,6 +222,41 @@ func BenchmarkMultiMemHEFTRef1000k4(b *testing.B) {
 func BenchmarkMultiMemMinMinRef300k3(b *testing.B) {
 	benchMultiScheduler(b, multi.MemMinMinReference, 300, 3, 0.3, false)
 }
+
+// --- Sweep engine throughput ---
+
+// benchSweep measures one full 64-point sweep per iteration on the shared
+// deterministic fixture (experiments.SweepBench, also the cmd/benchjson
+// workload): a warm n=1000 session over 16 feasible-band memory fractions
+// × both memory-aware heuristics × 2 seeds. The session is warmed with one
+// untimed run, as a sweep service holding its sessions in the LRU cache
+// would see; with workers > 1 each iteration still pays the per-fork
+// ranking once per worker, which is part of the fan-out cost.
+// BenchmarkSweep64x1000Workers1 against BenchmarkSweep64x1000WorkersMax is
+// the engine's scaling headline (equal on a single-core host; the results
+// are bit-identical at every worker count, see repro/sweep's tests).
+func benchSweep(b *testing.B, workers int) {
+	sess, spec, err := experiments.SweepBench(1000, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sweep.Run(tctx, sess, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(tctx, sess, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Summary.Feasible == 0 {
+			b.Fatal("sweep fixture produced no feasible point")
+		}
+	}
+}
+
+func BenchmarkSweep64x1000Workers1(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweep64x1000WorkersMax(b *testing.B) { benchSweep(b, 0) }
 
 // --- Ablations (design choices called out in DESIGN.md) ---
 

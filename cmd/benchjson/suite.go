@@ -10,13 +10,16 @@ import (
 	"repro/internal/daggen"
 	"repro/internal/experiments"
 	"repro/internal/multi"
+	"repro/sweep"
 )
 
 // Case is one named benchmark configuration. Dual-memory cases (Pools == 0)
 // run through the public Session API; k-pool cases (Pools >= 2) run the
 // generalised engine on the shared deterministic fixture of
 // experiments.KPoolBench, with Ref selecting the retained eager oracle
-// instead of the incremental scheduler.
+// instead of the incremental scheduler; sweep cases (Sweep == true) run the
+// 64-point fixture of bench_test.go through the parallel sweep engine with
+// the given worker bound (0 = GOMAXPROCS).
 type Case struct {
 	Name      string
 	Scheduler string // registry name passed to WithScheduler
@@ -24,6 +27,8 @@ type Case struct {
 	Alpha     float64
 	Pools     int
 	Ref       bool
+	Sweep     bool
+	Workers   int
 }
 
 // defaultCases is the tracked suite.
@@ -41,6 +46,12 @@ func defaultCases() []Case {
 		{Name: "MultiMemHEFT3000k8", Scheduler: "memheft", Size: 3000, Alpha: 0.3, Pools: 8},
 		{Name: "MultiMemMinMin1000k4", Scheduler: "memminmin", Size: 1000, Alpha: 0.3, Pools: 4},
 		{Name: "MultiMemHEFTRef1000k4", Scheduler: "memheft", Size: 1000, Alpha: 0.3, Pools: 4, Ref: true},
+		// Sweep engine (PR 5): one 64-point batch (16 alphas × 2
+		// heuristics × 2 seeds) on a warm n=1000 session, single-worker
+		// vs full fan-out. On multi-core hardware the ratio of the two
+		// is the engine's scaling factor.
+		{Name: "Sweep64x1000w1", Size: 1000, Sweep: true, Workers: 1},
+		{Name: "Sweep64x1000wAll", Size: 1000, Sweep: true, Workers: 0},
 	}
 }
 
@@ -48,10 +59,42 @@ func defaultCases() []Case {
 // graph, the case's platform, and the per-case memory bound.
 // testing.Benchmark self-calibrates the iteration count.
 func run(c Case) (Result, error) {
-	if c.Pools >= 2 {
+	switch {
+	case c.Sweep:
+		return runSweep(c)
+	case c.Pools >= 2:
 		return runMulti(c)
+	default:
+		return runDual(c)
 	}
-	return runDual(c)
+}
+
+// runSweep measures the parallel sweep engine on the shared deterministic
+// 64-point fixture of experiments.SweepBench — the same workload as
+// BenchmarkSweep64x1000Workers* in bench_test.go — on a warm session.
+func runSweep(c Case) (Result, error) {
+	ctx := context.Background()
+	sess, spec, err := experiments.SweepBench(c.Size, c.Workers)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := sweep.Run(ctx, sess, spec); err != nil {
+		return Result{}, err
+	}
+	var sweepErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sweep.Run(ctx, sess, spec); err != nil {
+				sweepErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if sweepErr != nil {
+		return Result{}, sweepErr
+	}
+	return toResult(br), nil
 }
 
 // runDual measures Session.Schedule on the dual-memory fast path. The

@@ -13,6 +13,9 @@
 // Scale "full" reproduces the paper's instance sizes (Fig. 12 then runs 100
 // DAGs of 1000 tasks and takes tens of minutes); "quick" runs reduced
 // instances in seconds while preserving the qualitative shapes.
+//
+// The sweeps execute on the parallel sweep engine (package repro/sweep) and
+// use every core by default; -workers bounds the process's parallelism.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,8 +38,14 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base seed for workload generation")
 		out     = flag.String("out", "results", "output directory")
 		timeout = flag.Duration("timeout", 0, "interrupt the campaign after this duration (0 = none)")
+		workers = flag.Int("workers", 0, "bound the sweep engine's parallelism (0 = all cores)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		// The sweep engine sizes its worker pools from GOMAXPROCS;
+		// bounding it here bounds every sweep of the campaign.
+		runtime.GOMAXPROCS(*workers)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -3,9 +3,15 @@
 // clients, and reports throughput, latency percentiles and the
 // session-cache hit rate observed by the server.
 //
+// With -sweep every request is a POST /v1/sweep batch instead: a memory-
+// fraction sweep of -alphas steps across the memory-aware heuristics,
+// streamed back as NDJSON. The report then also counts sweep points and
+// point throughput — the amortisation the batch endpoint exists for.
+//
 // Usage:
 //
 //	schedload -addr http://127.0.0.1:8080 -clients 8 -requests 100 -graphs 16 -tasks 100
+//	schedload -addr http://127.0.0.1:8080 -sweep -alphas 10 -clients 4 -requests 20
 package main
 
 import (
@@ -26,12 +32,16 @@ import (
 type loadConfig struct {
 	addr      string
 	clients   int // concurrent client goroutines
-	requests  int // schedule requests per client
+	requests  int // schedule (or sweep) requests per client
 	graphs    int // distinct graphs in the working set
 	tasks     int // tasks per graph
 	scheduler string
 	seed      int64
 	timeout   time.Duration
+
+	sweep        bool // drive POST /v1/sweep instead of /v1/schedule
+	alphas       int  // memory fractions per sweep request
+	sweepWorkers int  // per-request worker bound (0 = server cap)
 }
 
 func main() {
@@ -44,6 +54,9 @@ func main() {
 	flag.StringVar(&cfg.scheduler, "scheduler", "memheft", "heuristic to request")
 	flag.Int64Var(&cfg.seed, "seed", 1, "base seed of the graph generator")
 	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "overall deadline of the load run")
+	flag.BoolVar(&cfg.sweep, "sweep", false, "send /v1/sweep batch requests instead of /v1/schedule")
+	flag.IntVar(&cfg.alphas, "alphas", 8, "memory fractions per sweep request (with -sweep)")
+	flag.IntVar(&cfg.sweepWorkers, "sweep-workers", 0, "per-sweep worker bound (0 = server cap; with -sweep)")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
@@ -62,6 +75,7 @@ func main() {
 // report aggregates one load run.
 type report struct {
 	sent, failed int
+	points       int64 // sweep point records received (sweep mode)
 	elapsed      time.Duration
 	p50, p99     time.Duration
 	hitRate      float64 // session-cache hit rate over the run, from /v1/stats
@@ -72,6 +86,10 @@ func (r report) print(w io.Writer) {
 	ok := r.sent - r.failed
 	fmt.Fprintf(w, "requests  : %d ok, %d failed in %v (%.0f req/s)\n",
 		ok, r.failed, r.elapsed.Round(time.Millisecond), float64(ok)/r.elapsed.Seconds())
+	if r.points > 0 {
+		fmt.Fprintf(w, "points    : %d sweep points (%.0f points/s)\n",
+			r.points, float64(r.points)/r.elapsed.Seconds())
+	}
 	fmt.Fprintf(w, "latency   : p50 %v, p99 %v\n", r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond))
 	fmt.Fprintf(w, "cache     : session hit rate %.1f%%, candidate hit rate %.1f%%\n",
 		100*r.hitRate, 100*r.candHitRate)
@@ -83,6 +101,9 @@ func (r report) print(w io.Writer) {
 func run(ctx context.Context, cfg loadConfig) (report, error) {
 	if cfg.clients < 1 || cfg.requests < 1 || cfg.graphs < 1 || cfg.tasks < 1 {
 		return report{}, fmt.Errorf("clients, requests, graphs and tasks must all be >= 1")
+	}
+	if cfg.sweep && cfg.alphas < 1 {
+		return report{}, fmt.Errorf("alphas must be >= 1")
 	}
 	client := serve.NewClient(cfg.addr)
 	if err := client.Health(ctx); err != nil {
@@ -110,11 +131,18 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 	}
 
 	// Unbounded pools keep every generated graph feasible, so the run
-	// measures service latency rather than memory_bound rejections.
+	// measures service latency rather than memory_bound rejections. Sweep
+	// mode fractions the memory instead — the low-alpha points are
+	// expected to be memory-bound, which is part of the workload.
 	pools := []serve.PoolSpec{{Procs: 2}, {Procs: 2}}
+	alphas := make([]float64, cfg.alphas)
+	for i := range alphas {
+		alphas[i] = float64(i+1) / float64(cfg.alphas)
+	}
 	latencies := make([][]time.Duration, cfg.clients)
 	failures := make([]int, cfg.clients)
 	attempted := make([]int, cfg.clients)
+	points := make([]int64, cfg.clients)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.clients; c++ {
@@ -126,12 +154,28 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 				id := ids[(c+i)%len(ids)]
 				attempted[c]++
 				t0 := time.Now()
-				_, err := client.Schedule(ctx, serve.ScheduleRequest{
-					GraphID:   id,
-					Pools:     pools,
-					Scheduler: cfg.scheduler,
-					Seed:      cfg.seed,
-				})
+				var err error
+				if cfg.sweep {
+					var sum *serve.SweepSummary
+					sum, err = client.Sweep(ctx, serve.SweepRequest{
+						GraphID:    id,
+						Pools:      pools,
+						Alphas:     alphas,
+						Schedulers: []string{"memheft", "memminmin"},
+						Seeds:      []int64{cfg.seed},
+						Workers:    cfg.sweepWorkers,
+					}, nil)
+					if sum != nil {
+						points[c] += int64(sum.Points)
+					}
+				} else {
+					_, err = client.Schedule(ctx, serve.ScheduleRequest{
+						GraphID:   id,
+						Pools:     pools,
+						Scheduler: cfg.scheduler,
+						Seed:      cfg.seed,
+					})
+				}
 				if err != nil {
 					failures[c]++
 					if ctx.Err() != nil {
@@ -167,6 +211,7 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 	for c := range failures {
 		rep.failed += failures[c]
 		rep.sent += attempted[c] // counts only requests actually issued (a cancelled run stops early)
+		rep.points += points[c]
 	}
 	return rep, nil
 }

@@ -52,6 +52,47 @@ func TestLoadRunAgainstLocalServer(t *testing.T) {
 	}
 }
 
+// TestSweepLoadRunAgainstLocalServer drives the -sweep mode against an
+// in-process server: every sweep must stream its full point set (requests ×
+// alphas × 2 schedulers) and the registered working set must stay warm.
+func TestSweepLoadRunAgainstLocalServer(t *testing.T) {
+	ts := httptest.NewServer(serve.NewServer(serve.Config{}).Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cfg := loadConfig{
+		addr:     ts.URL,
+		clients:  2,
+		requests: 3,
+		graphs:   2,
+		tasks:    40,
+		seed:     1,
+		sweep:    true,
+		alphas:   5,
+	}
+	rep, err := run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed != 0 {
+		t.Fatalf("%d of %d sweeps failed", rep.failed, rep.sent)
+	}
+	wantPoints := int64(cfg.clients * cfg.requests * cfg.alphas * 2)
+	if rep.points != wantPoints {
+		t.Fatalf("streamed %d points, want %d", rep.points, wantPoints)
+	}
+	if rep.hitRate < 0.9 {
+		t.Fatalf("session-cache hit rate %.2f, want >= 0.9", rep.hitRate)
+	}
+
+	var out strings.Builder
+	rep.print(&out)
+	if !strings.Contains(out.String(), "points/s") {
+		t.Fatalf("sweep report missing point throughput:\n%s", out.String())
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	if p := percentile(lat, 0.5); p != 5 {

@@ -57,11 +57,17 @@
 // makespan, per-pool peak residency, candidate-cache hit rate, per-pool
 // task counts (k-pool engine), search nodes, wall time.
 //
+// Session.Fork returns a twin session with fresh memo caches for
+// contention-free parallel use: forks produce bit-identical schedules and
+// never share a mutex with their parent, which is what package repro/sweep
+// builds its per-worker fan-out on.
+//
 // The package also exposes graph construction and serialisation (Graph,
 // NewGraph, ReadGraph), a canonical per-graph content hash (GraphHash),
 // workload generators (DAGGEN-style random graphs, tiled LU/Cholesky
-// factorisations), a schedule validator, and the full experiment harness
-// reproducing the paper's figures (see EXPERIMENTS.md).
+// factorisations) and a schedule validator. The experiment harness
+// reproducing the paper's figures lives in internal/experiments (driven by
+// cmd/experiments, see EXPERIMENTS.md) on top of the sweep engine.
 //
 // # Performance architecture
 //
@@ -90,13 +96,19 @@
 // epoch invalidation, staircase suffix-min, session memos, the dual vs
 // k-pool routing — in one place.
 //
-// # Scheduling service
+// # Sweeps and the scheduling service
+//
+// Package repro/sweep batch-evaluates one Session across a grid of
+// platforms × schedulers × seeds (the paper's experimental shape) on a
+// bounded worker pool, with deterministic point-ordered results and a
+// computed summary (best point, makespan curves, memory-bound frontier).
 //
 // Package repro/serve exposes Sessions over HTTP/JSON with a bounded LRU
-// session cache keyed by GraphHash, request admission control and graceful
-// shutdown; cmd/memschedd is the daemon and cmd/schedload its load
-// generator. Use it when the request stream crosses a process boundary;
-// embed Sessions directly otherwise.
+// session cache keyed by GraphHash, request admission control, a streaming
+// NDJSON sweep endpoint, Prometheus metrics and graceful shutdown;
+// cmd/memschedd is the daemon and cmd/schedload its load generator. Use it
+// when the request stream crosses a process boundary; embed Sessions
+// directly otherwise.
 //
 // # Deprecated flat API
 //

@@ -1,0 +1,93 @@
+// Sweep: evaluate one random workflow across a full memory-fraction ×
+// scheduler grid in one call to the parallel sweep engine — the shape of
+// the paper's experimental section (normalised-memory sweeps) as a
+// first-class batch primitive. The engine fans the grid out over all cores
+// with per-worker session forks and still returns results in deterministic
+// point order; this example re-runs the sweep single-threaded to prove the
+// results are bit-identical.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	memsched "repro"
+	"repro/sweep"
+)
+
+func main() {
+	params := memsched.SmallRandParams()
+	params.Size = 60
+	g, err := memsched.GenerateRandom(params, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := memsched.NewSession(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alphas := make([]float64, 10)
+	for i := range alphas {
+		alphas[i] = float64(i+1) / 10
+	}
+	spec := sweep.Spec{
+		Base:       memsched.NewDualPlatform(2, 2, memsched.Unlimited, memsched.Unlimited),
+		Alphas:     alphas,
+		Schedulers: []string{"memheft", "memminmin"},
+		Seeds:      []int64{42},
+	}
+
+	ctx := context.Background()
+	res, err := sweep.Run(ctx, sess, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := res.Summary
+	fmt.Printf("random DAG: %d tasks, %d edges; HEFT reference makespan %g, peak %d\n",
+		g.NumTasks(), g.NumEdges(), sum.RefMakespan, sum.Peak)
+	fmt.Printf("%d points on %d workers in %v (%d feasible)\n\n",
+		sum.Points, sum.Workers, sum.WallTime.Round(0), sum.Feasible)
+
+	fmt.Println("alpha   memheft  memminmin   (makespan; - = memory bound)")
+	for ai, alpha := range alphas {
+		line := fmt.Sprintf("%5.0f%%", alpha*100)
+		for _, c := range sum.Curves {
+			if math.IsNaN(c.Makespan[ai]) {
+				line += fmt.Sprintf("  %8s", "-")
+			} else {
+				line += fmt.Sprintf("  %8.0f", c.Makespan[ai])
+			}
+		}
+		fmt.Println(line)
+	}
+	fmt.Println()
+	for _, fr := range sum.Frontier {
+		if fr.Axis < 0 {
+			fmt.Printf("%-10s never fits\n", fr.Scheduler)
+			continue
+		}
+		fmt.Printf("%-10s fits from alpha %.0f%%\n", fr.Scheduler, fr.X*100)
+	}
+	best := res.Points[sum.BestIndex]
+	fmt.Printf("best point: %s at alpha %.0f%% -> makespan %g\n\n",
+		best.Point.Scheduler, best.Point.Alpha*100, best.Makespan)
+
+	// Determinism check: a single-worker run must reproduce every result
+	// bit for bit.
+	spec.Workers = 1
+	serial, err := sweep.Run(ctx, sess, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range res.Points {
+		a, b := res.Points[i], serial.Points[i]
+		if a.Feasible != b.Feasible || a.Makespan != b.Makespan {
+			log.Fatalf("nondeterministic sweep: point %d differs (%v/%g vs %v/%g)",
+				i, a.Feasible, a.Makespan, b.Feasible, b.Makespan)
+		}
+	}
+	fmt.Printf("determinism: %d points bit-identical across worker counts\n", len(res.Points))
+}

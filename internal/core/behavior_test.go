@@ -22,7 +22,7 @@ func TestMemHEFTSkipsBlockedHighPriorityTask(t *testing.T) {
 	smallChild := g.AddTask("smallchild", 1, 1)
 	g.MustAddEdge(small, smallChild, 2, 1)
 
-	ranks, err := g.UpwardRanks()
+	ranks, err := g.UpwardRanks(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

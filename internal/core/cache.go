@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/dag"
@@ -70,15 +71,45 @@ func (c *Caches) staticsOf(g *dag.Graph) *graphStatics {
 	return c.statics
 }
 
+// warmStatics memoizes g's statics ahead of NewPartialCached with
+// cooperative cancellation: the O(n+e) derivation loop polls ctx, so a cold
+// session's statics phase is interruptible like the placement loops. A nil
+// receiver or nil ctx computes nothing — NewPartialCached will derive the
+// statics inline as before.
+func (c *Caches) warmStatics(ctx context.Context, g *dag.Graph) error {
+	if c == nil || ctx == nil {
+		return nil
+	}
+	c.mu.Lock()
+	c.rekey(g)
+	warm := c.statics != nil
+	nTasks, nEdges := c.nTasks, c.nEdges
+	c.mu.Unlock()
+	if warm {
+		return nil
+	}
+	s, err := computeStaticsCtx(ctx, g)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.g == g && c.nTasks == nTasks && c.nEdges == nEdges && c.statics == nil {
+		c.statics = s
+	}
+	c.mu.Unlock()
+	return nil
+}
+
 // PriorityList returns the memoized MemHEFT priority list of (g, seed),
 // computing it on a miss. The returned slice is a fresh copy the caller may
 // mutate. The O(n log n) ranking runs outside the mutex so a miss never
 // blocks concurrent hits on the same session; two goroutines racing on the
 // same cold seed simply both compute (deterministically identical) lists
-// and one wins the store.
-func (c *Caches) PriorityList(g *dag.Graph, seed int64) ([]dag.TaskID, error) {
+// and one wins the store. The context (nil allowed) cancels a cold ranking
+// cooperatively; memo hits never consult it.
+func (c *Caches) PriorityList(ctx context.Context, g *dag.Graph, seed int64) ([]dag.TaskID, error) {
 	if c == nil {
-		return PriorityList(g, seed)
+		return PriorityList(ctx, g, seed)
 	}
 	c.mu.Lock()
 	c.rekey(g)
@@ -93,7 +124,7 @@ func (c *Caches) PriorityList(g *dag.Graph, seed int64) ([]dag.TaskID, error) {
 	nTasks, nEdges := c.nTasks, c.nEdges
 	c.mu.Unlock()
 
-	list, err := PriorityList(g, seed)
+	list, err := PriorityList(ctx, g, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -139,6 +170,13 @@ func (c *Caches) Validate(g *dag.Graph) error {
 
 // computeStatics derives the per-graph immutable inputs of a Partial.
 func computeStatics(g *dag.Graph) *graphStatics {
+	s, _ := computeStaticsCtx(nil, g) // nil ctx never cancels
+	return s
+}
+
+// computeStaticsCtx is computeStatics with cooperative cancellation: the
+// derivation loop polls ctx (nil allowed) every statics stride.
+func computeStaticsCtx(ctx context.Context, g *dag.Graph) (*graphStatics, error) {
 	n := g.NumTasks()
 	edges := g.Edges()
 	s := &graphStatics{
@@ -147,6 +185,11 @@ func computeStatics(g *dag.Graph) *graphStatics {
 		inDegree: make([]int, n),
 	}
 	for i := 0; i < n; i++ {
+		if ctx != nil && i%staticsStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		id := dag.TaskID(i)
 		s.inDegree[i] = len(g.In(id))
 		if s.inDegree[i] == 0 {
@@ -159,5 +202,9 @@ func computeStatics(g *dag.Graph) *graphStatics {
 		s.wOn[platform.Blue][i] = t.WBlue
 		s.wOn[platform.Red][i] = t.WRed
 	}
-	return s
+	return s, nil
 }
+
+// staticsStride is how many tasks the statics loop processes between
+// cooperative context polls.
+const staticsStride = 1024

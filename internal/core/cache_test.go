@@ -30,11 +30,11 @@ func buildChain(extra bool) *dag.Graph {
 func TestCachesPriorityListInvalidation(t *testing.T) {
 	g := buildChain(false)
 	c := NewCaches()
-	l1, err := c.PriorityList(g, 7)
+	l1, err := c.PriorityList(nil, g, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	l2, err := c.PriorityList(g, 7)
+	l2, err := c.PriorityList(nil, g, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestCachesPriorityListInvalidation(t *testing.T) {
 	}
 	// The returned slice must be caller-owned.
 	l2[0], l2[len(l2)-1] = l2[len(l2)-1], l2[0]
-	l3, err := c.PriorityList(g, 7)
+	l3, err := c.PriorityList(nil, g, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestCachesPriorityListInvalidation(t *testing.T) {
 	}
 	// Grow the graph: the memo must miss and reflect the new task.
 	g.AddTask("late", 1, 1)
-	l4, err := c.PriorityList(g, 7)
+	l4, err := c.PriorityList(nil, g, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +70,11 @@ func TestCachesPriorityListInvalidation(t *testing.T) {
 	// pure computation on a fresh identical graph.
 	fresh := buildChain(false)
 	fresh.AddTask("late", 1, 1)
-	lf, err := PriorityList(fresh, 13)
+	lf, err := PriorityList(nil, fresh, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lg, err := c.PriorityList(g, 13)
+	lg, err := c.PriorityList(nil, g, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestCachesPriorityListBounded(t *testing.T) {
 	g := buildChain(false)
 	c := NewCaches()
 	for seed := int64(0); seed < 4*maxPriorityEntries; seed++ {
-		if _, err := c.PriorityList(g, seed); err != nil {
+		if _, err := c.PriorityList(nil, g, seed); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -151,11 +151,11 @@ func TestCachesStaticsInvalidation(t *testing.T) {
 func TestNilCachesComputeFresh(t *testing.T) {
 	g := buildChain(true)
 	var c *Caches
-	list, err := c.PriorityList(g, 3)
+	list, err := c.PriorityList(nil, g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pure, err := PriorityList(g, 3)
+	pure, err := PriorityList(nil, g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestNilCachesComputeFresh(t *testing.T) {
 func TestCachesConcurrentSameGraph(t *testing.T) {
 	g := buildChain(true)
 	c := NewCaches()
-	want, err := PriorityList(g, 5)
+	want, err := PriorityList(nil, g, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestCachesConcurrentSameGraph(t *testing.T) {
 					errs <- err
 					return
 				}
-				list, err := c.PriorityList(g, 5)
+				list, err := c.PriorityList(nil, g, 5)
 				if err != nil {
 					errs <- err
 					return

@@ -94,6 +94,16 @@ func ctxErr(ctx context.Context, step int) error {
 	return ctx.Err()
 }
 
+// wrapInterrupted labels a cancellation surfacing from the ranking/statics
+// phase with the heuristic's name (matching the placement loops' wrapping);
+// every other error passes through untouched.
+func wrapInterrupted(name string, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("core: %s interrupted: %w", name, err)
+	}
+	return err
+}
+
 // MemHEFT schedules g on p with Algorithm 1 of the paper: HEFT's upward-rank
 // priority list, a memory selection phase minimising the earliest finish
 // time under memory constraints, and a scan that skips tasks that do not

@@ -26,7 +26,7 @@ func mustSchedule(t *testing.T, f Func, g *dag.Graph, p platform.Platform, seed 
 
 func TestPriorityListPaperExample(t *testing.T) {
 	g := dag.PaperExample()
-	list, err := PriorityList(g, 1)
+	list, err := PriorityList(nil, g, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,14 +45,14 @@ func TestPriorityListTieBreakDependsOnSeed(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		g.AddTask("", 1, 1)
 	}
-	a, _ := PriorityList(g, 1)
-	b, _ := PriorityList(g, 1)
+	a, _ := PriorityList(nil, g, 1)
+	b, _ := PriorityList(nil, g, 1)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("same seed gave different lists")
 		}
 	}
-	c, _ := PriorityList(g, 99)
+	c, _ := PriorityList(nil, g, 99)
 	same := true
 	for i := range a {
 		if a[i] != c[i] {

@@ -142,7 +142,7 @@ func TestGoldenEquivalenceInsertionPolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reference: same algorithm with the incremental caches bypassed.
-	remaining, err := PriorityList(g, 3)
+	remaining, err := PriorityList(nil, g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,9 +15,10 @@ import (
 // with rank ties broken by a random permutation drawn from seed (§5.1:
 // "tie-breaking is done randomly"). It is a pure function of (graph, seed);
 // sessions memoize it per seed through Caches.PriorityList, which is what
-// the sweeps and benchmarks hit.
-func PriorityList(g *dag.Graph, seed int64) ([]dag.TaskID, error) {
-	ranks, err := g.UpwardRanks()
+// the sweeps and benchmarks hit. The context (nil allowed) makes the
+// ranking phase cooperatively cancellable.
+func PriorityList(ctx context.Context, g *dag.Graph, seed int64) ([]dag.TaskID, error) {
+	ranks, err := g.UpwardRanks(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -63,9 +64,12 @@ func memHEFTWith(ctx context.Context, g *dag.Graph, p platform.Platform, opt Opt
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	remaining, err := opt.Caches.PriorityList(g, opt.Seed)
+	remaining, err := opt.Caches.PriorityList(ctx, g, opt.Seed)
 	if err != nil {
-		return nil, err
+		return nil, wrapInterrupted("MemHEFT", err)
+	}
+	if err := opt.Caches.warmStatics(ctx, g); err != nil {
+		return nil, wrapInterrupted("MemHEFT", err)
 	}
 	st := NewPartialCached(g, p, opt.Caches)
 	defer st.reportStats(opt.Stats)

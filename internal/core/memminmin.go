@@ -33,6 +33,9 @@ func memMinMin(ctx context.Context, g *dag.Graph, p platform.Platform, opt Optio
 	if err := opt.Caches.Validate(g); err != nil {
 		return nil, err
 	}
+	if err := opt.Caches.warmStatics(ctx, g); err != nil {
+		return nil, wrapInterrupted("MemMinMin", err)
+	}
 	st := NewPartialCached(g, p, opt.Caches)
 	defer st.reportStats(opt.Stats)
 

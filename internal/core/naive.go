@@ -54,7 +54,7 @@ func MemHEFTReference(_ context.Context, g *dag.Graph, p platform.Platform, opt 
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	remaining, err := PriorityList(g, opt.Seed)
+	remaining, err := PriorityList(nil, g, opt.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -172,7 +172,7 @@ func TestLevels(t *testing.T) {
 
 func TestUpwardRanksPaperExample(t *testing.T) {
 	g := PaperExample()
-	ranks, err := g.UpwardRanks()
+	ranks, err := g.UpwardRanks(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +422,7 @@ func TestPropertyTopoOrderIsPermutation(t *testing.T) {
 func TestPropertyRanksDecreaseAlongEdges(t *testing.T) {
 	f := func(seed int64) bool {
 		g := propertyRandomDAG(seed, 12)
-		ranks, err := g.UpwardRanks()
+		ranks, err := g.UpwardRanks(nil)
 		if err != nil {
 			return false
 		}

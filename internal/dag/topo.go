@@ -1,5 +1,22 @@
 package dag
 
+import "context"
+
+// rankStride is how many tasks the ranking loop processes between
+// cooperative context polls: frequent enough to interrupt a cold ranking
+// phase within microseconds, sparse enough to stay invisible next to the
+// loop body.
+const rankStride = 1024
+
+// pollCtx returns ctx's error on every rankStride-th step (nil ctx never
+// cancels).
+func pollCtx(ctx context.Context, step int) error {
+	if ctx == nil || step%rankStride != 0 {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // TopologicalOrder returns a topological order of the tasks (Kahn's
 // algorithm, smallest-ID-first among ready tasks so the order is
 // deterministic) or ErrCyclic if the graph has a cycle.
@@ -114,13 +131,18 @@ func (g *Graph) Levels() ([]int, int, error) {
 //	rank(i) = (WBlue(i)+WRed(i))/2 + max over children j of (rank(j) + C(i,j)/2)
 //
 // with the maximum taken as 0 for sinks. The result indexes by TaskID.
-func (g *Graph) UpwardRanks() ([]float64, error) {
+// The context (nil allowed) is polled cooperatively so a cold ranking phase
+// on a very large DAG stays interruptible; cancellation returns ctx.Err().
+func (g *Graph) UpwardRanks(ctx context.Context) ([]float64, error) {
 	rev, err := g.ReverseTopologicalOrder()
 	if err != nil {
 		return nil, err
 	}
 	rank := make([]float64, len(g.tasks))
-	for _, id := range rev {
+	for step, id := range rev {
+		if err := pollCtx(ctx, step); err != nil {
+			return nil, err
+		}
 		t := g.tasks[id]
 		best := 0.0
 		for _, e := range g.out[id] {

@@ -214,6 +214,28 @@ func TestAbsoluteSweepFig11Shape(t *testing.T) {
 	}
 }
 
+// TestAbsoluteSweepMixedCaseNames: algorithm names were case-insensitive
+// through core.ByName before the sweep-engine rebuild and must stay so.
+func TestAbsoluteSweepMixedCaseNames(t *testing.T) {
+	g, err := daggen.Generate(daggen.SmallParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := AbsoluteSweep(tctx, AbsoluteSweepConfig{
+		Graph:      g,
+		Platform:   RandomPlatform(),
+		Memories:   MemoryGrid(500, 3),
+		Seed:       3,
+		Algorithms: []string{"MemHEFT", " heft "},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("memheft") < 0 || tab.Column("heft") < 0 {
+		t.Fatalf("normalized columns missing: %v", tab.Columns)
+	}
+}
+
 func TestQuickFiguresRun(t *testing.T) {
 	if _, err := Fig11(tctx, Quick, 7); err != nil {
 		t.Fatalf("Fig11: %v", err)

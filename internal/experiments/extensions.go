@@ -2,22 +2,56 @@ package experiments
 
 import (
 	"context"
-	"errors"
-	"math"
 
-	"repro/internal/core"
+	memsched "repro"
 	"repro/internal/dag"
 	"repro/internal/daggen"
 	"repro/internal/linalg"
-	"repro/internal/multi"
-	"repro/internal/sim"
+	"repro/sweep"
 )
 
 // This file hosts the experiments that go beyond the paper: the ablation of
-// the processor-selection policy (append vs insertion) and the comparison of
+// the processor-selection policy (append vs insertion), the comparison of
 // the static heuristics against the online StarPU-style dispatcher of
-// internal/sim. Both reuse the absolute-memory-sweep format of Figures
-// 11/13/14/15 so their outputs render with the same tooling.
+// internal/sim, and the k-pool generalisation. All three are absolute
+// memory sweeps on the parallel sweep engine; their outputs reuse the
+// rendering of Figures 11/13/14/15.
+
+// gridSweep runs one absolute-memory grid on the engine and folds the
+// per-scheduler curves into a Table, relabelling columns (labels[i] names
+// schedulers[i]'s column).
+func gridSweep(ctx context.Context, sess *memsched.Session, platforms []memsched.Platform, xs []float64, schedulers, labels []string, seed int64) (*Table, error) {
+	res, err := sweep.Run(ctx, sess, sweep.Spec{
+		Platforms:  platforms,
+		Xs:         xs,
+		Schedulers: schedulers,
+		Seeds:      []int64{seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	table := &Table{XLabel: "memory", Columns: labels}
+	for ai, x := range xs {
+		row := make([]float64, len(schedulers))
+		for si := range schedulers {
+			row[si] = res.Summary.Curves[si].Makespan[ai]
+		}
+		table.AddRow(x, row...)
+	}
+	return table, nil
+}
+
+// memoryGridPlatforms expands a memory grid into uniformly bounded
+// platforms plus their x labels.
+func memoryGridPlatforms(base memsched.Platform, memories []int64) ([]memsched.Platform, []float64) {
+	platforms := make([]memsched.Platform, len(memories))
+	xs := make([]float64, len(memories))
+	for i, mem := range memories {
+		platforms[i] = base.WithUniformBounds(mem)
+		xs[i] = float64(mem)
+	}
+	return platforms, xs
+}
 
 // ExtInsertion sweeps absolute memory on one random DAG and compares the
 // paper's MemHEFT (append policy) against the insertion-based variant.
@@ -25,7 +59,6 @@ func ExtInsertion(ctx context.Context, scale Scale, seed int64) (*Table, error) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	caches := core.NewCaches()
 	params := daggen.SmallParams()
 	params.Size = 60
 	steps := 20
@@ -38,28 +71,22 @@ func ExtInsertion(ctx context.Context, scale Scale, seed int64) (*Table, error) 
 		return nil, err
 	}
 	p := RandomPlatform()
-	_, peak, err := heftReferenceCached(ctx, g, p, seed, caches)
+	_, peak, err := HEFTReference(ctx, g, p, seed)
 	if err != nil {
 		return nil, err
 	}
-	table := &Table{Name: "append vs insertion", XLabel: "memory",
-		Columns: []string{"memheft-append", "memheft-insertion"}}
-	for _, mem := range MemoryGrid(peak+peak/10, steps) {
-		pb := p.WithBounds(mem, mem)
-		row := make([]float64, 2)
-		for i, fn := range []core.Func{core.MemHEFT, core.MemHEFTInsertion} {
-			s, err := fn(ctx, g, pb, core.Options{Seed: seed, Caches: caches})
-			if err != nil {
-				if errors.Is(err, core.ErrMemoryBound) {
-					row[i] = math.NaN()
-					continue
-				}
-				return nil, err
-			}
-			row[i] = s.Makespan()
-		}
-		table.AddRow(float64(mem), row...)
+	sess, err := memsched.NewSession(g)
+	if err != nil {
+		return nil, err
 	}
+	platforms, xs := memoryGridPlatforms(poolPlatform(p), MemoryGrid(peak+peak/10, steps))
+	table, err := gridSweep(ctx, sess, platforms, xs,
+		[]string{"memheft", "memheft-insertion"},
+		[]string{"memheft-append", "memheft-insertion"}, seed)
+	if err != nil {
+		return nil, err
+	}
+	table.Name = "append vs insertion"
 	return table, nil
 }
 
@@ -73,7 +100,6 @@ func ExtOnline(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	caches := core.NewCaches()
 	tiles := 8
 	steps := 16
 	if scale == Quick {
@@ -85,39 +111,22 @@ func ExtOnline(ctx context.Context, scale Scale, seed int64) (*Table, error) {
 		return nil, err
 	}
 	p := MiragePlatform()
-	_, peak, err := heftReferenceCached(ctx, g, p, seed, caches)
+	_, peak, err := HEFTReference(ctx, g, p, seed)
 	if err != nil {
 		return nil, err
 	}
-	table := &Table{Name: "static vs online", XLabel: "memory",
-		Columns: []string{"memheft", "memminmin", "online-rank", "online-eft"}}
-	for _, mem := range MemoryGrid(peak+peak/10, steps) {
-		pb := p.WithBounds(mem, mem)
-		row := make([]float64, 4)
-		for i, fn := range []core.Func{core.MemHEFT, core.MemMinMin} {
-			s, err := fn(ctx, g, pb, core.Options{Seed: seed, Caches: caches})
-			if err != nil {
-				if errors.Is(err, core.ErrMemoryBound) {
-					row[i] = math.NaN()
-					continue
-				}
-				return nil, err
-			}
-			row[i] = s.Makespan()
-		}
-		for i, pol := range []sim.Policy{sim.RankPolicy, sim.EFTPolicy} {
-			res, err := sim.Run(ctx, g, pb, sim.Options{Policy: pol, Seed: seed})
-			if err != nil {
-				if errors.Is(err, sim.ErrStuck) {
-					row[2+i] = math.NaN()
-					continue
-				}
-				return nil, err
-			}
-			row[2+i] = res.Makespan()
-		}
-		table.AddRow(float64(mem), row...)
+	sess, err := memsched.NewSession(g)
+	if err != nil {
+		return nil, err
 	}
+	platforms, xs := memoryGridPlatforms(poolPlatform(p), MemoryGrid(peak+peak/10, steps))
+	table, err := gridSweep(ctx, sess, platforms, xs,
+		[]string{"memheft", "memminmin", sweep.SchedulerSimRank, sweep.SchedulerSimEFT},
+		[]string{"memheft", "memminmin", "online-rank", "online-eft"}, seed)
+	if err != nil {
+		return nil, err
+	}
+	table.Name = "static vs online"
 	return table, nil
 }
 
@@ -141,31 +150,31 @@ func ExtMultiPool(ctx context.Context, scale Scale, seed int64) (*Table, error) 
 func multiPoolSweep(ctx context.Context, g *dag.Graph, seed int64) (*Table, error) {
 	// Pool times: CPU keeps the blue time; accelerator A gets the red
 	// time; accelerator B gets the mean — three genuinely different
-	// speeds per task.
-	inst := multiInstance(g)
-	mcaches := multi.NewCaches()
-	table := &Table{Name: "multi-pool sweep", XLabel: "device-memory",
-		Columns: []string{"multi-memheft", "multi-memminmin"}}
+	// speeds per task. The session carries the matrix, so the engine runs
+	// the generalised k-pool path.
+	sess, err := memsched.NewSession(g, memsched.WithPoolTimes(multiPoolTimes(g)))
+	if err != nil {
+		return nil, err
+	}
 	// Reference footprint: total files (a bound that always fits).
 	total := g.TotalFiles()
+	var platforms []memsched.Platform
+	var xs []float64
 	for frac := 10; frac >= 1; frac-- {
 		dev := total * int64(frac) / 10
 		if dev == 0 {
 			continue
 		}
-		p := multiPlatform(total*2, dev)
-		row := make([]float64, 2)
-		for i, fn := range []func() (float64, error){
-			func() (float64, error) { return multiRun(ctx, inst, p, seed, true, mcaches) },
-			func() (float64, error) { return multiRun(ctx, inst, p, seed, false, mcaches) },
-		} {
-			v, err := fn()
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		table.AddRow(float64(dev), row...)
+		platforms = append(platforms, multiPlatform(total*2, dev))
+		xs = append(xs, float64(dev))
 	}
+	table, err := gridSweep(ctx, sess, platforms, xs,
+		[]string{"memheft", "memminmin"},
+		[]string{"multi-memheft", "multi-memminmin"}, seed)
+	if err != nil {
+		return nil, err
+	}
+	table.Name = "multi-pool sweep"
+	table.XLabel = "device-memory"
 	return table, nil
 }

@@ -1,24 +1,23 @@
 package experiments
 
 import (
-	"context"
-	"errors"
-	"math"
-
+	memsched "repro"
 	"repro/internal/dag"
+	"repro/internal/daggen"
 	"repro/internal/multi"
+	"repro/sweep"
 )
 
-// multiInstance builds a 3-pool instance from a dual-time graph: pool 0
-// (CPU) keeps the blue time, pool 1 (accelerator A) the red time, pool 2
+// multiPoolTimes builds a 3-pool timing matrix from a dual-time graph: pool
+// 0 (CPU) keeps the blue time, pool 1 (accelerator A) the red time, pool 2
 // (accelerator B) the mean of the two.
-func multiInstance(g *dag.Graph) *multi.Instance {
+func multiPoolTimes(g *dag.Graph) [][]float64 {
 	times := make([][]float64, g.NumTasks())
 	for i := 0; i < g.NumTasks(); i++ {
 		t := g.Task(dag.TaskID(i))
 		times[i] = []float64{t.WBlue, t.WRed, (t.WBlue + t.WRed) / 2}
 	}
-	return multi.NewInstance(g, times)
+	return times
 }
 
 // multiPlatform is the 3-pool platform of the multi-pool sweep: a 2-proc
@@ -30,6 +29,37 @@ func multiPlatform(hostMem, devMem int64) multi.Platform {
 		multi.Pool{Procs: 1, Capacity: devMem},
 		multi.Pool{Procs: 1, Capacity: devMem},
 	)
+}
+
+// SweepBench builds the deterministic sweep benchmark fixture shared by
+// the package benchmarks (BenchmarkSweep64x1000Workers*) and cmd/benchjson,
+// mirroring KPoolBench's role for the k-pool suite: a warm session over a
+// daggen graph of the given size, and a 64-point spec — 16 memory fractions
+// in the feasible band (0.55–1.0, so every point is a full schedule) × both
+// memory-aware heuristics × 2 seeds — with the given worker bound
+// (0 = GOMAXPROCS).
+func SweepBench(size, workers int) (*memsched.Session, sweep.Spec, error) {
+	params := daggen.LargeParams()
+	params.Size = size
+	g, err := daggen.Generate(params, 7)
+	if err != nil {
+		return nil, sweep.Spec{}, err
+	}
+	sess, err := memsched.NewSession(g)
+	if err != nil {
+		return nil, sweep.Spec{}, err
+	}
+	alphas := make([]float64, 16)
+	for i := range alphas {
+		alphas[i] = 0.55 + 0.03*float64(i)
+	}
+	return sess, sweep.Spec{
+		Base:       memsched.NewDualPlatform(2, 2, memsched.Unlimited, memsched.Unlimited),
+		Alphas:     alphas,
+		Schedulers: []string{"memheft", "memminmin"},
+		Seeds:      []int64{7, 8},
+		Workers:    workers,
+	}, nil
 }
 
 // KPoolBench builds the deterministic k-pool benchmark fixture shared by
@@ -56,27 +86,4 @@ func KPoolBench(g *dag.Graph, k int, alpha float64) (*multi.Instance, multi.Plat
 		pools[j] = multi.Pool{Procs: 1, Capacity: bound}
 	}
 	return multi.NewInstance(g, times), multi.NewPlatform(pools...)
-}
-
-// multiRun executes one generalised heuristic and returns its makespan, or
-// NaN when the instance does not fit. The caller-owned caches serve the
-// ranking/statics memos across the sweep, exactly as a Session would.
-func multiRun(ctx context.Context, in *multi.Instance, p multi.Platform, seed int64, heft bool, caches *multi.Caches) (float64, error) {
-	var (
-		s   *multi.Schedule
-		err error
-	)
-	opt := multi.Options{Seed: seed, Caches: caches}
-	if heft {
-		s, err = multi.MemHEFT(ctx, in, p, opt)
-	} else {
-		s, err = multi.MemMinMin(ctx, in, p, opt)
-	}
-	if err != nil {
-		if errors.Is(err, multi.ErrMemoryBound) {
-			return math.NaN(), nil
-		}
-		return 0, err
-	}
-	return s.Makespan(), nil
 }

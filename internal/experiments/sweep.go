@@ -4,22 +4,35 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+	"strings"
 	"time"
 
+	memsched "repro"
 	"repro/internal/core"
 	"repro/internal/dag"
-	"repro/internal/exact"
 	"repro/internal/platform"
-	"repro/internal/schedule"
+	"repro/sweep"
 )
+
+// The paper's two sweep shapes — normalised memory fractions (Figures 10
+// and 12) and absolute memory bounds (Figures 11/13/14/15) — both run on
+// the parallel sweep engine of package repro/sweep: one Session per DAG, a
+// declarative Spec for the alpha or memory axis, and the engine's worker
+// pool in place of the hand-rolled goroutine pool this package used to
+// carry. Results stay bit-for-bit deterministic: the engine orders results
+// by point index regardless of worker scheduling.
 
 // HEFTReference runs memory-oblivious HEFT on g and returns its makespan and
 // the larger of its two memory peaks; the paper normalises every sweep by
 // these quantities ("the amount of memory required by HEFT").
 func HEFTReference(ctx context.Context, g *dag.Graph, p platform.Platform, seed int64) (makespan float64, maxPeak int64, err error) {
 	return heftReferenceCached(ctx, g, p, seed, nil)
+}
+
+// poolPlatform lifts the dual-memory platform type onto the unified pool
+// surface the Session API (and the sweep engine) speak.
+func poolPlatform(p platform.Platform) memsched.Platform {
+	return memsched.NewDualPlatform(p.PBlue, p.PRed, p.MBlue, p.MRed)
 }
 
 // NormalizedSweepConfig drives the Figure 10 / Figure 12 experiment: for
@@ -54,8 +67,18 @@ type SweepResult struct {
 	Success  *Table // fraction of DAGs scheduled
 }
 
-// NormalizedSweep runs the experiment. The context cancels the sweep
-// between (and inside) cells; a cancelled sweep returns ctx's error.
+// normalizedSchedulers is the heuristic axis of the normalised sweeps, in
+// column order.
+var normalizedSchedulers = []string{"memheft", "memminmin"}
+
+// NormalizedSweep runs the experiment on the sweep engine: one alpha ×
+// scheduler grid per DAG, then — when WithOptimal is set — a second
+// explicit-points sweep running the exact reference at every alpha, each
+// point seeded with the better heuristic schedule of the same cell as its
+// incumbent (a dependency a single grid cannot express, but explicit
+// Points carry it, so the exact searches still fan out across workers).
+// The context cancels the sweep between and inside points; a cancelled
+// sweep returns ctx's error.
 func NormalizedSweep(ctx context.Context, cfg NormalizedSweepConfig) (*SweepResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -64,142 +87,95 @@ func NormalizedSweep(ctx context.Context, cfg NormalizedSweepConfig) (*SweepResu
 	if cfg.WithOptimal {
 		cols = append(cols, "Optimal")
 	}
-	msTable := &Table{Name: "normalized makespan", XLabel: "alpha", Columns: cols}
-	srTable := &Table{Name: "success rate", XLabel: "alpha", Columns: cols}
-
-	type ref struct {
-		ms   float64
-		peak int64
+	nA, nG, nS := len(cfg.Alphas), len(cfg.Graphs), len(normalizedSchedulers)
+	sums := make([][]float64, nA)
+	oks := make([][]int, nA)
+	for ai := range sums {
+		sums[ai] = make([]float64, len(cols))
+		oks[ai] = make([]int, len(cols))
 	}
-	// One cache set per graph: every alpha of a graph reuses the same
-	// priority list and statics, and concurrent workers on different
-	// graphs share nothing (the former process-global single-slot caches
-	// made them thrash and serialize).
-	caches := make([]*core.Caches, len(cfg.Graphs))
-	refs := make([]ref, len(cfg.Graphs))
-	for i, g := range cfg.Graphs {
-		caches[i] = core.NewCaches()
-		ms, peak, err := heftReferenceCached(ctx, g, cfg.Platform, cfg.Seed, caches[i])
+
+	for _, g := range cfg.Graphs {
+		sess, err := memsched.NewSession(g)
 		if err != nil {
 			return nil, err
 		}
-		refs[i] = ref{ms: ms, peak: peak}
-	}
-
-	algs := []namedAlg{
-		{"MemHEFT", core.MemHEFT},
-		{"MemMinMin", core.MemMinMin},
-	}
-
-	// One cell of work: one DAG at one alpha. Cells are independent, so
-	// they run on a bounded worker pool; the reduction below is
-	// sequential and index-ordered, keeping results bit-for-bit
-	// deterministic regardless of scheduling.
-	type cell struct {
-		norm []float64 // normalised makespan per column; NaN = failed
-		err  error
-	}
-	nA, nG := len(cfg.Alphas), len(cfg.Graphs)
-	cells := make([]cell, nA*nG)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nA*nG {
-		workers = nA * nG
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				if err := ctx.Err(); err != nil {
-					cells[idx] = cell{err: err}
+		res, err := sweep.Run(ctx, sess, sweep.Spec{
+			Base:        poolPlatform(cfg.Platform),
+			Alphas:      cfg.Alphas,
+			Schedulers:  normalizedSchedulers,
+			Seeds:       []int64{cfg.Seed},
+			KeepResults: cfg.WithOptimal, // the exact pass reuses the heuristic schedules as incumbents
+		})
+		if err != nil {
+			return nil, err
+		}
+		refMS := res.Summary.RefMakespan
+		incumbents := make([]*memsched.Schedule, nA)
+		for ai := range cfg.Alphas {
+			// Point index (ai, si): the grid is axis-major with one seed.
+			for si := 0; si < nS; si++ {
+				pr := res.Points[ai*nS+si]
+				if !pr.Feasible {
 					continue
 				}
-				ai, gi := idx/nG, idx%nG
-				cells[idx] = sweepCell(ctx, cfg, cols, cfg.Alphas[ai], cfg.Graphs[gi], refs[gi].ms, refs[gi].peak, algs, caches[gi])
-			}
-		}()
-	}
-	for idx := range cells {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
-
-	for ai, alpha := range cfg.Alphas {
-		sums := make([]float64, len(cols))
-		oks := make([]int, len(cols))
-		for gi := 0; gi < nG; gi++ {
-			c := cells[ai*nG+gi]
-			if c.err != nil {
-				return nil, c.err
-			}
-			for i, v := range c.norm {
-				if !math.IsNaN(v) {
-					oks[i]++
-					sums[i] += v
+				oks[ai][si]++
+				sums[ai][si] += pr.Makespan / refMS
+				if cfg.WithOptimal && pr.Result != nil && pr.Result.Schedule != nil {
+					if best := incumbents[ai]; best == nil || pr.Makespan < best.Makespan() {
+						incumbents[ai] = pr.Result.Schedule
+					}
 				}
 			}
 		}
+		if cfg.WithOptimal {
+			points := make([]sweep.Point, nA)
+			for ai, alpha := range cfg.Alphas {
+				bound := int64(alpha * float64(res.Summary.Peak))
+				points[ai] = sweep.Point{
+					Platform:  poolPlatform(cfg.Platform).WithUniformBounds(bound),
+					Scheduler: sweep.SchedulerOptimal,
+					Seed:      cfg.Seed,
+					Axis:      ai,
+					X:         alpha,
+					Alpha:     alpha,
+					Incumbent: incumbents[ai],
+				}
+			}
+			opt, err := sweep.Run(ctx, sess, sweep.Spec{
+				Points:     points,
+				OptNodes:   cfg.OptNodes,
+				OptTimeout: cfg.OptTimeout,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for ai := range cfg.Alphas {
+				if pr := opt.Points[ai]; pr.Feasible {
+					oks[ai][nS]++
+					sums[ai][nS] += pr.Makespan / refMS
+				}
+			}
+		}
+	}
+
+	msTable := &Table{Name: "normalized makespan", XLabel: "alpha", Columns: cols}
+	srTable := &Table{Name: "success rate", XLabel: "alpha", Columns: cols}
+	for ai, alpha := range cfg.Alphas {
 		msRow := make([]float64, len(cols))
 		srRow := make([]float64, len(cols))
 		for i := range cols {
-			if oks[i] > 0 {
-				msRow[i] = sums[i] / float64(oks[i])
+			if oks[ai][i] > 0 {
+				msRow[i] = sums[ai][i] / float64(oks[ai][i])
 			} else {
 				msRow[i] = math.NaN()
 			}
-			srRow[i] = float64(oks[i]) / float64(nG)
+			srRow[i] = float64(oks[ai][i]) / float64(nG)
 		}
 		msTable.AddRow(alpha, msRow...)
 		srTable.AddRow(alpha, srRow...)
 	}
 	return &SweepResult{Makespan: msTable, Success: srTable}, nil
-}
-
-// sweepCell evaluates one DAG at one alpha: both heuristics plus, when
-// configured, the exact reference seeded with the better heuristic schedule.
-func sweepCell(ctx context.Context, cfg NormalizedSweepConfig, cols []string, alpha float64, g *dag.Graph, refMS float64, refPeak int64, algs []namedAlg, caches *core.Caches) struct {
-	norm []float64
-	err  error
-} {
-	out := struct {
-		norm []float64
-		err  error
-	}{norm: make([]float64, len(cols))}
-	for i := range out.norm {
-		out.norm[i] = math.NaN()
-	}
-	bound := int64(alpha * float64(refPeak))
-	p := cfg.Platform.WithBounds(bound, bound)
-	var best *schedule.Schedule
-	for ai, alg := range algs {
-		s, err := alg.fn(ctx, g, p, core.Options{Seed: cfg.Seed, Caches: caches})
-		if err != nil {
-			if ctx.Err() != nil {
-				out.err = ctx.Err()
-				return out
-			}
-			continue
-		}
-		out.norm[ai] = s.Makespan() / refMS
-		if best == nil || s.Makespan() < best.Makespan() {
-			best = s
-		}
-	}
-	if cfg.WithOptimal {
-		opt := exact.Options{MaxNodes: cfg.OptNodes, Timeout: cfg.OptTimeout, Incumbent: best, Caches: caches}
-		res, err := exact.Solve(ctx, g, p, opt)
-		if err != nil {
-			out.err = err
-			return out
-		}
-		if res.Schedule != nil {
-			out.norm[len(cols)-1] = res.Makespan / refMS
-		}
-	}
-	return out
 }
 
 // heftReferenceCached is HEFTReference with a session-style cache set.
@@ -216,12 +192,6 @@ func heftReferenceCached(ctx context.Context, g *dag.Graph, p platform.Platform,
 	return s.Makespan(), peak, nil
 }
 
-// namedAlg pairs a column name with its scheduler.
-type namedAlg struct {
-	name string
-	fn   core.Func
-}
-
 // AbsoluteSweepConfig drives the Figures 11/13/14/15 experiment: one DAG,
 // absolute memory bounds on the x axis, one curve per algorithm (plus
 // optionally the lower bound).
@@ -234,18 +204,25 @@ type AbsoluteSweepConfig struct {
 	LowerBound bool
 }
 
-// AbsoluteSweep runs the experiment. Memory-oblivious algorithms (heft,
-// minmin) are reported only at bounds that accommodate their peaks — they
-// appear as the horizontal reference lines of Figure 11. The context
-// cancels the sweep between memory steps.
+// AbsoluteSweep runs the experiment on the sweep engine. Memory-oblivious
+// algorithms (heft, minmin) are evaluated once — their schedules ignore the
+// bounds — and reported only at bounds that accommodate their peaks, the
+// horizontal reference lines of Figure 11. The context cancels the sweep
+// cooperatively.
 func AbsoluteSweep(ctx context.Context, cfg AbsoluteSweepConfig) (*Table, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	caches := core.NewCaches()
 	names := cfg.Algorithms
 	if names == nil {
 		names = []string{"heft", "minmin", "memheft", "memminmin"}
+	}
+	// The sweep engine reports curves under normalized (lower-cased)
+	// scheduler names; normalize once so mixed-case Algorithms entries
+	// keep working like they did through core.ByName.
+	names = append([]string(nil), names...)
+	for i, name := range names {
+		names[i] = strings.ToLower(strings.TrimSpace(name))
 	}
 	cols := append([]string(nil), names...)
 	if cfg.LowerBound {
@@ -253,42 +230,75 @@ func AbsoluteSweep(ctx context.Context, cfg AbsoluteSweepConfig) (*Table, error)
 	}
 	table := &Table{Name: "makespan vs memory", XLabel: "memory", Columns: cols}
 
+	sess, err := memsched.NewSession(cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
+	base := poolPlatform(cfg.Platform)
+
 	lb := math.NaN()
 	if cfg.LowerBound {
-		v, err := exact.LowerBound(cfg.Graph, cfg.Platform)
+		v, err := sess.LowerBound(base)
 		if err != nil {
 			return nil, err
 		}
 		lb = v
 	}
 
-	// Memory-oblivious results are memory-independent; compute once.
+	// Split the algorithm axis: the oblivious pair is memory-independent
+	// (one point each), the aware names form the memory grid.
 	type obliv struct {
 		ms   float64
 		peak int64
 	}
 	oblivious := map[string]obliv{}
+	var aware []string
 	for _, name := range names {
 		if name != "heft" && name != "minmin" {
+			aware = append(aware, name)
 			continue
 		}
-		fn := core.Algorithms[name]
-		s, err := fn(ctx, cfg.Graph, cfg.Platform, core.Options{Seed: cfg.Seed, Caches: caches})
+		res, err := sweep.Run(ctx, sess, sweep.Spec{
+			Platforms:  []memsched.Platform{base},
+			Schedulers: []string{name},
+			Seeds:      []int64{cfg.Seed},
+		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s failed: %w", name, err)
 		}
-		blue, red := s.MemoryPeaks()
-		peak := blue
-		if red > peak {
-			peak = red
+		pt := res.Points[0]
+		peak := int64(0)
+		for _, p := range pt.Peaks {
+			if p > peak {
+				peak = p
+			}
 		}
-		oblivious[name] = obliv{ms: s.Makespan(), peak: peak}
+		oblivious[name] = obliv{ms: pt.Makespan, peak: peak}
 	}
 
-	for _, mem := range cfg.Memories {
-		if err := ctx.Err(); err != nil {
+	curves := map[string][]float64{}
+	if len(aware) > 0 {
+		platforms := make([]memsched.Platform, len(cfg.Memories))
+		xs := make([]float64, len(cfg.Memories))
+		for i, mem := range cfg.Memories {
+			platforms[i] = base.WithUniformBounds(mem)
+			xs[i] = float64(mem)
+		}
+		res, err := sweep.Run(ctx, sess, sweep.Spec{
+			Platforms:  platforms,
+			Xs:         xs,
+			Schedulers: aware,
+			Seeds:      []int64{cfg.Seed},
+		})
+		if err != nil {
 			return nil, err
 		}
+		for _, c := range res.Summary.Curves {
+			curves[c.Scheduler] = c.Makespan
+		}
+	}
+
+	for mi, mem := range cfg.Memories {
 		row := make([]float64, len(cols))
 		for i, name := range names {
 			if o, ok := oblivious[name]; ok {
@@ -299,19 +309,7 @@ func AbsoluteSweep(ctx context.Context, cfg AbsoluteSweepConfig) (*Table, error)
 				}
 				continue
 			}
-			fn, err := core.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			s, err := fn(ctx, cfg.Graph, cfg.Platform.WithBounds(mem, mem), core.Options{Seed: cfg.Seed, Caches: caches})
-			if err != nil {
-				if ctx.Err() != nil {
-					return nil, ctx.Err()
-				}
-				row[i] = math.NaN()
-				continue
-			}
-			row[i] = s.Makespan()
+			row[i] = curves[name][mi]
 		}
 		if cfg.LowerBound {
 			row[len(row)-1] = lb

@@ -1,6 +1,7 @@
 package multi
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/dag"
@@ -75,6 +76,13 @@ func (c *Caches) rekey(in *Instance) {
 
 // computeStatics derives the per-instance immutable inputs of a Partial.
 func computeStatics(in *Instance) *instanceStatics {
+	s, _ := computeStaticsCtx(nil, in) // nil ctx never cancels
+	return s
+}
+
+// computeStaticsCtx is computeStatics with cooperative cancellation: the
+// derivation loop polls ctx (nil allowed) every rank stride.
+func computeStaticsCtx(ctx context.Context, in *Instance) (*instanceStatics, error) {
 	g := in.G
 	n := g.NumTasks()
 	edges := g.Edges()
@@ -83,6 +91,11 @@ func computeStatics(in *Instance) *instanceStatics {
 		inDegree: make([]int, n),
 	}
 	for i := 0; i < n; i++ {
+		if ctx != nil && i%rankStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		id := dag.TaskID(i)
 		s.inDegree[i] = len(g.In(id))
 		if s.inDegree[i] == 0 {
@@ -92,7 +105,7 @@ func computeStatics(in *Instance) *instanceStatics {
 			s.outFiles[i] += edges[e].File
 		}
 	}
-	return s
+	return s, nil
 }
 
 // staticsOf returns the memoized statics of in, computing them on a miss.
@@ -107,6 +120,33 @@ func (c *Caches) staticsOf(in *Instance) *instanceStatics {
 		c.statics = computeStatics(in)
 	}
 	return c.statics
+}
+
+// warmStatics memoizes in's statics ahead of NewPartialCached with
+// cooperative cancellation, mirroring the dual engine: a nil receiver or
+// nil ctx computes nothing and NewPartialCached derives them inline.
+func (c *Caches) warmStatics(ctx context.Context, in *Instance) error {
+	if c == nil || ctx == nil {
+		return nil
+	}
+	c.mu.Lock()
+	c.rekey(in)
+	warm := c.statics != nil
+	nTasks, nEdges := c.nTasks, c.nEdges
+	c.mu.Unlock()
+	if warm {
+		return nil
+	}
+	s, err := computeStaticsCtx(ctx, in)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.in == in && c.nTasks == nTasks && c.nEdges == nEdges && c.statics == nil {
+		c.statics = s
+	}
+	c.mu.Unlock()
+	return nil
 }
 
 // Validate is Instance.Validate with the successful parts memoized: the
@@ -148,10 +188,12 @@ func (c *Caches) Validate(in *Instance, p Platform) error {
 }
 
 // MeanRanks returns the memoized mean upward ranks of in, computing them on
-// a miss. The returned slice is shared and must not be mutated.
-func (c *Caches) MeanRanks(in *Instance) ([]float64, error) {
+// a miss. The returned slice is shared and must not be mutated. The context
+// (nil allowed) cancels a cold ranking cooperatively; memo hits never
+// consult it.
+func (c *Caches) MeanRanks(ctx context.Context, in *Instance) ([]float64, error) {
 	if c == nil {
-		return in.MeanRanks()
+		return in.MeanRanks(ctx)
 	}
 	c.mu.Lock()
 	c.rekey(in)
@@ -162,7 +204,7 @@ func (c *Caches) MeanRanks(in *Instance) ([]float64, error) {
 	nTasks, nEdges := c.nTasks, c.nEdges
 	c.mu.Unlock()
 
-	ranks, err := in.MeanRanks()
+	ranks, err := in.MeanRanks(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -178,10 +220,11 @@ func (c *Caches) MeanRanks(in *Instance) ([]float64, error) {
 // PriorityList returns the memoized MemHEFT priority list of (in, seed),
 // computing it on a miss (the O(n log n) sort runs outside the mutex, and
 // reuses the memoized ranks when present). The returned slice is a fresh
-// copy the caller may mutate.
-func (c *Caches) PriorityList(in *Instance, seed int64) ([]dag.TaskID, error) {
+// copy the caller may mutate. The context (nil allowed) cancels a cold
+// ranking cooperatively.
+func (c *Caches) PriorityList(ctx context.Context, in *Instance, seed int64) ([]dag.TaskID, error) {
 	if c == nil {
-		return PriorityList(in, seed)
+		return PriorityList(ctx, in, seed)
 	}
 	c.mu.Lock()
 	c.rekey(in)
@@ -196,7 +239,7 @@ func (c *Caches) PriorityList(in *Instance, seed int64) ([]dag.TaskID, error) {
 	nTasks, nEdges := c.nTasks, c.nEdges
 	c.mu.Unlock()
 
-	ranks, err := c.MeanRanks(in)
+	ranks, err := c.MeanRanks(ctx, in)
 	if err != nil {
 		return nil, err
 	}

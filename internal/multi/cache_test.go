@@ -36,22 +36,22 @@ func TestCachesValidateMemoized(t *testing.T) {
 func TestCachesRanksAndPriorityMemoized(t *testing.T) {
 	in := randomInstance(2, 20, 2)
 	c := NewCaches()
-	r1, err := c.MeanRanks(in)
+	r1, err := c.MeanRanks(nil, in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := c.MeanRanks(in)
+	r2, err := c.MeanRanks(nil, in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if &r1[0] != &r2[0] {
 		t.Fatal("mean ranks recomputed on the warm call")
 	}
-	want, err := PriorityList(in, 7)
+	want, err := PriorityList(nil, in, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	l1, err := c.PriorityList(in, 7)
+	l1, err := c.PriorityList(nil, in, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestCachesRanksAndPriorityMemoized(t *testing.T) {
 	}
 	// The returned copy must be caller-mutable without poisoning the memo.
 	l1[0], l1[len(l1)-1] = l1[len(l1)-1], l1[0]
-	l2, err := c.PriorityList(in, 7)
+	l2, err := c.PriorityList(nil, in, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,10 +107,10 @@ func TestCachesNilReceiver(t *testing.T) {
 	if err := c.Validate(in, p); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.MeanRanks(in); err != nil {
+	if _, err := c.MeanRanks(nil, in); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.PriorityList(in, 1); err != nil {
+	if _, err := c.PriorityList(nil, in, 1); err != nil {
 		t.Fatal(err)
 	}
 	st := NewPartialCached(in, p, nil)

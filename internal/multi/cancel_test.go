@@ -3,6 +3,7 @@ package multi
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -90,10 +91,12 @@ func TestCancelledMidPlacement(t *testing.T) {
 	in := bigInstance(3000, 3)
 	p := bigPlatform(3)
 	for name, fn := range map[string]Func{"MemHEFT": MemHEFT, "MemMinMin": MemMinMin} {
-		// The first poll happens before ranking, the second at loop step
-		// 0, the third at step cancelStride, ... — 5 polls lands the
-		// cancellation a few hundred placements in.
-		ctx := &countdownCtx{Context: context.Background(), polls: 5}
+		// The first poll happens before ranking, then the (now
+		// cancellable) ranking phase polls every rankStride tasks
+		// (3 polls at n=3000), and the placement loop polls every
+		// cancelStride steps — 10 polls lands the cancellation a few
+		// hundred placements in.
+		ctx := &countdownCtx{Context: context.Background(), polls: 10}
 		s, err := fn(ctx, in, p, Options{Seed: 1})
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("%s mid-placement: err = %v", name, err)
@@ -110,6 +113,27 @@ func TestCancelledMidPlacement(t *testing.T) {
 		if placed == 0 || placed >= in.G.NumTasks() {
 			t.Fatalf("%s mid-placement: %d of %d tasks placed, want a strict partial prefix", name, placed, in.G.NumTasks())
 		}
+	}
+}
+
+// TestCancelledDuringRanking: a cancellation landing inside the (now
+// cooperative) ranking phase interrupts the run before any placement — no
+// partial schedule exists yet, and the error names the heuristic.
+func TestCancelledDuringRanking(t *testing.T) {
+	in := bigInstance(3000, 3)
+	p := bigPlatform(3)
+	// Poll 1 is the entry check; polls 2 and 3 are the ranking loop's at
+	// steps 0 and rankStride — the countdown expires mid-ranking.
+	ctx := &countdownCtx{Context: context.Background(), polls: 3}
+	s, err := MemHEFT(ctx, in, p, Options{Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-ranking: err = %v", err)
+	}
+	if s != nil {
+		t.Fatal("mid-ranking cancellation returned a schedule")
+	}
+	if !strings.Contains(err.Error(), "MemHEFT interrupted") {
+		t.Fatalf("mid-ranking error not labelled: %v", err)
 	}
 }
 

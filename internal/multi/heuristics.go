@@ -2,6 +2,7 @@ package multi
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -63,13 +64,24 @@ func ctxErr(ctx context.Context, step int) error {
 
 // PriorityList returns tasks by non-increasing mean rank with seeded random
 // tie-breaks. It is a pure function of (instance, seed); sessions memoize
-// it per seed through Caches.PriorityList.
-func PriorityList(in *Instance, seed int64) ([]dag.TaskID, error) {
-	ranks, err := in.MeanRanks()
+// it per seed through Caches.PriorityList. The context (nil allowed) makes
+// the ranking phase cooperatively cancellable.
+func PriorityList(ctx context.Context, in *Instance, seed int64) ([]dag.TaskID, error) {
+	ranks, err := in.MeanRanks(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return priorityFromRanks(in, ranks, seed), nil
+}
+
+// wrapInterrupted labels a cancellation surfacing from the ranking/statics
+// phase with the heuristic's name (matching the placement loops' wrapping);
+// every other error passes through untouched.
+func wrapInterrupted(name string, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("multi: %s interrupted: %w", name, err)
+	}
+	return err
 }
 
 // priorityFromRanks is the sorting half of PriorityList, reused by the
@@ -110,9 +122,12 @@ func MemHEFT(ctx context.Context, in *Instance, p Platform, opt Options) (*Sched
 	if err := opt.Caches.Validate(in, p); err != nil {
 		return nil, err
 	}
-	remaining, err := opt.Caches.PriorityList(in, opt.Seed)
+	remaining, err := opt.Caches.PriorityList(ctx, in, opt.Seed)
 	if err != nil {
-		return nil, err
+		return nil, wrapInterrupted("MemHEFT", err)
+	}
+	if err := opt.Caches.warmStatics(ctx, in); err != nil {
+		return nil, wrapInterrupted("MemHEFT", err)
 	}
 	st := NewPartialCached(in, p, opt.Caches)
 	defer opt.Caches.Recycle(st)
@@ -181,6 +196,9 @@ func MemMinMin(ctx context.Context, in *Instance, p Platform, opt Options) (*Sch
 	}
 	if err := opt.Caches.Validate(in, p); err != nil {
 		return nil, err
+	}
+	if err := opt.Caches.warmStatics(ctx, in); err != nil {
+		return nil, wrapInterrupted("MemMinMin", err)
 	}
 	st := NewPartialCached(in, p, opt.Caches)
 	defer opt.Caches.Recycle(st)

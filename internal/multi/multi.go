@@ -25,12 +25,17 @@
 package multi
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/dag"
 	"repro/internal/platform"
 )
+
+// rankStride is how many tasks the ranking/statics loops process between
+// cooperative context polls, matching the dual engine's stride.
+const rankStride = 1024
 
 // Pool is one memory with its attached identical processors.
 type Pool struct {
@@ -216,14 +221,21 @@ func (in *Instance) validateMatrix(nPools int) error {
 // MeanRanks returns the multi-pool upward ranks: the per-task mean over
 // pools of the processing time, plus the max over children of their rank
 // plus half the communication cost — the direct generalisation of §5.1.
-func (in *Instance) MeanRanks() ([]float64, error) {
+// The context (nil allowed) is polled cooperatively so a cold ranking
+// phase stays interruptible; cancellation returns ctx.Err().
+func (in *Instance) MeanRanks(ctx context.Context) ([]float64, error) {
 	rev, err := in.G.ReverseTopologicalOrder()
 	if err != nil {
 		return nil, err
 	}
 	nPools := len(in.Times[0])
 	rank := make([]float64, in.G.NumTasks())
-	for _, id := range rev {
+	for step, id := range rev {
+		if ctx != nil && step%rankStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		mean := 0.0
 		for _, w := range in.Times[id] {
 			mean += w

@@ -73,11 +73,11 @@ func TestInstanceValidate(t *testing.T) {
 func TestMeanRanksMatchDualRanks(t *testing.T) {
 	g := dag.PaperExample()
 	in := FromDual(g)
-	mr, err := in.MeanRanks()
+	mr, err := in.MeanRanks(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ur, err := g.UpwardRanks()
+	ur, err := g.UpwardRanks(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -175,7 +175,7 @@ func MemHEFTReference(_ context.Context, in *Instance, p Platform, opt Options) 
 	if err := in.Validate(p); err != nil {
 		return nil, err
 	}
-	remaining, err := PriorityList(in, opt.Seed)
+	remaining, err := PriorityList(nil, in, opt.Seed)
 	if err != nil {
 		return nil, err
 	}

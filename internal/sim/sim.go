@@ -111,7 +111,7 @@ func Run(ctx context.Context, g *dag.Graph, p platform.Platform, opt Options) (*
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	ranks, err := g.UpwardRanks()
+	ranks, err := g.UpwardRanks(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -65,6 +65,81 @@ func (c *Client) Simulate(ctx context.Context, req ScheduleRequest) (ScheduleRes
 	return out, err
 }
 
+// Sweep runs one batch evaluation (POST /v1/sweep) and decodes the NDJSON
+// stream: onPoint (may be nil) is invoked for every point record in point
+// order as it arrives, and the trailing summary is returned. A stream
+// terminated by a server-side error record returns that error as an
+// *APIError; a non-nil onPoint error aborts the decode and is returned.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest, onPoint func(SweepPoint) error) (*SweepSummary, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr ErrorResponse
+		if jerr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&apiErr); jerr != nil || apiErr.Error == "" {
+			return nil, &APIError{Status: resp.StatusCode, Code: CodeInternal,
+				Message: fmt.Sprintf("unexpected response (status %s)", resp.Status)}
+		}
+		return nil, &APIError{Status: resp.StatusCode, Code: apiErr.Code, Message: apiErr.Error}
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("serve: sweep stream ended without a summary")
+			}
+			return nil, fmt.Errorf("serve: decoding sweep stream: %w", err)
+		}
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, fmt.Errorf("serve: decoding sweep record: %w", err)
+		}
+		switch kind.Type {
+		case "point":
+			var pt SweepPoint
+			if err := json.Unmarshal(raw, &pt); err != nil {
+				return nil, fmt.Errorf("serve: decoding sweep point: %w", err)
+			}
+			if onPoint != nil {
+				if err := onPoint(pt); err != nil {
+					return nil, err
+				}
+			}
+		case "summary":
+			var sum SweepSummary
+			if err := json.Unmarshal(raw, &sum); err != nil {
+				return nil, fmt.Errorf("serve: decoding sweep summary: %w", err)
+			}
+			return &sum, nil
+		case "error":
+			var se SweepError
+			if err := json.Unmarshal(raw, &se); err != nil {
+				return nil, fmt.Errorf("serve: decoding sweep error: %w", err)
+			}
+			// The stream's HTTP status was already 200; the record's
+			// code classifies the failure.
+			return nil, &APIError{Status: http.StatusOK, Code: se.Code, Message: se.Error}
+		default:
+			return nil, fmt.Errorf("serve: unknown sweep record type %q", kind.Type)
+		}
+	}
+}
+
 // Schedulers lists the heuristic names registered on the server.
 func (c *Client) Schedulers(ctx context.Context) ([]string, error) {
 	var out SchedulersResponse

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metrics collects per-endpoint request counters and latency histograms for
+// the Prometheus-format GET /metrics endpoint. The implementation is
+// dependency-free: the text exposition format is a few lines of stable,
+// sorted output, which is all a scraper needs.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[reqKey]uint64
+	hist     map[string]*histogram
+}
+
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+// latencyBuckets are the histogram upper bounds in seconds (plus the
+// implicit +Inf bucket): sub-millisecond warm schedules up to multi-second
+// sweeps.
+var latencyBuckets = [...]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+type histogram struct {
+	buckets [len(latencyBuckets) + 1]uint64 // cumulative at render time; raw per-bucket here
+	count   uint64
+	sum     float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[reqKey]uint64),
+		hist:     make(map[string]*histogram),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, d time.Duration) {
+	sec := d.Seconds()
+	idx := len(latencyBuckets)
+	for i, le := range latencyBuckets {
+		if sec <= le {
+			idx = i
+			break
+		}
+	}
+	m.mu.Lock()
+	m.requests[reqKey{endpoint, code}]++
+	h := m.hist[endpoint]
+	if h == nil {
+		h = &histogram{}
+		m.hist[endpoint] = h
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += sec
+	m.mu.Unlock()
+}
+
+// endpoints the middleware labels explicitly; everything else is "other" so
+// the label set stays bounded no matter what paths clients probe.
+var knownEndpoints = map[string]bool{
+	"/v1/graphs":     true,
+	"/v1/schedule":   true,
+	"/v1/simulate":   true,
+	"/v1/sweep":      true,
+	"/v1/schedulers": true,
+	"/v1/stats":      true,
+	"/healthz":       true,
+	"/metrics":       true,
+}
+
+func endpointLabel(path string) string {
+	if knownEndpoints[path] {
+		return path
+	}
+	return "other"
+}
+
+// render writes the full exposition: the request counters and latency
+// histograms collected here plus the server gauges passed in. Output is
+// sorted so scrapes diff cleanly.
+func (m *metrics) render(w *strings.Builder, st StatsResponse) {
+	m.mu.Lock()
+	reqKeys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].endpoint != reqKeys[j].endpoint {
+			return reqKeys[i].endpoint < reqKeys[j].endpoint
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	histKeys := make([]string, 0, len(m.hist))
+	for k := range m.hist {
+		histKeys = append(histKeys, k)
+	}
+	sort.Strings(histKeys)
+
+	fmt.Fprintf(w, "# HELP memschedd_requests_total Requests served, by endpoint and HTTP status code.\n")
+	fmt.Fprintf(w, "# TYPE memschedd_requests_total counter\n")
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "memschedd_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+	fmt.Fprintf(w, "# HELP memschedd_request_duration_seconds Request latency, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE memschedd_request_duration_seconds histogram\n")
+	for _, k := range histKeys {
+		h := m.hist[k]
+		cum := uint64(0)
+		for i, le := range latencyBuckets {
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "memschedd_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", k, le, cum)
+		}
+		fmt.Fprintf(w, "memschedd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", k, h.count)
+		fmt.Fprintf(w, "memschedd_request_duration_seconds_sum{endpoint=%q} %g\n", k, h.sum)
+		fmt.Fprintf(w, "memschedd_request_duration_seconds_count{endpoint=%q} %d\n", k, h.count)
+	}
+	m.mu.Unlock()
+
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("memschedd_scheduled_total", "Scheduling runs that produced a schedule.", st.Scheduled)
+	counter("memschedd_sweep_points_total", "Sweep point results streamed to clients.", st.SweepPoints)
+	counter("memschedd_session_cache_hits_total", "Session cache hits on the schedule path.", st.SessionHits)
+	counter("memschedd_session_cache_misses_total", "Session cache misses on the schedule path.", st.SessionMisses)
+	counter("memschedd_candidate_cache_hits_total", "Engine candidate-memo hits, aggregated over runs.", st.CandidateHits)
+	counter("memschedd_candidate_cache_misses_total", "Engine candidate-memo misses, aggregated over runs.", st.CandidateMisses)
+	gauge("memschedd_sessions_cached", "Sessions currently resident in the LRU cache.", st.SessionsCached)
+	gauge("memschedd_session_cache_capacity", "Bound of the session LRU cache.", st.SessionCapacity)
+	gauge("memschedd_in_flight", "Requests currently holding an in-flight slot.", st.InFlight)
+	gauge("memschedd_max_in_flight", "Bound on concurrently executing requests.", st.MaxInFlight)
+	gauge("memschedd_uptime_seconds", "Seconds since the server was constructed.", float64(st.UptimeMS)/1000)
+}
+
+// statusWriter captures the response status for the metrics middleware and
+// forwards Flush so streaming endpoints keep working behind it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer, so the
+// sweep handler can extend the connection's write deadline past the
+// server-wide WriteTimeout for long NDJSON streams.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	s.prom.render(&b, s.Stats())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

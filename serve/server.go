@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,6 +16,7 @@ import (
 
 	memsched "repro"
 	"repro/internal/memo"
+	"repro/sweep"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -33,8 +36,24 @@ type Config struct {
 	// MaxRunTime caps one scheduling run (default 30s); a request's
 	// timeout_ms may shorten it but never extend past the cap.
 	MaxRunTime time.Duration
+	// MaxSweepTime caps one whole sweep request (default 5m); the
+	// request's timeout_ms may shorten it.
+	MaxSweepTime time.Duration
+	// MaxSweepPoints bounds the number of points one sweep request may
+	// expand to (default 4096); larger grids get a structured 400.
+	MaxSweepPoints int
+	// MaxSweepWorkers is the server-wide sweep-worker budget (default
+	// GOMAXPROCS): the total fan-out across all concurrently executing
+	// sweep requests never exceeds it. Each sweep claims up to its
+	// requested worker count (0 in a request = the whole budget) from
+	// whatever is currently free, and always gets at least one, so
+	// concurrent sweeps degrade to narrower pools instead of
+	// oversubscribing the CPUs.
+	MaxSweepWorkers int
 	// ReadTimeout / WriteTimeout configure the HTTP server of
-	// ListenAndServe (defaults 10s / 60s).
+	// ListenAndServe (defaults 10s / 60s). Sweep streams are exempt from
+	// WriteTimeout: the sweep handler extends its connection's write
+	// deadline to cover the sweep's own budget.
 	ReadTimeout, WriteTimeout time.Duration
 	// ShutdownTimeout bounds the graceful drain of ListenAndServe after
 	// its context is cancelled (default 10s); runs still alive afterwards
@@ -60,6 +79,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxRunTime <= 0 {
 		c.MaxRunTime = 30 * time.Second
 	}
+	if c.MaxSweepTime <= 0 {
+		c.MaxSweepTime = 5 * time.Minute
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 4096
+	}
+	if c.MaxSweepWorkers <= 0 {
+		c.MaxSweepWorkers = runtime.GOMAXPROCS(0)
+	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 10 * time.Second
 	}
@@ -79,10 +107,11 @@ func (c Config) withDefaults() Config {
 // Handler on any HTTP server, or run the full lifecycle (listen, serve,
 // graceful shutdown) with ListenAndServe.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	sem   chan struct{}
-	start time.Time
+	cfg      Config
+	mux      *http.ServeMux
+	sem      chan struct{}
+	sweepSem chan struct{} // server-wide sweep-worker tokens (MaxSweepWorkers)
+	start    time.Time
 
 	smu      sync.Mutex
 	sessions *memo.LRU[string, *memsched.Session]
@@ -90,7 +119,9 @@ type Server struct {
 	requests, scheduled          atomic.Uint64
 	sessionHits, sessionMisses   atomic.Uint64
 	candidateHits, candidateMiss atomic.Uint64
+	sweepPoints                  atomic.Uint64
 	inFlight                     atomic.Int64
+	prom                         *metrics
 
 	readyOnce sync.Once
 	ready     chan struct{}
@@ -103,16 +134,20 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
+		sweepSem: make(chan struct{}, cfg.MaxSweepWorkers),
 		sessions: memo.NewLRU[string, *memsched.Session](cfg.CacheSize),
 		start:    time.Now(),
 		ready:    make(chan struct{}),
+		prom:     newMetrics(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleRegister)
 	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) { s.handleRun(w, r, false) })
 	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) { s.handleRun(w, r, true) })
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/schedulers", s.handleSchedulers)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -124,11 +159,20 @@ func NewServer(cfg Config) *Server {
 }
 
 // Handler returns the service's HTTP handler (all /v1 endpoints plus
-// /healthz), independent of the ListenAndServe lifecycle.
+// /healthz and the Prometheus /metrics), independent of the ListenAndServe
+// lifecycle. Every request is counted and timed into the metrics registry
+// by endpoint and status code.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		s.mux.ServeHTTP(w, r)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		s.mux.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: implicit 200
+		}
+		s.prom.observe(endpointLabel(r.URL.Path), status, time.Since(start))
 	})
 }
 
@@ -199,6 +243,7 @@ func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
 		Requests:        s.requests.Load(),
 		Scheduled:       s.scheduled.Load(),
+		SweepPoints:     s.sweepPoints.Load(),
 		SessionHits:     s.sessionHits.Load(),
 		SessionMisses:   s.sessionMisses.Load(),
 		SessionsCached:  cached,
@@ -225,6 +270,41 @@ func (s *Server) acquire(ctx context.Context) error {
 func (s *Server) release() {
 	s.inFlight.Add(-1)
 	<-s.sem
+}
+
+// acquireSweepToken blocks (respecting ctx) for one token of the
+// server-wide sweep-worker budget — the admission ticket of a sweep
+// request, claimed before the general in-flight slot so queued sweeps
+// never camp on the slots the schedule path needs.
+func (s *Server) acquireSweepToken(ctx context.Context) error {
+	select {
+	case s.sweepSem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// topUpSweepWorkers grows a sweep's claim from held tokens toward want
+// without waiting: concurrent sweeps share whatever of the budget is free
+// instead of stacking full-size pools. Returns the new total.
+func (s *Server) topUpSweepWorkers(held, want int) int {
+	for held < want {
+		select {
+		case s.sweepSem <- struct{}{}:
+			held++
+		default:
+			return held
+		}
+	}
+	return held
+}
+
+// releaseSweepWorkers returns n claimed tokens.
+func (s *Server) releaseSweepWorkers(n int) {
+	for i := 0; i < n; i++ {
+		<-s.sweepSem
+	}
 }
 
 // decodeBody decodes the JSON request body into v under the configured size
@@ -316,29 +396,29 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// resolveSession turns the request's graph reference (id or inline) into a
+// resolveSession turns a request's graph reference (id or inline) into a
 // session, preferring a cached warm one. Errors have been written to w.
-func (s *Server) resolveSession(w http.ResponseWriter, req *ScheduleRequest) (sess *memsched.Session, fromCache, ok bool) {
+func (s *Server) resolveSession(w http.ResponseWriter, graphID string, graph json.RawMessage, times [][]float64) (sess *memsched.Session, fromCache, ok bool) {
 	switch {
-	case req.GraphID != "" && len(req.Graph) > 0:
+	case graphID != "" && len(graph) > 0:
 		writeError(w, http.StatusBadRequest, CodeBadRequest, `set exactly one of "graph_id" and "graph"`)
 		return nil, false, false
-	case req.GraphID != "":
-		if req.Times != nil {
+	case graphID != "":
+		if times != nil {
 			writeError(w, http.StatusBadRequest, CodeBadRequest, `"times" requires an inline "graph" (a registered id already carries its matrix)`)
 			return nil, false, false
 		}
-		sess, found := s.lookup(req.GraphID)
+		sess, found := s.lookup(graphID)
 		if !found {
 			s.sessionMisses.Add(1)
 			writeError(w, http.StatusNotFound, CodeNotFound,
-				fmt.Sprintf("graph %q is not registered (register it or inline it; the cache is bounded, so it may have been evicted)", req.GraphID))
+				fmt.Sprintf("graph %q is not registered (register it or inline it; the cache is bounded, so it may have been evicted)", graphID))
 			return nil, false, false
 		}
 		s.sessionHits.Add(1)
 		return sess, true, true
-	case len(req.Graph) > 0:
-		built, ok := s.buildSession(w, req.Graph, req.Times)
+	case len(graph) > 0:
+		built, ok := s.buildSession(w, graph, times)
 		if !ok {
 			return nil, false, false
 		}
@@ -429,7 +509,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, simulate bool
 			fmt.Sprintf("unknown scheduler %q (known: %s)", req.Scheduler, strings.Join(memsched.Schedulers(), ", ")))
 		return
 	}
-	sess, fromCache, ok := s.resolveSession(w, &req)
+	sess, fromCache, ok := s.resolveSession(w, req.GraphID, req.Graph, req.Times)
 	if !ok {
 		return
 	}
@@ -505,6 +585,214 @@ func placementsOf(res *memsched.Result) []Placement {
 		return out
 	}
 	return nil
+}
+
+// sweepSpecOf maps a sweep request onto the engine Spec and enforces the
+// server-side caps. Only the wire-level shape is checked here — value-level
+// spec validation belongs to the engine, whose pre-stream errors surface as
+// structured 400s because handleSweep commits the response status lazily.
+// Errors have been written to w.
+func (s *Server) sweepSpecOf(w http.ResponseWriter, req *SweepRequest) (sweep.Spec, bool) {
+	var spec sweep.Spec
+	switch {
+	case len(req.Alphas) > 0 && len(req.Platforms) > 0:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, `set exactly one of "alphas" and "platforms"`)
+		return spec, false
+	case len(req.Alphas) > 0:
+		base, ok := platformOf(w, req.Pools)
+		if !ok {
+			return spec, false
+		}
+		spec.Base, spec.Alphas, spec.Peak = base, req.Alphas, req.Peak
+	case len(req.Platforms) > 0:
+		if len(req.Pools) > 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, `"pools" belongs to an alpha sweep; "platforms" lists full platforms`)
+			return spec, false
+		}
+		spec.Platforms = make([]memsched.Platform, len(req.Platforms))
+		for i, specs := range req.Platforms {
+			p, ok := platformOf(w, specs)
+			if !ok {
+				return spec, false
+			}
+			spec.Platforms[i] = p
+		}
+		spec.Xs = req.Xs
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, `set "alphas" (with "pools") or "platforms"`)
+		return spec, false
+	}
+	spec.Schedulers = req.Schedulers
+	spec.Seeds = req.Seeds
+	spec.Workers = req.Workers
+	if spec.Workers == 0 || spec.Workers > s.cfg.MaxSweepWorkers {
+		spec.Workers = s.cfg.MaxSweepWorkers
+	}
+	if n := spec.NumPoints(); n > s.cfg.MaxSweepPoints {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("sweep expands to %d points, over the server bound of %d", n, s.cfg.MaxSweepPoints))
+		return spec, false
+	}
+	return spec, true
+}
+
+// handleSweep streams one batch evaluation as NDJSON: one "point" record
+// per sweep point in point-index order, then one trailing "summary" record.
+// The 200 status is committed only when the first record is ready, so
+// anything the engine rejects before streaming — bad spec values, unknown
+// schedulers, engine/session mismatches — still gets a structured 4xx; a
+// sweep that fails after streaming began terminates the stream with an
+// "error" record instead.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	// Admission order matters: a sweep first queues on the sweep-worker
+	// budget (holding nothing else), and only then takes a general
+	// in-flight slot. A burst of batch requests therefore waits on sweep
+	// capacity without camping on the slots /v1/schedule needs — no
+	// head-of-line blocking of the cheap path.
+	if err := s.acquireSweepToken(r.Context()); err != nil {
+		writeError(w, http.StatusRequestTimeout, CodeTimeout, "request cancelled while waiting for sweep capacity")
+		return
+	}
+	workers := 1
+	defer func() { s.releaseSweepWorkers(workers) }()
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, http.StatusRequestTimeout, CodeTimeout, "request cancelled while waiting for an in-flight slot")
+		return
+	}
+	defer s.release()
+
+	var req SweepRequest
+	if s.decodeBody(w, r, &req) != nil {
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, `"timeout_ms" must be >= 0`)
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, `"workers" must be >= 0`)
+		return
+	}
+	spec, ok := s.sweepSpecOf(w, &req)
+	if !ok {
+		return
+	}
+	sess, fromCache, ok := s.resolveSession(w, req.GraphID, req.Graph, req.Times)
+	if !ok {
+		return
+	}
+
+	timeout := s.cfg.MaxSweepTime
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Widen the claim toward the requested worker count with whatever of
+	// the server-wide budget is currently free; the admission token
+	// guarantees at least one.
+	workers = s.topUpSweepWorkers(workers, spec.Workers)
+	spec.Workers = workers
+
+	// Long sweeps legitimately outlive the server-wide WriteTimeout;
+	// extend this connection's write deadline to the sweep's own budget
+	// (best-effort: not every ResponseWriter supports it).
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(timeout + 10*time.Second))
+
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	streaming := false
+	beginStream := func() {
+		if !streaming {
+			streaming = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+	}
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	sum, err := sweep.Stream(ctx, sess, spec, func(pr sweep.PointResult) error {
+		s.sweepPoints.Add(1)
+		s.candidateHits.Add(pr.Stats.CacheHits)
+		s.candidateMiss.Add(pr.Stats.CacheMisses)
+		beginStream()
+		if err := enc.Encode(sweepPointRecord(pr)); err != nil {
+			return err
+		}
+		flush()
+		return nil
+	})
+	if err != nil {
+		status, code := classify(err)
+		if !streaming {
+			writeError(w, status, code, err.Error())
+			return
+		}
+		_ = enc.Encode(SweepError{Type: "error", Error: err.Error(), Code: code})
+		flush()
+		return
+	}
+	s.scheduled.Add(uint64(sum.Feasible))
+	beginStream() // a sweep can deliver zero points only by failing, but commit defensively
+	_ = enc.Encode(sweepSummaryRecord(sum, sess.GraphHash(), fromCache))
+	flush()
+}
+
+// sweepPointRecord maps an engine point result onto its wire record.
+func sweepPointRecord(pr sweep.PointResult) SweepPoint {
+	return SweepPoint{
+		Type:       "point",
+		Index:      pr.Index,
+		Axis:       pr.Point.Axis,
+		X:          pr.Point.X,
+		Alpha:      pr.Point.Alpha,
+		Scheduler:  pr.Point.Scheduler,
+		Seed:       pr.Point.Seed,
+		Feasible:   pr.Feasible,
+		Reason:     pr.Reason,
+		Makespan:   pr.Makespan,
+		Peaks:      pr.Peaks,
+		WallMicros: pr.Stats.WallTime.Microseconds(),
+	}
+}
+
+// sweepSummaryRecord maps the engine summary onto its wire record (NaN
+// curve entries become nulls: JSON has no NaN).
+func sweepSummaryRecord(sum *sweep.Summary, graphID string, cached bool) SweepSummary {
+	out := SweepSummary{
+		Type:          "summary",
+		GraphID:       graphID,
+		Points:        sum.Points,
+		Feasible:      sum.Feasible,
+		BestIndex:     sum.BestIndex,
+		BestMakespan:  sum.BestMakespan,
+		RefMakespan:   sum.RefMakespan,
+		Peak:          sum.Peak,
+		Workers:       sum.Workers,
+		WallMicros:    sum.WallTime.Microseconds(),
+		SessionCached: cached,
+	}
+	for _, c := range sum.Curves {
+		wc := SweepCurve{Scheduler: c.Scheduler, X: c.X, Makespan: make([]*float64, len(c.Makespan))}
+		for i, ms := range c.Makespan {
+			if !math.IsNaN(ms) {
+				v := ms
+				wc.Makespan[i] = &v
+			}
+		}
+		out.Curves = append(out.Curves, wc)
+	}
+	for _, f := range sum.Frontier {
+		out.Frontier = append(out.Frontier, SweepFrontier{Scheduler: f.Scheduler, Axis: f.Axis, X: f.X})
+	}
+	return out
 }
 
 func (s *Server) handleSchedulers(w http.ResponseWriter, _ *http.Request) {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -400,12 +401,15 @@ func TestGracefulShutdown(t *testing.T) {
 
 func TestRequestTimeoutIs408(t *testing.T) {
 	client, _ := newTestServer(t, serve.Config{MaxRequestBytes: 64 << 20})
-	// A 30000-task DAG under a 1 ms budget reliably trips the deadline
-	// even on a single-CPU runner, where the deadline timer can fire tens
-	// of milliseconds late: the run takes ~100 ms and the engine polls
-	// the context throughout its placement loop.
+	// A 20000-task DAG under a 1 ms budget: the cold run takes tens of
+	// milliseconds and every phase of it — ranking, statics and the
+	// placement loop — polls the context, so the deadline lands mid-run
+	// even on a single-CPU runner where the timer can fire tens of
+	// milliseconds late. (This test used to need a 30000-task DAG purely
+	// to stretch the placement phase, back when the ranking phase was
+	// uninterruptible.)
 	params := memsched.LargeRandParams()
-	params.Size = 30000
+	params.Size = 20000
 	g, err := memsched.GenerateRandom(params, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -420,6 +424,9 @@ func TestRequestTimeoutIs408(t *testing.T) {
 	var apiErr *serve.APIError
 	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusRequestTimeout || apiErr.Code != serve.CodeTimeout {
 		t.Fatalf("want 408 timeout, got %v", err)
+	}
+	if !strings.Contains(apiErr.Message, "interrupted") {
+		t.Fatalf("timeout error should name the interrupted engine phase, got %q", apiErr.Message)
 	}
 }
 

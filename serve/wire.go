@@ -17,12 +17,21 @@
 //	POST /v1/schedule    run a list-scheduling heuristic (graph inline or
 //	                     by id) on the pools given in the request
 //	POST /v1/simulate    run the online dispatcher (dual graphs, 2 pools)
+//	POST /v1/sweep       batch-evaluate one graph across a sweep of
+//	                     platforms × schedulers × seeds (package
+//	                     repro/sweep); streams NDJSON point records in
+//	                     point order plus a trailing summary record
 //	GET  /v1/schedulers  list the registered heuristic names
 //	GET  /v1/stats       server counters: session-cache hits/misses,
 //	                     engine candidate-cache totals, in-flight gauge
+//	GET  /metrics        Prometheus text exposition: request counts and
+//	                     latency histograms by endpoint, cache and
+//	                     in-flight gauges
 //	GET  /healthz        liveness probe
 //
-// Every error response is structured JSON: {"error": ..., "code": ...}.
+// Every error response is structured JSON: {"error": ..., "code": ...};
+// a sweep that fails after its stream began terminates with an NDJSON
+// record {"type": "error", ...} instead.
 package serve
 
 import (
@@ -103,6 +112,95 @@ type ScheduleResponse struct {
 	TaskPlacements []Placement `json:"task_placements,omitempty"`
 }
 
+// SweepRequest asks for one batch evaluation of a graph (inline or by id)
+// across a sweep grid: either Alphas — memory fractions applied to the base
+// platform in Pools, the paper's normalised-memory shape, with Peak
+// optionally pinning the 100% reference — or Platforms, an explicit
+// platform axis (optionally labelled by Xs). Schedulers accepts registry
+// names plus "optimal", "sim-rank" and "sim-eft"; Seeds defaults to {0}.
+// Workers asks for a worker count; the server grants at most that many from
+// its server-wide sweep-worker budget (0 = as much of the budget as is
+// free), so concurrent sweeps share the cores. TimeoutMS bounds the whole
+// sweep.
+type SweepRequest struct {
+	GraphID string          `json:"graph_id,omitempty"`
+	Graph   json.RawMessage `json:"graph,omitempty"`
+	Times   [][]float64     `json:"times,omitempty"`
+
+	Pools  []PoolSpec `json:"pools,omitempty"`
+	Alphas []float64  `json:"alphas,omitempty"`
+	Peak   int64      `json:"peak,omitempty"`
+
+	Platforms [][]PoolSpec `json:"platforms,omitempty"`
+	Xs        []float64    `json:"xs,omitempty"`
+
+	Schedulers []string `json:"schedulers,omitempty"`
+	Seeds      []int64  `json:"seeds,omitempty"`
+	Workers    int      `json:"workers,omitempty"`
+	TimeoutMS  int64    `json:"timeout_ms,omitempty"`
+}
+
+// SweepPoint is one "point" NDJSON record of POST /v1/sweep: the outcome of
+// scheduling the graph on one (platform, scheduler, seed) combination.
+// Records arrive in point-index order regardless of server-side completion
+// order.
+type SweepPoint struct {
+	Type       string  `json:"type"` // "point"
+	Index      int     `json:"index"`
+	Axis       int     `json:"axis"`
+	X          float64 `json:"x"`
+	Alpha      float64 `json:"alpha,omitempty"`
+	Scheduler  string  `json:"scheduler"`
+	Seed       int64   `json:"seed"`
+	Feasible   bool    `json:"feasible"`
+	Reason     string  `json:"reason,omitempty"` // memory_bound | sim_stuck | infeasible
+	Makespan   float64 `json:"makespan"`
+	Peaks      []int64 `json:"peaks,omitempty"`
+	WallMicros int64   `json:"wall_us"`
+}
+
+// SweepCurve is one scheduler's makespan profile over the sweep axis;
+// null entries mark axis points where no seed was feasible.
+type SweepCurve struct {
+	Scheduler string     `json:"scheduler"`
+	X         []float64  `json:"x"`
+	Makespan  []*float64 `json:"makespan"`
+}
+
+// SweepFrontier is one scheduler's memory-bound frontier: the first axis
+// point at which every seed produced a schedule (-1 = never).
+type SweepFrontier struct {
+	Scheduler string  `json:"scheduler"`
+	Axis      int     `json:"axis"`
+	X         float64 `json:"x"`
+}
+
+// SweepSummary is the trailing "summary" NDJSON record of a successful
+// sweep stream.
+type SweepSummary struct {
+	Type          string          `json:"type"` // "summary"
+	GraphID       string          `json:"graph_id"`
+	Points        int             `json:"points"`
+	Feasible      int             `json:"feasible"`
+	BestIndex     int             `json:"best_index"`
+	BestMakespan  float64         `json:"best_makespan"`
+	RefMakespan   float64         `json:"ref_makespan,omitempty"`
+	Peak          int64           `json:"peak,omitempty"`
+	Curves        []SweepCurve    `json:"curves,omitempty"`
+	Frontier      []SweepFrontier `json:"frontier,omitempty"`
+	Workers       int             `json:"workers"`
+	WallMicros    int64           `json:"wall_us"`
+	SessionCached bool            `json:"session_cached"`
+}
+
+// SweepError terminates a sweep stream that failed after records were
+// already sent (cancellation, timeout, a fatal point error).
+type SweepError struct {
+	Type  string `json:"type"` // "error"
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
 // SchedulersResponse is the payload of GET /v1/schedulers.
 type SchedulersResponse struct {
 	Schedulers []string `json:"schedulers"`
@@ -111,9 +209,11 @@ type SchedulersResponse struct {
 // StatsResponse is the payload of GET /v1/stats.
 type StatsResponse struct {
 	// Requests counts every request served; Scheduled only the
-	// schedule/simulate runs that produced a schedule.
-	Requests  uint64 `json:"requests"`
-	Scheduled uint64 `json:"scheduled"`
+	// schedule/simulate runs (and sweep points) that produced a schedule;
+	// SweepPoints every sweep point result streamed to a client.
+	Requests    uint64 `json:"requests"`
+	Scheduled   uint64 `json:"scheduled"`
+	SweepPoints uint64 `json:"sweep_points"`
 	// SessionHits / SessionMisses count schedule-path session-cache
 	// lookups; SessionsCached is the current cache population and
 	// SessionCapacity its bound.

@@ -82,6 +82,28 @@ func NewSession(g *Graph, opts ...SessionOption) (*Session, error) {
 // Graph returns the session's task graph.
 func (s *Session) Graph() *Graph { return s.g }
 
+// Fork returns a new session scheduling the same (already validated) graph
+// and pool times but carrying fresh, independent memo caches. Schedules
+// produced by a fork are bit-identical to the parent's — the memos only
+// cache pure functions of the graph — so forks exist purely for contention:
+// a worker that owns a fork never touches another worker's cache mutexes or
+// recycled buffers. The sweep engine (package sweep) hands one fork to each
+// of its workers. The graph hash and the lazily built k-pool instance are
+// shared (both are immutable once computed).
+func (s *Session) Fork() *Session {
+	f := &Session{
+		g:       s.g,
+		times:   s.times,
+		caches:  core.NewCaches(),
+		mcaches: multi.NewCaches(),
+		hash:    s.GraphHash(), // memoize once, share the value
+	}
+	s.mu.Lock()
+	f.inst = s.inst // nil is fine: the fork rebuilds it lazily
+	s.mu.Unlock()
+	return f
+}
+
 // GraphHash returns the canonical content hash identifying what the session
 // schedules: the graph's CanonicalHash (see GraphHash at package level),
 // extended with a digest of the explicit pool-time matrix for WithPoolTimes
@@ -135,6 +157,7 @@ type scheduleConfig struct {
 	policy    SimPolicy
 	timeout   time.Duration
 	maxNodes  int
+	incumbent *Schedule
 }
 
 // ScheduleOption tunes one Schedule, Optimal or Simulate call.
@@ -178,6 +201,15 @@ func WithTimeout(d time.Duration) ScheduleOption {
 // (0 means the default budget). Ignored by Schedule and Simulate.
 func WithMaxNodes(n int) ScheduleOption {
 	return func(c *scheduleConfig) { c.maxNodes = n }
+}
+
+// WithIncumbent seeds Optimal's branch-and-bound search with a known-valid
+// schedule (typically the best heuristic result for the same platform): the
+// search starts with its makespan as the upper bound, prunes against it
+// immediately, and reports it back when the node or time budget exhausts
+// before anything better is found. Ignored by Schedule and Simulate.
+func WithIncumbent(s *Schedule) ScheduleOption {
+	return func(c *scheduleConfig) { c.incumbent = s }
 }
 
 // newScheduleConfig applies opts over the defaults.
@@ -388,9 +420,10 @@ func (s *Session) Optimal(ctx context.Context, p Platform, opts ...ScheduleOptio
 	}
 	start := time.Now()
 	res, err := exact.Solve(ctx, s.g, dp, exact.Options{
-		MaxNodes: cfg.maxNodes,
-		Timeout:  cfg.timeout,
-		Caches:   s.caches,
+		MaxNodes:  cfg.maxNodes,
+		Timeout:   cfg.timeout,
+		Incumbent: cfg.incumbent,
+		Caches:    s.caches,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,94 @@
+package sweep
+
+import "math"
+
+// summarize folds a completed sweep's outcomes into the Summary. Every
+// outcome is a delivered point result (fatal sweeps never get here), so the
+// aggregation is a deterministic function of the point results alone.
+func summarize(c *compiled, outs []outcome, workers int) *Summary {
+	sum := &Summary{
+		Points:       len(outs),
+		BestIndex:    -1,
+		BestMakespan: math.Inf(1),
+		RefMakespan:  c.refMS,
+		Peak:         c.peak,
+		Workers:      workers,
+	}
+	for i := range outs {
+		pr := &outs[i].pr
+		if !pr.Feasible {
+			continue
+		}
+		sum.Feasible++
+		if pr.Makespan < sum.BestMakespan {
+			sum.BestMakespan = pr.Makespan
+			sum.BestIndex = pr.Index
+		}
+	}
+	if sum.BestIndex < 0 {
+		sum.BestMakespan = 0
+	}
+	if !c.grid {
+		return sum
+	}
+
+	// Curves and frontier: fold the grid back along its axes. The point
+	// list is axis-major (axis, scheduler, seed), so the point index of
+	// (ai, si, sei) is ((ai*len(schedulers))+si)*len(seeds)+sei.
+	nSched, nSeed := len(c.schedulers), len(c.seeds)
+	sum.Curves = make([]Curve, nSched)
+	sum.Frontier = make([]Frontier, nSched)
+	for si, sched := range c.schedulers {
+		curve := Curve{
+			Scheduler: sched,
+			X:         c.axes,
+			Makespan:  make([]float64, len(c.axes)),
+		}
+		frontier := Frontier{Scheduler: sched, Axis: -1}
+		for ai := range c.axes {
+			sumMS, feasible := 0.0, 0
+			for sei := 0; sei < nSeed; sei++ {
+				pr := &outs[((ai*nSched)+si)*nSeed+sei].pr
+				if pr.Feasible {
+					feasible++
+					sumMS += pr.Makespan
+				}
+			}
+			if feasible == 0 {
+				curve.Makespan[ai] = math.NaN()
+			} else {
+				curve.Makespan[ai] = sumMS / float64(feasible)
+			}
+			if feasible == nSeed && frontier.Axis == -1 {
+				frontier.Axis = ai
+				frontier.X = c.axes[ai]
+			}
+		}
+		sum.Curves[si] = curve
+		sum.Frontier[si] = frontier
+	}
+	return sum
+}
+
+// CurveFor returns the summary curve of the named scheduler (normalized
+// name), or nil when the sweep carried no curve for it.
+func (s *Summary) CurveFor(name string) *Curve {
+	name = normalize(name)
+	for i := range s.Curves {
+		if s.Curves[i].Scheduler == name {
+			return &s.Curves[i]
+		}
+	}
+	return nil
+}
+
+// FrontierFor returns the frontier entry of the named scheduler, or nil.
+func (s *Summary) FrontierFor(name string) *Frontier {
+	name = normalize(name)
+	for i := range s.Frontier {
+		if s.Frontier[i].Scheduler == name {
+			return &s.Frontier[i]
+		}
+	}
+	return nil
+}
