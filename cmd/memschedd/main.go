@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +37,13 @@ func main() {
 		maxInFlight     = flag.Int("max-inflight", 64, "maximum concurrently executing scheduling runs")
 		maxBytes        = flag.Int64("max-request-bytes", 8<<20, "maximum request body size in bytes")
 		maxRunTime      = flag.Duration("max-runtime", 30*time.Second, "hard cap on one scheduling run")
+		rateLimit       = flag.Float64("rate-limit", 0, "token-bucket rate limit on /v1 endpoints in requests/sec (0 = off)")
+		rateBurst       = flag.Int("rate-burst", 0, "token-bucket depth (0 = ceil(rate-limit))")
+		shedQueue       = flag.Int("shed-queue", 0, "queue depth beyond which a saturated server sheds with 429 (0 = never shed)")
+		chaosRate       = flag.Float64("chaos-rate", 0, "fault-injection probability per /v1 request, 0..1 (0 = off)")
+		chaosSeed       = flag.Int64("chaos-seed", 0, "seed for the deterministic chaos PRNG")
+		chaosLatency    = flag.Duration("chaos-max-latency", 25*time.Millisecond, "upper bound on one injected latency fault")
+		chaosFaults     = flag.String("chaos-faults", "", "comma-separated fault kinds to inject: latency,error,truncate (empty = all)")
 		readTimeout     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout    = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain bound on shutdown")
@@ -44,6 +52,21 @@ func main() {
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "memschedd: unexpected arguments:", flag.Args())
 		os.Exit(2)
+	}
+	var faults []string
+	for _, f := range strings.Split(*chaosFaults, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		switch f {
+		case serve.FaultLatency, serve.FaultError, serve.FaultTruncate:
+			faults = append(faults, f)
+		default:
+			fmt.Fprintf(os.Stderr, "memschedd: unknown -chaos-faults kind %q (known: %s,%s,%s)\n",
+				f, serve.FaultLatency, serve.FaultError, serve.FaultTruncate)
+			os.Exit(2)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -55,6 +78,13 @@ func main() {
 		MaxInFlight:     *maxInFlight,
 		MaxRequestBytes: *maxBytes,
 		MaxRunTime:      *maxRunTime,
+		RateLimit:       *rateLimit,
+		RateBurst:       *rateBurst,
+		ShedQueueDepth:  *shedQueue,
+		ChaosRate:       *chaosRate,
+		ChaosSeed:       *chaosSeed,
+		ChaosMaxLatency: *chaosLatency,
+		ChaosFaults:     faults,
 		ReadTimeout:     *readTimeout,
 		WriteTimeout:    *writeTimeout,
 		ShutdownTimeout: *shutdownTimeout,

@@ -16,12 +16,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -39,6 +42,9 @@ type loadConfig struct {
 	seed      int64
 	timeout   time.Duration
 
+	retries int           // retry attempts beyond the first per request (0 = off)
+	backoff time.Duration // base delay of the retry backoff
+
 	sweep        bool // drive POST /v1/sweep instead of /v1/schedule
 	alphas       int  // memory fractions per sweep request
 	sweepWorkers int  // per-request worker bound (0 = server cap)
@@ -54,6 +60,8 @@ func main() {
 	flag.StringVar(&cfg.scheduler, "scheduler", "memheft", "heuristic to request")
 	flag.Int64Var(&cfg.seed, "seed", 1, "base seed of the graph generator")
 	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "overall deadline of the load run")
+	flag.IntVar(&cfg.retries, "retries", 0, "retry attempts beyond the first per request (0 = no retries)")
+	flag.DurationVar(&cfg.backoff, "backoff", 25*time.Millisecond, "base delay of the exponential retry backoff (with -retries)")
 	flag.BoolVar(&cfg.sweep, "sweep", false, "send /v1/sweep batch requests instead of /v1/schedule")
 	flag.IntVar(&cfg.alphas, "alphas", 8, "memory fractions per sweep request (with -sweep)")
 	flag.IntVar(&cfg.sweepWorkers, "sweep-workers", 0, "per-sweep worker bound (0 = server cap; with -sweep)")
@@ -80,6 +88,33 @@ type report struct {
 	p50, p99     time.Duration
 	hitRate      float64 // session-cache hit rate over the run, from /v1/stats
 	candHitRate  float64 // engine candidate-memo hit rate over the run
+
+	errClasses map[string]int      // failed requests by error class (terminal outcome)
+	client     serve.ClientMetrics // attempt/retry counters of the shared client
+}
+
+// errClass buckets a request's terminal error for the report: structured
+// API errors by status (408, 413, 422, 429, 503, ...), truncated streams,
+// an open breaker, the run's own deadline, and everything else as
+// transport (connection resets, refused connections).
+func errClass(err error) string {
+	var apiErr *serve.APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.Status == http.StatusOK {
+			return "stream-error" // typed mid-stream error record
+		}
+		return strconv.Itoa(apiErr.Status)
+	}
+	switch {
+	case errors.Is(err, serve.ErrStreamTruncated):
+		return "truncated"
+	case errors.Is(err, serve.ErrBreakerOpen):
+		return "breaker-open"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "cancelled"
+	default:
+		return "transport"
+	}
 }
 
 func (r report) print(w io.Writer) {
@@ -93,6 +128,22 @@ func (r report) print(w io.Writer) {
 	fmt.Fprintf(w, "latency   : p50 %v, p99 %v\n", r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond))
 	fmt.Fprintf(w, "cache     : session hit rate %.1f%%, candidate hit rate %.1f%%\n",
 		100*r.hitRate, 100*r.candHitRate)
+	if r.client.Retries > 0 || r.client.BreakerTrips > 0 {
+		fmt.Fprintf(w, "resilience: %d attempts, %d retries, breaker %s (%d trips)\n",
+			r.client.Attempts, r.client.Retries, r.client.BreakerState, r.client.BreakerTrips)
+	}
+	if len(r.errClasses) > 0 {
+		classes := make([]string, 0, len(r.errClasses))
+		for c := range r.errClasses {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		fmt.Fprintf(w, "errors    :")
+		for _, c := range classes {
+			fmt.Fprintf(w, " %s=%d", c, r.errClasses[c])
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // run generates and registers the graph working set, fans out the
@@ -105,7 +156,14 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 	if cfg.sweep && cfg.alphas < 1 {
 		return report{}, fmt.Errorf("alphas must be >= 1")
 	}
-	client := serve.NewClient(cfg.addr)
+	var opts []serve.ClientOption
+	if cfg.retries > 0 {
+		opts = append(opts, serve.WithRetry(serve.RetryPolicy{
+			MaxAttempts: cfg.retries + 1,
+			BaseDelay:   cfg.backoff,
+		}))
+	}
+	client := serve.NewClient(cfg.addr, opts...)
 	if err := client.Health(ctx); err != nil {
 		return report{}, fmt.Errorf("server not reachable at %s: %w", cfg.addr, err)
 	}
@@ -143,6 +201,7 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 	failures := make([]int, cfg.clients)
 	attempted := make([]int, cfg.clients)
 	points := make([]int64, cfg.clients)
+	errCounts := make([]map[string]int, cfg.clients)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.clients; c++ {
@@ -178,6 +237,10 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 				}
 				if err != nil {
 					failures[c]++
+					if errCounts[c] == nil {
+						errCounts[c] = make(map[string]int)
+					}
+					errCounts[c][errClass(err)]++
 					if ctx.Err() != nil {
 						break
 					}
@@ -207,11 +270,16 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 		p99:         percentile(all, 0.99),
 		hitRate:     rateDelta(after.SessionHits, before.SessionHits, after.SessionMisses, before.SessionMisses),
 		candHitRate: rateDelta(after.CandidateHits, before.CandidateHits, after.CandidateMisses, before.CandidateMisses),
+		errClasses:  make(map[string]int),
+		client:      client.Metrics(),
 	}
 	for c := range failures {
 		rep.failed += failures[c]
 		rep.sent += attempted[c] // counts only requests actually issued (a cancelled run stops early)
 		rep.points += points[c]
+		for class, n := range errCounts[c] {
+			rep.errClasses[class] += n
+		}
 	}
 	return rep, nil
 }

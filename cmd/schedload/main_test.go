@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -90,6 +91,77 @@ func TestSweepLoadRunAgainstLocalServer(t *testing.T) {
 	rep.print(&out)
 	if !strings.Contains(out.String(), "points/s") {
 		t.Fatalf("sweep report missing point throughput:\n%s", out.String())
+	}
+}
+
+// TestChaosLoadRunRecoversAllRequests is the resilience loop in miniature:
+// a chaos-injecting server at rate 0.3 and a load run with a retry budget —
+// every request must still land, the client must actually have retried, and
+// the report must surface both.
+func TestChaosLoadRunRecoversAllRequests(t *testing.T) {
+	srv := serve.NewServer(serve.Config{
+		ChaosRate:       0.3,
+		ChaosSeed:       11,
+		ChaosMaxLatency: 2 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := run(ctx, loadConfig{
+		addr:      ts.URL,
+		clients:   4,
+		requests:  10,
+		graphs:    3,
+		tasks:     40,
+		scheduler: "memheft",
+		seed:      1,
+		retries:   8,
+		backoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed != 0 {
+		t.Fatalf("%d of %d requests failed despite the retry budget: %v", rep.failed, rep.sent, rep.errClasses)
+	}
+	st := srv.Stats()
+	if st.ChaosLatency+st.ChaosErrors+st.ChaosTruncations == 0 {
+		t.Fatal("chaos injected nothing; the run proved nothing")
+	}
+	if rep.client.Retries == 0 {
+		t.Fatal("client metrics show no retries under rate-0.3 chaos")
+	}
+
+	var out strings.Builder
+	rep.print(&out)
+	if !strings.Contains(out.String(), "resilience") {
+		t.Fatalf("report missing the resilience line:\n%s", out.String())
+	}
+}
+
+// TestErrClass pins the report's error-class buckets.
+func TestErrClass(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{&serve.APIError{Status: 429, Code: serve.CodeShed}, "429"},
+		{&serve.APIError{Status: 503, Code: serve.CodeUnavailable}, "503"},
+		{&serve.APIError{Status: 422, Code: serve.CodeMemoryBound}, "422"},
+		{&serve.APIError{Status: 413, Code: serve.CodeTooLarge}, "413"},
+		{&serve.APIError{Status: 408, Code: serve.CodeTimeout}, "408"},
+		{&serve.APIError{Status: 200, Code: serve.CodeTimeout}, "stream-error"},
+		{serve.ErrStreamTruncated, "truncated"},
+		{serve.ErrBreakerOpen, "breaker-open"},
+		{context.DeadlineExceeded, "cancelled"},
+		{errors.New("dial tcp: connection refused"), "transport"},
+	}
+	for _, tc := range cases {
+		if got := errClass(tc.err); got != tc.want {
+			t.Errorf("errClass(%v) = %q, want %q", tc.err, got, tc.want)
+		}
 	}
 }
 

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault kinds the chaos middleware can inject (Config.ChaosFaults).
+const (
+	FaultLatency  = "latency"  // sleep up to ChaosMaxLatency before serving
+	FaultError    = "error"    // structured 503 {error, code:"unavailable"} + Retry-After
+	FaultTruncate = "truncate" // cut the /v1/sweep NDJSON stream after a byte budget
+)
+
+type chaosKind int
+
+const (
+	chaosNone chaosKind = iota
+	chaosLatency
+	chaosError
+	chaosTruncate
+)
+
+var chaosKindOf = map[string]chaosKind{
+	FaultLatency:  chaosLatency,
+	FaultError:    chaosError,
+	FaultTruncate: chaosTruncate,
+}
+
+// chaosInjector is the deterministic fault source behind withChaos: one
+// seeded PRNG drawn under a mutex decides, per request, whether to inject
+// a fault and which kind. The same seed and request sequence reproduce
+// the same fault sequence — which is what makes retry, shedding and
+// breaker paths testable instead of hoped-for.
+type chaosInjector struct {
+	rate       float64
+	maxLatency time.Duration
+	kinds      []chaosKind
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	latencies, faults, truncations atomic.Uint64
+}
+
+func newChaosInjector(cfg Config) *chaosInjector {
+	var kinds []chaosKind
+	for _, name := range cfg.ChaosFaults {
+		if k, ok := chaosKindOf[name]; ok {
+			kinds = append(kinds, k)
+		}
+	}
+	if len(kinds) == 0 {
+		kinds = []chaosKind{chaosLatency, chaosError, chaosTruncate}
+	}
+	return &chaosInjector{
+		rate:       cfg.ChaosRate,
+		maxLatency: cfg.ChaosMaxLatency,
+		kinds:      kinds,
+		rng:        rand.New(rand.NewSource(cfg.ChaosSeed)),
+	}
+}
+
+// decide draws this request's fault. Truncation only makes sense on the
+// NDJSON stream, so on other endpoints it is excluded from the draw.
+func (c *chaosInjector) decide(streaming bool) (kind chaosKind, latency time.Duration, truncateAfter int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() >= c.rate {
+		return chaosNone, 0, 0
+	}
+	kinds := c.kinds
+	if !streaming {
+		kinds = make([]chaosKind, 0, len(c.kinds))
+		for _, k := range c.kinds {
+			if k != chaosTruncate {
+				kinds = append(kinds, k)
+			}
+		}
+	}
+	if len(kinds) == 0 {
+		return chaosNone, 0, 0
+	}
+	kind = kinds[c.rng.Intn(len(kinds))]
+	switch kind {
+	case chaosLatency:
+		latency = time.Duration(c.rng.Int63n(int64(c.maxLatency)) + 1)
+	case chaosTruncate:
+		// Enough budget to commit the 200 and a few records, small enough
+		// to cut well before a multi-point stream's summary.
+		truncateAfter = 64 + c.rng.Intn(2048)
+	}
+	return kind, latency, truncateAfter
+}
+
+// withChaos is the fault-injection link (Config.ChaosRate > 0; off by
+// default and in the zero Config). It models network and dependency
+// misbehaviour at the outermost layer: injected latency delays the
+// request before any token or slot is claimed, injected 503s answer
+// without executing anything, and injected truncation severs the sweep
+// stream mid-flight. Every fault is counted and exported on /metrics.
+func (s *Server) withChaos(next http.Handler) http.Handler {
+	if s.chaos == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		kind, latency, cut := s.chaos.decide(r.URL.Path == "/v1/sweep")
+		switch kind {
+		case chaosLatency:
+			s.chaos.latencies.Add(1)
+			t := time.NewTimer(latency)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+				writeError(w, http.StatusRequestTimeout, CodeTimeout, "request cancelled during injected latency")
+				return
+			}
+		case chaosError:
+			s.chaos.faults.Add(1)
+			writeRetryAfter(w, time.Second)
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "injected fault: service unavailable (chaos)")
+			return
+		case chaosTruncate:
+			w = &truncatingWriter{ResponseWriter: w, remaining: cut, injector: s.chaos}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// errInjectedTruncation aborts the sweep stream once the truncation
+// budget is spent; the handler's encoder surfaces it like any other
+// write failure, so the client observes a stream that dies mid-record.
+var errInjectedTruncation = errors.New("chaos: injected stream truncation")
+
+// truncatingWriter forwards writes until its byte budget is spent, then
+// fails every write (after flushing the partial final chunk — a realistic
+// cut is rarely aligned to a record boundary).
+type truncatingWriter struct {
+	http.ResponseWriter
+	remaining int
+	cut       bool
+	injector  *chaosInjector
+}
+
+func (tw *truncatingWriter) Write(b []byte) (int, error) {
+	if tw.cut {
+		return 0, errInjectedTruncation
+	}
+	if len(b) > tw.remaining {
+		tw.cut = true
+		tw.injector.truncations.Add(1)
+		n := tw.remaining
+		if n > 0 {
+			_, _ = tw.ResponseWriter.Write(b[:n])
+		}
+		return n, errInjectedTruncation
+	}
+	tw.remaining -= len(b)
+	return tw.ResponseWriter.Write(b)
+}
+
+func (tw *truncatingWriter) Flush() {
+	if f, ok := tw.ResponseWriter.(http.Flusher); ok && !tw.cut {
+		f.Flush()
+	}
+}
+
+// Unwrap keeps http.ResponseController working through the wrapper (the
+// sweep handler extends its connection's write deadline).
+func (tw *truncatingWriter) Unwrap() http.ResponseWriter { return tw.ResponseWriter }

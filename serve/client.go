@@ -4,18 +4,30 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	memsched "repro"
 )
 
 // Client is a typed client for the scheduling service. The zero value is
-// not usable; call NewClient.
+// not usable; call NewClient. A Client is safe for concurrent use; with
+// WithRetry it transparently retries transient failures (see Retryable)
+// under exponential backoff with full jitter, honoring Retry-After hints
+// and the call's context, and with WithBreaker it fails fast while its
+// circuit breaker is open.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	retry   *RetryPolicy
+	breaker *Breaker
+
+	attempts, retries atomic.Uint64
 }
 
 // NewClient returns a client for the server at baseURL (e.g.
@@ -36,6 +48,41 @@ type ClientOption func(*Client)
 // transport reuse, test doubles).
 func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *Client) { c.http = h }
+}
+
+// WithRetry enables the retry loop: each call gets up to
+// policy.MaxAttempts tries, retrying only errors the taxonomy marks
+// Retryable. Safe by construction — register and schedule are idempotent
+// by canonical graph hash, and a retried sweep resumes its point stream
+// instead of re-delivering.
+func WithRetry(policy RetryPolicy) ClientOption {
+	policy = policy.withDefaults()
+	return func(c *Client) { c.retry = &policy }
+}
+
+// WithBreaker guards every call with b: while b is open, calls return
+// ErrBreakerOpen without touching the network.
+func WithBreaker(b *Breaker) ClientOption {
+	return func(c *Client) { c.breaker = b }
+}
+
+// ClientMetrics is a snapshot of a Client's resilience counters.
+type ClientMetrics struct {
+	Attempts     uint64 // HTTP requests actually sent, retries included
+	Retries      uint64 // attempts beyond the first, across all calls
+	BreakerState BreakerState
+	BreakerTrips uint64
+}
+
+// Metrics snapshots the client's attempt/retry counters and, when a
+// breaker is configured, its state and trip count.
+func (c *Client) Metrics() ClientMetrics {
+	m := ClientMetrics{Attempts: c.attempts.Load(), Retries: c.retries.Load()}
+	if c.breaker != nil {
+		m.BreakerState = c.breaker.State()
+		m.BreakerTrips = c.breaker.Trips()
+	}
+	return m
 }
 
 // RegisterGraph registers g (with an optional pool-time matrix; pass nil
@@ -65,33 +112,97 @@ func (c *Client) Simulate(ctx context.Context, req ScheduleRequest) (ScheduleRes
 	return out, err
 }
 
+// callbackError marks an error raised by the caller's onPoint callback:
+// it aborts the sweep without retry and is unwrapped before returning.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+
 // Sweep runs one batch evaluation (POST /v1/sweep) and decodes the NDJSON
 // stream: onPoint (may be nil) is invoked for every point record in point
 // order as it arrives, and the trailing summary is returned. A stream
 // terminated by a server-side error record returns that error as an
 // *APIError; a non-nil onPoint error aborts the decode and is returned.
+//
+// With WithRetry, a stream that dies mid-flight (ErrStreamTruncated, a
+// reset connection) is retried; because point records arrive in strict
+// index order and the engine is deterministic, the retried stream is
+// resumed — points already handed to onPoint are skipped, so the callback
+// sees every index exactly once.
 func (c *Client) Sweep(ctx context.Context, req SweepRequest, onPoint func(SweepPoint) error) (*SweepSummary, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("serve: encoding request: %w", err)
 	}
+	next := 0 // first point index not yet delivered to onPoint
+	deliver := func(pt SweepPoint) error {
+		if pt.Index < next {
+			return nil // replayed by a resumed stream
+		}
+		next = pt.Index + 1
+		if onPoint != nil {
+			if err := onPoint(pt); err != nil {
+				return &callbackError{err}
+			}
+		}
+		return nil
+	}
+
+	attempts := 1
+	if c.retry != nil {
+		attempts = c.retry.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if err := sleepCtx(ctx, c.retry.delay(attempt, retryAfterOf(lastErr))); err != nil {
+				return nil, lastErr
+			}
+		}
+		if c.breaker != nil {
+			if err := c.breaker.allow(); err != nil {
+				return nil, err
+			}
+		}
+		sum, err := c.sweepOnce(ctx, body, deliver, attempt)
+		var cb *callbackError
+		isCallback := errors.As(err, &cb)
+		if c.breaker != nil {
+			c.breaker.record(err == nil || isCallback || !Retryable(err))
+		}
+		if err == nil {
+			return sum, nil
+		}
+		if isCallback {
+			return nil, cb.err
+		}
+		if !Retryable(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// sweepOnce is one attempt of Sweep: one POST and one full stream decode.
+func (c *Client) sweepOnce(ctx context.Context, body []byte, deliver func(SweepPoint) error, attempt int) (*SweepSummary, error) {
+	c.attempts.Add(1)
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweep", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if attempt > 0 {
+		hreq.Header.Set(RetryAttemptHeader, strconv.Itoa(attempt))
+	}
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var apiErr ErrorResponse
-		if jerr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&apiErr); jerr != nil || apiErr.Error == "" {
-			return nil, &APIError{Status: resp.StatusCode, Code: CodeInternal,
-				Message: fmt.Sprintf("unexpected response (status %s)", resp.Status)}
-		}
-		return nil, &APIError{Status: resp.StatusCode, Code: apiErr.Code, Message: apiErr.Error}
+		return nil, apiErrorOf(resp)
 	}
 
 	dec := json.NewDecoder(resp.Body)
@@ -99,7 +210,10 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, onPoint func(Sweep
 		var raw json.RawMessage
 		if err := dec.Decode(&raw); err != nil {
 			if err == io.EOF {
-				return nil, fmt.Errorf("serve: sweep stream ended without a summary")
+				return nil, fmt.Errorf("serve: %w: stream ended without a summary", ErrStreamTruncated)
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, fmt.Errorf("serve: %w: stream died mid-record", ErrStreamTruncated)
 			}
 			return nil, fmt.Errorf("serve: decoding sweep stream: %w", err)
 		}
@@ -115,10 +229,8 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, onPoint func(Sweep
 			if err := json.Unmarshal(raw, &pt); err != nil {
 				return nil, fmt.Errorf("serve: decoding sweep point: %w", err)
 			}
-			if onPoint != nil {
-				if err := onPoint(pt); err != nil {
-					return nil, err
-				}
+			if err := deliver(pt); err != nil {
+				return nil, err
 			}
 		case "summary":
 			var sum SweepSummary
@@ -166,38 +278,92 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return fmt.Errorf("serve: encoding request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.call(ctx, http.MethodPost, path, body, out)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	return c.call(ctx, http.MethodGet, path, nil, out)
+}
+
+// call drives one logical request through the retry loop: breaker gate,
+// attempt, classify, back off (full jitter, floored at the server's
+// Retry-After hint), try again — until success, a terminal error, the
+// attempt budget, or the caller's context ends.
+func (c *Client) call(ctx context.Context, method, path string, body []byte, out any) error {
+	attempts := 1
+	if c.retry != nil {
+		attempts = c.retry.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if err := sleepCtx(ctx, c.retry.delay(attempt, retryAfterOf(lastErr))); err != nil {
+				return lastErr
+			}
+		}
+		if c.breaker != nil {
+			if err := c.breaker.allow(); err != nil {
+				return err
+			}
+		}
+		err := c.once(ctx, method, path, body, out, attempt)
+		if c.breaker != nil {
+			c.breaker.record(err == nil || !Retryable(err))
+		}
+		if err == nil {
+			return nil
+		}
+		if !Retryable(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// once sends a single attempt and decodes the response.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any, attempt int) error {
+	c.attempts.Add(1)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	return c.do(req, out)
-}
-
-func (c *Client) do(req *http.Request, out any) error {
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if attempt > 0 {
+		req.Header.Set(RetryAttemptHeader, strconv.Itoa(attempt))
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var apiErr ErrorResponse
-		if jerr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&apiErr); jerr != nil || apiErr.Error == "" {
-			return &APIError{Status: resp.StatusCode, Code: CodeInternal,
-				Message: fmt.Sprintf("unexpected response (status %s)", resp.Status)}
-		}
-		return &APIError{Status: resp.StatusCode, Code: apiErr.Code, Message: apiErr.Error}
+		return apiErrorOf(resp)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("serve: decoding response: %w", err)
 	}
 	return nil
+}
+
+// apiErrorOf turns a non-2xx response into a typed *APIError, keeping the
+// structured body when there is one and the Retry-After hint when set.
+func apiErrorOf(resp *http.Response) *APIError {
+	ae := &APIError{Status: resp.StatusCode, Code: CodeInternal,
+		Message: fmt.Sprintf("unexpected response (status %s)", resp.Status)}
+	var body ErrorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil && body.Error != "" {
+		ae.Code, ae.Message = body.Code, body.Error
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return ae
 }

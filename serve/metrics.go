@@ -138,10 +138,24 @@ func (m *metrics) render(w *strings.Builder, st StatsResponse) {
 	counter("memschedd_session_cache_misses_total", "Session cache misses on the schedule path.", st.SessionMisses)
 	counter("memschedd_candidate_cache_hits_total", "Engine candidate-memo hits, aggregated over runs.", st.CandidateHits)
 	counter("memschedd_candidate_cache_misses_total", "Engine candidate-memo misses, aggregated over runs.", st.CandidateMisses)
+	counter("memschedd_shed_total", "Requests refused by the load shedder (429, code \"shed\").", st.Shed)
+	counter("memschedd_rate_limited_total", "Requests refused by the rate limiter (429, code \"rate_limited\").", st.RateLimited)
+	counter("memschedd_retried_requests_total", "Requests arriving marked as client retries (X-Retry-Attempt).", st.Retried)
+	fmt.Fprintf(w, "# HELP memschedd_chaos_faults_total Injected faults, by kind.\n# TYPE memschedd_chaos_faults_total counter\n")
+	fmt.Fprintf(w, "memschedd_chaos_faults_total{kind=\"latency\"} %d\n", st.ChaosLatency)
+	fmt.Fprintf(w, "memschedd_chaos_faults_total{kind=\"error\"} %d\n", st.ChaosErrors)
+	fmt.Fprintf(w, "memschedd_chaos_faults_total{kind=\"truncate\"} %d\n", st.ChaosTruncations)
+	counter("memschedd_chaos_injected_total", "Injected faults of any kind.", st.ChaosLatency+st.ChaosErrors+st.ChaosTruncations)
 	gauge("memschedd_sessions_cached", "Sessions currently resident in the LRU cache.", st.SessionsCached)
 	gauge("memschedd_session_cache_capacity", "Bound of the session LRU cache.", st.SessionCapacity)
 	gauge("memschedd_in_flight", "Requests currently holding an in-flight slot.", st.InFlight)
 	gauge("memschedd_max_in_flight", "Bound on concurrently executing requests.", st.MaxInFlight)
+	gauge("memschedd_queue_depth", "Requests currently queued for an in-flight slot.", st.QueueDepth)
+	drainingGauge := 0
+	if st.Draining {
+		drainingGauge = 1
+	}
+	gauge("memschedd_draining", "1 while the server is draining for shutdown.", drainingGauge)
 	gauge("memschedd_uptime_seconds", "Seconds since the server was constructed.", float64(st.UptimeMS)/1000)
 }
 

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestChainComposesOutermostFirst(t *testing.T) {
+	var got []string
+	mk := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				got = append(got, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(mk("a"), mk("b"), mk("c"))(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		got = append(got, "handler")
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	want := []string{"a", "b", "c", "handler"}
+	if len(got) != len(want) {
+		t.Fatalf("chain ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chain ran %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	tb := newTokenBucket(10, 2) // 10 tokens/s, depth 2
+	cur := time.Unix(1000, 0)
+	tb.now = func() time.Time { return cur }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := tb.take(); !ok {
+			t.Fatalf("burst take %d refused", i)
+		}
+	}
+	ok, wait := tb.take()
+	if ok {
+		t.Fatal("empty bucket handed out a token")
+	}
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("refill hint = %v, want (0, 100ms]", wait)
+	}
+	cur = cur.Add(100 * time.Millisecond) // exactly one token accrues
+	if ok, _ := tb.take(); !ok {
+		t.Fatal("token did not refill after the hinted wait")
+	}
+	if ok, _ := tb.take(); ok {
+		t.Fatal("bucket refilled more than rate*elapsed tokens")
+	}
+
+	cur = cur.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := tb.take(); !ok {
+			t.Fatal("refill not capped-but-available at burst after a long idle")
+		}
+	}
+	if ok, _ := tb.take(); ok {
+		t.Fatal("refill exceeded the burst cap")
+	}
+}
+
+func TestRetryPolicyDelay(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	for i := 0; i < 200; i++ {
+		if d := p.delay(1, 0); d < 0 || d > p.BaseDelay {
+			t.Fatalf("first retry delay %v outside [0, %v]", d, p.BaseDelay)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if d := p.delay(50, 0); d < 0 || d > p.MaxDelay {
+			t.Fatalf("deep retry delay %v outside [0, %v]", d, p.MaxDelay)
+		}
+	}
+	if d := p.delay(1, 500*time.Millisecond); d < 500*time.Millisecond {
+		t.Fatalf("delay %v ignored the Retry-After floor", d)
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	b := NewBreaker(2, time.Second)
+	cur := time.Unix(2000, 0)
+	b.now = func() time.Time { return cur }
+
+	if err := b.allow(); err != nil {
+		t.Fatal("closed breaker refused a call")
+	}
+	b.record(false)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after 1 failure = %v, want closed", st)
+	}
+	_ = b.allow()
+	b.record(false) // second consecutive failure: trips
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after %d failures = %v, want open", 2, st)
+	}
+	if n := b.Trips(); n != 1 {
+		t.Fatalf("trips = %d, want 1", n)
+	}
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a call (err = %v)", err)
+	}
+
+	cur = cur.Add(time.Second) // cooldown elapses: half-open, single probe
+	if err := b.allow(); err != nil {
+		t.Fatal("cooled breaker refused the probe")
+	}
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", st)
+	}
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+	b.record(false) // failed probe: back to open
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+
+	cur = cur.Add(time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatal("cooled breaker refused the second probe")
+	}
+	b.record(true) // successful probe: closed again
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if err := b.allow(); err != nil {
+		t.Fatal("re-closed breaker refused a call")
+	}
+	b.record(true)
+}
+
+func TestChaosDeciderIsDeterministic(t *testing.T) {
+	cfg := Config{ChaosRate: 0.5, ChaosSeed: 7, ChaosMaxLatency: 25 * time.Millisecond}
+	a, b := newChaosInjector(cfg), newChaosInjector(cfg)
+	faulted := 0
+	for i := 0; i < 200; i++ {
+		streaming := i%2 == 0
+		ka, la, ta := a.decide(streaming)
+		kb, lb, tb := b.decide(streaming)
+		if ka != kb || la != lb || ta != tb {
+			t.Fatalf("draw %d diverged under the same seed: (%v,%v,%v) vs (%v,%v,%v)", i, ka, la, ta, kb, lb, tb)
+		}
+		if !streaming && ka == chaosTruncate {
+			t.Fatal("truncation injected on a non-streaming endpoint")
+		}
+		if ka != chaosNone {
+			faulted++
+		}
+		if ka == chaosLatency && (la <= 0 || la > cfg.ChaosMaxLatency) {
+			t.Fatalf("injected latency %v outside (0, %v]", la, cfg.ChaosMaxLatency)
+		}
+	}
+	if faulted == 0 || faulted == 200 {
+		t.Fatalf("fault count %d/200 at rate 0.5: decider is stuck", faulted)
+	}
+}
+
+func TestTruncatingWriterCutsMidChunk(t *testing.T) {
+	rec := httptest.NewRecorder()
+	inj := &chaosInjector{}
+	tw := &truncatingWriter{ResponseWriter: rec, remaining: 5, injector: inj}
+
+	n, err := tw.Write([]byte("hello world"))
+	if n != 5 || !errors.Is(err, errInjectedTruncation) {
+		t.Fatalf("cut write = (%d, %v), want (5, errInjectedTruncation)", n, err)
+	}
+	if got := rec.Body.String(); got != "hello" {
+		t.Fatalf("partial chunk = %q, want %q", got, "hello")
+	}
+	if n, err := tw.Write([]byte("x")); n != 0 || !errors.Is(err, errInjectedTruncation) {
+		t.Fatalf("post-cut write = (%d, %v), want (0, errInjectedTruncation)", n, err)
+	}
+	if got := inj.truncations.Load(); got != 1 {
+		t.Fatalf("truncation counter = %d, want 1 (counted once at the cut)", got)
+	}
+}
+
+func TestRetryableTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"408 slot wait", &APIError{Status: http.StatusRequestTimeout, Code: CodeTimeout}, true},
+		{"429 shed", &APIError{Status: http.StatusTooManyRequests, Code: CodeShed}, true},
+		{"429 rate limited", &APIError{Status: http.StatusTooManyRequests, Code: CodeRateLimited}, true},
+		{"503 injected", &APIError{Status: http.StatusServiceUnavailable, Code: CodeUnavailable}, true},
+		{"503 draining", &APIError{Status: http.StatusServiceUnavailable, Code: CodeDraining}, true},
+		{"500 internal", &APIError{Status: http.StatusInternalServerError, Code: CodeInternal}, true},
+		{"400 bad request", &APIError{Status: http.StatusBadRequest, Code: CodeBadRequest}, false},
+		{"404 unknown graph", &APIError{Status: http.StatusNotFound, Code: CodeNotFound}, false},
+		{"413 too large", &APIError{Status: http.StatusRequestEntityTooLarge, Code: CodeTooLarge}, false},
+		{"422 memory bound", &APIError{Status: http.StatusUnprocessableEntity, Code: CodeMemoryBound}, false},
+		{"in-stream unavailable", &APIError{Status: http.StatusOK, Code: CodeUnavailable}, true},
+		{"in-stream timeout", &APIError{Status: http.StatusOK, Code: CodeTimeout}, false},
+		{"in-stream draining", &APIError{Status: http.StatusOK, Code: CodeDraining}, false},
+		{"truncated stream", errors.New("wrap: " + ErrStreamTruncated.Error()), true}, // unknown error: transport class
+		{"wrapped truncation", errWrap(ErrStreamTruncated), true},
+		{"context canceled", errWrap(context.Canceled), false},
+		{"deadline exceeded", errWrap(context.DeadlineExceeded), false},
+		{"breaker open", ErrBreakerOpen, false},
+		{"transport reset", errors.New("read tcp: connection reset by peer"), true},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("%s: Retryable = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func errWrap(err error) error { return &wrapped{err} }
+
+type wrapped struct{ err error }
+
+func (w *wrapped) Error() string { return "wrapped: " + w.err.Error() }
+func (w *wrapped) Unwrap() error { return w.err }

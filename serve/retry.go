@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrStreamTruncated marks a sweep stream that died before delivering its
+// summary record — a dropped connection, a crashed server, or an injected
+// truncation. It is retryable: Client.Sweep resumes a retried stream from
+// the first undelivered point index.
+var ErrStreamTruncated = errors.New("sweep stream truncated")
+
+// ErrBreakerOpen is returned by a Client whose circuit breaker is open:
+// the call was not sent. It is terminal for the call (retrying through an
+// open breaker is the thundering herd the breaker exists to prevent).
+var ErrBreakerOpen = errors.New("serve: circuit breaker open")
+
+// Retryable classifies err per the service's error taxonomy: transient
+// states worth a fresh attempt versus terminal rejections.
+//
+// Retryable: 408 (deadline raced the run), 429 (shed or rate-limited —
+// the response says when to come back), any 5xx (including the draining
+// 503 and injected faults), and every transport-level failure (connection
+// reset, truncated stream, unexpected EOF) — safe because the mutating
+// endpoints are idempotent by canonical graph hash.
+//
+// Terminal: every other 4xx (the request itself is wrong — resending the
+// same bytes cannot succeed), context cancellation (the caller gave up),
+// an open breaker, and mid-stream error records other than injected
+// unavailability (a stream that *ended* with a typed record reflects a
+// server-side decision, not a lost connection).
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrBreakerOpen) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.Status == http.StatusOK {
+			// A typed in-stream error record: the HTTP exchange worked.
+			return apiErr.Code == CodeUnavailable
+		}
+		switch apiErr.Status {
+		case http.StatusRequestTimeout, http.StatusTooManyRequests:
+			return true
+		}
+		return apiErr.Status >= 500
+	}
+	return true
+}
+
+// RetryPolicy tunes a Client's retry loop (WithRetry). The zero value is
+// completed with the defaults noted per field.
+type RetryPolicy struct {
+	// MaxAttempts is the per-call budget: total tries, first included
+	// (default 4; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff ceiling (default 25ms):
+	// retry n draws its pause uniformly from [0, BaseDelay·2ⁿ⁻¹] — "full
+	// jitter", which spreads a synchronized burst of retriers instead of
+	// re-synchronizing them.
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff pause (default 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// delay returns the pause before retry number retry (1-based): full
+// jitter under an exponentially growing ceiling, but never less than the
+// server's Retry-After hint — the server knows when capacity frees.
+func (p RetryPolicy) delay(retry int, retryAfter time.Duration) time.Duration {
+	ceil := p.MaxDelay
+	if retry-1 < 30 { // past 2³⁰·BaseDelay the shift is surely over MaxDelay
+		if c := p.BaseDelay << (retry - 1); c > 0 && c < ceil {
+			ceil = c
+		}
+	}
+	d := time.Duration(rand.Int63n(int64(ceil) + 1))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// sleepCtx pauses for d or until ctx ends, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryAfterOf extracts the server's Retry-After hint from a classified
+// error (zero when absent).
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: calls flow; consecutive transient failures are
+	// counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls fail fast with ErrBreakerOpen until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: exactly one probe call may proceed; its outcome
+	// decides between closed and open.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a consecutive-failure circuit breaker for Client
+// (WithBreaker): after threshold transient failures in a row it opens and
+// fails calls fast for cooldown, then lets a single probe through; the
+// probe's outcome closes it or re-opens it. Only failures the taxonomy
+// calls Retryable count — a 422 "does not fit" is the server working fine.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for deterministic tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+	trips    uint64
+}
+
+// NewBreaker returns a closed breaker tripping after threshold
+// consecutive transient failures (default 5) and probing again after
+// cooldown (default 1s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a call may proceed now (nil) or must fail fast
+// (ErrBreakerOpen). An allowed call must be followed by exactly one
+// record.
+func (b *Breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open: one probe at a time
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// record reports an allowed call's outcome. success means the server
+// held up its end — a terminal 4xx counts as success here.
+func (b *Breaker) record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+		if success {
+			b.state = BreakerClosed
+			b.failures = 0
+		} else {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+		return
+	}
+	if success {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == BreakerClosed && b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+	}
+}
+
+// State returns the breaker's current position (open breakers past their
+// cooldown still report open until a call probes them).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips counts closed→open transitions over the breaker's lifetime.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -50,6 +50,33 @@ type Config struct {
 	// concurrent sweeps degrade to narrower pools instead of
 	// oversubscribing the CPUs.
 	MaxSweepWorkers int
+	// RateLimit, when > 0, enables the token-bucket rate limiter over the
+	// /v1 endpoints: requests per second, shared across all clients.
+	// Refused requests get a structured 429 (code "rate_limited") with a
+	// Retry-After header (default off).
+	RateLimit float64
+	// RateBurst is the token bucket's depth (default ceil(RateLimit),
+	// minimum 1).
+	RateBurst int
+	// ShedQueueDepth, when > 0, enables the load shedder: once every
+	// in-flight slot is busy and this many requests are already queued
+	// for one, further requests are refused immediately with a structured
+	// 429 (code "shed") + Retry-After instead of queueing (default off —
+	// requests wait as long as their context allows).
+	ShedQueueDepth int
+	// ChaosRate, when in (0, 1], enables the deterministic fault-injection
+	// middleware on the /v1 endpoints: each request is faulted with this
+	// probability (default off). Faults are drawn from ChaosFaults by a
+	// PRNG seeded with ChaosSeed, so a fixed seed reproduces the same
+	// fault sequence for the same request sequence.
+	ChaosRate float64
+	// ChaosSeed seeds the chaos PRNG (0 is a valid seed).
+	ChaosSeed int64
+	// ChaosMaxLatency bounds one injected latency fault (default 25ms).
+	ChaosMaxLatency time.Duration
+	// ChaosFaults selects the injected fault kinds (FaultLatency,
+	// FaultError, FaultTruncate); empty = all three.
+	ChaosFaults []string
 	// ReadTimeout / WriteTimeout configure the HTTP server of
 	// ListenAndServe (defaults 10s / 60s). Sweep streams are exempt from
 	// WriteTimeout: the sweep handler extends its connection's write
@@ -88,6 +115,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepWorkers <= 0 {
 		c.MaxSweepWorkers = runtime.GOMAXPROCS(0)
 	}
+	if c.RateLimit > 0 && c.RateBurst <= 0 {
+		c.RateBurst = int(math.Ceil(c.RateLimit))
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
+	}
+	if c.ChaosMaxLatency <= 0 {
+		c.ChaosMaxLatency = 25 * time.Millisecond
+	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 10 * time.Second
 	}
@@ -105,12 +141,18 @@ func (c Config) withDefaults() Config {
 
 // Server is the HTTP scheduling service. Create one with NewServer, mount
 // Handler on any HTTP server, or run the full lifecycle (listen, serve,
-// graceful shutdown) with ListenAndServe.
+// graceful shutdown) with ListenAndServe. Requests flow through an
+// explicit, ordered middleware chain (see serve/middleware.go): chaos
+// injection, rate limiting, load shedding, admission control, body caps —
+// each an independent link, ready to be recomposed in front of a replica
+// router.
 type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
 	sem      chan struct{}
-	sweepSem chan struct{} // server-wide sweep-worker tokens (MaxSweepWorkers)
+	sweepSem chan struct{}  // server-wide sweep-worker tokens (MaxSweepWorkers)
+	limiter  *tokenBucket   // nil unless RateLimit > 0
+	chaos    *chaosInjector // nil unless ChaosRate > 0
 	start    time.Time
 
 	smu      sync.Mutex
@@ -120,7 +162,9 @@ type Server struct {
 	sessionHits, sessionMisses   atomic.Uint64
 	candidateHits, candidateMiss atomic.Uint64
 	sweepPoints                  atomic.Uint64
-	inFlight                     atomic.Int64
+	shed, rateLimited, retried   atomic.Uint64
+	inFlight, waiting            atomic.Int64
+	draining                     atomic.Bool
 	prom                         *metrics
 
 	readyOnce sync.Once
@@ -140,11 +184,24 @@ func NewServer(cfg Config) *Server {
 		ready:    make(chan struct{}),
 		prom:     newMetrics(),
 	}
+	if cfg.RateLimit > 0 {
+		s.limiter = newTokenBucket(cfg.RateLimit, cfg.RateBurst)
+	}
+	if cfg.ChaosRate > 0 {
+		s.chaos = newChaosInjector(cfg)
+	}
+
+	// The middleware chains, outermost link first (metrics instrumentation
+	// wraps the whole mux in Handler). GET endpoints bypass everything so
+	// probes and scrapes stay reliable under overload and injected chaos.
+	api := Chain(s.withChaos, s.withRateLimit, s.withShed, s.withAdmission, s.withBodyCap)
+	sweepChain := Chain(s.withChaos, s.withRateLimit, s.withShed, s.withSweepAdmission, s.withBodyCap)
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/graphs", s.handleRegister)
-	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) { s.handleRun(w, r, false) })
-	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) { s.handleRun(w, r, true) })
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.Handle("POST /v1/graphs", api(http.HandlerFunc(s.handleRegister)))
+	mux.Handle("POST /v1/schedule", api(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { s.handleRun(w, r, false) })))
+	mux.Handle("POST /v1/simulate", api(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { s.handleRun(w, r, true) })))
+	mux.Handle("POST /v1/sweep", sweepChain(http.HandlerFunc(s.handleSweep)))
 	mux.HandleFunc("GET /v1/schedulers", s.handleSchedulers)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -165,6 +222,9 @@ func NewServer(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		if r.Header.Get(RetryAttemptHeader) != "" {
+			s.retried.Add(1)
+		}
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		s.mux.ServeHTTP(sw, r)
@@ -208,10 +268,20 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 		return err
 	case <-ctx.Done():
 	}
+	s.draining.Store(true)
 	s.cfg.Logf("memschedd: shutting down (draining up to %v)", s.cfg.ShutdownTimeout)
 	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 	defer cancel()
+	// In-flight work gets half the drain budget to finish normally; then
+	// its request contexts are cut while the connections are still open, so
+	// stragglers terminate as typed "draining" errors (a final NDJSON error
+	// record on committed sweep streams) instead of severed connections.
+	// The remaining half flushes those responses — it must cover Shutdown's
+	// idle-connection poll interval (up to ~500ms), so the budget halves
+	// rather than taking a thinner slice.
+	grace := time.AfterFunc(s.cfg.ShutdownTimeout/2, cancelRuns)
 	shutErr := srv.Shutdown(shutCtx)
+	grace.Stop()
 	cancelRuns() // cut the request contexts of anything that outlived the drain
 	if shutErr != nil {
 		_ = srv.Close()
@@ -240,7 +310,7 @@ func (s *Server) Stats() StatsResponse {
 	s.smu.Lock()
 	cached := s.sessions.Len()
 	s.smu.Unlock()
-	return StatsResponse{
+	st := StatsResponse{
 		Requests:        s.requests.Load(),
 		Scheduled:       s.scheduled.Load(),
 		SweepPoints:     s.sweepPoints.Load(),
@@ -252,12 +322,26 @@ func (s *Server) Stats() StatsResponse {
 		CandidateMisses: s.candidateMiss.Load(),
 		InFlight:        s.inFlight.Load(),
 		MaxInFlight:     s.cfg.MaxInFlight,
+		QueueDepth:      s.waiting.Load(),
+		Shed:            s.shed.Load(),
+		RateLimited:     s.rateLimited.Load(),
+		Retried:         s.retried.Load(),
+		Draining:        s.draining.Load(),
 		UptimeMS:        time.Since(s.start).Milliseconds(),
 	}
+	if s.chaos != nil {
+		st.ChaosLatency = s.chaos.latencies.Load()
+		st.ChaosErrors = s.chaos.faults.Load()
+		st.ChaosTruncations = s.chaos.truncations.Load()
+	}
+	return st
 }
 
 // acquire takes one in-flight slot, waiting until one frees or ctx ends.
+// The waiting gauge feeds the load shedder and the queue_depth stat.
 func (s *Server) acquire(ctx context.Context) error {
+	s.waiting.Add(1)
+	defer s.waiting.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
 		s.inFlight.Add(1)
@@ -307,11 +391,12 @@ func (s *Server) releaseSweepWorkers(n int) {
 	}
 }
 
-// decodeBody decodes the JSON request body into v under the configured size
-// bound, reporting (status, code) classified errors.
+// decodeBody decodes the JSON request body into v, reporting (status,
+// code) classified errors. The size bound itself lives in the withBodyCap
+// middleware; the *http.MaxBytesError it produces surfaces here, at the
+// first read past the cap.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
-	dec := json.NewDecoder(body)
+	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -366,14 +451,9 @@ func (s *Server) lookup(id string) (*memsched.Session, bool) {
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	// Registration decodes and validates arbitrary graphs — CPU-bound
-	// work that shares the in-flight budget with the scheduling runs.
-	if err := s.acquire(r.Context()); err != nil {
-		writeError(w, http.StatusRequestTimeout, CodeTimeout, "request cancelled while waiting for an in-flight slot")
-		return
-	}
-	defer s.release()
-
+	// Admission (the in-flight slot) happened in withAdmission: registration
+	// decodes and validates arbitrary graphs — CPU-bound work that shares
+	// the in-flight budget with the scheduling runs.
 	var req RegisterRequest
 	if s.decodeBody(w, r, &req) != nil {
 		return
@@ -470,15 +550,10 @@ func knownScheduler(name string) bool {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, simulate bool) {
-	// The semaphore bounds the whole expensive span — body decode, graph
-	// validation and the scheduling run — not just the engine call:
-	// multi-MB inline graphs cost real CPU before scheduling starts.
-	if err := s.acquire(r.Context()); err != nil {
-		writeError(w, http.StatusRequestTimeout, CodeTimeout, "request cancelled while waiting for an in-flight slot")
-		return
-	}
-	defer s.release()
-
+	// withAdmission already holds the in-flight slot across this whole
+	// span — body decode, graph validation and the scheduling run, not
+	// just the engine call: multi-MB inline graphs cost real CPU before
+	// scheduling starts.
 	var req ScheduleRequest
 	if s.decodeBody(w, r, &req) != nil {
 		return
@@ -543,7 +618,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, simulate bool
 	}
 	if err != nil {
 		status, code := classify(err)
-		writeError(w, status, code, err.Error())
+		msg := err.Error()
+		if s.draining.Load() && errors.Is(err, context.Canceled) {
+			// The run died because the server is shutting down, not because
+			// the work was wrong — tell the client to retry elsewhere.
+			status, code = http.StatusServiceUnavailable, CodeDraining
+			msg = "server draining for shutdown: " + msg
+		}
+		writeError(w, status, code, msg)
 		return
 	}
 	s.scheduled.Add(1)
@@ -644,22 +726,11 @@ func (s *Server) sweepSpecOf(w http.ResponseWriter, req *SweepRequest) (sweep.Sp
 // sweep that fails after streaming began terminates the stream with an
 // "error" record instead.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	// Admission order matters: a sweep first queues on the sweep-worker
-	// budget (holding nothing else), and only then takes a general
-	// in-flight slot. A burst of batch requests therefore waits on sweep
-	// capacity without camping on the slots /v1/schedule needs — no
-	// head-of-line blocking of the cheap path.
-	if err := s.acquireSweepToken(r.Context()); err != nil {
-		writeError(w, http.StatusRequestTimeout, CodeTimeout, "request cancelled while waiting for sweep capacity")
-		return
-	}
-	workers := 1
-	defer func() { s.releaseSweepWorkers(workers) }()
-	if err := s.acquire(r.Context()); err != nil {
-		writeError(w, http.StatusRequestTimeout, CodeTimeout, "request cancelled while waiting for an in-flight slot")
-		return
-	}
-	defer s.release()
+	// withSweepAdmission already holds this sweep's admission claim — one
+	// sweep-worker token plus a general in-flight slot — and put it in the
+	// request context so the top-up below is accounted against the same
+	// claim the middleware releases.
+	claim, _ := r.Context().Value(sweepClaimKey).(*sweepClaim)
 
 	var req SweepRequest
 	if s.decodeBody(w, r, &req) != nil {
@@ -694,8 +765,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// Widen the claim toward the requested worker count with whatever of
 	// the server-wide budget is currently free; the admission token
 	// guarantees at least one.
-	workers = s.topUpSweepWorkers(workers, spec.Workers)
-	spec.Workers = workers
+	if claim != nil {
+		claim.workers = s.topUpSweepWorkers(claim.workers, spec.Workers)
+		spec.Workers = claim.workers
+	} else {
+		spec.Workers = 1 // mounted without withSweepAdmission (tests): stay safe
+	}
 
 	// Long sweeps legitimately outlive the server-wide WriteTimeout;
 	// extend this connection's write deadline to the sweep's own budget
@@ -731,11 +806,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		status, code := classify(err)
+		msg := err.Error()
+		if s.draining.Load() && errors.Is(err, context.Canceled) {
+			// Shutdown cancelled this sweep; make drain distinguishable from
+			// a crash on the wire — pre-stream as a 503, mid-stream as a
+			// final typed error record instead of a severed connection.
+			status, code = http.StatusServiceUnavailable, CodeDraining
+			msg = "server draining for shutdown: " + msg
+		}
 		if !streaming {
-			writeError(w, status, code, err.Error())
+			writeError(w, status, code, msg)
 			return
 		}
-		_ = enc.Encode(SweepError{Type: "error", Error: err.Error(), Code: code})
+		_ = enc.Encode(SweepError{Type: "error", Error: msg, Code: code})
 		flush()
 		return
 	}

@@ -37,6 +37,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 )
 
 // PoolSpec describes one memory pool of the request's platform. A nil
@@ -227,9 +228,24 @@ type StatsResponse struct {
 	CandidateHits   uint64 `json:"candidate_cache_hits"`
 	CandidateMisses uint64 `json:"candidate_cache_misses"`
 	// InFlight is the current number of register/schedule/simulate
-	// requests holding a semaphore slot, bounded by MaxInFlight.
+	// requests holding a semaphore slot, bounded by MaxInFlight;
+	// QueueDepth is the number currently waiting for a slot.
 	InFlight    int64 `json:"in_flight"`
 	MaxInFlight int   `json:"max_in_flight"`
+	QueueDepth  int64 `json:"queue_depth"`
+	// Shed / RateLimited count requests refused with a structured 429 by
+	// the load shedder and the token-bucket rate limiter; Retried counts
+	// requests that arrived marked as client retries (RetryAttemptHeader).
+	Shed        uint64 `json:"shed"`
+	RateLimited uint64 `json:"rate_limited"`
+	Retried     uint64 `json:"retried_requests"`
+	// ChaosLatency / ChaosErrors / ChaosTruncations count the faults the
+	// chaos middleware injected, by kind (all zero with chaos disabled).
+	ChaosLatency     uint64 `json:"chaos_injected_latency"`
+	ChaosErrors      uint64 `json:"chaos_injected_errors"`
+	ChaosTruncations uint64 `json:"chaos_injected_truncations"`
+	// Draining is true once graceful shutdown has begun.
+	Draining bool `json:"draining"`
 	// UptimeMS is the time since the server was constructed.
 	UptimeMS int64 `json:"uptime_ms"`
 }
@@ -253,7 +269,17 @@ const (
 	CodeSimStuck    = "sim_stuck"    // the online dispatcher deadlocked on memory
 	CodeTimeout     = "timeout"      // the run's timeout expired or the client left
 	CodeInternal    = "internal"     // unexpected server-side failure
+	CodeRateLimited = "rate_limited" // token-bucket front door refused the request (429 + Retry-After)
+	CodeShed        = "shed"         // load shedder refused: every slot busy, queue full (429 + Retry-After)
+	CodeUnavailable = "unavailable"  // transient server-side unavailability (injected fault)
+	CodeDraining    = "draining"     // server shutting down; the in-flight stream was drained, not crashed
 )
+
+// RetryAttemptHeader marks a request as a client-side retry: the Client
+// sets it to the attempt number (1, 2, ...) on every try after the first,
+// and the server counts such requests into its retried_requests metric —
+// making client retry pressure observable from the server side.
+const RetryAttemptHeader = "X-Retry-Attempt"
 
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
@@ -261,11 +287,15 @@ type ErrorResponse struct {
 	Code  string `json:"code"`
 }
 
-// APIError is the typed error the Client returns for non-2xx responses.
+// APIError is the typed error the Client returns for non-2xx responses
+// (and, with Status 200, for typed in-stream sweep error records).
 type APIError struct {
 	Status  int    // HTTP status code
 	Code    string // machine-readable code (Code* constants)
 	Message string
+	// RetryAfter is the server's Retry-After hint, when it sent one
+	// (429/503); the Client's backoff never retries sooner.
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
