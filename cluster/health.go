@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/serve"
+)
+
+// HealthConfig tunes the replica health checker. The zero value gets
+// sensible defaults from NewHealth.
+type HealthConfig struct {
+	// Interval between probe rounds (default 1s).
+	Interval time.Duration
+	// Timeout bounds one probe request (default Interval, capped at 2s).
+	Timeout time.Duration
+	// FailAfter is the consecutive-failure count that marks a replica
+	// down (default 2): one lost probe is noise, two in a row is an
+	// outage. Passive failures reported by the router via ObserveFailure
+	// count toward the same threshold, so a dead replica under load is
+	// detected at request rate, not probe rate.
+	FailAfter int
+	// RiseAfter is the consecutive-success count that marks a down
+	// replica up again (default 2). The asymmetry with the instant
+	// draining signal is deliberate: coming back too eagerly flaps
+	// traffic onto a replica that is still crash-looping.
+	RiseAfter int
+	// Client issues the probes (default: a dedicated client honouring
+	// Timeout).
+	Client *http.Client
+	// Logf logs health transitions (default log.Printf-compatible no-op).
+	Logf func(format string, args ...any)
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+		if c.Timeout > 2*time.Second {
+			c.Timeout = 2 * time.Second
+		}
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.RiseAfter <= 0 {
+		c.RiseAfter = 2
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ReplicaStatus is one replica's view in a Health snapshot (and the
+// router's /healthz body).
+type ReplicaStatus struct {
+	Replica
+	// Healthy reflects the hysteresis state machine; Draining the
+	// replica's own drain signal. A replica is routable only when
+	// Healthy && !Draining.
+	Healthy  bool `json:"healthy"`
+	Draining bool `json:"draining"`
+	// Failures is the current consecutive-failure count (probes plus
+	// passive router observations).
+	Failures int    `json:"consecutive_failures,omitempty"`
+	LastErr  string `json:"last_error,omitempty"`
+	// Health is the replica's last decoded /healthz body (zero until the
+	// first successful probe) — per-replica cache state for operators and
+	// load reports.
+	Health serve.HealthResponse `json:"health"`
+}
+
+// Health tracks liveness and drain state for a replica set by probing
+// GET /healthz, with hysteresis on both transitions. Replicas start
+// healthy (optimistic): a cold router must route before its first probe
+// round completes, and a wrong guess costs one failover, not an outage.
+type Health struct {
+	cfg      HealthConfig
+	replicas []Replica
+	mu       sync.Mutex
+	states   map[string]*replicaState
+}
+
+type replicaState struct {
+	healthy  bool
+	draining bool
+	fails    int // consecutive failures (probe or passive)
+	oks      int // consecutive successful probes while down
+	lastErr  string
+	last     serve.HealthResponse
+}
+
+// NewHealth builds a checker over replicas; call Run (or ProbeAll) to
+// feed it.
+func NewHealth(replicas []Replica, cfg HealthConfig) *Health {
+	h := &Health{cfg: cfg.withDefaults(), replicas: replicas, states: make(map[string]*replicaState, len(replicas))}
+	for _, r := range replicas {
+		h.states[r.ID] = &replicaState{healthy: true}
+	}
+	return h
+}
+
+// Run probes every replica once immediately, then every Interval until
+// ctx ends.
+func (h *Health) Run(ctx context.Context) {
+	h.ProbeAll(ctx)
+	t := time.NewTicker(h.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			h.ProbeAll(ctx)
+		}
+	}
+}
+
+// ProbeAll runs one probe round over all replicas in parallel and
+// returns when every probe has resolved.
+func (h *Health) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, rep := range h.replicas {
+		wg.Add(1)
+		go func(rep Replica) {
+			defer wg.Done()
+			h.probe(ctx, rep)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+func (h *Health) probe(ctx context.Context, rep Replica) {
+	pctx, cancel := context.WithTimeout(ctx, h.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, rep.URL+"/healthz", nil)
+	if err != nil {
+		h.recordFailure(rep.ID, err.Error())
+		return
+	}
+	resp, err := h.cfg.Client.Do(req)
+	if err != nil {
+		h.recordFailure(rep.ID, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	var hr serve.HealthResponse
+	decodeErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hr)
+	switch {
+	case resp.StatusCode == http.StatusOK && decodeErr == nil && !hr.Draining:
+		h.recordSuccess(rep.ID, hr)
+	case decodeErr == nil && hr.Draining:
+		// An explicit, unambiguous signal from a live replica — no
+		// hysteresis, it is unroutable right now.
+		h.recordDraining(rep.ID, hr)
+	default:
+		h.recordFailure(rep.ID, fmt.Sprintf("probe status %s", resp.Status))
+	}
+}
+
+// ObserveFailure feeds a passive data-path failure (transport error on a
+// forwarded request) into the same hysteresis counter the prober uses.
+func (h *Health) ObserveFailure(id string) { h.recordFailure(id, "forwarded request failed") }
+
+// ObserveDraining marks a replica draining on the data path's evidence
+// (a 503 with code "draining") without waiting for the next probe.
+func (h *Health) ObserveDraining(id string) { h.recordDraining(id, serve.HealthResponse{}) }
+
+// Routable reports whether requests may be sent to replica id: healthy
+// per hysteresis and not draining.
+func (h *Health) Routable(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.states[id]
+	return ok && st.healthy && !st.draining
+}
+
+// Snapshot returns every replica's current status, in configured order.
+func (h *Health) Snapshot() []ReplicaStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]ReplicaStatus, 0, len(h.replicas))
+	for _, rep := range h.replicas {
+		st := h.states[rep.ID]
+		out = append(out, ReplicaStatus{
+			Replica: rep, Healthy: st.healthy, Draining: st.draining,
+			Failures: st.fails, LastErr: st.lastErr, Health: st.last,
+		})
+	}
+	return out
+}
+
+func (h *Health) recordSuccess(id string, hr serve.HealthResponse) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.states[id]
+	if !ok {
+		return
+	}
+	st.fails, st.lastErr, st.last = 0, "", hr
+	if st.draining {
+		st.draining = false
+		h.cfg.Logf("cluster: replica %s stopped draining", id)
+	}
+	if !st.healthy {
+		st.oks++
+		if st.oks >= h.cfg.RiseAfter {
+			st.healthy = true
+			h.cfg.Logf("cluster: replica %s healthy again (%d consecutive probes)", id, st.oks)
+		}
+	}
+}
+
+func (h *Health) recordFailure(id, reason string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.states[id]
+	if !ok {
+		return
+	}
+	st.oks, st.lastErr = 0, reason
+	st.fails++
+	if st.healthy && st.fails >= h.cfg.FailAfter {
+		st.healthy = false
+		h.cfg.Logf("cluster: replica %s marked down after %d consecutive failures: %s", id, st.fails, reason)
+	}
+}
+
+func (h *Health) recordDraining(id string, hr serve.HealthResponse) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.states[id]
+	if !ok {
+		return
+	}
+	if !st.draining {
+		h.cfg.Logf("cluster: replica %s draining", id)
+	}
+	st.draining = true
+	// The replica answered, so this is not a liveness failure; remember
+	// its last self-report if it sent one.
+	st.fails, st.oks = 0, 0
+	if hr.Status != "" {
+		st.last = hr
+	}
+}

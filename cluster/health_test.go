@@ -1,0 +1,125 @@
+package cluster_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/cluster"
+)
+
+// TestHealthHysteresis walks the checker's state machine: FailAfter
+// consecutive failures take a replica down, RiseAfter consecutive
+// successes bring it back, a single draining response is out
+// immediately, and a single success clears draining.
+func TestHealthHysteresis(t *testing.T) {
+	var mode atomic.Value // "ok" | "fail" | "draining"
+	mode.Store("ok")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch mode.Load() {
+		case "fail":
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case "draining":
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"status":"draining","draining":true}`))
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"status":"ok","replica_id":"x","sessions_cached":3}`))
+		}
+	}))
+	defer ts.Close()
+
+	h := cluster.NewHealth(
+		[]cluster.Replica{{ID: "x", URL: ts.URL}},
+		cluster.HealthConfig{FailAfter: 2, RiseAfter: 2, Interval: time.Hour},
+	)
+	ctx := context.Background()
+	probe := func() { h.ProbeAll(ctx) }
+	routable := func(want bool, step string) {
+		t.Helper()
+		if got := h.Routable("x"); got != want {
+			t.Fatalf("%s: Routable = %v, want %v (snapshot %+v)", step, got, want, h.Snapshot())
+		}
+	}
+
+	// Optimistic start: routable before any probe.
+	routable(true, "before first probe")
+	probe()
+	routable(true, "after ok probe")
+	if st := h.Snapshot()[0]; st.Health.SessionsCached != 3 {
+		t.Fatalf("probe did not capture the replica's health body: %+v", st)
+	}
+
+	// One failure is noise; FailAfter(2) in a row is an outage.
+	mode.Store("fail")
+	probe()
+	routable(true, "one failure")
+	probe()
+	routable(false, "two failures")
+
+	// One success does not flap it back; RiseAfter(2) does.
+	mode.Store("ok")
+	probe()
+	routable(false, "one recovery probe")
+	probe()
+	routable(true, "two recovery probes")
+
+	// Draining is an explicit signal: out after a single probe, back
+	// after a single healthy one.
+	mode.Store("draining")
+	probe()
+	routable(false, "draining")
+	if st := h.Snapshot()[0]; !st.Draining || !st.Healthy {
+		t.Fatalf("draining replica should stay healthy-but-draining: %+v", st)
+	}
+	mode.Store("ok")
+	probe()
+	routable(true, "drain lifted")
+
+	// Passive data-path failures feed the same counter as probes.
+	h.ObserveFailure("x")
+	routable(true, "one passive failure")
+	h.ObserveFailure("x")
+	routable(false, "two passive failures")
+	// ObserveDraining flags immediately, and a probe round restores.
+	probe()
+	probe()
+	routable(true, "probes healed passive failures")
+	h.ObserveDraining("x")
+	routable(false, "passive draining")
+	probe()
+	routable(true, "probe cleared passive draining")
+}
+
+// TestHealthProbeTimeout: a replica that accepts but never answers is a
+// failure, bounded by the probe timeout.
+func TestHealthProbeTimeout(t *testing.T) {
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer ts.Close()
+	// Registered after ts.Close so it runs first: the stalled handler
+	// must be released before Close can wait it out.
+	defer close(stall)
+
+	h := cluster.NewHealth(
+		[]cluster.Replica{{ID: "x", URL: ts.URL}},
+		cluster.HealthConfig{FailAfter: 1, Timeout: 50 * time.Millisecond, Interval: time.Hour},
+	)
+	start := time.Now()
+	h.ProbeAll(context.Background())
+	if h.Routable("x") {
+		t.Fatal("stalled replica still routable")
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("probe took %v, timeout not applied", took)
+	}
+	if st := h.Snapshot()[0]; st.LastErr == "" {
+		t.Fatalf("timeout left no error trace: %+v", st)
+	}
+}

@@ -1,0 +1,230 @@
+// Package ring implements the consistent-hash ring under the cluster
+// layer: a deterministic map from cache-affinity keys (canonical graph
+// hashes) to members of a replica set.
+//
+// The ring places VirtualNodes points per member on a 64-bit hash circle;
+// a key is owned by the member of the first point at or after the key's
+// own hash (wrapping). Virtual nodes smooth the arc distribution so every
+// member owns ≈ 1/N of the key space, and membership changes move only
+// the keys whose arcs the joining (or leaving) member touches — the
+// property that keeps session-cache hit rates alive across scaling events.
+//
+// Hashing is FNV-1a over the member name and key bytes: stable across
+// process restarts, architectures and Go releases, so a router restart —
+// or an independent client doing its own ring routing — reproduces the
+// same ownership without coordination.
+//
+// OwnerBounded adds the bounded-load variant (Mirrokni et al.,
+// "Consistent Hashing with Bounded Loads"): a member already carrying
+// more than LoadFactor times its fair share of the observed load is
+// skipped in ring order, so hot keys spill to their *second* ring choice
+// — never a random member — and affinity degrades gradually instead of
+// collapsing.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-member point count used when Option
+// WithVirtualNodes is absent. 160 points per member keeps the largest
+// member share within a few tens of percent of 1/N up to dozens of
+// members while the ring stays small enough to rebuild on every
+// membership change.
+const DefaultVirtualNodes = 160
+
+// Ring is an immutable consistent-hash ring over a fixed member set.
+// Build one with New; all methods are safe for concurrent use.
+type Ring struct {
+	vnodes  int
+	members []string // sorted, unique
+	points  []point  // sorted by hash on the circle
+}
+
+type point struct {
+	hash   uint64
+	member int32 // index into members
+}
+
+// Option configures New.
+type Option func(*Ring)
+
+// WithVirtualNodes sets the number of points each member places on the
+// circle (default DefaultVirtualNodes; values < 1 are ignored).
+func WithVirtualNodes(n int) Option {
+	return func(r *Ring) {
+		if n >= 1 {
+			r.vnodes = n
+		}
+	}
+}
+
+// New builds a ring over members (order-insensitive; duplicates and empty
+// names are rejected so two independently configured rings can only agree
+// or fail loudly).
+func New(members []string, opts ...Option) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ring: no members")
+	}
+	r := &Ring{vnodes: DefaultVirtualNodes}
+	for _, opt := range opts {
+		opt(r)
+	}
+	r.members = append([]string(nil), members...)
+	sort.Strings(r.members)
+	for i, m := range r.members {
+		if m == "" {
+			return nil, fmt.Errorf("ring: empty member name")
+		}
+		if i > 0 && r.members[i-1] == m {
+			return nil, fmt.Errorf("ring: duplicate member %q", m)
+		}
+	}
+	r.points = make([]point, 0, len(r.members)*r.vnodes)
+	for mi, m := range r.members {
+		for v := 0; v < r.vnodes; v++ {
+			r.points = append(r.points, point{hash: pointHash(m, v), member: int32(mi)})
+		}
+	}
+	// Ties between points of different members are broken by member name
+	// (the members slice is sorted), keeping ownership independent of the
+	// order the caller listed the members in.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Members returns the member set in sorted order (shared; do not mutate).
+func (r *Ring) Members() []string { return r.members }
+
+// VirtualNodes returns the per-member point count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Owner returns the member owning key: the member of the first ring point
+// at or after the key's hash, wrapping past the top of the circle.
+func (r *Ring) Owner(key string) string {
+	return r.members[r.points[r.search(key)].member]
+}
+
+// Owners returns up to n distinct members in ring order starting at key's
+// owner — the key's failover preference list. Every member appears at
+// most once; n larger than the member count returns them all.
+func (r *Ring) Owners(key string, n int) []string {
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	for i, start := 0, r.search(key); len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// OwnerBounded returns the first member in key's ring order whose current
+// load, as reported by load, stays under the bounded-load capacity
+// c·ceil((total+1)/N) — the consistent-hashing-with-bounded-loads rule
+// with the incoming request counted into the total. Members reported by
+// load as negative are skipped entirely (the caller's "not routable"
+// signal). When every routable member is at capacity the first routable
+// owner is returned: under uniform saturation affinity beats shuffling.
+// The second result is false when no member was routable at all.
+func (r *Ring) OwnerBounded(key string, c float64, load func(member string) int) (string, bool) {
+	if c < 1 {
+		c = 1
+	}
+	total := 0
+	routable := 0
+	for _, m := range r.members {
+		if l := load(m); l >= 0 {
+			total += l
+			routable++
+		}
+	}
+	if routable == 0 {
+		return "", false
+	}
+	capacity := c * math.Ceil(float64(total+1)/float64(routable))
+	first := ""
+	for _, m := range r.Owners(key, len(r.members)) {
+		l := load(m)
+		if l < 0 {
+			continue
+		}
+		if first == "" {
+			first = m
+		}
+		if float64(l) < capacity {
+			return m, true
+		}
+	}
+	return first, first != ""
+}
+
+// Shares returns each member's exact fraction of the hash circle — the
+// probability a uniformly random key lands on it. The fractions sum to 1.
+func (r *Ring) Shares() map[string]float64 {
+	shares := make(map[string]float64, len(r.members))
+	const circle = float64(1<<63) * 2 // 2^64 as a float64
+	for i, p := range r.points {
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		// The arc (prev, p.hash] belongs to p's member; the first point
+		// also owns the wrap-around arc past the top of the circle.
+		arc := p.hash - prev // wraps correctly in uint64 for i == 0
+		shares[r.members[p.member]] += float64(arc) / circle
+	}
+	return shares
+}
+
+// search returns the index of the first point at or after key's hash,
+// wrapping to 0 past the end.
+func (r *Ring) search(key string) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// keyHash hashes a routing key onto the circle (FNV-1a with a 64-bit
+// finalizer, stable across processes).
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// pointHash hashes one virtual node of a member onto the circle.
+func pointHash(member string, vnode int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(member))
+	_, _ = h.Write([]byte{'#', byte(vnode), byte(vnode >> 8), byte(vnode >> 16), byte(vnode >> 24)})
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: FNV-1a over short near-sequential
+// inputs (member names and vnode counters) leaves enough structure in the
+// output to visibly skew arc lengths, and this avalanche pass removes it.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

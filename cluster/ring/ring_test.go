@@ -1,0 +1,282 @@
+package ring
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("graph-%d-%x", i, i*2654435761)
+	}
+	return out
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("replica-%d", i)
+	}
+	return out
+}
+
+// TestDeterminismAcrossBuilds: two rings built from the same member set —
+// in different listing orders, as across process restarts — agree on every
+// owner and every preference list.
+func TestDeterminismAcrossBuilds(t *testing.T) {
+	ms := members(5)
+	a, err := New(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := []string{ms[4], ms[2], ms[0], ms[3], ms[1]}
+	b, err := New(reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q differs across builds: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+		oa, ob := a.Owners(k, 5), b.Owners(k, 5)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("preference list of %q differs at %d: %v vs %v", k, i, oa, ob)
+			}
+		}
+	}
+}
+
+// TestBalance: at 3 through 16 replicas every member's share of a large
+// key sample stays within ±50% of the fair 1/N share, and the analytic
+// Shares agree with the sampled distribution.
+func TestBalance(t *testing.T) {
+	sample := keys(20000)
+	for n := 3; n <= 16; n++ {
+		r, err := New(members(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int)
+		for _, k := range sample {
+			counts[r.Owner(k)]++
+		}
+		fair := float64(len(sample)) / float64(n)
+		for _, m := range r.Members() {
+			got := float64(counts[m])
+			if dev := math.Abs(got-fair) / fair; dev > 0.5 {
+				t.Errorf("n=%d: member %s owns %.0f keys, fair %.0f (deviation %.0f%%)", n, m, got, fair, 100*dev)
+			}
+		}
+		shares := r.Shares()
+		var sum float64
+		for _, m := range r.Members() {
+			sum += shares[m]
+			sampled := float64(counts[m]) / float64(len(sample))
+			if math.Abs(shares[m]-sampled) > 0.05 {
+				t.Errorf("n=%d: member %s analytic share %.3f vs sampled %.3f", n, m, shares[m], sampled)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("n=%d: shares sum to %v, want 1", n, sum)
+		}
+	}
+}
+
+// TestMinimalMovementOnJoin: adding one member moves only keys that land
+// on the new member, and no more than about twice its fair share.
+func TestMinimalMovementOnJoin(t *testing.T) {
+	sample := keys(20000)
+	for _, n := range []int{3, 8, 15} {
+		before, err := New(members(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := New(members(n + 1)) // members(n+1) = members(n) plus one
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined := fmt.Sprintf("replica-%d", n)
+		moved := 0
+		for _, k := range sample {
+			was, is := before.Owner(k), after.Owner(k)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != joined {
+				t.Fatalf("n=%d: key %q moved %q -> %q, but only the joining member %q may gain keys", n, k, was, is, joined)
+			}
+		}
+		fair := float64(len(sample)) / float64(n+1)
+		if float64(moved) > 2*fair {
+			t.Errorf("n=%d: join moved %d keys, want <= %.0f (2x fair share)", n, moved, 2*fair)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: join moved no keys at all", n)
+		}
+	}
+}
+
+// TestMinimalMovementOnLeave: removing one member moves exactly the keys
+// it owned, and nothing between the survivors.
+func TestMinimalMovementOnLeave(t *testing.T) {
+	sample := keys(20000)
+	ms := members(8)
+	before, err := New(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := ms[3]
+	var survivors []string
+	for _, m := range ms {
+		if m != left {
+			survivors = append(survivors, m)
+		}
+	}
+	after, err := New(survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range sample {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == left {
+			if is == left {
+				t.Fatalf("key %q still owned by removed member", k)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q moved %q -> %q although its owner never left", k, was, is)
+		}
+	}
+}
+
+// TestOwnersPreferenceList: Owners starts at Owner, lists distinct
+// members, and caps at the member count.
+func TestOwnersPreferenceList(t *testing.T) {
+	r, err := New(members(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(500) {
+		owners := r.Owners(k, 10)
+		if len(owners) != 4 {
+			t.Fatalf("Owners(%q, 10) = %d members, want 4", k, len(owners))
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners[0] = %q, Owner = %q", owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range owners {
+			if seen[m] {
+				t.Fatalf("Owners(%q) repeats %q: %v", k, m, owners)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestOwnerBounded: an overloaded first choice spills to the second ring
+// owner, an unroutable (-1) member is skipped, and uniform saturation
+// falls back to the affinity owner.
+func TestOwnerBounded(t *testing.T) {
+	r, err := New(members(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "graph-under-test"
+	prefs := r.Owners(key, 4)
+
+	loads := map[string]int{prefs[0]: 0, prefs[1]: 0, prefs[2]: 0, prefs[3]: 0}
+	loadOf := func(m string) int { return loads[m] }
+
+	if got, ok := r.OwnerBounded(key, 1.25, loadOf); !ok || got != prefs[0] {
+		t.Fatalf("idle ring: OwnerBounded = %q, %v; want primary %q", got, ok, prefs[0])
+	}
+	// Pile load on the primary only: it exceeds c*ceil((total+1)/N) and the
+	// key spills to the second ring choice — not to a random member.
+	loads[prefs[0]] = 100
+	if got, ok := r.OwnerBounded(key, 1.25, loadOf); !ok || got != prefs[1] {
+		t.Fatalf("hot primary: OwnerBounded = %q, %v; want second owner %q", got, ok, prefs[1])
+	}
+	// Unroutable primary and second choice: third owner wins.
+	loads[prefs[0]] = -1
+	loads[prefs[1]] = -1
+	if got, ok := r.OwnerBounded(key, 1.25, loadOf); !ok || got != prefs[2] {
+		t.Fatalf("two down: OwnerBounded = %q, %v; want third owner %q", got, ok, prefs[2])
+	}
+	// Uniform saturation: every routable member is at capacity, so the
+	// first routable owner keeps the key (affinity over shuffling).
+	loads[prefs[0]] = -1
+	loads[prefs[1]] = 50
+	loads[prefs[2]] = 50
+	loads[prefs[3]] = 50
+	if got, ok := r.OwnerBounded(key, 1.0, loadOf); !ok || got != prefs[1] {
+		t.Fatalf("saturated: OwnerBounded = %q, %v; want first routable owner %q", got, ok, prefs[1])
+	}
+	// Nothing routable at all.
+	for m := range loads {
+		loads[m] = -1
+	}
+	if got, ok := r.OwnerBounded(key, 1.25, loadOf); ok {
+		t.Fatalf("all down: OwnerBounded = %q, ok=true; want ok=false", got)
+	}
+}
+
+// TestNewRejectsBadMemberSets: empty sets, empty names and duplicates are
+// configuration mistakes, not runtime states.
+func TestNewRejectsBadMemberSets(t *testing.T) {
+	for _, ms := range [][]string{nil, {}, {""}, {"a", "a"}, {"a", "", "b"}} {
+		if _, err := New(ms); err == nil {
+			t.Errorf("New(%q) succeeded, want error", ms)
+		}
+	}
+}
+
+// FuzzOwner: for arbitrary keys the owner is always a member, the
+// preference list is a permutation prefix of the member set starting at
+// the owner, and an independently built ring agrees.
+func FuzzOwner(f *testing.F) {
+	f.Add("graph-abc123")
+	f.Add("")
+	f.Add("\x00\xff\x00")
+	ms := members(6)
+	r, err := New(ms)
+	if err != nil {
+		f.Fatal(err)
+	}
+	twin, err := New([]string{ms[5], ms[3], ms[1], ms[4], ms[2], ms[0]})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := map[string]bool{}
+	for _, m := range ms {
+		valid[m] = true
+	}
+	f.Fuzz(func(t *testing.T, key string) {
+		owner := r.Owner(key)
+		if !valid[owner] {
+			t.Fatalf("Owner(%q) = %q, not a member", key, owner)
+		}
+		if twin.Owner(key) != owner {
+			t.Fatalf("rings disagree on %q: %q vs %q", key, owner, twin.Owner(key))
+		}
+		owners := r.Owners(key, len(ms))
+		if len(owners) != len(ms) || owners[0] != owner {
+			t.Fatalf("Owners(%q) = %v, want all %d members starting at %q", key, owners, len(ms), owner)
+		}
+		seen := map[string]bool{}
+		for _, m := range owners {
+			if !valid[m] || seen[m] {
+				t.Fatalf("Owners(%q) = %v: invalid or repeated member %q", key, owners, m)
+			}
+			seen[m] = true
+		}
+		if b, ok := r.OwnerBounded(key, 1.25, func(string) int { return 0 }); !ok || b != owner {
+			t.Fatalf("OwnerBounded on an idle ring = %q, %v; want owner %q", b, ok, owner)
+		}
+	})
+}

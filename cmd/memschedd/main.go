@@ -3,9 +3,18 @@
 // warm scheduling sessions per graph, bounds concurrent runs, and shuts
 // down gracefully on SIGINT/SIGTERM.
 //
+// With -router it runs as a cluster router instead (see package
+// repro/cluster): no local engine, just consistent-hash routing of /v1
+// traffic across a replica set by graph hash, with health-checked
+// failover. Replica mode flags that configure the engine (-cache,
+// -chaos-*, -shed-queue, -max-runtime) do not apply in router mode.
+//
 // Usage:
 //
 //	memschedd -addr 127.0.0.1:8080 -cache 256 -max-inflight 64
+//	memschedd -addr 127.0.0.1:8081 -replica-id a   # one shard of a cluster
+//	memschedd -addr 127.0.0.1:8080 \
+//	  -router "a=http://127.0.0.1:8081,b=http://127.0.0.1:8082"
 //
 // Smoke test against a running daemon:
 //
@@ -27,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/cluster"
 	"repro/serve"
 )
 
@@ -47,11 +57,39 @@ func main() {
 		readTimeout     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout    = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain bound on shutdown")
+
+		replicaID = flag.String("replica-id", "", "stable replica identity reported on /healthz (replica mode)")
+
+		routerSpec     = flag.String("router", "", `run as a cluster router over this replica set ("id=url,..." or bare urls)`)
+		vnodes         = flag.Int("vnodes", 160, "consistent-hash virtual nodes per replica (router mode)")
+		loadFactor     = flag.Float64("load-factor", 1.25, "bounded-load factor: spill past an owner above this multiple of its fair share (router mode)")
+		healthInterval = flag.Duration("health-interval", time.Second, "replica health-probe interval (router mode)")
+		healthFail     = flag.Int("health-fail", 2, "consecutive failures before a replica is marked down (router mode)")
+		healthRise     = flag.Int("health-rise", 2, "consecutive successes before a down replica is routable again (router mode)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "memschedd: unexpected arguments:", flag.Args())
 		os.Exit(2)
+	}
+	if *routerSpec != "" {
+		// -max-inflight defaults are tuned for a CPU-bound replica; the
+		// IO-bound router keeps its own (looser) default unless the flag
+		// was set explicitly.
+		inFlight := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "max-inflight" {
+				inFlight = *maxInFlight
+			}
+		})
+		runRouter(*routerSpec, routerConfig{
+			addr: *addr, vnodes: *vnodes, loadFactor: *loadFactor,
+			maxInFlight: inFlight, maxBytes: *maxBytes,
+			rateLimit: *rateLimit, rateBurst: *rateBurst,
+			healthInterval: *healthInterval, healthFail: *healthFail, healthRise: *healthRise,
+			readTimeout: *readTimeout, writeTimeout: *writeTimeout, shutdownTimeout: *shutdownTimeout,
+		})
+		return
 	}
 	var faults []string
 	for _, f := range strings.Split(*chaosFaults, ",") {
@@ -74,6 +112,7 @@ func main() {
 
 	srv := serve.NewServer(serve.Config{
 		Addr:            *addr,
+		ReplicaID:       *replicaID,
 		CacheSize:       *cacheSize,
 		MaxInFlight:     *maxInFlight,
 		MaxRequestBytes: *maxBytes,
@@ -91,6 +130,58 @@ func main() {
 		Logf:            log.Printf,
 	})
 	if err := srv.ListenAndServe(ctx); err != nil {
+		log.Fatalf("memschedd: %v", err)
+	}
+}
+
+// routerConfig carries the flag values that apply in router mode.
+type routerConfig struct {
+	addr                      string
+	vnodes                    int
+	loadFactor                float64
+	maxInFlight               int // 0 = the router's own default
+	maxBytes                  int64
+	rateLimit                 float64
+	rateBurst                 int
+	healthInterval            time.Duration
+	healthFail, healthRise    int
+	readTimeout, writeTimeout time.Duration
+	shutdownTimeout           time.Duration
+}
+
+// runRouter runs memschedd as a cluster router until SIGINT/SIGTERM.
+func runRouter(spec string, rc routerConfig) {
+	replicas, err := cluster.ParseReplicas(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memschedd:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rt, err := cluster.NewRouter(cluster.Config{
+		Addr:            rc.addr,
+		Replicas:        replicas,
+		VirtualNodes:    rc.vnodes,
+		LoadFactor:      rc.loadFactor,
+		MaxInFlight:     rc.maxInFlight,
+		MaxRequestBytes: rc.maxBytes,
+		RateLimit:       rc.rateLimit,
+		RateBurst:       rc.rateBurst,
+		Health: cluster.HealthConfig{
+			Interval:  rc.healthInterval,
+			FailAfter: rc.healthFail,
+			RiseAfter: rc.healthRise,
+			Logf:      log.Printf,
+		},
+		ReadTimeout:     rc.readTimeout,
+		WriteTimeout:    rc.writeTimeout,
+		ShutdownTimeout: rc.shutdownTimeout,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("memschedd: %v", err)
+	}
+	if err := rt.ListenAndServe(ctx); err != nil {
 		log.Fatalf("memschedd: %v", err)
 	}
 }

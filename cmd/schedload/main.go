@@ -8,10 +8,22 @@
 // streamed back as NDJSON. The report then also counts sweep points and
 // point throughput — the amortisation the batch endpoint exists for.
 //
+// With -replicas the report attributes cache behaviour per replica of a
+// cluster (probing each replica's /healthz before and after the run),
+// and the session hit rate becomes cluster-wide. Traffic still flows
+// through -addr — normally a router — unless -route client routes each
+// request directly to its ring owner with no router hop. With -retries,
+// a structured 404 (a replica died and took its registered sessions with
+// it) recovers by re-registering the graph — it lands on the new ring
+// owner — and retrying there.
+//
 // Usage:
 //
 //	schedload -addr http://127.0.0.1:8080 -clients 8 -requests 100 -graphs 16 -tasks 100
 //	schedload -addr http://127.0.0.1:8080 -sweep -alphas 10 -clients 4 -requests 20
+//	schedload -addr http://127.0.0.1:8080 \
+//	  -replicas "a=http://127.0.0.1:8081,b=http://127.0.0.1:8082"
+//	schedload -route client -replicas "http://127.0.0.1:8081,http://127.0.0.1:8082"
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"time"
 
 	memsched "repro"
+	"repro/cluster"
 	"repro/serve"
 )
 
@@ -48,6 +61,9 @@ type loadConfig struct {
 	sweep        bool // drive POST /v1/sweep instead of /v1/schedule
 	alphas       int  // memory fractions per sweep request
 	sweepWorkers int  // per-request worker bound (0 = server cap)
+
+	replicas string // cluster replica set for per-replica attribution
+	route    string // "router" (via -addr) or "client" (ring-route directly)
 }
 
 func main() {
@@ -65,6 +81,8 @@ func main() {
 	flag.BoolVar(&cfg.sweep, "sweep", false, "send /v1/sweep batch requests instead of /v1/schedule")
 	flag.IntVar(&cfg.alphas, "alphas", 8, "memory fractions per sweep request (with -sweep)")
 	flag.IntVar(&cfg.sweepWorkers, "sweep-workers", 0, "per-sweep worker bound (0 = server cap; with -sweep)")
+	flag.StringVar(&cfg.replicas, "replicas", "", `cluster replica set ("id=url,..." or bare urls) for per-replica cache attribution`)
+	flag.StringVar(&cfg.route, "route", "router", `request path in a cluster: "router" (everything via -addr) or "client" (ring-route straight to -replicas owners)`)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
@@ -91,6 +109,19 @@ type report struct {
 
 	errClasses map[string]int      // failed requests by error class (terminal outcome)
 	client     serve.ClientMetrics // attempt/retry counters of the shared client
+
+	// Per-replica attribution (with -replicas): the post-run healthz
+	// snapshots plus the cluster-wide hit/miss deltas they sum to.
+	replicas                   []replicaReport
+	clusterHits, clusterMisses uint64
+}
+
+// replicaReport is one replica's post-run /healthz snapshot; healthy is
+// false (with zero counters) when the replica did not answer the probe.
+type replicaReport struct {
+	cluster.Replica
+	healthy bool
+	hr      serve.HealthResponse
 }
 
 // errClass buckets a request's terminal error for the report: structured
@@ -144,6 +175,10 @@ func (r report) print(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+	for _, rr := range r.replicas {
+		fmt.Fprintf(w, "replica %s url=%s healthy=%t sessions=%d hits=%d misses=%d evictions=%d\n",
+			rr.ID, rr.URL, rr.healthy, rr.hr.SessionsCached, rr.hr.SessionHits, rr.hr.SessionMisses, rr.hr.Evictions)
+	}
 }
 
 // run generates and registers the graph working set, fans out the
@@ -163,14 +198,40 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 			BaseDelay:   cfg.backoff,
 		}))
 	}
-	client := serve.NewClient(cfg.addr, opts...)
+	var replicas []cluster.Replica
+	if cfg.replicas != "" {
+		var err error
+		if replicas, err = cluster.ParseReplicas(cfg.replicas); err != nil {
+			return report{}, err
+		}
+	}
+	var client *serve.Client
+	switch cfg.route {
+	case "", "router":
+		client = serve.NewClient(cfg.addr, opts...)
+	case "client":
+		if len(replicas) == 0 {
+			return report{}, fmt.Errorf("-route client needs -replicas to route over")
+		}
+		urls := make([]string, len(replicas))
+		for i, rep := range replicas {
+			urls[i] = rep.URL
+		}
+		var err error
+		if client, err = serve.NewClusterClient(urls, opts...); err != nil {
+			return report{}, err
+		}
+	default:
+		return report{}, fmt.Errorf("unknown -route %q (want router or client)", cfg.route)
+	}
 	if err := client.Health(ctx); err != nil {
-		return report{}, fmt.Errorf("server not reachable at %s: %w", cfg.addr, err)
+		return report{}, fmt.Errorf("server not reachable: %w", err)
 	}
 
 	params := memsched.SmallRandParams()
 	params.Size = cfg.tasks
 	ids := make([]string, cfg.graphs)
+	graphs := make([]*memsched.Graph, cfg.graphs)
 	for i := range ids {
 		g, err := memsched.GenerateRandom(params, cfg.seed+int64(i))
 		if err != nil {
@@ -181,12 +242,14 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 			return report{}, fmt.Errorf("registering graph %d: %w", i, err)
 		}
 		ids[i] = reg.ID
+		graphs[i] = g
 	}
 
 	before, err := client.Stats(ctx)
 	if err != nil {
 		return report{}, err
 	}
+	beforeHealth := probeReplicas(ctx, replicas)
 
 	// Unbounded pools keep every generated graph feasible, so the run
 	// measures service latency rather than memory_bound rejections. Sweep
@@ -210,30 +273,43 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 			defer wg.Done()
 			lats := make([]time.Duration, 0, cfg.requests)
 			for i := 0; i < cfg.requests; i++ {
-				id := ids[(c+i)%len(ids)]
+				idx := (c + i) % len(ids)
+				id := ids[idx]
 				attempted[c]++
 				t0 := time.Now()
-				var err error
-				if cfg.sweep {
-					var sum *serve.SweepSummary
-					sum, err = client.Sweep(ctx, serve.SweepRequest{
-						GraphID:    id,
-						Pools:      pools,
-						Alphas:     alphas,
-						Schedulers: []string{"memheft", "memminmin"},
-						Seeds:      []int64{cfg.seed},
-						Workers:    cfg.sweepWorkers,
-					}, nil)
-					if sum != nil {
-						points[c] += int64(sum.Points)
+				doReq := func() error {
+					if cfg.sweep {
+						sum, err := client.Sweep(ctx, serve.SweepRequest{
+							GraphID:    id,
+							Pools:      pools,
+							Alphas:     alphas,
+							Schedulers: []string{"memheft", "memminmin"},
+							Seeds:      []int64{cfg.seed},
+							Workers:    cfg.sweepWorkers,
+						}, nil)
+						if sum != nil {
+							points[c] += int64(sum.Points)
+						}
+						return err
 					}
-				} else {
-					_, err = client.Schedule(ctx, serve.ScheduleRequest{
+					_, err := client.Schedule(ctx, serve.ScheduleRequest{
 						GraphID:   id,
 						Pools:     pools,
 						Scheduler: cfg.scheduler,
 						Seed:      cfg.seed,
 					})
+					return err
+				}
+				err := doReq()
+				if cfg.retries > 0 && isNotFound(err) && ctx.Err() == nil {
+					// The graph's ring owner died: the session died with it
+					// and traffic failed over to a replica that never saw
+					// the registration. Registration is content-addressed
+					// and idempotent, so re-register — it lands on the new
+					// owner — and retry the request there.
+					if _, rerr := client.RegisterGraph(ctx, graphs[idx], nil); rerr == nil {
+						err = doReq()
+					}
 				}
 				if err != nil {
 					failures[c]++
@@ -258,6 +334,7 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 	if err != nil {
 		return report{}, err
 	}
+	afterHealth := probeReplicas(ctx, replicas)
 
 	var all []time.Duration
 	for _, l := range latencies {
@@ -281,7 +358,54 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 			rep.errClasses[class] += n
 		}
 	}
+
+	// With a replica set, per-replica healthz deltas replace the single
+	// /v1/stats delta: through a router (or a cluster client), Stats
+	// lands on one arbitrary replica and cannot see the cluster-wide
+	// hit rate.
+	for _, rp := range replicas {
+		a, b := afterHealth[rp.ID], beforeHealth[rp.ID]
+		rr := replicaReport{Replica: rp}
+		if a != nil {
+			rr.healthy, rr.hr = true, *a
+		}
+		rep.replicas = append(rep.replicas, rr)
+		if a == nil || b == nil {
+			continue
+		}
+		clusterHits := rep.clusterHits + a.SessionHits - b.SessionHits
+		clusterMisses := rep.clusterMisses + a.SessionMisses - b.SessionMisses
+		rep.clusterHits, rep.clusterMisses = clusterHits, clusterMisses
+	}
+	if rep.clusterHits+rep.clusterMisses > 0 {
+		rep.hitRate = float64(rep.clusterHits) / float64(rep.clusterHits+rep.clusterMisses)
+	}
 	return rep, nil
+}
+
+// isNotFound reports a structured 404 — in a cluster, the signature of a
+// schedule-by-id request whose session no longer exists on the replica
+// that answered (its original owner is gone).
+func isNotFound(err error) bool {
+	var apiErr *serve.APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound
+}
+
+// probeReplicas snapshots every replica's /healthz (nil for a replica
+// that does not answer — dead, or still coming up).
+func probeReplicas(ctx context.Context, replicas []cluster.Replica) map[string]*serve.HealthResponse {
+	out := make(map[string]*serve.HealthResponse, len(replicas))
+	for _, rep := range replicas {
+		pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		hr, err := serve.NewClient(rep.URL).Healthz(pctx)
+		cancel()
+		if err != nil {
+			out[rep.ID] = nil
+			continue
+		}
+		out[rep.ID] = &hr
+	}
+	return out
 }
 
 // percentile returns the q-quantile of sorted latencies (zero when empty).
@@ -300,7 +424,12 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 }
 
 // rateDelta returns hits/(hits+misses) over the counter deltas of one run.
+// Negative deltas (the before/after /v1/stats landed on different cluster
+// replicas) report 0 rather than underflowing.
 func rateDelta(hitsAfter, hitsBefore, missAfter, missBefore uint64) float64 {
+	if hitsAfter < hitsBefore || missAfter < missBefore {
+		return 0
+	}
 	hits := hitsAfter - hitsBefore
 	misses := missAfter - missBefore
 	if hits+misses == 0 {

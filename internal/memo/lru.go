@@ -11,8 +11,9 @@ package memo
 // serialises access under its own mutex. The zero value is not usable; call
 // NewLRU.
 type LRU[K comparable, V any] struct {
-	max     int
-	entries map[K]*lruEntry[K, V]
+	max       int
+	evictions uint64
+	entries   map[K]*lruEntry[K, V]
 	// head.next is the most recently used entry, head.prev the least;
 	// the ring always contains head itself, so list edits need no nil
 	// checks.
@@ -60,6 +61,7 @@ func (l *LRU[K, V]) Put(k K, v V) {
 		oldest := l.head.prev
 		l.unlink(oldest)
 		delete(l.entries, oldest.key)
+		l.evictions++
 	}
 	e := &lruEntry[K, V]{key: k, val: v}
 	l.entries[k] = e
@@ -68,6 +70,11 @@ func (l *LRU[K, V]) Put(k K, v V) {
 
 // Len returns the number of cached entries.
 func (l *LRU[K, V]) Len() int { return len(l.entries) }
+
+// Evictions counts the entries displaced by a full Put over the cache's
+// lifetime — the pressure signal a capacity planner (or a sharding layer
+// deciding whether splitting the key space helped) actually wants.
+func (l *LRU[K, V]) Evictions() uint64 { return l.evictions }
 
 func (l *LRU[K, V]) unlink(e *lruEntry[K, V]) {
 	e.prev.next = e.next

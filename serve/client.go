@@ -13,6 +13,7 @@ import (
 	"time"
 
 	memsched "repro"
+	"repro/cluster/ring"
 )
 
 // Client is a typed client for the scheduling service. The zero value is
@@ -27,6 +28,11 @@ type Client struct {
 	retry   *RetryPolicy
 	breaker *Breaker
 
+	// Cluster mode (NewClusterClient): the keyed endpoints route to
+	// ring.Owner of the request's graph key, and each retry walks one
+	// step down the key's ring preference list.
+	ring *ring.Ring
+
 	attempts, retries atomic.Uint64
 }
 
@@ -39,6 +45,26 @@ func NewClient(baseURL string, opts ...ClientOption) *Client {
 		opt(c)
 	}
 	return c
+}
+
+// NewClusterClient returns a client that ring-routes each keyed request
+// (register, schedule, simulate, sweep) directly to the replica owning the
+// request's graph key — the same consistent-hash, same default virtual
+// node count as the cluster router, so client-side routing reproduces the
+// router's placement with zero extra network hops. With WithRetry, retry
+// attempt k walks to the k-th member of the key's ring preference list:
+// a down or draining owner fails over to the next ring owner and an
+// overloaded owner's 429 spills to the second choice, never to a random
+// replica. Unkeyed GET endpoints (Stats, Schedulers, Health) go to the
+// first URL; probe replicas individually for per-replica state.
+func NewClusterClient(baseURLs []string, opts ...ClientOption) (*Client, error) {
+	r, err := ring.New(baseURLs)
+	if err != nil {
+		return nil, fmt.Errorf("serve: cluster client: %w", err)
+	}
+	c := NewClient(baseURLs[0], opts...)
+	c.ring = r
+	return c, nil
 }
 
 // ClientOption configures a Client.
@@ -85,6 +111,38 @@ func (c *Client) Metrics() ClientMetrics {
 	return m
 }
 
+// baseFor picks the base URL of one attempt: single-node clients always
+// use their configured base; cluster clients route a keyed request to the
+// ring owner of its graph key and walk the preference list on retries, so
+// failover lands on the replica the router would pick too. Unkeyed
+// requests (key "") stay on the first URL.
+func (c *Client) baseFor(key string, attempt int) string {
+	if c.ring == nil || key == "" {
+		return c.base
+	}
+	owners := c.ring.Owners(key, len(c.ring.Members()))
+	return owners[attempt%len(owners)]
+}
+
+// keyOf derives the ring routing key of a keyed request (cluster clients
+// only; "" routes to the default base). An inline graph hashes to the
+// same canonical key registration would assign; a graph the server would
+// reject routes by "" — any replica will produce the structured error.
+func (c *Client) keyOf(graphID string, graph json.RawMessage, times [][]float64) string {
+	if c.ring == nil {
+		return ""
+	}
+	if graphID != "" {
+		return graphID
+	}
+	if len(graph) > 0 {
+		if key, err := GraphKey(graph, times); err == nil {
+			return key
+		}
+	}
+	return ""
+}
+
 // RegisterGraph registers g (with an optional pool-time matrix; pass nil
 // for a dual graph) and returns its id.
 func (c *Client) RegisterGraph(ctx context.Context, g *memsched.Graph, times [][]float64) (RegisterResponse, error) {
@@ -93,14 +151,14 @@ func (c *Client) RegisterGraph(ctx context.Context, g *memsched.Graph, times [][
 		return RegisterResponse{}, fmt.Errorf("serve: encoding graph: %w", err)
 	}
 	var out RegisterResponse
-	err = c.post(ctx, "/v1/graphs", RegisterRequest{Graph: raw, Times: times}, &out)
+	err = c.post(ctx, "/v1/graphs", c.keyOf("", raw, times), RegisterRequest{Graph: raw, Times: times}, &out)
 	return out, err
 }
 
 // Schedule runs a list-scheduling heuristic as described by req.
 func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (ScheduleResponse, error) {
 	var out ScheduleResponse
-	err := c.post(ctx, "/v1/schedule", req, &out)
+	err := c.post(ctx, "/v1/schedule", c.keyOf(req.GraphID, req.Graph, req.Times), req, &out)
 	return out, err
 }
 
@@ -108,7 +166,7 @@ func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (ScheduleRes
 // the dispatch order; Scheduler and Insertion are ignored).
 func (c *Client) Simulate(ctx context.Context, req ScheduleRequest) (ScheduleResponse, error) {
 	var out ScheduleResponse
-	err := c.post(ctx, "/v1/simulate", req, &out)
+	err := c.post(ctx, "/v1/simulate", c.keyOf(req.GraphID, req.Graph, req.Times), req, &out)
 	return out, err
 }
 
@@ -134,6 +192,7 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, onPoint func(Sweep
 	if err != nil {
 		return nil, fmt.Errorf("serve: encoding request: %w", err)
 	}
+	key := c.keyOf(req.GraphID, req.Graph, req.Times)
 	next := 0 // first point index not yet delivered to onPoint
 	deliver := func(pt SweepPoint) error {
 		if pt.Index < next {
@@ -165,7 +224,7 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, onPoint func(Sweep
 				return nil, err
 			}
 		}
-		sum, err := c.sweepOnce(ctx, body, deliver, attempt)
+		sum, err := c.sweepOnce(ctx, c.baseFor(key, attempt), body, deliver, attempt)
 		var cb *callbackError
 		isCallback := errors.As(err, &cb)
 		if c.breaker != nil {
@@ -186,9 +245,9 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, onPoint func(Sweep
 }
 
 // sweepOnce is one attempt of Sweep: one POST and one full stream decode.
-func (c *Client) sweepOnce(ctx context.Context, body []byte, deliver func(SweepPoint) error, attempt int) (*SweepSummary, error) {
+func (c *Client) sweepOnce(ctx context.Context, base string, body []byte, deliver func(SweepPoint) error, attempt int) (*SweepSummary, error) {
 	c.attempts.Add(1)
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweep", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweep", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +261,7 @@ func (c *Client) sweepOnce(ctx context.Context, body []byte, deliver func(SweepP
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return nil, apiErrorOf(resp)
+		return nil, DecodeAPIError(resp)
 	}
 
 	dec := json.NewDecoder(resp.Body)
@@ -268,28 +327,40 @@ func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	return out, err
 }
 
-// Health probes /healthz; a nil error means the server answered.
+// Health probes /healthz; a nil error means the server answered healthy.
 func (c *Client) Health(ctx context.Context) error {
-	return c.get(ctx, "/healthz", &map[string]string{})
+	_, err := c.Healthz(ctx)
+	return err
 }
 
-func (c *Client) post(ctx context.Context, path string, in, out any) error {
+// Healthz probes /healthz and returns the replica's health body: its id,
+// drain state and session-cache counters. A draining replica answers 503,
+// which surfaces as an *APIError.
+func (c *Client) Healthz(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.get(ctx, "/healthz", &out)
+	return out, err
+}
+
+func (c *Client) post(ctx context.Context, path, key string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("serve: encoding request: %w", err)
 	}
-	return c.call(ctx, http.MethodPost, path, body, out)
+	return c.call(ctx, http.MethodPost, path, key, body, out)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	return c.call(ctx, http.MethodGet, path, nil, out)
+	return c.call(ctx, http.MethodGet, path, "", nil, out)
 }
 
 // call drives one logical request through the retry loop: breaker gate,
 // attempt, classify, back off (full jitter, floored at the server's
 // Retry-After hint), try again — until success, a terminal error, the
-// attempt budget, or the caller's context ends.
-func (c *Client) call(ctx context.Context, method, path string, body []byte, out any) error {
+// attempt budget, or the caller's context ends. In cluster mode each
+// attempt of a keyed request targets the next member of the key's ring
+// preference list.
+func (c *Client) call(ctx context.Context, method, path, key string, body []byte, out any) error {
 	attempts := 1
 	if c.retry != nil {
 		attempts = c.retry.MaxAttempts
@@ -307,7 +378,7 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte, out
 				return err
 			}
 		}
-		err := c.once(ctx, method, path, body, out, attempt)
+		err := c.once(ctx, method, c.baseFor(key, attempt)+path, body, out, attempt)
 		if c.breaker != nil {
 			c.breaker.record(err == nil || !Retryable(err))
 		}
@@ -322,14 +393,14 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte, out
 	return lastErr
 }
 
-// once sends a single attempt and decodes the response.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any, attempt int) error {
+// once sends a single attempt to url and decodes the response.
+func (c *Client) once(ctx context.Context, method, url string, body []byte, out any, attempt int) error {
 	c.attempts.Add(1)
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return err
 	}
@@ -345,7 +416,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return apiErrorOf(resp)
+		return DecodeAPIError(resp)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("serve: decoding response: %w", err)
@@ -353,9 +424,12 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	return nil
 }
 
-// apiErrorOf turns a non-2xx response into a typed *APIError, keeping the
-// structured body when there is one and the Retry-After hint when set.
-func apiErrorOf(resp *http.Response) *APIError {
+// DecodeAPIError turns a non-2xx response into a typed *APIError, keeping
+// the structured {error, code} body when there is one and the Retry-After
+// hint when set. Exported for layers that speak to a replica without a
+// Client — the cluster router classifies upstream refusals (draining 503s,
+// backpressure 429s) with it.
+func DecodeAPIError(resp *http.Response) *APIError {
 	ae := &APIError{Status: resp.StatusCode, Code: CodeInternal,
 		Message: fmt.Sprintf("unexpected response (status %s)", resp.Status)}
 	var body ErrorResponse

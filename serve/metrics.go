@@ -136,6 +136,7 @@ func (m *metrics) render(w *strings.Builder, st StatsResponse) {
 	counter("memschedd_sweep_points_total", "Sweep point results streamed to clients.", st.SweepPoints)
 	counter("memschedd_session_cache_hits_total", "Session cache hits on the schedule path.", st.SessionHits)
 	counter("memschedd_session_cache_misses_total", "Session cache misses on the schedule path.", st.SessionMisses)
+	counter("memschedd_session_cache_evictions_total", "Sessions displaced from the full LRU cache.", st.SessionEvictions)
 	counter("memschedd_candidate_cache_hits_total", "Engine candidate-memo hits, aggregated over runs.", st.CandidateHits)
 	counter("memschedd_candidate_cache_misses_total", "Engine candidate-memo misses, aggregated over runs.", st.CandidateMisses)
 	counter("memschedd_shed_total", "Requests refused by the load shedder (429, code \"shed\").", st.Shed)

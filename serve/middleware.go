@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -99,17 +100,79 @@ func (s *Server) withRateLimit(next http.Handler) http.Handler {
 	if s.limiter == nil {
 		return next
 	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ok, wait := s.limiter.take()
-		if !ok {
-			s.rateLimited.Add(1)
-			writeRetryAfter(w, wait)
-			writeError(w, http.StatusTooManyRequests, CodeRateLimited,
-				fmt.Sprintf("rate limit exceeded (%g req/s)", s.cfg.RateLimit))
-			return
-		}
-		next.ServeHTTP(w, r)
-	})
+	return rateLimit(s.limiter, s.cfg.RateLimit, func() { s.rateLimited.Add(1) })(next)
+}
+
+// rateLimit is the shared token-bucket link behind both the Server's
+// withRateLimit and the standalone RateLimitMiddleware.
+func rateLimit(tb *tokenBucket, rate float64, onLimited func()) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ok, wait := tb.take()
+			if !ok {
+				if onLimited != nil {
+					onLimited()
+				}
+				writeRetryAfter(w, wait)
+				writeError(w, http.StatusTooManyRequests, CodeRateLimited,
+					fmt.Sprintf("rate limit exceeded (%g req/s)", rate))
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// RateLimitMiddleware is the Server's token-bucket front door as a
+// standalone link, for composing the same chain in front of a handler
+// that is not a Server — the cluster router. rate is requests/second
+// shared across all clients, burst the bucket depth (<= 0 means
+// ceil(rate)); a refused request gets the identical structured 429
+// (code "rate_limited") + Retry-After. onLimited, when non-nil, is
+// invoked once per refused request (metrics hook).
+func RateLimitMiddleware(rate float64, burst int, onLimited func()) Middleware {
+	return rateLimit(newTokenBucket(rate, burst), rate, onLimited)
+}
+
+// ConcurrencyLimitMiddleware bounds concurrently served requests at max,
+// shedding excess immediately with the structured 429 (code "shed") +
+// Retry-After instead of queueing — the right shape for an IO-bound
+// router, where a queue only adds latency in front of replicas that have
+// queues of their own. inFlight, when non-nil, is maintained as the
+// current concurrency gauge (metrics hook); onShed, when non-nil, is
+// invoked once per refused request.
+func ConcurrencyLimitMiddleware(max int64, inFlight *atomic.Int64, onShed func()) Middleware {
+	if inFlight == nil {
+		inFlight = new(atomic.Int64)
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if n := inFlight.Add(1); n > max {
+				inFlight.Add(-1)
+				if onShed != nil {
+					onShed()
+				}
+				writeRetryAfter(w, time.Second)
+				writeError(w, http.StatusTooManyRequests, CodeShed,
+					fmt.Sprintf("server overloaded: %d requests already in flight", max))
+				return
+			}
+			defer inFlight.Add(-1)
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// BodyCapMiddleware bounds request bodies at maxBytes as a standalone
+// link (see withBodyCap); oversize payloads surface as a structured 413
+// at the first read past the cap.
+func BodyCapMiddleware(maxBytes int64) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+			next.ServeHTTP(w, r)
+		})
+	}
 }
 
 // withShed is the queue-depth-aware load shedder (Config.ShedQueueDepth):
@@ -185,8 +248,5 @@ func (s *Server) withSweepAdmission(next http.Handler) http.Handler {
 // payload surfaces as *http.MaxBytesError from the decode, which
 // decodeBody classifies as a structured 413.
 func (s *Server) withBodyCap(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
-		next.ServeHTTP(w, r)
-	})
+	return BodyCapMiddleware(s.cfg.MaxRequestBytes)(next)
 }

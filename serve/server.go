@@ -24,6 +24,10 @@ import (
 type Config struct {
 	// Addr is the listen address of ListenAndServe (default "127.0.0.1:8080").
 	Addr string
+	// ReplicaID names this replica in the /healthz body so routers and
+	// load reports can attribute state per replica. Empty is fine for a
+	// single-node deployment (default "").
+	ReplicaID string
 	// CacheSize bounds the session LRU cache (default 256 graphs).
 	CacheSize int
 	// MaxInFlight bounds the number of requests concurrently doing
@@ -205,9 +209,7 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/schedulers", s.handleSchedulers)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no such endpoint: %s %s", r.Method, r.URL.Path))
 	})
@@ -305,29 +307,58 @@ func (s *Server) Addr() string {
 	return ""
 }
 
+// handleHealthz answers the liveness/readiness probe with the replica's
+// identity and session-cache state. A draining replica answers 503 so ring
+// routers (and plain load balancers watching the status code) stop sending
+// it work while its in-flight requests finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.smu.Lock()
+	cached, evictions := s.sessions.Len(), s.sessions.Evictions()
+	s.smu.Unlock()
+	resp := HealthResponse{
+		Status:          "ok",
+		ReplicaID:       s.cfg.ReplicaID,
+		Draining:        s.draining.Load(),
+		SessionsCached:  cached,
+		SessionCapacity: s.cfg.CacheSize,
+		SessionHits:     s.sessionHits.Load(),
+		SessionMisses:   s.sessionMisses.Load(),
+		Evictions:       evictions,
+		UptimeMS:        time.Since(s.start).Milliseconds(),
+	}
+	status := http.StatusOK
+	if resp.Draining {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() StatsResponse {
 	s.smu.Lock()
 	cached := s.sessions.Len()
+	evictions := s.sessions.Evictions()
 	s.smu.Unlock()
 	st := StatsResponse{
-		Requests:        s.requests.Load(),
-		Scheduled:       s.scheduled.Load(),
-		SweepPoints:     s.sweepPoints.Load(),
-		SessionHits:     s.sessionHits.Load(),
-		SessionMisses:   s.sessionMisses.Load(),
-		SessionsCached:  cached,
-		SessionCapacity: s.cfg.CacheSize,
-		CandidateHits:   s.candidateHits.Load(),
-		CandidateMisses: s.candidateMiss.Load(),
-		InFlight:        s.inFlight.Load(),
-		MaxInFlight:     s.cfg.MaxInFlight,
-		QueueDepth:      s.waiting.Load(),
-		Shed:            s.shed.Load(),
-		RateLimited:     s.rateLimited.Load(),
-		Retried:         s.retried.Load(),
-		Draining:        s.draining.Load(),
-		UptimeMS:        time.Since(s.start).Milliseconds(),
+		Requests:         s.requests.Load(),
+		Scheduled:        s.scheduled.Load(),
+		SweepPoints:      s.sweepPoints.Load(),
+		SessionHits:      s.sessionHits.Load(),
+		SessionMisses:    s.sessionMisses.Load(),
+		SessionsCached:   cached,
+		SessionCapacity:  s.cfg.CacheSize,
+		SessionEvictions: evictions,
+		CandidateHits:    s.candidateHits.Load(),
+		CandidateMisses:  s.candidateMiss.Load(),
+		InFlight:         s.inFlight.Load(),
+		MaxInFlight:      s.cfg.MaxInFlight,
+		QueueDepth:       s.waiting.Load(),
+		Shed:             s.shed.Load(),
+		RateLimited:      s.rateLimited.Load(),
+		Retried:          s.retried.Load(),
+		Draining:         s.draining.Load(),
+		UptimeMS:         time.Since(s.start).Milliseconds(),
 	}
 	if s.chaos != nil {
 		st.ChaosLatency = s.chaos.latencies.Load()

@@ -222,6 +222,10 @@ type StatsResponse struct {
 	SessionMisses   uint64 `json:"session_cache_misses"`
 	SessionsCached  int    `json:"sessions_cached"`
 	SessionCapacity int    `json:"session_cache_capacity"`
+	// SessionEvictions counts sessions displaced from the full LRU cache —
+	// the cache-pressure signal sharding the key space across replicas is
+	// supposed to reduce.
+	SessionEvictions uint64 `json:"session_cache_evictions"`
 	// CandidateHits / CandidateMisses aggregate the engines' per-run
 	// candidate-memo counters (memsched.Stats.CacheHits/CacheMisses)
 	// over all runs.
@@ -285,6 +289,24 @@ const RetryAttemptHeader = "X-Retry-Attempt"
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
+}
+
+// HealthResponse is the body of GET /healthz: enough per-replica state for
+// a router's health checker (and a load report) to attribute cache
+// behaviour and drain status to a specific replica. Status is "ok" while
+// the replica serves (HTTP 200) and "draining" once graceful shutdown has
+// begun (HTTP 503 — a drained replica is alive but must stop receiving
+// routed work).
+type HealthResponse struct {
+	Status          string `json:"status"`
+	ReplicaID       string `json:"replica_id,omitempty"`
+	Draining        bool   `json:"draining"`
+	SessionsCached  int    `json:"sessions_cached"`
+	SessionCapacity int    `json:"session_cache_capacity"`
+	SessionHits     uint64 `json:"session_cache_hits"`
+	SessionMisses   uint64 `json:"session_cache_misses"`
+	Evictions       uint64 `json:"session_cache_evictions"`
+	UptimeMS        int64  `json:"uptime_ms"`
 }
 
 // APIError is the typed error the Client returns for non-2xx responses
