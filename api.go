@@ -2,7 +2,6 @@ package memsched
 
 import (
 	"context"
-	"errors"
 	"io"
 	"time"
 
@@ -285,88 +284,13 @@ func Simulate(g *Graph, p Platform, policy SimPolicy, seed int64) (*Schedule, er
 	return res.Schedule, nil
 }
 
-// Deprecated names of the unified pool surface: before the Session redesign
-// the k-pool generalisation lived behind a parallel Multi* type system.
-type (
-	// MemoryPool is the old name of Pool.
-	//
-	// Deprecated: use Pool.
-	MemoryPool = Pool
-	// MultiPlatform is the old name of Platform (pools are the primary
-	// model now; dual-memory is the 2-pool case).
-	//
-	// Deprecated: use Platform.
-	MultiPlatform = Platform
-	// MultiInstance is the old name of Instance.
-	//
-	// Deprecated: use Instance, or NewSession with WithPoolTimes.
-	MultiInstance = Instance
-	// MultiSchedule is the old name of PoolSchedule.
-	//
-	// Deprecated: use PoolSchedule.
-	MultiSchedule = PoolSchedule
-	// MultiSchedulerFunc is the signature of the deprecated generalised
-	// heuristics.
-	//
-	// Deprecated: create a k-pool Session and call Schedule.
-	MultiSchedulerFunc = func(*MultiInstance, MultiPlatform, Options) (*MultiSchedule, error)
-)
-
-// NewMultiPlatform builds a multi-pool platform.
-//
-// Deprecated: use NewPlatform.
-func NewMultiPlatform(pools ...Pool) Platform { return NewPlatform(pools...) }
-
-// NewMultiInstance couples a graph with a Times[task][pool] matrix.
-//
-// Deprecated: use NewInstance, or NewSession with WithPoolTimes.
-func NewMultiInstance(g *Graph, times [][]float64) *Instance { return NewInstance(g, times) }
+// The parallel Multi* type system (MemoryPool, MultiPlatform, MultiInstance,
+// MultiSchedule, MultiSchedulerFunc, NewMultiPlatform, NewMultiInstance,
+// MultiMemHEFT, MultiMemMinMin, ErrMultiMemoryBound) that predated the
+// unified pool surface has been removed after its deprecation release; see
+// docs/MIGRATION.md for the one-line replacements on the Session API.
 
 // DualInstance converts a dual-memory graph into a 2-pool instance (pool 0
 // blue, pool 1 red); the generalised heuristics then reproduce MemHEFT /
 // MemMinMin exactly.
 func DualInstance(g *Graph) *Instance { return multi.FromDual(g) }
-
-// multiViaSession adapts a deprecated generalised-scheduler call onto the
-// Session path: a throwaway Session carries the instance's pool times, so
-// the call runs exactly the code (and memo wiring) a Session user gets —
-// the wrappers used to call the engine directly and silently skipped every
-// memo layer. The session is discarded afterwards, so repeated calls still
-// recompute the ranking phase: hot loops should hold a real Session.
-//
-// One contract change rides along: like every Session call, a failed run
-// returns a nil schedule — the pre-Session wrappers leaked the partial
-// schedule alongside ErrMemoryBound.
-func multiViaSession(in *MultiInstance, p MultiPlatform, name string, seed int64) (*MultiSchedule, error) {
-	if in == nil || in.G == nil {
-		return nil, errors.New("multi: nil graph")
-	}
-	sess, err := NewSession(in.G, WithPoolTimes(in.Times))
-	if err != nil {
-		return nil, err
-	}
-	res, err := sess.Schedule(context.Background(), p, WithScheduler(name), WithSeed(seed))
-	if err != nil {
-		return nil, err
-	}
-	return res.Pools, nil
-}
-
-// Generalised schedulers for multi-pool platforms.
-//
-// Deprecated: create a Session (WithPoolTimes for explicit matrices) and
-// call Schedule with WithScheduler.
-var (
-	MultiMemHEFT MultiSchedulerFunc = func(in *MultiInstance, p MultiPlatform, opt Options) (*MultiSchedule, error) {
-		return multiViaSession(in, p, "memheft", opt.Seed)
-	}
-	MultiMemMinMin MultiSchedulerFunc = func(in *MultiInstance, p MultiPlatform, opt Options) (*MultiSchedule, error) {
-		return multiViaSession(in, p, "memminmin", opt.Seed)
-	}
-)
-
-// ErrMultiMemoryBound is the old name of the shared memory-bound sentinel;
-// it is the same error value as ErrMemoryBound.
-//
-// Deprecated: use ErrMemoryBound.
-var ErrMultiMemoryBound = multi.ErrMemoryBound

@@ -2,6 +2,7 @@ package memsched
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -116,18 +117,23 @@ func TestFacadeMemoryConstants(t *testing.T) {
 }
 
 func TestFacadeMultiPool(t *testing.T) {
+	ctx := context.Background()
 	g := PaperExample()
 	inst := DualInstance(g)
-	p := NewMultiPlatform(MemoryPool{Procs: 1, Capacity: 10}, MemoryPool{Procs: 1, Capacity: 10})
-	for _, fn := range []MultiSchedulerFunc{MultiMemHEFT, MultiMemMinMin} {
-		s, err := fn(inst, p, Options{Seed: 1})
+	sess, err := NewSession(g, WithPoolTimes(inst.Times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlatform(Pool{Procs: 1, Capacity: 10}, Pool{Procs: 1, Capacity: 10})
+	for _, name := range []string{"memheft", "memminmin"} {
+		res, err := sess.Schedule(ctx, p, WithScheduler(name), WithSeed(1))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Validate(); err != nil {
+		if err := res.Pools.Validate(); err != nil {
 			t.Fatal(err)
 		}
-		if len(s.MemoryPeaks()) != 2 {
+		if len(res.Pools.MemoryPeaks()) != 2 {
 			t.Fatal("peak count")
 		}
 	}
@@ -136,16 +142,16 @@ func TestFacadeMultiPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, err := MultiMemHEFT(inst, p, Options{Seed: 1})
+	ms, err := sess.Schedule(ctx, p, WithScheduler("memheft"), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dual.Makespan() != ms.Makespan() {
-		t.Fatalf("dual %g vs multi %g", dual.Makespan(), ms.Makespan())
+	if dual.Makespan() != ms.Pools.Makespan() {
+		t.Fatalf("dual %g vs multi %g", dual.Makespan(), ms.Pools.Makespan())
 	}
 	// Tiny memories must error with the sentinel.
-	tiny := NewMultiPlatform(MemoryPool{Procs: 1, Capacity: 2}, MemoryPool{Procs: 1, Capacity: 2})
-	if _, err := MultiMemHEFT(inst, tiny, Options{}); !errors.Is(err, ErrMultiMemoryBound) {
+	tiny := NewPlatform(Pool{Procs: 1, Capacity: 2}, Pool{Procs: 1, Capacity: 2})
+	if _, err := sess.Schedule(ctx, tiny, WithScheduler("memheft")); !errors.Is(err, ErrMemoryBound) {
 		t.Fatalf("err = %v", err)
 	}
 }

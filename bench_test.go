@@ -10,6 +10,7 @@ import (
 	"context"
 	"testing"
 
+	memsched "repro"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/daggen"
@@ -234,12 +235,17 @@ func BenchmarkMultiMemMinMinRef300k3(b *testing.B) {
 // ranking once per worker, which is part of the fan-out cost.
 // BenchmarkSweep64x1000Workers1 against BenchmarkSweep64x1000WorkersMax is
 // the engine's scaling headline (equal on a single-core host; the results
-// are bit-identical at every worker count, see repro/sweep's tests).
-func benchSweep(b *testing.B, workers int) {
+// are bit-identical at every worker count, see repro/sweep's tests). Both
+// pin Replay to off so they keep measuring the from-scratch engine;
+// BenchmarkSweep64x1000Replay runs the identical workload under the default
+// warm-start policy, so Replay/Workers1 is the capacity-delta replay
+// speedup on bit-identical results.
+func benchSweep(b *testing.B, workers int, replay string) {
 	sess, spec, err := experiments.SweepBench(1000, workers)
 	if err != nil {
 		b.Fatal(err)
 	}
+	spec.Replay = replay
 	if _, err := sweep.Run(tctx, sess, spec); err != nil {
 		b.Fatal(err)
 	}
@@ -255,8 +261,42 @@ func benchSweep(b *testing.B, workers int) {
 	}
 }
 
-func BenchmarkSweep64x1000Workers1(b *testing.B)   { benchSweep(b, 1) }
-func BenchmarkSweep64x1000WorkersMax(b *testing.B) { benchSweep(b, 0) }
+func BenchmarkSweep64x1000Workers1(b *testing.B)   { benchSweep(b, 1, sweep.ReplayOff) }
+func BenchmarkSweep64x1000WorkersMax(b *testing.B) { benchSweep(b, 0, sweep.ReplayOff) }
+func BenchmarkSweep64x1000Replay(b *testing.B)     { benchSweep(b, 1, sweep.ReplayAuto) }
+
+// --- Session fork cost ---
+
+// benchFork measures Session.Fork plus one schedule on the fork, against a
+// parent whose memos are fully warm. The warm (copy-on-write) fork inherits
+// the parent's rank and priority memos behind frozen views, so its first
+// schedule costs one engine pass; the cold fork pays ranking again — the
+// gap is the price ForkCold buys isolation with.
+func benchFork(b *testing.B, opts ...memsched.ForkOption) {
+	params := daggen.LargeParams()
+	params.Size = 1000
+	g, err := daggen.Generate(params, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := memsched.NewSession(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := memsched.NewDualPlatform(2, 2, memsched.Unlimited, memsched.Unlimited)
+	if _, err := sess.Schedule(tctx, p, memsched.WithSeed(7)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Fork(opts...).Schedule(tctx, p, memsched.WithSeed(7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForkWarm1000(b *testing.B) { benchFork(b) }
+func BenchmarkForkCold1000(b *testing.B) { benchFork(b, memsched.ForkCold()) }
 
 // --- Ablations (design choices called out in DESIGN.md) ---
 

@@ -19,7 +19,8 @@ import (
 // experiments.KPoolBench, with Ref selecting the retained eager oracle
 // instead of the incremental scheduler; sweep cases (Sweep == true) run the
 // 64-point fixture of bench_test.go through the parallel sweep engine with
-// the given worker bound (0 = GOMAXPROCS).
+// the given worker bound (0 = GOMAXPROCS) and replay policy; fork cases
+// (Fork != "") measure Session.Fork plus one schedule on the fork.
 type Case struct {
 	Name      string
 	Scheduler string // registry name passed to WithScheduler
@@ -29,6 +30,8 @@ type Case struct {
 	Ref       bool
 	Sweep     bool
 	Workers   int
+	Replay    string // sweep replay policy; "" keeps the engine default (auto)
+	Fork      string // "warm" or "cold": benchmark Fork()+Schedule instead
 }
 
 // defaultCases is the tracked suite.
@@ -49,9 +52,19 @@ func defaultCases() []Case {
 		// Sweep engine (PR 5): one 64-point batch (16 alphas × 2
 		// heuristics × 2 seeds) on a warm n=1000 session, single-worker
 		// vs full fan-out. On multi-core hardware the ratio of the two
-		// is the engine's scaling factor.
-		{Name: "Sweep64x1000w1", Size: 1000, Sweep: true, Workers: 1},
-		{Name: "Sweep64x1000wAll", Size: 1000, Sweep: true, Workers: 0},
+		// is the engine's scaling factor. Both pin replay off so they
+		// keep tracking the from-scratch engine.
+		{Name: "Sweep64x1000w1", Size: 1000, Sweep: true, Workers: 1, Replay: sweep.ReplayOff},
+		{Name: "Sweep64x1000wAll", Size: 1000, Sweep: true, Workers: 0, Replay: sweep.ReplayOff},
+		// Warm-start sweep (PR 8): the identical workload under
+		// capacity-delta replay. Sweep64x1000w1 / Sweep64x1000Replay is
+		// the replay speedup on bit-identical results.
+		{Name: "Sweep64x1000Replay", Size: 1000, Sweep: true, Workers: 1, Replay: sweep.ReplayAuto},
+		// Copy-on-write forks (PR 8): fork a warm n=1000 session and
+		// schedule once. The warm fork inherits rank/priority memos
+		// behind frozen views; the cold fork re-ranks from scratch.
+		{Name: "ForkWarm1000", Size: 1000, Fork: "warm"},
+		{Name: "ForkCold1000", Size: 1000, Fork: "cold"},
 	}
 }
 
@@ -60,6 +73,8 @@ func defaultCases() []Case {
 // testing.Benchmark self-calibrates the iteration count.
 func run(c Case) (Result, error) {
 	switch {
+	case c.Fork != "":
+		return runFork(c)
 	case c.Sweep:
 		return runSweep(c)
 	case c.Pools >= 2:
@@ -67,6 +82,45 @@ func run(c Case) (Result, error) {
 	default:
 		return runDual(c)
 	}
+}
+
+// runFork measures Session.Fork plus one schedule on the fork against a
+// parent with warm memos — the same workload as BenchmarkFork*1000 in
+// bench_test.go.
+func runFork(c Case) (Result, error) {
+	ctx := context.Background()
+	params := daggen.LargeParams()
+	params.Size = c.Size
+	g, err := daggen.Generate(params, 7)
+	if err != nil {
+		return Result{}, err
+	}
+	sess, err := memsched.NewSession(g)
+	if err != nil {
+		return Result{}, err
+	}
+	p := memsched.NewDualPlatform(2, 2, memsched.Unlimited, memsched.Unlimited)
+	if _, err := sess.Schedule(ctx, p, memsched.WithSeed(7)); err != nil {
+		return Result{}, err
+	}
+	var opts []memsched.ForkOption
+	if c.Fork == "cold" {
+		opts = append(opts, memsched.ForkCold())
+	}
+	var schedErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Fork(opts...).Schedule(ctx, p, memsched.WithSeed(7)); err != nil {
+				schedErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if schedErr != nil {
+		return Result{}, schedErr
+	}
+	return toResult(br), nil
 }
 
 // runSweep measures the parallel sweep engine on the shared deterministic
@@ -78,6 +132,7 @@ func runSweep(c Case) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	spec.Replay = c.Replay
 	if _, err := sweep.Run(ctx, sess, spec); err != nil {
 		return Result{}, err
 	}

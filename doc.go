@@ -57,10 +57,15 @@
 // makespan, per-pool peak residency, candidate-cache hit rate, per-pool
 // task counts (k-pool engine), search nodes, wall time.
 //
-// Session.Fork returns a twin session with fresh memo caches for
-// contention-free parallel use: forks produce bit-identical schedules and
-// never share a mutex with their parent, which is what package repro/sweep
-// builds its per-worker fan-out on.
+// Session.Fork returns a twin session for contention-free parallel use:
+// forks produce bit-identical schedules and never share a mutex with their
+// parent, which is what package repro/sweep builds its per-worker fan-out
+// on. By default a fork is born warm — it inherits the parent's immutable
+// memos (statics, validation, ranks, priority lists) behind copy-on-write
+// wrappers and detaches on the first divergent write; Fork(ForkCold())
+// starts from empty caches instead. Session.WarmUp precomputes those memos
+// ahead of time, and WithWarmStart enables capacity-delta replay across
+// Schedule calls (see ReplayEligible).
 //
 // The package also exposes graph construction and serialisation (Graph,
 // NewGraph, ReadGraph), a canonical per-graph content hash (GraphHash),
@@ -112,12 +117,12 @@
 //
 // # Deprecated flat API
 //
-// The pre-Session facade (MemHEFT, MultiMemHEFT, SchedulerByName, Optimal,
-// Simulate as top-level functions, and the parallel Multi* type names)
-// survives as thin deprecated wrappers for one release; the one breaking
-// change is NewPlatform, repurposed for pool lists — old four-argument
-// callers switch to NewDualPlatform. See docs/MIGRATION.md for the full
-// mapping.
+// The pre-Session dual facade (MemHEFT, SchedulerByName, Optimal, Simulate
+// as top-level functions) survives as thin deprecated wrappers. The
+// parallel Multi* type names (MultiPlatform, MultiInstance, MultiMemHEFT,
+// ErrMultiMemoryBound, ...) completed their deprecation cycle and have been
+// removed — pool-aware callers use the unified Platform/Pool surface and a
+// Session. See docs/MIGRATION.md for the full mapping.
 //
 // See the examples/ directory for complete programs.
 package memsched

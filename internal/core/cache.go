@@ -33,6 +33,14 @@ type Caches struct {
 	nTasks, nEdges int
 	statics        *graphStatics
 	priority       *memo.Bounded[int64, []dag.TaskID]
+
+	// frozen is the read-only priority-list view inherited from Fork: a
+	// snapshot of the parent's memoized lists at fork time. Reads fall
+	// back to it after missing the own memo; writes always go to the own
+	// memo (copy-on-write — the first divergent seed detaches into
+	// private storage and the frozen view is never mutated). Dropped on
+	// rekey like every other memo.
+	frozen map[int64][]dag.TaskID
 }
 
 // NewCaches returns an empty cache set, ready to be shared by any number of
@@ -55,6 +63,56 @@ func (c *Caches) rekey(g *dag.Graph) {
 	if c.priority != nil {
 		c.priority.Reset()
 	}
+	c.frozen = nil
+}
+
+// Fork returns a child cache set born warm: it shares the parent's
+// immutable memos — the graph statics (inner slices are never mutated once
+// computed; the struct is copied so the validation flag stays private) and
+// a frozen snapshot of the memoized priority lists — behind copy-on-write
+// semantics. The child takes its own mutex from birth and never locks the
+// parent's again, so forked sessions stay contention-free; new seeds or a
+// re-keyed graph write only to the child's private memos.
+func (c *Caches) Fork() *Caches {
+	if c == nil {
+		return NewCaches()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	child := &Caches{g: c.g, nTasks: c.nTasks, nEdges: c.nEdges}
+	if c.statics != nil {
+		snap := *c.statics
+		child.statics = &snap
+	}
+	if len(c.frozen) > 0 {
+		child.frozen = make(map[int64][]dag.TaskID, len(c.frozen))
+		for seed, list := range c.frozen {
+			child.frozen[seed] = list
+		}
+	}
+	child.frozen = c.priority.Snapshot(child.frozen)
+	return child
+}
+
+// Warm precomputes everything a fork inherits — validation, graph statics
+// and the priority list of every given seed — with cooperative
+// cancellation, so forks taken afterwards are born fully warm.
+func (c *Caches) Warm(ctx context.Context, g *dag.Graph, seeds []int64) error {
+	if c == nil {
+		return nil
+	}
+	if err := c.warmStatics(ctx, g); err != nil {
+		return err
+	}
+	if err := c.Validate(g); err != nil {
+		return err
+	}
+	for _, seed := range seeds {
+		if _, err := c.PriorityList(ctx, g, seed); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // staticsOf returns the memoized statics of g, computing them on a miss.
@@ -117,6 +175,13 @@ func (c *Caches) PriorityList(ctx context.Context, g *dag.Graph, seed int64) ([]
 		c.priority = memo.NewBounded[int64, []dag.TaskID](maxPriorityEntries)
 	}
 	if list, ok := c.priority.Get(seed); ok {
+		out := append([]dag.TaskID(nil), list...)
+		c.mu.Unlock()
+		return out, nil
+	}
+	if list, ok := c.frozen[seed]; ok {
+		// Inherited from a fork: the frozen snapshot is read-only, so a
+		// copy serves the hit exactly like the own memo.
 		out := append([]dag.TaskID(nil), list...)
 		c.mu.Unlock()
 		return out, nil

@@ -62,6 +62,21 @@ type Options struct {
 	// Stats, when non-nil, receives run statistics (candidate-cache hit
 	// counters) accumulated over the run.
 	Stats *RunStats
+
+	// Record, when non-nil, receives this run's committed placement
+	// sequence (reset first, Complete set only on full success) so a later
+	// run can warm-start from it. Ignored by the insertion ablation and the
+	// exact/simulation paths.
+	Record *Trace
+
+	// Replay, when non-nil, is a previously recorded trace whose verified
+	// prefix is committed directly instead of re-deriving each decision.
+	// Only consulted when the trace's platform is replay-eligible for this
+	// run's platform (equal processor counts, capacities not grown); every
+	// replayed step is re-verified, so results are bit-identical either
+	// way. The trace is read-only and must not be mutated while any run
+	// may still replay it.
+	Replay *Trace
 }
 
 // RunStats carries the per-run statistics a heuristic reports through
@@ -73,6 +88,13 @@ type RunStats struct {
 	// Makespan is the running-max makespan of the produced schedule, so
 	// callers need not rescan the schedule to report it.
 	Makespan float64
+	// Replayed counts placements committed by verified warm-start replay
+	// (Options.Replay) instead of a fresh decision scan.
+	Replayed int
+	// ReplayTruncated reports that a requested replay stopped before
+	// consuming the whole trace — either the trace was ineligible for this
+	// platform or a recorded decision no longer verified.
+	ReplayTruncated bool
 }
 
 // Func is the common signature of all scheduling heuristics in this

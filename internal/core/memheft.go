@@ -74,9 +74,17 @@ func memHEFTWith(ctx context.Context, g *dag.Graph, p platform.Platform, opt Opt
 	st := NewPartialCached(g, p, opt.Caches)
 	defer st.reportStats(opt.Stats)
 	if insertion {
+		// The insertion ablation's commits depend on idle-gap state that a
+		// trace does not capture; it neither records nor replays.
 		st.ins = newInsertionState(p.TotalProcs())
+		opt.Record, opt.Replay = nil, nil
 	}
-	left := len(remaining)
+	rec := opt.Record
+	replayed, err := st.beginRun(ctx, p, opt)
+	if err != nil {
+		return st.sched, fmt.Errorf("core: MemHEFT interrupted: %w", err)
+	}
+	left := len(remaining) - replayed
 	head := 0 // index of the first unscheduled entry
 	step := 0
 	for left > 0 {
@@ -99,6 +107,10 @@ func memHEFTWith(ctx context.Context, g *dag.Graph, p platform.Platform, opt Opt
 			c := st.Best(id)
 			if !c.Feasible() {
 				continue
+			}
+			if rec != nil {
+				// Before Commit: recordStep measures pre-commit fit slacks.
+				st.recordStep(rec, c)
 			}
 			st.Commit(c)
 			left--
@@ -123,6 +135,9 @@ func memHEFTWith(ctx context.Context, g *dag.Graph, p platform.Platform, opt Opt
 			remaining = out
 			head = 0
 		}
+	}
+	if rec != nil {
+		rec.Complete = true
 	}
 	return st.sched, nil
 }

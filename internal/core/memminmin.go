@@ -39,13 +39,21 @@ func memMinMin(ctx context.Context, g *dag.Graph, p platform.Platform, opt Optio
 	st := NewPartialCached(g, p, opt.Caches)
 	defer st.reportStats(opt.Stats)
 
+	// Warm-start: replay the verified prefix of a previous run before the
+	// heap is built, so the heap starts from the post-replay ready set.
+	rec := opt.Record
+	replayed, err := st.beginRun(ctx, p, opt)
+	if err != nil {
+		return st.sched, fmt.Errorf("core: MemMinMin interrupted: %w", err)
+	}
+
 	h := make(eftHeap, 0, g.NumTasks())
 	for _, id := range st.ReadyTasks() {
 		h = append(h, eftEntry{id: id, cand: st.Best(id)})
 	}
 	h.init()
 
-	scheduled := 0
+	scheduled := replayed
 	for len(h) > 0 {
 		if err := ctxErr(ctx, scheduled); err != nil {
 			return st.sched, fmt.Errorf("core: MemMinMin interrupted: %w", err)
@@ -69,6 +77,10 @@ func memMinMin(ctx context.Context, g *dag.Graph, p platform.Platform, opt Optio
 			return st.sched, fmt.Errorf("%w (MemMinMin: %d of %d tasks unscheduled, %d ready tasks all blocked)",
 				ErrMemoryBound, g.NumTasks()-scheduled, g.NumTasks(), len(h))
 		}
+		if rec != nil {
+			// Before Commit: recordStep measures pre-commit fit slacks.
+			st.recordStep(rec, best.cand)
+		}
 		st.Commit(best.cand)
 		scheduled++
 		h.popMin()
@@ -79,6 +91,9 @@ func memMinMin(ctx context.Context, g *dag.Graph, p platform.Platform, opt Optio
 	if scheduled != g.NumTasks() {
 		// Unreachable for a validated DAG; defensive.
 		return st.sched, fmt.Errorf("core: MemMinMin scheduled %d of %d tasks", scheduled, g.NumTasks())
+	}
+	if rec != nil {
+		rec.Complete = true
 	}
 	return st.sched, nil
 }

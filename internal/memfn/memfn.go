@@ -408,6 +408,43 @@ func (s *Staircase) EarliestFit(lowerBound float64, need int64) float64 {
 	return math.Max(lowerBound, s.steps[lo].t)
 }
 
+// FitsFrom reports whether free(t') >= need for every t' >= t — equivalently
+// whether EarliestFit(0, need) <= t (times before 0 are clamped to 0). It is
+// the verification primitive of warm-start replay: confirming that a
+// recorded fit still holds under a shrunken capacity costs one
+// suffix-minimum lookup instead of a fresh earliest-fit search per memory.
+func (s *Staircase) FitsFrom(t float64, need int64) bool {
+	if need <= 0 {
+		return true
+	}
+	if s.steps[len(s.steps)-1].v < need {
+		return false
+	}
+	if !s.sufminOK {
+		s.rebuildSufmin()
+	}
+	if t < 0 {
+		t = 0
+	}
+	return s.sufmin[s.indexAt(t)] >= need
+}
+
+// SlackAt returns the suffix minimum of free over [max(t, 0), +inf) — the
+// largest need that FitsFrom(t, need) still accepts. Warm-start recording
+// uses it to measure how much headroom each committed fit had: shrinking the
+// capacity by delta shifts the whole free function, and hence every suffix
+// minimum, down by exactly delta, so a later replay passes the same fit at
+// the same position iff delta does not exceed the recorded slack.
+func (s *Staircase) SlackAt(t float64) int64 {
+	if !s.sufminOK {
+		s.rebuildSufmin()
+	}
+	if t < 0 {
+		t = 0
+	}
+	return s.sufmin[s.indexAt(t)]
+}
+
 // EarliestFitLinear is the paper's O(l) backward walk. It is retained as the
 // reference implementation that EarliestFit is tested against.
 func (s *Staircase) EarliestFitLinear(lowerBound float64, need int64) float64 {

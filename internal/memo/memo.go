@@ -51,5 +51,23 @@ func (b *Bounded[K, V]) Put(k K, v V) {
 // Len returns the number of memoized entries.
 func (b *Bounded[K, V]) Len() int { return len(b.m) }
 
+// Snapshot copies every entry into dst (allocated when nil and there is
+// anything to copy) and returns dst. The values are shared, not cloned —
+// callers snapshotting mutable values must treat them as read-only. A nil
+// receiver contributes nothing. Cache owners use this to hand a frozen
+// read-only view to copy-on-write forks.
+func (b *Bounded[K, V]) Snapshot(dst map[K]V) map[K]V {
+	if b == nil || len(b.m) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[K]V, len(b.m))
+	}
+	for k, v := range b.m {
+		dst[k] = v
+	}
+	return dst
+}
+
 // Reset drops every entry, keeping the bound.
 func (b *Bounded[K, V]) Reset() { clear(b.m) }

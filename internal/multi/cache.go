@@ -38,6 +38,12 @@ type Caches struct {
 	// the bookkeeping is reused; the produced Schedule always escapes to
 	// the caller untouched.
 	spare *Partial
+
+	// frozen is the read-only priority-list view inherited from Fork: a
+	// snapshot of the parent's memoized lists at fork time. Reads fall
+	// back to it after missing the own memo; writes always go to the own
+	// memo (copy-on-write). Dropped on rekey like every other memo.
+	frozen map[int64][]dag.TaskID
 }
 
 // instanceStatics holds the per-instance immutable inputs of a Partial plus
@@ -72,6 +78,58 @@ func (c *Caches) rekey(in *Instance) {
 		c.priority.Reset()
 	}
 	c.spare = nil
+	c.frozen = nil
+}
+
+// Fork returns a child cache set born warm, mirroring core.Caches.Fork: it
+// shares the parent's immutable memos — the instance statics (inner slices
+// are never mutated once computed; the struct is copied so the validation
+// fields stay private), the mean-rank slice (immutable once stored) and a
+// frozen snapshot of the memoized priority lists — behind copy-on-write
+// semantics. The spare Partial is deliberately not shared: it is mutable
+// scratch, and each fork recycles its own. The child takes its own mutex
+// from birth and never locks the parent's again.
+func (c *Caches) Fork() *Caches {
+	if c == nil {
+		return NewCaches()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	child := &Caches{in: c.in, nTasks: c.nTasks, nEdges: c.nEdges, ranks: c.ranks}
+	if c.statics != nil {
+		snap := *c.statics
+		child.statics = &snap
+	}
+	if len(c.frozen) > 0 {
+		child.frozen = make(map[int64][]dag.TaskID, len(c.frozen))
+		for seed, list := range c.frozen {
+			child.frozen[seed] = list
+		}
+	}
+	child.frozen = c.priority.Snapshot(child.frozen)
+	return child
+}
+
+// Warm precomputes everything a fork inherits — instance statics, mean
+// ranks and the priority list of every given seed — with cooperative
+// cancellation, so forks taken afterwards are born fully warm. Validation
+// is platform-dependent (matrix width) and stays lazy.
+func (c *Caches) Warm(ctx context.Context, in *Instance, seeds []int64) error {
+	if c == nil {
+		return nil
+	}
+	if err := c.warmStatics(ctx, in); err != nil {
+		return err
+	}
+	if _, err := c.MeanRanks(ctx, in); err != nil {
+		return err
+	}
+	for _, seed := range seeds {
+		if _, err := c.PriorityList(ctx, in, seed); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // computeStatics derives the per-instance immutable inputs of a Partial.
@@ -232,6 +290,13 @@ func (c *Caches) PriorityList(ctx context.Context, in *Instance, seed int64) ([]
 		c.priority = memo.NewBounded[int64, []dag.TaskID](maxPriorityEntries)
 	}
 	if list, ok := c.priority.Get(seed); ok {
+		out := append([]dag.TaskID(nil), list...)
+		c.mu.Unlock()
+		return out, nil
+	}
+	if list, ok := c.frozen[seed]; ok {
+		// Inherited from a fork: the frozen snapshot is read-only, so a
+		// copy serves the hit exactly like the own memo.
 		out := append([]dag.TaskID(nil), list...)
 		c.mu.Unlock()
 		return out, nil

@@ -31,6 +31,19 @@ type Options struct {
 	// Stats, when non-nil, receives run statistics accumulated over the
 	// run.
 	Stats *RunStats
+
+	// Record, when non-nil, receives this run's committed placement
+	// sequence (reset first, Complete set only on full success) so a later
+	// run can warm-start from it.
+	Record *Trace
+
+	// Replay, when non-nil, is a previously recorded trace whose verified
+	// prefix is committed directly instead of re-deriving each decision.
+	// Only consulted when the trace's platform is replay-eligible for this
+	// run's platform (see ReplayEligible); every replayed step is
+	// re-verified, so results are bit-identical either way. The trace is
+	// read-only and must not be mutated while any run may still replay it.
+	Replay *Trace
 }
 
 // RunStats carries the per-run statistics a heuristic reports through
@@ -43,6 +56,13 @@ type RunStats struct {
 	Makespan float64
 	// PoolTasks is the number of tasks committed to each pool.
 	PoolTasks []int
+	// Replayed counts placements committed by verified warm-start replay
+	// (Options.Replay) instead of a fresh decision scan.
+	Replayed int
+	// ReplayTruncated reports that a requested replay stopped before
+	// consuming the whole trace — either the trace was ineligible for this
+	// platform or a recorded decision no longer verified.
+	ReplayTruncated bool
 }
 
 // Func is the common signature of the generalised heuristics.
@@ -132,7 +152,12 @@ func MemHEFT(ctx context.Context, in *Instance, p Platform, opt Options) (*Sched
 	st := NewPartialCached(in, p, opt.Caches)
 	defer opt.Caches.Recycle(st)
 	defer st.reportStats(opt.Stats)
-	left := len(remaining)
+	rec := opt.Record
+	replayed, err := st.beginRun(ctx, p, opt)
+	if err != nil {
+		return st.sched, fmt.Errorf("multi: MemHEFT interrupted: %w", err)
+	}
+	left := len(remaining) - replayed
 	head := 0 // index of the first unscheduled entry
 	step := 0
 	for left > 0 {
@@ -151,6 +176,10 @@ func MemHEFT(ctx context.Context, in *Instance, p Platform, opt Options) (*Sched
 			c := st.Best(id)
 			if !c.Feasible() {
 				continue
+			}
+			if rec != nil {
+				// Before Commit: recordStep measures pre-commit fit slacks.
+				st.recordStep(rec, c)
 			}
 			st.Commit(c)
 			left--
@@ -176,6 +205,9 @@ func MemHEFT(ctx context.Context, in *Instance, p Platform, opt Options) (*Sched
 			head = 0
 		}
 	}
+	if rec != nil {
+		rec.Complete = true
+	}
 	return st.sched, nil
 }
 
@@ -184,9 +216,11 @@ func MemHEFT(ctx context.Context, in *Instance, p Platform, opt Options) (*Sched
 // time.
 //
 // The ready candidates live in a heap ordered by (EFT, task ID) — the
-// exact tie-breaking of the reference linear scan — with lazy invalidation:
-// after a commit, only entries whose memoized evaluation went stale are
-// re-evaluated before the minimum is popped. The context is checked
+// exact tie-breaking of the reference linear scan — with epoch-bucketed
+// lazy invalidation: the refresh tracks which pool epochs moved since the
+// last iteration, fully re-derives only entries whose incumbent pool
+// moved, and probes just the moved pools for everyone else (a commit
+// typically moves one or two of the k pools). The context is checked
 // cooperatively; cancellation returns ctx.Err() wrapped.
 func MemMinMin(ctx context.Context, in *Instance, p Platform, opt Options) (*Schedule, error) {
 	if ctx != nil {
@@ -205,24 +239,69 @@ func MemMinMin(ctx context.Context, in *Instance, p Platform, opt Options) (*Sch
 	defer st.reportStats(opt.Stats)
 	g := in.G
 
+	// Warm-start: replay the verified prefix of a previous run before the
+	// heap is built, so the heap starts from the post-replay ready set.
+	rec := opt.Record
+	replayed, err := st.beginRun(ctx, p, opt)
+	if err != nil {
+		return st.sched, fmt.Errorf("multi: MemMinMin interrupted: %w", err)
+	}
+
 	h := make(eftHeap, 0, g.NumTasks())
 	for _, id := range st.ReadyTasks() {
 		h = append(h, eftEntry{id: id, cand: st.Best(id)})
 	}
 	h.init()
 
-	scheduled := 0
+	// Epoch-bucketed refresh state: every heap entry is a ready task, so
+	// its parents are all committed and its parent stamp can never move
+	// again — staleness comes only from pool epochs. Tracking the epochs
+	// seen at the last refresh tells us exactly which pools mutated since,
+	// so the refresh recomputes the full Best only for entries whose
+	// memoized best sits on a moved pool, and for every other entry
+	// evaluates just the moved pools (served from the candidate memo when
+	// unchanged), instead of probing all k slots of every entry.
+	epochSeen := make([]uint64, st.k)
+	copy(epochSeen, st.epoch)
+	moved := make([]int, 0, st.k)
+
+	scheduled := replayed
 	for len(h) > 0 {
 		if err := ctxErr(ctx, scheduled); err != nil {
 			return st.sched, fmt.Errorf("multi: MemMinMin interrupted: %w", err)
 		}
-		// Lazy invalidation: refresh stale memoized candidates, then
-		// restore the heap order in one pass.
+		// Lazy invalidation: refresh candidates invalidated by moved pool
+		// epochs, then restore the heap order in one pass.
+		moved = moved[:0]
+		for k := 0; k < st.k; k++ {
+			if st.epoch[k] != epochSeen[k] {
+				moved = append(moved, k)
+				epochSeen[k] = st.epoch[k]
+			}
+		}
 		changed := false
-		for i := range h {
-			if !st.BestFresh(h[i].id) {
-				h[i].cand = st.Best(h[i].id)
-				changed = true
+		if len(moved) > 0 {
+			for i := range h {
+				e := &h[i]
+				if e.cand.Pool >= 0 && poolMoved(moved, e.cand.Pool) {
+					// The incumbent pool itself mutated: its EFT may
+					// have grown, so the full argmin must be redone.
+					if nb := st.Best(e.id); nb != e.cand {
+						e.cand = nb
+						changed = true
+					}
+					continue
+				}
+				// The incumbent pool is unchanged, so the memoized best
+				// still beats every unmoved pool; only a moved pool can
+				// displace it — with Best's exact lowest-pool tie-break.
+				for _, k := range moved {
+					c := st.Evaluate(e.id, k)
+					if c.EFT < e.cand.EFT || (c.EFT == e.cand.EFT && k < e.cand.Pool) {
+						e.cand = c
+						changed = true
+					}
+				}
 			}
 		}
 		if changed {
@@ -235,6 +314,10 @@ func MemMinMin(ctx context.Context, in *Instance, p Platform, opt Options) (*Sch
 			return st.sched, fmt.Errorf("%w (MemMinMin: %d of %d tasks unscheduled, %d ready tasks all blocked)",
 				ErrMemoryBound, g.NumTasks()-scheduled, g.NumTasks(), len(h))
 		}
+		if rec != nil {
+			// Before Commit: recordStep measures pre-commit fit slacks.
+			st.recordStep(rec, best.cand)
+		}
 		st.Commit(best.cand)
 		scheduled++
 		h.popMin()
@@ -246,7 +329,20 @@ func MemMinMin(ctx context.Context, in *Instance, p Platform, opt Options) (*Sch
 		// Unreachable for a validated DAG; defensive.
 		return st.sched, fmt.Errorf("multi: MemMinMin scheduled %d of %d tasks", scheduled, g.NumTasks())
 	}
+	if rec != nil {
+		rec.Complete = true
+	}
 	return st.sched, nil
+}
+
+// poolMoved reports whether pool k is in the (short, ascending) moved list.
+func poolMoved(moved []int, k int) bool {
+	for _, m := range moved {
+		if m == k {
+			return true
+		}
+	}
+	return false
 }
 
 // eftEntry is one ready task with its memoized best candidate.

@@ -43,6 +43,19 @@ func NewSchedule(in *Instance, p Platform) *Schedule {
 	return s
 }
 
+// Clone returns an independent copy of the schedule sharing the immutable
+// instance. The warm-start margin shortcut hands clones of a recorded
+// schedule to callers so the stored original can never be mutated through a
+// Result.
+func (s *Schedule) Clone() *Schedule {
+	return &Schedule{
+		Inst:      s.Inst,
+		Platform:  s.Platform,
+		Tasks:     append([]Placement(nil), s.Tasks...),
+		CommStart: append([]float64(nil), s.CommStart...),
+	}
+}
+
 // PoolOf returns the pool executing task id.
 func (s *Schedule) PoolOf(id dag.TaskID) int { return s.Platform.PoolOf(s.Tasks[id].Proc) }
 

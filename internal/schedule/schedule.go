@@ -56,6 +56,18 @@ func New(g *dag.Graph, p platform.Platform) *Schedule {
 	return s
 }
 
+// Clone returns an independent copy of the schedule sharing the immutable
+// graph. The warm-start margin shortcut hands clones of a recorded schedule
+// to callers so the stored original can never be mutated through a Result.
+func (s *Schedule) Clone() *Schedule {
+	return &Schedule{
+		Graph:     s.Graph,
+		Platform:  s.Platform,
+		Tasks:     append([]TaskPlacement(nil), s.Tasks...),
+		CommStart: append([]float64(nil), s.CommStart...),
+	}
+}
+
 // MemoryOf returns the memory on which task id executes.
 func (s *Schedule) MemoryOf(id dag.TaskID) platform.Memory {
 	return s.Platform.MemoryOf(s.Tasks[id].Proc)

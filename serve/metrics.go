@@ -134,6 +134,8 @@ func (m *metrics) render(w *strings.Builder, st StatsResponse) {
 	}
 	counter("memschedd_scheduled_total", "Scheduling runs that produced a schedule.", st.Scheduled)
 	counter("memschedd_sweep_points_total", "Sweep point results streamed to clients.", st.SweepPoints)
+	counter("memschedd_sweep_replayed_placements_total", "Placements committed by verified warm-start replay across sweep points.", st.SweepReplayedPlacements)
+	counter("memschedd_sweep_replay_truncated_points_total", "Sweep points whose warm-start replay stopped before exhausting its trace.", st.SweepReplayTruncatedPoints)
 	counter("memschedd_session_cache_hits_total", "Session cache hits on the schedule path.", st.SessionHits)
 	counter("memschedd_session_cache_misses_total", "Session cache misses on the schedule path.", st.SessionMisses)
 	counter("memschedd_session_cache_evictions_total", "Sessions displaced from the full LRU cache.", st.SessionEvictions)

@@ -162,11 +162,12 @@ type Server struct {
 	smu      sync.Mutex
 	sessions *memo.LRU[string, *memsched.Session]
 
-	requests, scheduled          atomic.Uint64
-	sessionHits, sessionMisses   atomic.Uint64
-	candidateHits, candidateMiss atomic.Uint64
-	sweepPoints                  atomic.Uint64
-	shed, rateLimited, retried   atomic.Uint64
+	requests, scheduled           atomic.Uint64
+	sessionHits, sessionMisses    atomic.Uint64
+	candidateHits, candidateMiss  atomic.Uint64
+	sweepPoints                   atomic.Uint64
+	sweepReplayed, sweepTruncated atomic.Uint64
+	shed, rateLimited, retried    atomic.Uint64
 	inFlight, waiting            atomic.Int64
 	draining                     atomic.Bool
 	prom                         *metrics
@@ -341,9 +342,11 @@ func (s *Server) Stats() StatsResponse {
 	evictions := s.sessions.Evictions()
 	s.smu.Unlock()
 	st := StatsResponse{
-		Requests:         s.requests.Load(),
-		Scheduled:        s.scheduled.Load(),
-		SweepPoints:      s.sweepPoints.Load(),
+		Requests:                   s.requests.Load(),
+		Scheduled:                  s.scheduled.Load(),
+		SweepPoints:                s.sweepPoints.Load(),
+		SweepReplayedPlacements:    s.sweepReplayed.Load(),
+		SweepReplayTruncatedPoints: s.sweepTruncated.Load(),
 		SessionHits:      s.sessionHits.Load(),
 		SessionMisses:    s.sessionMisses.Load(),
 		SessionsCached:   cached,
@@ -737,6 +740,7 @@ func (s *Server) sweepSpecOf(w http.ResponseWriter, req *SweepRequest) (sweep.Sp
 	}
 	spec.Schedulers = req.Schedulers
 	spec.Seeds = req.Seeds
+	spec.Replay = req.Replay
 	spec.Workers = req.Workers
 	if spec.Workers == 0 || spec.Workers > s.cfg.MaxSweepWorkers {
 		spec.Workers = s.cfg.MaxSweepWorkers
@@ -828,6 +832,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.sweepPoints.Add(1)
 		s.candidateHits.Add(pr.Stats.CacheHits)
 		s.candidateMiss.Add(pr.Stats.CacheMisses)
+		s.sweepReplayed.Add(uint64(pr.ReplayedPlacements))
+		if pr.ReplayTruncated {
+			s.sweepTruncated.Add(1)
+		}
 		beginStream()
 		if err := enc.Encode(sweepPointRecord(pr)); err != nil {
 			return err
@@ -869,11 +877,13 @@ func sweepPointRecord(pr sweep.PointResult) SweepPoint {
 		Alpha:      pr.Point.Alpha,
 		Scheduler:  pr.Point.Scheduler,
 		Seed:       pr.Point.Seed,
-		Feasible:   pr.Feasible,
-		Reason:     pr.Reason,
-		Makespan:   pr.Makespan,
-		Peaks:      pr.Peaks,
-		WallMicros: pr.Stats.WallTime.Microseconds(),
+		Feasible:           pr.Feasible,
+		Reason:             pr.Reason,
+		Makespan:           pr.Makespan,
+		Peaks:              pr.Peaks,
+		WallMicros:         pr.Stats.WallTime.Microseconds(),
+		ReplayedPlacements: pr.ReplayedPlacements,
+		ReplayTruncated:    pr.ReplayTruncated,
 	}
 }
 

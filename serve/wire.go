@@ -139,6 +139,13 @@ type SweepRequest struct {
 	Seeds      []int64  `json:"seeds,omitempty"`
 	Workers    int      `json:"workers,omitempty"`
 	TimeoutMS  int64    `json:"timeout_ms,omitempty"`
+
+	// Replay selects the warm-start replay policy of the sweep: "auto"
+	// (the default, also "") chains same-(scheduler, seed) points along
+	// descending capacities and replays verified placement prefixes
+	// between them; "off" schedules every point from scratch. Results are
+	// identical either way (see sweep.Spec.Replay).
+	Replay string `json:"replay,omitempty"`
 }
 
 // SweepPoint is one "point" NDJSON record of POST /v1/sweep: the outcome of
@@ -158,6 +165,11 @@ type SweepPoint struct {
 	Makespan   float64 `json:"makespan"`
 	Peaks      []int64 `json:"peaks,omitempty"`
 	WallMicros int64   `json:"wall_us"`
+	// ReplayedPlacements / ReplayTruncated report what warm-start replay
+	// did for this point (zero / absent with replay off or on
+	// chain-opening points).
+	ReplayedPlacements int  `json:"replayed_placements,omitempty"`
+	ReplayTruncated    bool `json:"replay_truncated,omitempty"`
 }
 
 // SweepCurve is one scheduler's makespan profile over the sweep axis;
@@ -215,6 +227,12 @@ type StatsResponse struct {
 	Requests    uint64 `json:"requests"`
 	Scheduled   uint64 `json:"scheduled"`
 	SweepPoints uint64 `json:"sweep_points"`
+	// SweepReplayedPlacements aggregates the placements sweep points
+	// committed by verified warm-start replay instead of full evaluation;
+	// SweepReplayTruncatedPoints counts the points whose replay stopped
+	// early (a recorded decision no longer held under their capacities).
+	SweepReplayedPlacements    uint64 `json:"sweep_replayed_placements"`
+	SweepReplayTruncatedPoints uint64 `json:"sweep_replay_truncated_points"`
 	// SessionHits / SessionMisses count schedule-path session-cache
 	// lookups; SessionsCached is the current cache population and
 	// SessionCapacity its bound.

@@ -42,6 +42,15 @@ type Session struct {
 	mu   sync.Mutex
 	inst *multi.Instance // lazily built for the k-pool engine
 	hash string          // lazily computed canonical content hash
+
+	// Warm-start replay entries, keyed by (scheduler, seed): the committed
+	// placement sequence (and resulting peaks) of the most recent successful
+	// WithWarmStart run, replayed as a verified prefix by the next one when
+	// the platform capacities did not grow. Stored entries are immutable.
+	// Never shared with forks — each fork accumulates its own.
+	warmMu    sync.Mutex
+	warmDual  map[warmKey]*dualWarm
+	warmMulti map[warmKey]*multiWarm
 }
 
 // SessionOption configures a Session at creation.
@@ -82,21 +91,50 @@ func NewSession(g *Graph, opts ...SessionOption) (*Session, error) {
 // Graph returns the session's task graph.
 func (s *Session) Graph() *Graph { return s.g }
 
+// ForkOption configures Session.Fork.
+type ForkOption func(*forkConfig)
+
+type forkConfig struct {
+	cold bool
+}
+
+// ForkCold makes the fork start with empty memo caches instead of the
+// copy-on-write view of the parent's. Use it to measure cold-cache cost or
+// to shed a parent's memo footprint; schedules are identical either way.
+func ForkCold() ForkOption {
+	return func(c *forkConfig) { c.cold = true }
+}
+
 // Fork returns a new session scheduling the same (already validated) graph
-// and pool times but carrying fresh, independent memo caches. Schedules
-// produced by a fork are bit-identical to the parent's — the memos only
-// cache pure functions of the graph — so forks exist purely for contention:
-// a worker that owns a fork never touches another worker's cache mutexes or
-// recycled buffers. The sweep engine (package sweep) hands one fork to each
-// of its workers. The graph hash and the lazily built k-pool instance are
-// shared (both are immutable once computed).
-func (s *Session) Fork() *Session {
+// and pool times. By default the fork is born warm: it shares the parent's
+// immutable memos — graph statics, validation results, mean ranks and a
+// frozen snapshot of the seeded priority lists — behind copy-on-write
+// wrappers, so its first Schedule call skips the ranking phase entirely
+// while the first divergent write (a new seed, a re-keyed graph) detaches
+// into private storage. Pass ForkCold for the old fresh-cache behaviour.
+//
+// Schedules produced by a fork are bit-identical to the parent's — the
+// memos only cache pure functions of the graph — so forks exist for
+// contention and warm-up: a worker that owns a fork never touches another
+// worker's cache mutexes or recycled buffers. The sweep engine (package
+// sweep) hands one warm fork to each of its workers. The graph hash and the
+// lazily built k-pool instance are shared (both are immutable once
+// computed); warm-start replay traces are not — each fork accumulates its
+// own.
+func (s *Session) Fork(opts ...ForkOption) *Session {
+	var cfg forkConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	f := &Session{
-		g:       s.g,
-		times:   s.times,
-		caches:  core.NewCaches(),
-		mcaches: multi.NewCaches(),
-		hash:    s.GraphHash(), // memoize once, share the value
+		g:     s.g,
+		times: s.times,
+		hash:  s.GraphHash(), // memoize once, share the value
+	}
+	if cfg.cold {
+		f.caches, f.mcaches = core.NewCaches(), multi.NewCaches()
+	} else {
+		f.caches, f.mcaches = s.caches.Fork(), s.mcaches.Fork()
 	}
 	s.mu.Lock()
 	f.inst = s.inst // nil is fine: the fork rebuilds it lazily
@@ -154,6 +192,7 @@ type scheduleConfig struct {
 	seed      int64
 	scheduler string
 	insertion bool
+	warmStart bool
 	policy    SimPolicy
 	timeout   time.Duration
 	maxNodes  int
@@ -180,6 +219,21 @@ func WithScheduler(name string) ScheduleOption {
 // append policy. Only valid with the "memheft" scheduler on a dual session.
 func WithInsertion() ScheduleOption {
 	return func(c *scheduleConfig) { c.insertion = true }
+}
+
+// WithWarmStart enables capacity-delta replay for Schedule: the call
+// records its committed placement sequence under the (scheduler, seed) key,
+// and the next warm-started call with the same key replays the recorded
+// prefix — each step verified against the live state, so the result stays
+// bit-identical to a from-scratch run — as long as no pool capacity grew
+// (see ReplayEligible), falling back to normal scheduling at the first
+// divergence. Stats.ReplayedPlacements and Stats.ReplayTruncated report
+// what replay did. Supported by the memheft, memminmin, heft and minmin
+// schedulers (silently inert elsewhere, including WithInsertion). The
+// default is off; the sweep engine turns it on along its capacity-ordered
+// point chains.
+func WithWarmStart(on bool) ScheduleOption {
+	return func(c *scheduleConfig) { c.warmStart = on }
 }
 
 // WithPolicy selects the online dispatch policy of Simulate (ignored by
@@ -248,6 +302,15 @@ type Stats struct {
 	// PoolTasks is the number of tasks committed to each pool, in pool
 	// order (k-pool engine only; nil on the dual path).
 	PoolTasks []int
+	// ReplayedPlacements is the number of placements committed by verified
+	// trace replay instead of full candidate evaluation (WithWarmStart
+	// runs; 0 without a usable trace).
+	ReplayedPlacements int
+	// ReplayTruncated reports that a replay attempt stopped before
+	// exhausting its trace — a recorded decision turned infeasible or
+	// suboptimal under the new capacities and the engine re-derived the
+	// suffix from scratch. False when no trace was replayed at all.
+	ReplayTruncated bool
 	// Nodes is the number of branch-and-bound nodes explored (Optimal).
 	Nodes int
 	// Proven reports whether Optimal proved optimality (or infeasibility)
@@ -292,10 +355,16 @@ type Result struct {
 func (r *Result) Makespan() float64 { return r.Stats.Makespan }
 
 // PeakResidency returns the peak memory residency of every pool (blue then
-// red on the dual path). It is computed on first use and cached; nil when
-// the result carries no schedule.
+// red on the dual path). It is computed on first use and cached — except on
+// successful WithWarmStart calls, which compute it eagerly so a warm-start
+// chain can carry the peaks of fully replayed (hence bit-identical)
+// schedules forward instead of rescanning every residency. Nil when the
+// result carries no schedule.
 func (r *Result) PeakResidency() []int64 {
 	r.peaksOnce.Do(func() {
+		if r.peaks != nil {
+			return // pre-seeded by a warm-start Schedule call
+		}
 		switch {
 		case r.Schedule != nil:
 			blue, red := r.Schedule.MemoryPeaks()
@@ -347,20 +416,77 @@ func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOpti
 			fn, name = core.MemHEFTInsertion, "memheft-insertion"
 		}
 		var rs core.RunStats
-		sched, err := fn(ctx, s.g, dp, core.Options{Seed: cfg.seed, Caches: s.caches, Stats: &rs})
+		copt := core.Options{Seed: cfg.seed, Caches: s.caches, Stats: &rs}
+		var key warmKey
+		var rec *core.Trace
+		var prev *dualWarm
+		if cfg.warmStart && !cfg.insertion && ReplayableScheduler(name) {
+			key = warmKey{scheduler: name, seed: cfg.seed}
+			// heft/minmin run on the engine-effective unbounded platform
+			// and record their traces against it.
+			eff := dp
+			if name == "heft" || name == "minmin" {
+				eff = dp.Unbounded()
+			}
+			if prev = s.dualWarmEntry(key); prev != nil {
+				if prev.trace.FullReplayOn(eff) {
+					// Margin shortcut: the recorded fit slacks prove every
+					// step of the trace replays verbatim on eff, so the run
+					// would reproduce the stored schedule bit for bit —
+					// return a clone of it without running the engine. The
+					// stored entry stays anchored at its recording platform,
+					// keeping the margins exact for the rest of the chain.
+					sched := prev.sched.Clone()
+					sched.Platform = eff
+					res := &Result{
+						Schedule: sched,
+						Stats: Stats{
+							Scheduler:          name,
+							Makespan:           prev.makespan,
+							ReplayedPlacements: len(prev.trace.Cands),
+							WallTime:           time.Since(start),
+						},
+					}
+					res.peaks = append([]int64(nil), prev.peaks...)
+					return res, nil
+				}
+				copt.Replay = prev.trace
+			}
+			rec = &core.Trace{Cands: make([]core.Candidate, 0, s.g.NumTasks())}
+			copt.Record = rec
+		}
+		sched, err := fn(ctx, s.g, dp, copt)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{
+		res := &Result{
 			Schedule: sched,
 			Stats: Stats{
-				Scheduler:   name,
-				Makespan:    rs.Makespan,
-				CacheHits:   rs.CacheHits,
-				CacheMisses: rs.CacheMisses,
-				WallTime:    time.Since(start),
+				Scheduler:          name,
+				Makespan:           rs.Makespan,
+				CacheHits:          rs.CacheHits,
+				CacheMisses:        rs.CacheMisses,
+				ReplayedPlacements: rs.Replayed,
+				ReplayTruncated:    rs.ReplayTruncated,
+				WallTime:           time.Since(start),
 			},
-		}, nil
+		}
+		if rec != nil && rec.Complete {
+			// A replay that consumed the whole (complete) trace produced a
+			// schedule bit-identical to the recorded one, so its peaks carry
+			// over; otherwise compute them once here, serving both this
+			// result's PeakResidency and the next replay in the chain.
+			var peaks []int64
+			if prev != nil && prev.trace.Complete && rs.Replayed == len(prev.trace.Cands) {
+				peaks = prev.peaks
+			} else {
+				blue, red := sched.MemoryPeaks()
+				peaks = []int64{blue, red}
+			}
+			s.putDualWarm(key, rec, sched, rs.Makespan, peaks)
+			res.peaks = append([]int64(nil), peaks...)
+		}
+		return res, nil
 	}
 
 	if cfg.insertion {
@@ -373,6 +499,40 @@ func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOpti
 		err    error
 	)
 	mopt := multi.Options{Seed: cfg.seed, Caches: s.mcaches, Stats: &rs}
+	var key warmKey
+	var rec *multi.Trace
+	var prev *multiWarm
+	if cfg.warmStart && ReplayableScheduler(cfg.scheduler) {
+		key = warmKey{scheduler: cfg.scheduler, seed: cfg.seed}
+		// heft/minmin run on the engine-effective unbounded platform and
+		// record their traces against it.
+		eff := p
+		if cfg.scheduler == "heft" || cfg.scheduler == "minmin" {
+			eff = p.Unbounded()
+		}
+		if prev = s.multiWarmEntry(key); prev != nil {
+			if prev.trace.FullReplayOn(eff) {
+				// Margin shortcut — see the dual path above.
+				sched := prev.sched.Clone()
+				sched.Platform = eff
+				res := &Result{
+					Pools: sched,
+					Stats: Stats{
+						Scheduler:          cfg.scheduler,
+						Makespan:           prev.makespan,
+						PoolTasks:          append([]int(nil), prev.poolTasks...),
+						ReplayedPlacements: len(prev.trace.Cands),
+						WallTime:           time.Since(start),
+					},
+				}
+				res.peaks = append([]int64(nil), prev.peaks...)
+				return res, nil
+			}
+			mopt.Replay = prev.trace
+		}
+		rec = &multi.Trace{Cands: make([]multi.Candidate, 0, s.g.NumTasks())}
+		mopt.Record = rec
+	}
 	switch cfg.scheduler {
 	case "memheft":
 		msched, err = multi.MemHEFT(ctx, in, p, mopt)
@@ -391,17 +551,32 @@ func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOpti
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Pools: msched,
 		Stats: Stats{
-			Scheduler:   cfg.scheduler,
-			Makespan:    rs.Makespan,
-			CacheHits:   rs.CacheHits,
-			CacheMisses: rs.CacheMisses,
-			PoolTasks:   rs.PoolTasks,
-			WallTime:    time.Since(start),
+			Scheduler:          cfg.scheduler,
+			Makespan:           rs.Makespan,
+			CacheHits:          rs.CacheHits,
+			CacheMisses:        rs.CacheMisses,
+			PoolTasks:          rs.PoolTasks,
+			ReplayedPlacements: rs.Replayed,
+			ReplayTruncated:    rs.ReplayTruncated,
+			WallTime:           time.Since(start),
 		},
-	}, nil
+	}
+	if rec != nil && rec.Complete {
+		// Same peak carry-over as the dual path: a full replay of a
+		// complete trace reproduced the recorded schedule bit for bit.
+		var peaks []int64
+		if prev != nil && prev.trace.Complete && rs.Replayed == len(prev.trace.Cands) {
+			peaks = prev.peaks
+		} else {
+			peaks = msched.MemoryPeaks()
+		}
+		s.putMultiWarm(key, rec, msched, rs.Makespan, rs.PoolTasks, peaks)
+		res.peaks = append([]int64(nil), peaks...)
+	}
+	return res, nil
 }
 
 // Optimal runs the branch-and-bound search for the best list schedule of

@@ -399,9 +399,6 @@ func TestSessionKPoolRouting(t *testing.T) {
 	if _, err := MemHEFT(g, three, Options{}); err == nil {
 		t.Fatal("deprecated MemHEFT accepted a 3-pool platform")
 	}
-	if ErrMemoryBound != ErrMultiMemoryBound {
-		t.Fatal("memory-bound sentinels not unified")
-	}
 }
 
 // TestSessionKPoolStats covers the k-pool stats surface added with the
@@ -480,54 +477,66 @@ func TestSessionKPoolStats(t *testing.T) {
 	}
 }
 
-// TestDeprecatedMultiWrappersRouteThroughSession pins the fixed wrapper
-// path: MultiMemHEFT / MultiMemMinMin must produce exactly the schedule a
-// pool-times Session produces (they used to call the engine directly and
-// skip the session wiring).
-func TestDeprecatedMultiWrappersRouteThroughSession(t *testing.T) {
+// TestSessionForkWarmAndCold pins the fork contract after the copy-on-write
+// redesign: warm forks (the default) and cold forks both produce schedules
+// bit-identical to the parent's, a warm fork starts with the parent's memo
+// content (its first call computes no priority list), and a warm fork
+// diverging onto a new seed detaches without disturbing the parent.
+func TestSessionForkWarmAndCold(t *testing.T) {
 	ctx := context.Background()
 	params := daggen.SmallParams()
-	params.Size = 30
+	params.Size = 60
 	g, err := daggen.Generate(params, 31)
 	if err != nil {
 		t.Fatal(err)
 	}
-	times := make([][]float64, g.NumTasks())
-	for i := 0; i < g.NumTasks(); i++ {
-		task := g.Task(TaskID(i))
-		times[i] = []float64{task.WBlue, task.WRed, task.WBlue + 1}
-	}
-	inst := NewInstance(g, times)
-	sess, err := NewSession(g, WithPoolTimes(times))
+	sess, err := NewSession(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := NewPlatform(
-		Pool{Procs: 2, Capacity: 400},
-		Pool{Procs: 1, Capacity: 400},
-		Pool{Procs: 1, Capacity: 400},
-	)
-	for name, fn := range map[string]MultiSchedulerFunc{
-		"memheft":   MultiMemHEFT,
-		"memminmin": MultiMemMinMin,
+	if err := sess.WarmUp(ctx, 31); err != nil {
+		t.Fatal(err)
+	}
+	p := NewDualPlatform(2, 2, Unlimited, Unlimited)
+	want, err := sess.Schedule(ctx, p, WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fork := range map[string]*Session{
+		"warm": sess.Fork(),
+		"cold": sess.Fork(ForkCold()),
 	} {
-		got, err := fn(inst, p, Options{Seed: 31})
+		got, err := fork.Schedule(ctx, p, WithSeed(31))
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("%s fork: %v", name, err)
 		}
-		want, err := sess.Schedule(ctx, p, WithScheduler(name), WithSeed(31))
-		if err != nil {
-			t.Fatal(err)
+		if len(got.Schedule.Tasks) != len(want.Schedule.Tasks) {
+			t.Fatalf("%s fork: task count diverged", name)
 		}
-		for i := range want.Pools.Tasks {
-			if got.Tasks[i] != want.Pools.Tasks[i] {
-				t.Fatalf("%s wrapper: task %d placed %+v, session says %+v", name, i, got.Tasks[i], want.Pools.Tasks[i])
+		for i := range want.Schedule.Tasks {
+			if got.Schedule.Tasks[i] != want.Schedule.Tasks[i] {
+				t.Fatalf("%s fork: task %d placed %+v, parent says %+v", name, i, got.Schedule.Tasks[i], want.Schedule.Tasks[i])
 			}
 		}
 	}
-	// The wrapper must reject a nil instance cleanly.
-	if _, err := MultiMemHEFT(nil, p, Options{}); err == nil {
-		t.Fatal("nil instance accepted")
+	// A fork-of-fork still carries the frozen memos, and a divergent seed
+	// schedules correctly (copy-on-write detach, parent untouched).
+	grand := sess.Fork().Fork()
+	div, err := grand.Schedule(ctx, p, WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := div.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := sess.Schedule(ctx, p, WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Schedule.Tasks {
+		if again.Schedule.Tasks[i] != want.Schedule.Tasks[i] {
+			t.Fatalf("parent diverged at task %d after fork detach", i)
+		}
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,12 +60,26 @@ func Stream(ctx context.Context, sess *memsched.Session, spec Spec, fn func(Poin
 	if workers > n {
 		workers = n
 	}
+	chains := buildChains(c, &spec, workers)
+	if workers > len(chains) {
+		workers = len(chains)
+	}
 
-	// Workers claim point indices from an atomic cursor and record
-	// outcomes into their slots; the collector (this goroutine) emits the
-	// contiguous completed prefix. A fatal outcome — anything that is not
-	// plain infeasibility — cancels runCtx so in-flight points stop
-	// cooperatively and unclaimed points are skipped.
+	// Precompute the session memos every worker fork inherits (statics,
+	// ranks, the priority list of each swept seed), so the forks below are
+	// born warm instead of each re-ranking the graph.
+	if seeds := registrySeeds(c); len(seeds) > 0 {
+		if err := sess.WarmUp(ctx, seeds...); err != nil {
+			return nil, err
+		}
+	}
+
+	// Workers claim chains — capacity-ordered runs of point indices, a
+	// single point each when replay is off — from an atomic cursor and
+	// record outcomes into per-point slots; the collector (this goroutine)
+	// emits the contiguous completed prefix. A fatal outcome — anything
+	// that is not plain infeasibility — cancels runCtx so in-flight points
+	// stop cooperatively and unclaimed points are skipped.
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	outs := make([]outcome, n)
@@ -99,20 +115,23 @@ func Stream(ctx context.Context, sess *memsched.Session, spec Spec, fn func(Poin
 		go func(ws *memsched.Session) {
 			defer wg.Done()
 			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= n {
+				ci := int(cursor.Add(1)) - 1
+				if ci >= len(chains) {
 					return
 				}
-				if err := runCtx.Err(); err != nil {
-					outs[i] = outcome{err: fmt.Errorf("sweep: point %d skipped: %w", i, err)}
-				} else {
-					outs[i] = runPoint(runCtx, ws, &spec, c.points[i], i)
-					if err := outs[i].err; err != nil {
-						setFatal(err)
-						cancel()
+				ch := chains[ci]
+				for _, i := range ch.idxs {
+					if err := runCtx.Err(); err != nil {
+						outs[i] = outcome{err: fmt.Errorf("sweep: point %d skipped: %w", i, err)}
+					} else {
+						outs[i] = runPoint(runCtx, ws, &spec, c.points[i], i, ch.warm)
+						if err := outs[i].err; err != nil {
+							setFatal(err)
+							cancel()
+						}
 					}
+					done <- i
 				}
-				done <- i
 			}
 		}(ws)
 	}
@@ -167,6 +186,125 @@ func Stream(ctx context.Context, sess *memsched.Session, spec Spec, fn func(Poin
 type outcome struct {
 	pr  PointResult
 	err error
+}
+
+// pointChain is a run of point indices one worker executes in order. Warm
+// chains thread memsched.WithWarmStart through their points, so each point
+// replays the verified committed-placement prefix of its predecessor.
+type pointChain struct {
+	idxs []int
+	warm bool
+}
+
+// registrySeeds returns the distinct seeds of every registry-scheduler
+// point, in first-appearance order: the seeds whose priority lists
+// Session.WarmUp should precompute before the worker forks are taken.
+// Optimal and simulator points rank nothing seed-dependent up front.
+func registrySeeds(c *compiled) []int64 {
+	seen := make(map[int64]bool)
+	var seeds []int64
+	for _, pt := range c.points {
+		switch pt.Scheduler {
+		case SchedulerOptimal, SchedulerSimRank, SchedulerSimEFT:
+			continue
+		}
+		if !seen[pt.Seed] {
+			seen[pt.Seed] = true
+			seeds = append(seeds, pt.Seed)
+		}
+	}
+	// The session's priority memo is bounded; warming beyond it would only
+	// evict earlier seeds again.
+	if len(seeds) > 64 {
+		seeds = seeds[:64]
+	}
+	return seeds
+}
+
+// totalCapacity orders platforms for chain building: the sum of the pool
+// capacities, +Inf as soon as any pool is unlimited. A coarse key is enough
+// — chains are segmented by the exact ReplayEligible predicate afterwards,
+// so a tie broken "wrong" only shortens a chain, never corrupts a result.
+func totalCapacity(p memsched.Platform) float64 {
+	total := 0.0
+	for _, pool := range p.Pools {
+		if pool.Capacity >= memsched.Unlimited {
+			return math.Inf(1)
+		}
+		total += float64(pool.Capacity)
+	}
+	return total
+}
+
+// buildChains groups the compiled points into the chains workers claim.
+// Under ReplayOff (or for explicit point lists) every point is its own
+// chain, reproducing the old point-granular scheduling. Under ReplayAuto a
+// grid's points are grouped per replayable (scheduler, seed) pair, ordered
+// by descending total capacity (ties by axis order), and split wherever two
+// adjacent platforms lose replay eligibility; the longest chains are then
+// halved until there is at least one chain per worker, so replay never
+// serialises a sweep below its worker count. Chains are returned sorted by
+// their first point index, which keeps claiming deterministic.
+func buildChains(c *compiled, spec *Spec, workers int) []pointChain {
+	if normalize(spec.Replay) == ReplayOff || !c.grid {
+		chains := make([]pointChain, len(c.points))
+		for i := range c.points {
+			chains[i] = pointChain{idxs: []int{i}}
+		}
+		return chains
+	}
+	type key struct {
+		sched string
+		seed  int64
+	}
+	groups := make(map[key][]int)
+	var order []key
+	var chains []pointChain
+	for i, pt := range c.points {
+		if !memsched.ReplayableScheduler(pt.Scheduler) {
+			chains = append(chains, pointChain{idxs: []int{i}})
+			continue
+		}
+		k := key{pt.Scheduler, pt.Seed}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	for _, k := range order {
+		idxs := groups[k]
+		sort.SliceStable(idxs, func(a, b int) bool {
+			ca, cb := totalCapacity(c.points[idxs[a]].Platform), totalCapacity(c.points[idxs[b]].Platform)
+			if ca != cb {
+				return ca > cb
+			}
+			return c.points[idxs[a]].Axis < c.points[idxs[b]].Axis
+		})
+		segStart := 0
+		for j := 1; j <= len(idxs); j++ {
+			if j == len(idxs) || !memsched.ReplayEligible(c.points[idxs[j-1]].Platform, c.points[idxs[j]].Platform) {
+				seg := idxs[segStart:j]
+				chains = append(chains, pointChain{idxs: seg, warm: len(seg) > 1})
+				segStart = j
+			}
+		}
+	}
+	for len(chains) < workers {
+		longest, size := -1, 1
+		for i := range chains {
+			if len(chains[i].idxs) > size {
+				longest, size = i, len(chains[i].idxs)
+			}
+		}
+		if longest < 0 {
+			break // nothing left to split
+		}
+		head, tail := chains[longest].idxs[:size/2], chains[longest].idxs[size/2:]
+		chains[longest] = pointChain{idxs: head, warm: len(head) > 1}
+		chains = append(chains, pointChain{idxs: tail, warm: len(tail) > 1})
+	}
+	sort.Slice(chains, func(a, b int) bool { return chains[a].idxs[0] < chains[b].idxs[0] })
+	return chains
 }
 
 // compile validates spec and expands it to the full point list, measuring
@@ -277,10 +415,11 @@ func compile(ctx context.Context, sess *memsched.Session, spec *Spec) (*compiled
 	return c, nil
 }
 
-// runPoint executes one point. Infeasibility (memory bound, simulator
+// runPoint executes one point, warm-starting registry schedulers when the
+// point sits on a warm chain. Infeasibility (memory bound, simulator
 // deadlock, proven-infeasible optimum) is a regular result; every other
 // error is fatal to the sweep.
-func runPoint(ctx context.Context, sess *memsched.Session, spec *Spec, pt Point, idx int) outcome {
+func runPoint(ctx context.Context, sess *memsched.Session, spec *Spec, pt Point, idx int, warm bool) outcome {
 	var (
 		res *memsched.Result
 		err error
@@ -302,7 +441,8 @@ func runPoint(ctx context.Context, sess *memsched.Session, spec *Spec, pt Point,
 		}
 		res, err = sess.Simulate(ctx, pt.Platform, memsched.WithPolicy(policy), memsched.WithSeed(pt.Seed))
 	default:
-		res, err = sess.Schedule(ctx, pt.Platform, memsched.WithScheduler(pt.Scheduler), memsched.WithSeed(pt.Seed))
+		res, err = sess.Schedule(ctx, pt.Platform,
+			memsched.WithScheduler(pt.Scheduler), memsched.WithSeed(pt.Seed), memsched.WithWarmStart(warm))
 	}
 
 	pr := PointResult{Index: idx, Point: pt}
@@ -322,6 +462,8 @@ func runPoint(ctx context.Context, sess *memsched.Session, spec *Spec, pt Point,
 		pr.Makespan = res.Makespan()
 		pr.Peaks = res.PeakResidency()
 		pr.Stats = res.Stats
+		pr.ReplayedPlacements = res.Stats.ReplayedPlacements
+		pr.ReplayTruncated = res.Stats.ReplayTruncated
 		if spec.KeepResults {
 			pr.Result = res
 		}

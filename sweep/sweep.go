@@ -6,11 +6,20 @@
 // A Spec describes the sweep declaratively: either a cartesian grid
 // (Platforms or Alphas × Schedulers × Seeds) or an explicit Points list.
 // Run and Stream execute it on a bounded worker pool; every worker owns a
-// forked Session (see memsched.Session.Fork), so the hot path shares no
-// cache mutexes or recycled buffers between workers and throughput scales
-// with cores. Results are delivered ordered by point index regardless of
-// completion order, and are bit-identical for every worker count — each
-// point is a pure function of (graph, platform, scheduler, seed).
+// warm copy-on-write fork of the Session (see memsched.Session.Fork), so
+// the hot path shares no cache mutexes or recycled buffers between workers
+// and throughput scales with cores. Results are delivered ordered by point
+// index regardless of completion order, and are bit-identical for every
+// worker count — each point is a pure function of (graph, platform,
+// scheduler, seed).
+//
+// Grid sweeps additionally warm-start across their own points (see
+// Spec.Replay): the points of each replayable (scheduler, seed) pair are
+// chained along descending platform capacities and each point replays the
+// verified committed-placement prefix of its predecessor, re-deriving only
+// the suffix the tighter capacities actually change — which makes dense
+// capacity sweeps sub-linear in the number of grid points without changing
+// a single result.
 //
 // Infeasibility is data, not failure: points that end in ErrMemoryBound or
 // ErrSimStuck are reported with Feasible == false and the sweep continues —
@@ -28,6 +37,16 @@ import (
 	"time"
 
 	memsched "repro"
+)
+
+// Replay policies of Spec.Replay.
+const (
+	// ReplayAuto chains same-(scheduler, seed) grid points by descending
+	// capacity and warm-starts each from its predecessor's trace. The
+	// default.
+	ReplayAuto = "auto"
+	// ReplayOff schedules every point from scratch.
+	ReplayOff = "off"
 )
 
 // Schedulers beyond the heuristic registry that the engine accepts: the
@@ -80,8 +99,21 @@ type Spec struct {
 	// frontier (the points need not form a grid).
 	Points []Point
 
+	// Replay selects the warm-start policy of grid sweeps: ReplayAuto (the
+	// default, also "") chains the points of each replayable (scheduler,
+	// seed) pair along descending platform capacities and runs every chain
+	// with memsched.WithWarmStart, so each point replays the verified
+	// placement prefix of its predecessor and re-derives only the suffix
+	// the tighter capacities change; ReplayOff schedules every point from
+	// scratch. Results are bit-identical either way (replay is verified
+	// step by step and the engine falls back to normal scheduling at the
+	// first divergence) — only the per-point ReplayedPlacements counters
+	// and the wall time differ. Explicit Points sweeps never chain.
+	Replay string
+
 	// Workers bounds the worker pool; 0 means GOMAXPROCS. The pool is
-	// additionally capped by the point count.
+	// additionally capped by the point count (chains keep at least one
+	// runnable chain per worker, so replay never costs parallelism).
 	Workers int
 
 	// KeepResults retains the full *memsched.Result (schedule included)
@@ -132,6 +164,14 @@ type PointResult struct {
 	Makespan float64 // 0 when infeasible
 	Peaks    []int64 // per-pool peak residency; nil when infeasible
 	Stats    memsched.Stats
+	// ReplayedPlacements / ReplayTruncated surface the warm-start replay
+	// counters of this point (mirrors of Stats.ReplayedPlacements /
+	// Stats.ReplayTruncated): how many placements were committed by
+	// verified trace replay, and whether the replay stopped early because
+	// a recorded decision no longer held under the point's capacities.
+	// Always zero under ReplayOff and on chain-opening points.
+	ReplayedPlacements int
+	ReplayTruncated    bool
 	// Result is the full scheduling result, retained only when
 	// Spec.KeepResults is set.
 	Result *memsched.Result
@@ -262,6 +302,11 @@ func validateAxes(spec *Spec) error {
 	}
 	if spec.Workers < 0 {
 		return fmt.Errorf("sweep: negative worker count %d", spec.Workers)
+	}
+	switch normalize(spec.Replay) {
+	case "", ReplayAuto, ReplayOff:
+	default:
+		return fmt.Errorf("sweep: unknown replay policy %q (use %q or %q)", spec.Replay, ReplayAuto, ReplayOff)
 	}
 	return nil
 }
