@@ -32,6 +32,12 @@ import (
 	"strings"
 )
 
+// DefaultLoadFactor is the bounded-load factor c used when a Config (or a
+// simulator modeling one, see package repro/clustersim) does not override
+// it: a replica carrying more than c times its fair share of in-flight
+// work is skipped for the key's next ring owner.
+const DefaultLoadFactor = 1.25
+
 // Replica is one memschedd instance of the replica set. ID keys the
 // consistent-hash ring, so it must be stable across restarts and
 // redeploys — a replica that comes back under the same ID keeps its arc

@@ -32,7 +32,8 @@ type Config struct {
 	VirtualNodes int
 	// LoadFactor is the bounded-load factor c: a replica carrying more
 	// than c·ceil((total+1)/N) in-flight forwards is skipped in ring
-	// order (default 1.25). Values < 1 are clamped to 1 by the ring.
+	// order (default DefaultLoadFactor). Values < 1 are clamped to 1 by
+	// the ring.
 	LoadFactor float64
 	// MaxInFlight bounds requests concurrently inside the router; excess
 	// is shed with a structured 429 (default 256 — the router is
@@ -72,7 +73,7 @@ func (c Config) withDefaults() Config {
 		c.VirtualNodes = ring.DefaultVirtualNodes
 	}
 	if c.LoadFactor <= 0 {
-		c.LoadFactor = 1.25
+		c.LoadFactor = DefaultLoadFactor
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 256

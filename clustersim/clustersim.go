@@ -1,0 +1,402 @@
+// Package clustersim is a deterministic discrete-event simulator of a
+// memschedd cluster: M replicas behind the real consistent-hash ring
+// (package repro/cluster/ring), each with a bounded in-flight slot pool, a
+// FIFO admission queue with load shedding, and an LRU session-cache model
+// keyed by the same canonical graph hashes the live service uses.
+//
+// Feed it a workload.Trace (package repro/workload) and it answers the
+// capacity-planning questions that would otherwise need a deployment: how
+// many replicas does this traffic need, where does goodput collapse, how
+// warm do the caches stay as the ring reshuffles keys. Because the
+// simulation is seeded and single-threaded over a totally ordered event
+// timeline, the same (Trace, Config) pair produces a byte-identical Result
+// on every run — so a capacity plan can live in a committed golden test
+// (see CapacitySweep), the serving-layer analogue of the engine's
+// golden-equivalence tests.
+//
+// Fidelity boundary: the simulator models routing, admission, queueing and
+// cache locality exactly (real ring, real bounded-load rule, real LRU
+// semantics), but collapses request execution into a calibrated service
+// time ServiceModel — it does not run the scheduling engine. The
+// validation test in this package pins the part that matters for capacity
+// planning: against a live 3-replica httptest cluster under the same
+// trace, simulated and observed per-replica request counts and session
+// cache hit rates must agree within a documented tolerance.
+package clustersim
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/cluster"
+	"repro/cluster/ring"
+	"repro/internal/memo"
+	"repro/workload"
+)
+
+// Config shapes the simulated cluster.
+type Config struct {
+	// Replicas are the ring member IDs (at least one). Order fixes the
+	// ReplicaStats order in the Result.
+	Replicas []string
+	// CacheSize is each replica's session-LRU capacity (default 128,
+	// matching serve.Config).
+	CacheSize int
+	// MaxInFlight bounds requests concurrently in service per replica
+	// (default 2).
+	MaxInFlight int
+	// ShedQueueDepth bounds each replica's admission queue: arrivals
+	// beyond it are shed with a simulated 429. 0 means unbounded (no
+	// shedding); negative means no queue at all (busy ⇒ shed).
+	ShedQueueDepth int
+	// LoadFactor is the ring's bounded-load factor
+	// (default cluster.DefaultLoadFactor, the router's own default).
+	LoadFactor float64
+	// VirtualNodes is the ring's per-member point count
+	// (default ring.DefaultVirtualNodes).
+	VirtualNodes int
+	// Service is the calibrated per-endpoint service-time model
+	// (default DefaultServiceModel()).
+	Service ServiceModel
+	// Seed drives the service-time jitter stream (and nothing else; the
+	// trace carries its own randomness).
+	Seed int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Replicas) == 0 {
+		return c, fmt.Errorf("clustersim: config needs at least one replica id")
+	}
+	seen := make(map[string]bool, len(c.Replicas))
+	for _, id := range c.Replicas {
+		if id == "" || seen[id] {
+			return c, fmt.Errorf("clustersim: replica id %q empty or duplicated", id)
+		}
+		seen[id] = true
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.LoadFactor <= 0 {
+		c.LoadFactor = cluster.DefaultLoadFactor
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = ring.DefaultVirtualNodes
+	}
+	if err := c.Service.validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// ReplicaStats is one simulated replica's tally.
+type ReplicaStats struct {
+	ID     string `json:"id"`
+	Served uint64 `json:"served"`
+	Shed   uint64 `json:"shed"`
+	// Hits/Misses/Evictions are the session-cache model's counters —
+	// directly comparable to the live memschedd_session_cache_* metrics.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// PeakQueue is the deepest the admission queue got.
+	PeakQueue int `json:"peak_queue"`
+	// BusyMicros is summed service time — divide by the horizon for
+	// utilisation.
+	BusyMicros int64 `json:"busy_us"`
+}
+
+// HitRate is Hits / (Hits + Misses), 0 when the replica saw no traffic.
+func (r ReplicaStats) HitRate() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// Result is a full simulation outcome: the workload Report plus the
+// cluster-level detail a capacity planner reads.
+type Result struct {
+	Replicas       int              `json:"replicas"`
+	CacheSize      int              `json:"cache_size"`
+	MaxInFlight    int              `json:"max_in_flight"`
+	ShedQueueDepth int              `json:"shed_queue_depth"`
+	Seed           int64            `json:"seed"`
+	Report         *workload.Report `json:"report"`
+	ReplicaStats   []ReplicaStats   `json:"replica_stats"`
+	// Spillovers counts requests routed past their first-choice owner by
+	// the bounded-load rule.
+	Spillovers uint64 `json:"spillovers"`
+	// HorizonMicros is when the last request completed (≥ the trace
+	// duration when queues drained late).
+	HorizonMicros int64 `json:"horizon_us"`
+	// HitRate is the cluster-wide session-cache hit rate.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Encode writes the result as deterministic indented JSON (the golden-test
+// format).
+func (r *Result) Encode(w io.Writer) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("clustersim: encoding result: %w", err)
+	}
+	raw = append(raw, '\n')
+	_, err = w.Write(raw)
+	return err
+}
+
+// MeetsSLO reports whether every class hit at least minGoodput — the
+// predicate PlanCapacity searches with.
+func (r *Result) MeetsSLO(minGoodput float64) bool {
+	for _, c := range r.Report.Classes {
+		if c.Goodput < minGoodput {
+			return false
+		}
+	}
+	return true
+}
+
+// completion is one in-service request's scheduled finish.
+type completion struct {
+	at      int64 // microseconds
+	seq     uint64
+	replica int
+	event   int // trace event index
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h completionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)   { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// queued is one request waiting for an in-flight slot.
+type queued struct {
+	event   int
+	arrived int64
+}
+
+// replica is one simulated memschedd instance.
+type replica struct {
+	id       string
+	inFlight int
+	queue    []queued
+	cache    *memo.LRU[string, struct{}]
+	stats    ReplicaStats
+}
+
+// Run replays the trace through a simulated cluster and aggregates the
+// outcome. Determinism contract: same (Trace, Config) ⇒ identical Result —
+// the event timeline is totally ordered (time, then completion-before-
+// arrival, then arrival order), the jitter stream is seeded by Config.Seed
+// and consumed in timeline order, and every map is avoided in favour of
+// slices indexed by replica position.
+func Run(tr *workload.Trace, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if tr == nil || len(tr.Graphs) == 0 {
+		return nil, fmt.Errorf("clustersim: trace is empty")
+	}
+	for _, ev := range tr.Events {
+		if ev.Class < 0 || ev.Class >= len(tr.Classes) || ev.Graph < 0 || ev.Graph >= len(tr.Graphs) {
+			return nil, fmt.Errorf("clustersim: trace event references out-of-range class or graph")
+		}
+	}
+
+	rg, err := ring.New(cfg.Replicas, ring.WithVirtualNodes(cfg.VirtualNodes))
+	if err != nil {
+		return nil, fmt.Errorf("clustersim: building ring: %w", err)
+	}
+	index := make(map[string]int, len(cfg.Replicas))
+	reps := make([]*replica, len(cfg.Replicas))
+	for i, id := range cfg.Replicas {
+		index[id] = i
+		reps[i] = &replica{id: id, cache: memo.NewLRU[string, struct{}](cfg.CacheSize)}
+	}
+
+	jitter := newRNG(cfg.Seed)
+	outcomes := make([]workload.Outcome, 0, len(tr.Events))
+	var (
+		heapQ      completionHeap
+		seq        uint64
+		spillovers uint64
+		horizon    int64
+	)
+
+	// startService begins one request on rep at time now, pushing its
+	// completion. The cache is consulted at service start (the live
+	// server resolves its session before scheduling work too).
+	startService := func(rep *replica, repIdx, event int, now int64) {
+		ev := tr.Events[event]
+		hash := tr.Graphs[ev.Graph].Hash
+		_, hit := rep.cache.Get(hash)
+		if hit {
+			rep.stats.Hits++
+		} else {
+			rep.stats.Misses++
+			rep.cache.Put(hash, struct{}{})
+			rep.stats.Evictions = rep.cache.Evictions()
+		}
+		mean := cfg.Service.mean(ev.Kind, hit, tr.Classes[ev.Class].SweepAlphas)
+		us := jitter.serviceMicros(mean, cfg.Service.JitterSigma)
+		rep.inFlight++
+		rep.stats.BusyMicros += us
+		seq++
+		heap.Push(&heapQ, completion{at: now + us, seq: seq, replica: repIdx, event: event})
+	}
+
+	// finish retires the completion c and starts the next queued request,
+	// if any, at the freed slot.
+	finish := func(c completion) {
+		rep := reps[c.replica]
+		rep.inFlight--
+		rep.stats.Served++
+		outcomes = append(outcomes, workload.Outcome{
+			Event:   c.event,
+			Status:  workload.StatusOK,
+			Latency: time.Duration(c.at-tr.Events[c.event].At.Microseconds()) * time.Microsecond,
+		})
+		if c.at > horizon {
+			horizon = c.at
+		}
+		if len(rep.queue) > 0 {
+			next := rep.queue[0]
+			rep.queue = rep.queue[1:]
+			startService(rep, c.replica, next.event, c.at)
+		}
+	}
+
+	load := func(id string) int {
+		rep := reps[index[id]]
+		return rep.inFlight + len(rep.queue)
+	}
+
+	for ei, ev := range tr.Events {
+		at := ev.At.Microseconds()
+		// Retire everything completing at or before this arrival:
+		// completions at the same microsecond free their slot first, as a
+		// real server would have written its response before the next
+		// in-flight slot is contended.
+		for len(heapQ) > 0 && heapQ[0].at <= at {
+			finish(heap.Pop(&heapQ).(completion))
+		}
+		hash := tr.Graphs[ev.Graph].Hash
+		owner, ok := rg.OwnerBounded(hash, cfg.LoadFactor, load)
+		if !ok {
+			// Unreachable with static membership (no replica reports
+			// negative load), kept for symmetry with the router.
+			outcomes = append(outcomes, workload.Outcome{Event: ei, Status: workload.StatusError})
+			continue
+		}
+		if owner != rg.Owner(hash) {
+			spillovers++
+		}
+		repIdx := index[owner]
+		rep := reps[repIdx]
+		switch {
+		case rep.inFlight < cfg.MaxInFlight:
+			startService(rep, repIdx, ei, at)
+		case cfg.ShedQueueDepth == 0 || len(rep.queue) < cfg.ShedQueueDepth:
+			rep.queue = append(rep.queue, queued{event: ei, arrived: at})
+			if len(rep.queue) > rep.stats.PeakQueue {
+				rep.stats.PeakQueue = len(rep.queue)
+			}
+		default:
+			rep.stats.Shed++
+			outcomes = append(outcomes, workload.Outcome{Event: ei, Status: workload.StatusShed})
+		}
+	}
+	// Drain: every queued and in-service request completes.
+	for len(heapQ) > 0 {
+		finish(heap.Pop(&heapQ).(completion))
+	}
+
+	stats := make([]ReplicaStats, len(reps))
+	var hits, misses uint64
+	for i, rep := range reps {
+		rep.stats.ID = rep.id
+		stats[i] = rep.stats
+		hits += rep.stats.Hits
+		misses += rep.stats.Misses
+	}
+	res := &Result{
+		Replicas:       len(reps),
+		CacheSize:      cfg.CacheSize,
+		MaxInFlight:    cfg.MaxInFlight,
+		ShedQueueDepth: cfg.ShedQueueDepth,
+		Seed:           cfg.Seed,
+		Report:         workload.NewReport(tr, outcomes),
+		ReplicaStats:   stats,
+		Spillovers:     spillovers,
+		HorizonMicros:  horizon,
+	}
+	if hits+misses > 0 {
+		res.HitRate = float64(hits) / float64(hits+misses)
+	}
+	return res, nil
+}
+
+// rng is the jitter stream: a private splitmix64 (the same construction as
+// package workload's generator — duplicated rather than exported, the two
+// packages' streams must never be coupled by a shared type).
+type rng struct{ state uint64 }
+
+func newRNG(seed int64) *rng {
+	r := &rng{state: uint64(seed) ^ 0x9e3779b97f4a7c15}
+	r.next()
+	return r
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) norm() float64 {
+	u1 := 1 - r.float64()
+	u2 := r.float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// serviceMicros draws one service time: lognormal jitter around mean
+// seconds, mean-preserved (the exp(σz − σ²/2) correction keeps E[X] =
+// mean for any σ), floored at 1µs. σ = 0 is deterministic service.
+func (r *rng) serviceMicros(mean, sigma float64) int64 {
+	x := mean
+	if sigma > 0 {
+		x = mean * math.Exp(sigma*r.norm()-sigma*sigma/2)
+	}
+	us := int64(math.Round(x * 1e6))
+	if us < 1 {
+		us = 1
+	}
+	return us
+}

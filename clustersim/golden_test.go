@@ -1,0 +1,233 @@
+package clustersim_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/clustersim"
+	"repro/workload"
+)
+
+// -update-golden regenerates the committed trace and report goldens from
+// testdata/spec_small.json. Run it after an intentional format or model
+// change, and review the diff like any other code change.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden trace and report from the committed spec")
+
+const (
+	goldenSeed    = 42
+	goldenSimSeed = 7
+)
+
+func goldenConfig() clustersim.Config {
+	return clustersim.Config{
+		Replicas:       []string{"r1", "r2", "r3"},
+		CacheSize:      4,
+		MaxInFlight:    1,
+		ShedQueueDepth: 2,
+		Seed:           goldenSimSeed,
+		// A single-core-replica model, slow enough that the bursty class
+		// queues and sheds: the golden must exercise admission, not just
+		// routing.
+		Service: clustersim.ServiceModel{
+			ScheduleHit:    0.002,
+			ScheduleMiss:   0.012,
+			SimulateHit:    0.003,
+			SimulateMiss:   0.015,
+			SweepPointHit:  0.0025,
+			SweepPointMiss: 0.012,
+			JitterSigma:    0.25,
+		},
+	}
+}
+
+func loadGoldenSpec(t *testing.T) *workload.Spec {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "spec_small.json"))
+	if err != nil {
+		t.Fatalf("opening spec: %v", err)
+	}
+	defer f.Close()
+	spec, err := workload.DecodeSpec(f)
+	if err != nil {
+		t.Fatalf("decoding spec: %v", err)
+	}
+	return spec
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("writing golden %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden %s (regenerate with -update-golden): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from the committed golden.\n"+
+			"If the change is intentional, regenerate with:\n"+
+			"  go test ./clustersim -run TestGolden -update-golden\n"+
+			"and review the diff. Byte-identical replay is this package's contract.", path)
+	}
+}
+
+// TestGoldenTraceAndReport is the capacity-planning regression gate: the
+// committed (Spec, seed) must expand to a byte-identical trace, and that
+// trace through the simulator must produce a byte-identical Result — on
+// every platform, Go release and run. Any drift (generator draw order, trace
+// encoding, routing, cache model, report math) fails here before it can
+// silently re-baseline a capacity plan.
+func TestGoldenTraceAndReport(t *testing.T) {
+	spec := loadGoldenSpec(t)
+	tr, err := workload.Generate(spec, goldenSeed)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var traceBuf bytes.Buffer
+	if err := workload.EncodeTrace(&traceBuf, tr); err != nil {
+		t.Fatalf("EncodeTrace: %v", err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden_trace.ndjson"), traceBuf.Bytes())
+
+	res, err := clustersim.Run(tr, goldenConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var repBuf bytes.Buffer
+	if err := res.Encode(&repBuf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden_report.json"), repBuf.Bytes())
+
+	// The golden run must exercise the interesting paths, or the gate
+	// guards nothing: cache churn (evictions) and queueing (peak queue).
+	var evictions uint64
+	peak := 0
+	for _, rs := range res.ReplicaStats {
+		evictions += rs.Evictions
+		if rs.PeakQueue > peak {
+			peak = rs.PeakQueue
+		}
+	}
+	if evictions == 0 {
+		t.Error("golden run produced no cache evictions; the spec no longer stresses the LRU model")
+	}
+	if peak == 0 {
+		t.Error("golden run produced no queueing; the spec no longer stresses admission")
+	}
+}
+
+// TestTraceDecodeMatchesGenerate pins record/replay: decoding the committed
+// golden trace must reproduce exactly what Generate produces, so a recorded
+// trace is a full substitute for regeneration.
+func TestTraceDecodeMatchesGenerate(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_trace.ndjson"))
+	if err != nil {
+		t.Skipf("golden trace missing (run -update-golden first): %v", err)
+	}
+	decoded, err := workload.DecodeTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("DecodeTrace: %v", err)
+	}
+	resFromDecoded, err := clustersim.Run(decoded, goldenConfig())
+	if err != nil {
+		t.Fatalf("Run(decoded): %v", err)
+	}
+	tr, err := workload.Generate(loadGoldenSpec(t), goldenSeed)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	resFromGenerated, err := clustersim.Run(tr, goldenConfig())
+	if err != nil {
+		t.Fatalf("Run(generated): %v", err)
+	}
+	var a, b bytes.Buffer
+	if err := resFromDecoded.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := resFromGenerated.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("a replayed (decoded) trace simulates differently from its regenerated twin")
+	}
+}
+
+// TestCapacitySweepDeterministicAcrossWorkers runs the same capacity sweep
+// on 1, 2 and 4 workers and demands byte-identical results in order — the
+// same contract as the engine's sweep pool, and the test CI runs under
+// -race: any shared mutable state between concurrent simulations surfaces
+// here.
+func TestCapacitySweepDeterministicAcrossWorkers(t *testing.T) {
+	spec := loadGoldenSpec(t)
+	tr, err := workload.Generate(spec, goldenSeed)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	counts := []int{1, 2, 3, 4, 6}
+	base := clustersim.Config{CacheSize: 4, MaxInFlight: 2, ShedQueueDepth: 4, Seed: goldenSimSeed}
+	var reference [][]byte
+	for _, workers := range []int{1, 2, 4} {
+		results, err := clustersim.CapacitySweep(tr, base, counts, workers)
+		if err != nil {
+			t.Fatalf("CapacitySweep(workers=%d): %v", workers, err)
+		}
+		if len(results) != len(counts) {
+			t.Fatalf("CapacitySweep(workers=%d) returned %d results, want %d", workers, len(results), len(counts))
+		}
+		encoded := make([][]byte, len(results))
+		for i, res := range results {
+			if res.Replicas != counts[i] {
+				t.Fatalf("result %d is for %d replicas, want %d (out-of-order results)", i, res.Replicas, counts[i])
+			}
+			var buf bytes.Buffer
+			if err := res.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			encoded[i] = buf.Bytes()
+		}
+		if reference == nil {
+			reference = encoded
+			continue
+		}
+		for i := range encoded {
+			if !bytes.Equal(reference[i], encoded[i]) {
+				t.Fatalf("workers=%d result %d differs from the single-worker run", workers, i)
+			}
+		}
+	}
+}
+
+// TestPlanCapacity sanity-checks the planning predicate: more replicas can
+// only help (goodput is monotone-ish for this spec), and the planner picks
+// the first count that clears the bar.
+func TestPlanCapacity(t *testing.T) {
+	spec := loadGoldenSpec(t)
+	tr, err := workload.Generate(spec, goldenSeed)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	base := clustersim.Config{CacheSize: 4, MaxInFlight: 2, ShedQueueDepth: 4, Seed: goldenSimSeed}
+	counts := []int{1, 2, 4, 8}
+	need, results, ok, err := clustersim.PlanCapacity(tr, base, counts, 0.5)
+	if err != nil {
+		t.Fatalf("PlanCapacity: %v", err)
+	}
+	if !ok {
+		t.Fatalf("no replica count in %v reaches 0.5 goodput for every class", counts)
+	}
+	for i, res := range results {
+		if res.MeetsSLO(0.5) {
+			if counts[i] != need {
+				t.Fatalf("planner picked %d replicas, but %d already meets the bar", need, counts[i])
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package clustersim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/serve"
+	"repro/workload"
+)
+
+// ServiceModel is the calibrated per-endpoint service-time model: mean
+// seconds per request kind, split by session-cache outcome (a warm session
+// answers from memos; a cold one re-derives ranks and statics, an order of
+// magnitude slower — the split is the whole reason cache affinity matters).
+// A sweep request costs SweepPoint{Hit,Miss} per α point it evaluates.
+type ServiceModel struct {
+	ScheduleHit    float64 `json:"schedule_hit_s"`
+	ScheduleMiss   float64 `json:"schedule_miss_s"`
+	SimulateHit    float64 `json:"simulate_hit_s"`
+	SimulateMiss   float64 `json:"simulate_miss_s"`
+	SweepPointHit  float64 `json:"sweep_point_hit_s"`
+	SweepPointMiss float64 `json:"sweep_point_miss_s"`
+	// JitterSigma is the σ of the mean-preserving lognormal service-time
+	// jitter (0 = deterministic service).
+	JitterSigma float64 `json:"jitter_sigma"`
+}
+
+// DefaultServiceModel returns a model in the ballpark of a warm memschedd
+// on one core serving small graphs (the README's ~4k req/s figure puts a
+// warm schedule around 250µs; cold sessions pay rank/statics derivation,
+// roughly 10×). Calibrate against a real server with ModelFromLatencies
+// when absolute numbers matter; defaults are for shape, not precision.
+func DefaultServiceModel() ServiceModel {
+	return ServiceModel{
+		ScheduleHit:    0.00025,
+		ScheduleMiss:   0.0025,
+		SimulateHit:    0.0004,
+		SimulateMiss:   0.003,
+		SweepPointHit:  0.0005,
+		SweepPointMiss: 0.004,
+		JitterSigma:    0.25,
+	}
+}
+
+func (m ServiceModel) validate() error {
+	if m == (ServiceModel{}) {
+		return nil // zero value means DefaultServiceModel at mean()
+	}
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"schedule_hit_s", m.ScheduleHit}, {"schedule_miss_s", m.ScheduleMiss},
+		{"simulate_hit_s", m.SimulateHit}, {"simulate_miss_s", m.SimulateMiss},
+		{"sweep_point_hit_s", m.SweepPointHit}, {"sweep_point_miss_s", m.SweepPointMiss},
+	} {
+		if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val <= 0 {
+			return fmt.Errorf("clustersim: service model %s must be a finite positive duration in seconds", v.name)
+		}
+	}
+	if math.IsNaN(m.JitterSigma) || m.JitterSigma < 0 || m.JitterSigma > 3 {
+		return fmt.Errorf("clustersim: jitter_sigma must be in [0, 3]")
+	}
+	return nil
+}
+
+// mean returns the mean service seconds of one request.
+func (m ServiceModel) mean(kind string, hit bool, sweepAlphas int) float64 {
+	if m == (ServiceModel{}) {
+		m = DefaultServiceModel()
+	}
+	switch kind {
+	case workload.KindSimulate:
+		if hit {
+			return m.SimulateHit
+		}
+		return m.SimulateMiss
+	case workload.KindSweep:
+		if sweepAlphas < 1 {
+			sweepAlphas = 1
+		}
+		per := m.SweepPointMiss
+		if hit {
+			per = m.SweepPointHit
+		}
+		return per * float64(sweepAlphas)
+	default: // schedule
+		if hit {
+			return m.ScheduleHit
+		}
+		return m.ScheduleMiss
+	}
+}
+
+// ModelFromLatencies calibrates a ServiceModel from a live server's
+// exported latency histograms (serve.(*Server).EndpointLatencies) plus its
+// observed session-cache hit rate. The observed endpoint mean mixes warm
+// and cold requests: mean = h·hit + (1−h)·miss. With the second equation
+// miss = missFactor·hit (the cold/warm cost ratio; pass 10 for the default
+// model's shape) both unknowns resolve:
+//
+//	hit  = mean / (h + (1−h)·missFactor)
+//	miss = missFactor · hit
+//
+// This is a deliberately coarse first moment fit — the simulator's claims
+// are about routing, cache locality and queueing, not microsecond latency
+// accuracy; the validation test holds hit rates and request counts to
+// tolerance, not latencies. Endpoints absent from the snapshot keep the
+// default model's value.
+func ModelFromLatencies(lats []serve.EndpointLatency, hitRate, missFactor float64) ServiceModel {
+	m := DefaultServiceModel()
+	if missFactor < 1 {
+		missFactor = 1
+	}
+	if hitRate < 0 {
+		hitRate = 0
+	}
+	if hitRate > 1 {
+		hitRate = 1
+	}
+	denom := hitRate + (1-hitRate)*missFactor
+	split := func(mean float64) (hit, miss float64) {
+		hit = mean / denom
+		return hit, missFactor * hit
+	}
+	for _, l := range lats {
+		if l.Count == 0 {
+			continue
+		}
+		switch l.Endpoint {
+		case "/v1/schedule":
+			m.ScheduleHit, m.ScheduleMiss = split(l.MeanSeconds())
+		case "/v1/simulate":
+			m.SimulateHit, m.SimulateMiss = split(l.MeanSeconds())
+		case "/v1/sweep":
+			// The histogram times whole sweep requests; approximate the
+			// per-point cost with the default model's 4-point width.
+			m.SweepPointHit, m.SweepPointMiss = split(l.MeanSeconds() / 4)
+		}
+	}
+	return m
+}

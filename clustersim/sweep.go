@@ -1,0 +1,86 @@
+package clustersim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/workload"
+)
+
+// CapacitySweep simulates the same trace at each replica count in counts,
+// on up to workers goroutines (capped at len(counts); <= 0 means
+// len(counts)). Results arrive in counts order regardless of worker count
+// or scheduling: each simulation is independent (its own ring, replicas
+// and jitter stream seeded only by base.Seed), workers claim points off an
+// atomic cursor, and outputs land in their input slot — the same
+// determinism idiom as the engine's sweep worker pool. Replica IDs are
+// synthesised as "r1".."rM" unless base.Replicas is set, in which case
+// counts must not exceed its length (prefixes are used).
+func CapacitySweep(tr *workload.Trace, base Config, counts []int, workers int) ([]*Result, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("clustersim: capacity sweep needs at least one replica count")
+	}
+	for _, n := range counts {
+		if n < 1 {
+			return nil, fmt.Errorf("clustersim: replica count %d out of range", n)
+		}
+		if len(base.Replicas) > 0 && n > len(base.Replicas) {
+			return nil, fmt.Errorf("clustersim: replica count %d exceeds the %d configured ids", n, len(base.Replicas))
+		}
+	}
+	if workers <= 0 || workers > len(counts) {
+		workers = len(counts)
+	}
+
+	out := make([]*Result, len(counts))
+	errs := make([]error, len(counts))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(counts) {
+					return
+				}
+				cfg := base
+				if len(base.Replicas) > 0 {
+					cfg.Replicas = base.Replicas[:counts[i]]
+				} else {
+					ids := make([]string, counts[i])
+					for j := range ids {
+						ids[j] = fmt.Sprintf("r%d", j+1)
+					}
+					cfg.Replicas = ids
+				}
+				out[i], errs[i] = Run(tr, cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// PlanCapacity returns the smallest replica count in counts (tried in
+// order) whose simulation meets minGoodput for every class, alongside the
+// full sweep for inspection. ok is false when none does.
+func PlanCapacity(tr *workload.Trace, base Config, counts []int, minGoodput float64) (need int, results []*Result, ok bool, err error) {
+	results, err = CapacitySweep(tr, base, counts, 0)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	for i, res := range results {
+		if res.MeetsSLO(minGoodput) {
+			return counts[i], results, true, nil
+		}
+	}
+	return 0, results, false, nil
+}

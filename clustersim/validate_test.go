@@ -1,0 +1,165 @@
+package clustersim_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"repro/clustersim"
+	"repro/serve"
+	"repro/workload"
+)
+
+// TestValidateAgainstLiveCluster gates the simulator against reality: the
+// same recorded trace is driven through a live 3-replica httptest cluster
+// (real serve.Server instances, real client-side ring routing, real
+// session LRUs running the actual scheduling engine) and through the
+// simulator configured with the same replica IDs and cache size — then
+// simulated vs observed per-replica request counts and session-cache hit
+// rates must agree.
+//
+// Tolerance and why it is where it is: both sides route by ring first
+// owner over identical member strings (the trace is driven sequentially,
+// so live in-flight load is always zero and the client's ring walk reduces
+// to Owner; the simulator's service means are set microscopic so its
+// bounded-load rule sees zero load too), and both sides run the same
+// Get-then-Put-on-miss semantics over the same memo.LRU with the same
+// canonical GraphHash keys — so agreement should be *exact*. The assert
+// allows 2 percentage points of hit rate and 2% of per-replica requests
+// anyway, as insurance against incidental server-side cache touches being
+// added later; a real model divergence (routing, eviction order, keying)
+// shifts these numbers far past 2%. Tighten, don't loosen: if this test
+// fails at 2%, the simulator is wrong, not the tolerance.
+func TestValidateAgainstLiveCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-cluster validation is not a -short test")
+	}
+	const cacheSize = 5
+	spec := &workload.Spec{
+		Version:         workload.SpecVersion,
+		DurationSeconds: 3,
+		Catalog:         workload.Catalog{Graphs: 24, Tasks: 6, Seed: 9},
+		Classes: []workload.Class{{
+			Name:      "validate",
+			Arrival:   workload.Arrival{Process: workload.ProcessPoisson, Rate: 100},
+			Mix:       workload.Mix{Schedule: 1},
+			Zipf:      0.9,
+			SLOMillis: 1000,
+		}},
+	}
+	tr, err := workload.Generate(spec, 21)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	set, err := spec.Catalog.Build()
+	if err != nil {
+		t.Fatalf("Catalog.Build: %v", err)
+	}
+	rawGraphs := make([]json.RawMessage, len(set.Graphs))
+	for i, g := range set.Graphs {
+		raw, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("marshaling graph %d: %v", i, err)
+		}
+		rawGraphs[i] = raw
+	}
+
+	// Three live replicas. The httptest URLs double as ring member IDs on
+	// both sides, so live and simulated routing hash identical strings.
+	servers := make([]*serve.Server, 3)
+	urls := make([]string, 3)
+	for i := range servers {
+		srv := serve.NewServer(serve.Config{CacheSize: cacheSize})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		servers[i] = srv
+		urls[i] = ts.URL
+	}
+	client, err := serve.NewClusterClient(urls,
+		serve.WithRequestHeader(serve.WorkloadClassHeader, "validate"))
+	if err != nil {
+		t.Fatalf("NewClusterClient: %v", err)
+	}
+
+	// Drive the trace sequentially — arrival *order*, not arrival timing:
+	// hit rates and routing depend only on the request sequence, and
+	// sequential driving keeps live load at zero so routing is exactly
+	// first-owner on both sides.
+	ctx := context.Background()
+	pools := []serve.PoolSpec{{Procs: 2}, {Procs: 2}}
+	for ei, ev := range tr.Events {
+		_, err := client.Schedule(ctx, serve.ScheduleRequest{Graph: rawGraphs[ev.Graph], Pools: pools})
+		if err != nil {
+			t.Fatalf("live schedule of event %d failed: %v", ei, err)
+		}
+	}
+
+	sim, err := clustersim.Run(tr, clustersim.Config{
+		Replicas:  urls,
+		CacheSize: cacheSize,
+		// Effectively infinite capacity and instant service: the live
+		// drive was sequential, so the simulator must not queue either.
+		MaxInFlight: 64,
+		Service: clustersim.ServiceModel{
+			ScheduleHit: 1e-6, ScheduleMiss: 1e-6,
+			SimulateHit: 1e-6, SimulateMiss: 1e-6,
+			SweepPointHit: 1e-6, SweepPointMiss: 1e-6,
+		},
+	})
+	if err != nil {
+		t.Fatalf("clustersim.Run: %v", err)
+	}
+
+	var liveHits, liveMisses uint64
+	for i, srv := range servers {
+		st := srv.Stats()
+		liveHits += st.SessionHits
+		liveMisses += st.SessionMisses
+		simRS := sim.ReplicaStats[i]
+		if simRS.ID != urls[i] {
+			t.Fatalf("replica stats order mismatch: %q vs %q", simRS.ID, urls[i])
+		}
+		liveCount := float64(st.SessionHits + st.SessionMisses)
+		simCount := float64(simRS.Hits + simRS.Misses)
+		if liveCount == 0 && simCount == 0 {
+			continue
+		}
+		if relDiff(simCount, liveCount) > 0.02 {
+			t.Errorf("replica %d request count: sim %v vs live %v (>2%% apart)", i, simCount, liveCount)
+		}
+		if math.Abs(simRS.HitRate()-hitRate(st.SessionHits, st.SessionMisses)) > 0.02 {
+			t.Errorf("replica %d hit rate: sim %.4f vs live %.4f (>2 points apart)",
+				i, simRS.HitRate(), hitRate(st.SessionHits, st.SessionMisses))
+		}
+	}
+	liveRate := hitRate(liveHits, liveMisses)
+	if liveHits+liveMisses == 0 {
+		t.Fatal("live cluster observed no session traffic; the drive did not reach the replicas")
+	}
+	if math.Abs(sim.HitRate-liveRate) > 0.02 {
+		t.Fatalf("cluster hit rate: sim %.4f vs live %.4f (documented tolerance: 2 points)", sim.HitRate, liveRate)
+	}
+	// The spec must actually stress the caches, or agreement is vacuous:
+	// a 24-graph catalog over 3 replicas with 5-entry caches has to both
+	// hit (zipf head) and miss (tail churn).
+	if liveRate < 0.05 || liveRate > 0.95 {
+		t.Fatalf("live hit rate %.4f is degenerate; retune the validation spec", liveRate)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

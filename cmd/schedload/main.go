@@ -17,6 +17,21 @@
 // it) recovers by re-registering the graph — it lands on the new ring
 // owner — and retrying there.
 //
+// With -spec the generator switches from closed-loop to **open-loop**: a
+// declarative workload spec (package repro/workload) of client classes with
+// Poisson/Gamma/Weibull arrival processes, Zipf graph popularity and
+// per-class SLOs is expanded into a deterministic event trace, and every
+// request fires at its intended offset from the run start — the clock paces
+// the run, not the responses, so bursts queue and shed at the server and
+// coordinated omission is measured instead of hidden (latency counts from
+// intended arrival; dispatch delay is reported as lateness). The report
+// breaks down per class (p50/p99, goodput against the class SLO, Jain
+// fairness) and each request carries its class in X-Workload-Class, so the
+// same breakdown appears in the server's /metrics. -record writes the
+// expanded trace; -replay drives a recorded one (byte-identical workload,
+// no spec needed). In open-loop mode request failures are measurements,
+// not process errors: the run exits 0 and reports them.
+//
 // Usage:
 //
 //	schedload -addr http://127.0.0.1:8080 -clients 8 -requests 100 -graphs 16 -tasks 100
@@ -24,6 +39,8 @@
 //	schedload -addr http://127.0.0.1:8080 \
 //	  -replicas "a=http://127.0.0.1:8081,b=http://127.0.0.1:8082"
 //	schedload -route client -replicas "http://127.0.0.1:8081,http://127.0.0.1:8082"
+//	schedload -addr http://127.0.0.1:8080 -spec workload.json -spec-seed 7 -record run.ndjson
+//	schedload -addr http://127.0.0.1:8080 -replay run.ndjson
 package main
 
 import (
@@ -83,10 +100,29 @@ func main() {
 	flag.IntVar(&cfg.sweepWorkers, "sweep-workers", 0, "per-sweep worker bound (0 = server cap; with -sweep)")
 	flag.StringVar(&cfg.replicas, "replicas", "", `cluster replica set ("id=url,..." or bare urls) for per-replica cache attribution`)
 	flag.StringVar(&cfg.route, "route", "router", `request path in a cluster: "router" (everything via -addr) or "client" (ring-route straight to -replicas owners)`)
+	var ol openLoopConfig
+	flag.StringVar(&ol.spec, "spec", "", "workload spec (JSON, package repro/workload): switch to open-loop mode")
+	flag.StringVar(&ol.replay, "replay", "", "recorded trace (NDJSON) to drive open-loop instead of expanding a spec")
+	flag.StringVar(&ol.record, "record", "", "write the expanded trace here for later -replay (with -spec)")
+	flag.Int64Var(&ol.specSeed, "spec-seed", 1, "seed expanding -spec into its event trace")
+	flag.IntVar(&ol.maxOutstanding, "max-outstanding", 256, "cap on concurrently outstanding open-loop requests (blocking counts as lateness)")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 	defer cancel()
+	if ol.active() {
+		if err := ol.validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "schedload:", err)
+			os.Exit(1)
+		}
+		rep, err := runOpenLoop(ctx, cfg, ol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedload:", err)
+			os.Exit(1)
+		}
+		rep.print(os.Stdout)
+		return // open-loop failures are measurements, not exit codes
+	}
 	rep, err := run(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedload:", err)

@@ -1,0 +1,366 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/cluster"
+	"repro/serve"
+	"repro/workload"
+)
+
+// openLoopConfig is the -spec/-replay mode's knob set, carried alongside
+// the closed-loop loadConfig (the shared fields — addr, route, replicas,
+// retries — come from there).
+type openLoopConfig struct {
+	spec           string // workload spec path ("" = closed-loop mode)
+	replay         string // recorded trace path (mutually exclusive with spec)
+	record         string // write the generated trace here (requires spec)
+	specSeed       int64  // seed expanding the spec into a trace
+	maxOutstanding int    // cap on concurrently outstanding requests
+}
+
+func (o openLoopConfig) active() bool { return o.spec != "" || o.replay != "" }
+
+func (o openLoopConfig) validate() error {
+	if o.spec != "" && o.replay != "" {
+		return fmt.Errorf("-spec and -replay are mutually exclusive (a trace already embeds its spec's expansion)")
+	}
+	if o.record != "" && o.spec == "" {
+		return fmt.Errorf("-record needs -spec (replaying a recorded trace and re-recording it is a copy)")
+	}
+	if o.maxOutstanding < 1 {
+		return fmt.Errorf("-max-outstanding must be >= 1")
+	}
+	return nil
+}
+
+// loadTrace resolves the trace to drive: expand the spec under -spec-seed,
+// or decode the recorded one.
+func loadTrace(o openLoopConfig) (*workload.Trace, error) {
+	if o.replay != "" {
+		f, err := os.Open(o.replay)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, err := workload.DecodeTrace(bufio.NewReader(f))
+		if err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+	f, err := os.Open(o.spec)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	spec, err := workload.DecodeSpec(f)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workload.Generate(spec, o.specSeed)
+	if err != nil {
+		return nil, err
+	}
+	if o.record != "" {
+		out, err := os.Create(o.record)
+		if err != nil {
+			return nil, err
+		}
+		if err := workload.EncodeTrace(out, tr); err != nil {
+			out.Close()
+			return nil, err
+		}
+		if err := out.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// openLoopReport aggregates one open-loop run: the workload Report plus
+// the run-level context the closed-loop report also prints.
+type openLoopReport struct {
+	trace   *workload.Trace
+	rep     *workload.Report
+	elapsed time.Duration
+	// serverShed/classSeries come from the post-run /metrics scrape
+	// (zero/absent when the scrape failed; scrapeErr says why).
+	serverShed  uint64
+	classSeries int
+	scrapeErr   error
+}
+
+func (r openLoopReport) print(w io.Writer) {
+	fmt.Fprintf(w, "open-loop : %d events over %v of trace time, driven in %v\n",
+		len(r.trace.Events), r.trace.Duration.Round(time.Millisecond), r.elapsed.Round(time.Millisecond))
+	for _, c := range r.rep.Classes {
+		fmt.Fprintf(w, "class %-12s sent=%d ok=%d shed=%d errors=%d p50=%v p99=%v maxlate=%v goodput=%.3f (%.1f rps)\n",
+			c.Name+":", c.Sent, c.OK, c.Shed, c.Errors,
+			time.Duration(c.P50Micros)*time.Microsecond,
+			time.Duration(c.P99Micros)*time.Microsecond,
+			time.Duration(c.MaxLatenessMicros)*time.Microsecond,
+			c.Goodput, c.GoodputRPS)
+	}
+	t := r.rep.Total
+	fmt.Fprintf(w, "total     : sent=%d ok=%d shed=%d errors=%d p50=%v p99=%v goodput=%.3f\n",
+		t.Sent, t.OK, t.Shed, t.Errors,
+		time.Duration(t.P50Micros)*time.Microsecond,
+		time.Duration(t.P99Micros)*time.Microsecond, t.Goodput)
+	fmt.Fprintf(w, "fairness  : jain %.4f over %d classes\n", r.rep.Fairness, len(r.rep.Classes))
+	switch {
+	case r.scrapeErr != nil:
+		fmt.Fprintf(w, "metrics   : scrape failed: %v\n", r.scrapeErr)
+	default:
+		fmt.Fprintf(w, "metrics   : server memschedd_shed_total=%d, %d class-labelled series\n",
+			r.serverShed, r.classSeries)
+	}
+}
+
+// runOpenLoop drives the trace open-loop: every event fires at its intended
+// offset from the run start regardless of how previous requests are faring
+// — the clock, not the responses, paces the run. Consequences, by design:
+//
+//   - Bursts pile onto the server and queue or shed there; a slow server
+//     cannot slow the generator down (no coordinated omission).
+//   - Latency is measured from the event's *intended* arrival, so time a
+//     request spent waiting for the generator's outstanding-cap slot also
+//     counts against it — and is additionally reported as lateness, the
+//     generator's own honesty metric.
+//   - Request failures are measurements, not errors: the run exits 0 and
+//     reports them per class. Only infrastructure failures (unreachable
+//     server, unreadable spec) fail the run.
+func runOpenLoop(ctx context.Context, cfg loadConfig, o openLoopConfig) (*openLoopReport, error) {
+	tr, err := loadTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	baseOpts := []serve.ClientOption{}
+	if cfg.retries > 0 {
+		baseOpts = append(baseOpts, serve.WithRetry(serve.RetryPolicy{
+			MaxAttempts: cfg.retries + 1,
+			BaseDelay:   cfg.backoff,
+		}))
+	}
+	// One client per class: each carries its class label to the server, so
+	// the /metrics breakdown mirrors the report's.
+	clients := make([]*serve.Client, len(tr.Classes))
+	for i, c := range tr.Classes {
+		opts := append(append([]serve.ClientOption{}, baseOpts...),
+			serve.WithRequestHeader(serve.WorkloadClassHeader, c.Name))
+		cl, err := newLoadClient(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = cl
+	}
+	if err := clients[0].Health(ctx); err != nil {
+		return nil, fmt.Errorf("server not reachable: %w", err)
+	}
+
+	// Register the catalog up front (content-addressed, so re-running a
+	// trace against a warm server is idempotent). IDs equal the trace's
+	// recorded hashes; trusting that here would miss a generator drift, so
+	// verify.
+	set, err := tr.Catalog.Build()
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range set.Graphs {
+		reg, err := clients[0].RegisterGraph(ctx, g, nil)
+		if err != nil {
+			return nil, fmt.Errorf("registering catalog graph %d: %w", i, err)
+		}
+		if reg.ID != tr.Graphs[i].Hash {
+			return nil, fmt.Errorf("catalog graph %d registered as %s, but the trace names %s (catalog drift)", i, reg.ID, tr.Graphs[i].Hash)
+		}
+	}
+
+	pools := []serve.PoolSpec{{Procs: 2}, {Procs: 2}}
+	outcomes := make([]workload.Outcome, len(tr.Events))
+	sem := make(chan struct{}, o.maxOutstanding)
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	<-timer.C
+
+dispatch:
+	for ei, ev := range tr.Events {
+		intended := start.Add(ev.At)
+		if wait := time.Until(intended); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		// The outstanding cap is the one place the generator is not purely
+		// open-loop (an unbounded fan-out would melt the generator before
+		// the server); time blocked here is charged to the request as
+		// lateness and latency, never hidden.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
+		wg.Add(1)
+		go func(ei int, ev workload.Event, intended time.Time) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cl := clients[ev.Class]
+			id := tr.Graphs[ev.Graph].Hash
+			lateness := time.Since(intended)
+			if lateness < 0 {
+				lateness = 0
+			}
+			err := issue(ctx, cl, ev, id, pools, tr.Classes[ev.Class].SweepAlphas, cfg)
+			out := workload.Outcome{Event: ei, Lateness: lateness}
+			switch {
+			case err == nil:
+				out.Status = workload.StatusOK
+				out.Latency = time.Since(intended)
+			case isShed(err):
+				out.Status = workload.StatusShed
+			default:
+				out.Status = workload.StatusError
+			}
+			outcomes[ei] = out
+		}(ei, ev, intended)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Events never dispatched (cancelled run) have a zero Outcome; mark
+	// them explicitly as errors so the report's accounting is honest.
+	for i := range outcomes {
+		if outcomes[i].Status == "" {
+			outcomes[i] = workload.Outcome{Event: i, Status: workload.StatusError}
+		}
+	}
+	rep := &openLoopReport{
+		trace:   tr,
+		rep:     workload.NewReport(tr, outcomes),
+		elapsed: elapsed,
+	}
+	rep.serverShed, rep.classSeries, rep.scrapeErr = scrapeClassMetrics(ctx, cfg.addr)
+	return rep, nil
+}
+
+// newLoadClient builds one request client under the shared routing config.
+func newLoadClient(cfg loadConfig, opts []serve.ClientOption) (*serve.Client, error) {
+	switch cfg.route {
+	case "", "router":
+		return serve.NewClient(cfg.addr, opts...), nil
+	case "client":
+		if cfg.replicas == "" {
+			return nil, fmt.Errorf("-route client needs -replicas to route over")
+		}
+		reps, err := parseReplicaURLs(cfg.replicas)
+		if err != nil {
+			return nil, err
+		}
+		return serve.NewClusterClient(reps, opts...)
+	default:
+		return nil, fmt.Errorf("unknown -route %q (want router or client)", cfg.route)
+	}
+}
+
+// issue sends one trace event as its corresponding API call.
+func issue(ctx context.Context, cl *serve.Client, ev workload.Event, id string, pools []serve.PoolSpec, sweepAlphas int, cfg loadConfig) error {
+	switch ev.Kind {
+	case workload.KindSimulate:
+		_, err := cl.Simulate(ctx, serve.ScheduleRequest{GraphID: id, Pools: pools})
+		return err
+	case workload.KindSweep:
+		if sweepAlphas < 1 {
+			sweepAlphas = 4
+		}
+		alphas := make([]float64, sweepAlphas)
+		for i := range alphas {
+			alphas[i] = float64(i+1) / float64(sweepAlphas)
+		}
+		_, err := cl.Sweep(ctx, serve.SweepRequest{
+			GraphID:    id,
+			Pools:      pools,
+			Alphas:     alphas,
+			Schedulers: []string{cfg.scheduler},
+			Seeds:      []int64{cfg.seed},
+			Workers:    cfg.sweepWorkers,
+		}, nil)
+		return err
+	default: // schedule
+		_, err := cl.Schedule(ctx, serve.ScheduleRequest{
+			GraphID:   id,
+			Pools:     pools,
+			Scheduler: cfg.scheduler,
+			Seed:      cfg.seed,
+		})
+		return err
+	}
+}
+
+// isShed reports a structured 429 — the server's admission control (load
+// shedder or rate limiter) refusing the request, which the open-loop
+// report counts separately from errors: shedding under a burst is the
+// server working as designed.
+func isShed(err error) bool {
+	var apiErr *serve.APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests
+}
+
+// parseReplicaURLs extracts the URL list of a -replicas spec ("id=url,..."
+// or bare urls), reusing the cluster package's parser.
+func parseReplicaURLs(spec string) ([]string, error) {
+	reps, err := cluster.ParseReplicas(spec)
+	if err != nil {
+		return nil, err
+	}
+	urls := make([]string, len(reps))
+	for i, r := range reps {
+		urls[i] = r.URL
+	}
+	return urls, nil
+}
+
+// scrapeClassMetrics reads the server's /metrics once after the run and
+// pulls out the shed counter plus how many class-labelled series the run
+// left behind — proof the per-class labels flowed end to end.
+func scrapeClassMetrics(ctx context.Context, addr string) (shed uint64, classSeries int, err error) {
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("metrics scrape: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "memschedd_shed_total "):
+			fmt.Sscanf(line, "memschedd_shed_total %d", &shed)
+		case strings.HasPrefix(line, "memschedd_class_requests_total{"):
+			classSeries++
+		}
+	}
+	return shed, classSeries, sc.Err()
+}

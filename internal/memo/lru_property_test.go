@@ -1,0 +1,172 @@
+package memo
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// shadowLRU is an intentionally naive reference model of LRU semantics: a
+// plain slice kept in most-recently-used-first order. Every operation is
+// O(n) and obviously correct by inspection, which is the point — the real
+// LRU's intrusive ring is checked against it, not the other way around.
+type shadowLRU struct {
+	max       int
+	order     []int // keys, MRU first
+	vals      map[int]int
+	evictions uint64
+}
+
+func newShadowLRU(max int) *shadowLRU {
+	return &shadowLRU{max: max, vals: make(map[int]int)}
+}
+
+func (s *shadowLRU) touch(k int) {
+	for i, key := range s.order {
+		if key == k {
+			copy(s.order[1:i+1], s.order[:i])
+			s.order[0] = k
+			return
+		}
+	}
+}
+
+func (s *shadowLRU) get(k int) (int, bool) {
+	v, ok := s.vals[k]
+	if ok {
+		s.touch(k)
+	}
+	return v, ok
+}
+
+func (s *shadowLRU) put(k, v int) {
+	if _, ok := s.vals[k]; ok {
+		s.vals[k] = v
+		s.touch(k)
+		return
+	}
+	if len(s.order) >= s.max {
+		oldest := s.order[len(s.order)-1]
+		s.order = s.order[:len(s.order)-1]
+		delete(s.vals, oldest)
+		s.evictions++
+	}
+	s.order = append([]int{k}, s.order...)
+	s.vals[k] = v
+}
+
+// TestLRUPropertyConcurrent drives the real LRU and the shadow model with
+// the same randomized operation stream from many goroutines. The LRU's
+// documented contract is "not concurrency-safe: the owner serialises access
+// under its own mutex" — exactly how serve.Server uses it for the session
+// cache — so both structures are mutated inside the same critical section,
+// and the interleaving (which goroutine wins each lock acquisition) is left
+// to the scheduler. After the storm, the real cache must agree with the
+// model on length, eviction count, membership, per-key values, and exact
+// recency order. Run under -race this also proves the mutex discipline is
+// sufficient: any access outside the lock is a data race on the intrusive
+// list pointers.
+func TestLRUPropertyConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		opsPerG    = 4000
+		capacity   = 16
+		keySpace   = 48 // 3x capacity: plenty of eviction churn
+	)
+
+	real := NewLRU[int, int](capacity)
+	shadow := newShadowLRU(capacity)
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < opsPerG; i++ {
+				k := rng.Intn(keySpace)
+				v := rng.Int()
+				doPut := rng.Intn(100) < 40 // 40% puts, 60% gets
+
+				mu.Lock()
+				if doPut {
+					real.Put(k, v)
+					shadow.put(k, v)
+				} else {
+					rv, rok := real.Get(k)
+					sv, sok := shadow.get(k)
+					if rok != sok || (rok && rv != sv) {
+						mu.Unlock()
+						t.Errorf("Get(%d) diverged: real (%d, %v) vs shadow (%d, %v)", k, rv, rok, sv, sok)
+						return
+					}
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if real.Len() != len(shadow.order) {
+		t.Fatalf("Len: real %d vs shadow %d", real.Len(), len(shadow.order))
+	}
+	if real.Evictions() != shadow.evictions {
+		t.Fatalf("Evictions: real %d vs shadow %d", real.Evictions(), shadow.evictions)
+	}
+	// Membership + values: every shadow entry must be in the real cache with
+	// the same value. Get refreshes recency, so check order first (below
+	// needs the pre-Get order) — walk the intrusive ring directly instead.
+	var realOrder []int
+	for e := real.head.next; e != &real.head; e = e.next {
+		realOrder = append(realOrder, e.key)
+	}
+	if fmt.Sprint(realOrder) != fmt.Sprint(shadow.order) {
+		t.Fatalf("recency order diverged:\n real:   %v\n shadow: %v", realOrder, shadow.order)
+	}
+	for _, k := range shadow.order {
+		rv, ok := real.Get(k)
+		if !ok {
+			t.Fatalf("key %d in shadow but missing from real cache", k)
+		}
+		if rv != shadow.vals[k] {
+			t.Fatalf("key %d: real value %d vs shadow %d", k, rv, shadow.vals[k])
+		}
+	}
+}
+
+// TestLRUEvictionOrderExact pins the eviction sequence for a deterministic
+// single-goroutine script: entries must leave in least-recently-touched
+// order, where both Get and Put count as touches.
+func TestLRUEvictionOrderExact(t *testing.T) {
+	l := NewLRU[string, int](3)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	l.Put("c", 3) // order (MRU first): c b a
+	l.Get("a")    // order: a c b
+	l.Put("d", 4) // evicts b
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("b should have been evicted (it was least recently touched)")
+	}
+	if _, ok := l.Get("a"); !ok {
+		t.Fatal("a was refreshed by Get and must survive")
+	}
+	l.Put("c", 33) // refresh c (update path), order: c a d
+	l.Put("e", 5)  // evicts d
+	if _, ok := l.Get("d"); ok {
+		t.Fatal("d should have been evicted after c's refreshing update")
+	}
+	if v, ok := l.Get("c"); !ok || v != 33 {
+		t.Fatalf("c = (%d, %v), want the updated (33, true)", v, ok)
+	}
+	if got := l.Evictions(); got != 2 {
+		t.Fatalf("Evictions = %d, want 2", got)
+	}
+	if got := l.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+}

@@ -33,6 +33,11 @@ type Client struct {
 	// step down the key's ring preference list.
 	ring *ring.Ring
 
+	// headers are set on every outgoing request (WithRequestHeader) —
+	// e.g. the workload-class label an open-loop load generator tags its
+	// traffic with.
+	headers map[string]string
+
 	attempts, retries atomic.Uint64
 }
 
@@ -90,6 +95,18 @@ func WithRetry(policy RetryPolicy) ClientOption {
 // ErrBreakerOpen without touching the network.
 func WithBreaker(b *Breaker) ClientOption {
 	return func(c *Client) { c.breaker = b }
+}
+
+// WithRequestHeader sets a static header on every request this client
+// sends — typically WorkloadClassHeader, so the server's /metrics can
+// break latency and shed counts down by workload class.
+func WithRequestHeader(key, value string) ClientOption {
+	return func(c *Client) {
+		if c.headers == nil {
+			c.headers = make(map[string]string)
+		}
+		c.headers[key] = value
+	}
 }
 
 // ClientMetrics is a snapshot of a Client's resilience counters.
@@ -252,6 +269,9 @@ func (c *Client) sweepOnce(ctx context.Context, base string, body []byte, delive
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range c.headers {
+		hreq.Header.Set(k, v)
+	}
 	if attempt > 0 {
 		hreq.Header.Set(RetryAttemptHeader, strconv.Itoa(attempt))
 	}
@@ -406,6 +426,9 @@ func (c *Client) once(ctx context.Context, method, url string, body []byte, out 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range c.headers {
+		req.Header.Set(k, v)
 	}
 	if attempt > 0 {
 		req.Header.Set(RetryAttemptHeader, strconv.Itoa(attempt))

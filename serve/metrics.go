@@ -17,12 +17,22 @@ type metrics struct {
 	mu       sync.Mutex
 	requests map[reqKey]uint64
 	hist     map[string]*histogram
+	// Per-workload-class breakdowns, fed by the X-Workload-Class request
+	// header. The class label set is capped at maxClassLabels; classes past
+	// the cap are folded into "other" so an adversarial client cannot grow
+	// the exposition without bound.
+	classReqs map[reqKey]uint64
+	classHist map[string]*histogram
 }
 
 type reqKey struct {
 	endpoint string
 	code     int
 }
+
+// maxClassLabels bounds the distinct workload-class label values kept in
+// the registry (matching workload.MaxClasses, plus headroom for "other").
+const maxClassLabels = 64
 
 // latencyBuckets are the histogram upper bounds in seconds (plus the
 // implicit +Inf bucket): sub-millisecond warm schedules up to multi-second
@@ -37,21 +47,28 @@ type histogram struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[reqKey]uint64),
-		hist:     make(map[string]*histogram),
+		requests:  make(map[reqKey]uint64),
+		hist:      make(map[string]*histogram),
+		classReqs: make(map[reqKey]uint64),
+		classHist: make(map[string]*histogram),
 	}
 }
 
-// observe records one finished request.
-func (m *metrics) observe(endpoint string, code int, d time.Duration) {
-	sec := d.Seconds()
-	idx := len(latencyBuckets)
+// bucketIndex maps a latency to its histogram bucket.
+func bucketIndex(sec float64) int {
 	for i, le := range latencyBuckets {
 		if sec <= le {
-			idx = i
-			break
+			return i
 		}
 	}
+	return len(latencyBuckets)
+}
+
+// observe records one finished request; class is the caller's workload
+// class label ("" when the request carried none).
+func (m *metrics) observe(endpoint string, class string, code int, d time.Duration) {
+	sec := d.Seconds()
+	idx := bucketIndex(sec)
 	m.mu.Lock()
 	m.requests[reqKey{endpoint, code}]++
 	h := m.hist[endpoint]
@@ -62,6 +79,20 @@ func (m *metrics) observe(endpoint string, code int, d time.Duration) {
 	h.buckets[idx]++
 	h.count++
 	h.sum += sec
+	if class != "" {
+		if _, known := m.classHist[class]; !known && len(m.classHist) >= maxClassLabels {
+			class = "other"
+		}
+		m.classReqs[reqKey{class, code}]++
+		ch := m.classHist[class]
+		if ch == nil {
+			ch = &histogram{}
+			m.classHist[class] = ch
+		}
+		ch.buckets[idx]++
+		ch.count++
+		ch.sum += sec
+	}
 	m.mu.Unlock()
 }
 
@@ -105,6 +136,21 @@ func (m *metrics) render(w *strings.Builder, st StatsResponse) {
 		histKeys = append(histKeys, k)
 	}
 	sort.Strings(histKeys)
+	classKeys := make([]reqKey, 0, len(m.classReqs))
+	for k := range m.classReqs {
+		classKeys = append(classKeys, k)
+	}
+	sort.Slice(classKeys, func(i, j int) bool {
+		if classKeys[i].endpoint != classKeys[j].endpoint {
+			return classKeys[i].endpoint < classKeys[j].endpoint
+		}
+		return classKeys[i].code < classKeys[j].code
+	})
+	classHistKeys := make([]string, 0, len(m.classHist))
+	for k := range m.classHist {
+		classHistKeys = append(classHistKeys, k)
+	}
+	sort.Strings(classHistKeys)
 
 	fmt.Fprintf(w, "# HELP memschedd_requests_total Requests served, by endpoint and HTTP status code.\n")
 	fmt.Fprintf(w, "# TYPE memschedd_requests_total counter\n")
@@ -123,6 +169,26 @@ func (m *metrics) render(w *strings.Builder, st StatsResponse) {
 		fmt.Fprintf(w, "memschedd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", k, h.count)
 		fmt.Fprintf(w, "memschedd_request_duration_seconds_sum{endpoint=%q} %g\n", k, h.sum)
 		fmt.Fprintf(w, "memschedd_request_duration_seconds_count{endpoint=%q} %d\n", k, h.count)
+	}
+	if len(classKeys) > 0 {
+		fmt.Fprintf(w, "# HELP memschedd_class_requests_total Requests served, by workload class (X-Workload-Class) and HTTP status code.\n")
+		fmt.Fprintf(w, "# TYPE memschedd_class_requests_total counter\n")
+		for _, k := range classKeys {
+			fmt.Fprintf(w, "memschedd_class_requests_total{class=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.classReqs[k])
+		}
+		fmt.Fprintf(w, "# HELP memschedd_class_request_duration_seconds Request latency, by workload class.\n")
+		fmt.Fprintf(w, "# TYPE memschedd_class_request_duration_seconds histogram\n")
+		for _, k := range classHistKeys {
+			h := m.classHist[k]
+			cum := uint64(0)
+			for i, le := range latencyBuckets {
+				cum += h.buckets[i]
+				fmt.Fprintf(w, "memschedd_class_request_duration_seconds_bucket{class=%q,le=\"%g\"} %d\n", k, le, cum)
+			}
+			fmt.Fprintf(w, "memschedd_class_request_duration_seconds_bucket{class=%q,le=\"+Inf\"} %d\n", k, h.count)
+			fmt.Fprintf(w, "memschedd_class_request_duration_seconds_sum{class=%q} %g\n", k, h.sum)
+			fmt.Fprintf(w, "memschedd_class_request_duration_seconds_count{class=%q} %d\n", k, h.count)
+		}
 	}
 	m.mu.Unlock()
 
@@ -160,6 +226,63 @@ func (m *metrics) render(w *strings.Builder, st StatsResponse) {
 	}
 	gauge("memschedd_draining", "1 while the server is draining for shutdown.", drainingGauge)
 	gauge("memschedd_uptime_seconds", "Seconds since the server was constructed.", float64(st.UptimeMS)/1000)
+}
+
+// EndpointLatency is a point-in-time snapshot of one endpoint's latency
+// histogram, exported so offline consumers (the cluster simulator's
+// service-time calibration in package repro/clustersim) can be fed from a
+// live server instead of hand-tuned constants.
+type EndpointLatency struct {
+	// Endpoint is the path label ("/v1/schedule", ..., or "other").
+	Endpoint string
+	// Count is completed requests; SumSeconds their summed latency.
+	Count      uint64
+	SumSeconds float64
+	// Buckets holds non-cumulative counts per LatencyBuckets bound, plus a
+	// final +Inf overflow bucket (len = len(LatencyBuckets)+1).
+	Buckets []uint64
+}
+
+// MeanSeconds is the average latency of the snapshot (0 when empty).
+func (e EndpointLatency) MeanSeconds() float64 {
+	if e.Count == 0 {
+		return 0
+	}
+	return e.SumSeconds / float64(e.Count)
+}
+
+// LatencyBuckets returns the histogram upper bounds (seconds) used by the
+// metrics registry, excluding the implicit +Inf bucket.
+func LatencyBuckets() []float64 {
+	out := make([]float64, len(latencyBuckets))
+	copy(out, latencyBuckets[:])
+	return out
+}
+
+// EndpointLatencies snapshots the per-endpoint latency histograms, sorted
+// by endpoint for deterministic consumption.
+func (s *Server) EndpointLatencies() []EndpointLatency {
+	m := s.prom
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.hist))
+	for k := range m.hist {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]EndpointLatency, 0, len(keys))
+	for _, k := range keys {
+		h := m.hist[k]
+		buckets := make([]uint64, len(h.buckets))
+		copy(buckets, h.buckets[:])
+		out = append(out, EndpointLatency{
+			Endpoint:   k,
+			Count:      h.count,
+			SumSeconds: h.sum,
+			Buckets:    buckets,
+		})
+	}
+	return out
 }
 
 // statusWriter captures the response status for the metrics middleware and

@@ -168,9 +168,9 @@ type Server struct {
 	sweepPoints                   atomic.Uint64
 	sweepReplayed, sweepTruncated atomic.Uint64
 	shed, rateLimited, retried    atomic.Uint64
-	inFlight, waiting            atomic.Int64
-	draining                     atomic.Bool
-	prom                         *metrics
+	inFlight, waiting             atomic.Int64
+	draining                      atomic.Bool
+	prom                          *metrics
 
 	readyOnce sync.Once
 	ready     chan struct{}
@@ -235,7 +235,7 @@ func (s *Server) Handler() http.Handler {
 		if status == 0 {
 			status = http.StatusOK // handler wrote nothing: implicit 200
 		}
-		s.prom.observe(endpointLabel(r.URL.Path), status, time.Since(start))
+		s.prom.observe(endpointLabel(r.URL.Path), r.Header.Get(WorkloadClassHeader), status, time.Since(start))
 	})
 }
 
@@ -347,21 +347,21 @@ func (s *Server) Stats() StatsResponse {
 		SweepPoints:                s.sweepPoints.Load(),
 		SweepReplayedPlacements:    s.sweepReplayed.Load(),
 		SweepReplayTruncatedPoints: s.sweepTruncated.Load(),
-		SessionHits:      s.sessionHits.Load(),
-		SessionMisses:    s.sessionMisses.Load(),
-		SessionsCached:   cached,
-		SessionCapacity:  s.cfg.CacheSize,
-		SessionEvictions: evictions,
-		CandidateHits:    s.candidateHits.Load(),
-		CandidateMisses:  s.candidateMiss.Load(),
-		InFlight:         s.inFlight.Load(),
-		MaxInFlight:      s.cfg.MaxInFlight,
-		QueueDepth:       s.waiting.Load(),
-		Shed:             s.shed.Load(),
-		RateLimited:      s.rateLimited.Load(),
-		Retried:          s.retried.Load(),
-		Draining:         s.draining.Load(),
-		UptimeMS:         time.Since(s.start).Milliseconds(),
+		SessionHits:                s.sessionHits.Load(),
+		SessionMisses:              s.sessionMisses.Load(),
+		SessionsCached:             cached,
+		SessionCapacity:            s.cfg.CacheSize,
+		SessionEvictions:           evictions,
+		CandidateHits:              s.candidateHits.Load(),
+		CandidateMisses:            s.candidateMiss.Load(),
+		InFlight:                   s.inFlight.Load(),
+		MaxInFlight:                s.cfg.MaxInFlight,
+		QueueDepth:                 s.waiting.Load(),
+		Shed:                       s.shed.Load(),
+		RateLimited:                s.rateLimited.Load(),
+		Retried:                    s.retried.Load(),
+		Draining:                   s.draining.Load(),
+		UptimeMS:                   time.Since(s.start).Milliseconds(),
 	}
 	if s.chaos != nil {
 		st.ChaosLatency = s.chaos.latencies.Load()
@@ -870,13 +870,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // sweepPointRecord maps an engine point result onto its wire record.
 func sweepPointRecord(pr sweep.PointResult) SweepPoint {
 	return SweepPoint{
-		Type:       "point",
-		Index:      pr.Index,
-		Axis:       pr.Point.Axis,
-		X:          pr.Point.X,
-		Alpha:      pr.Point.Alpha,
-		Scheduler:  pr.Point.Scheduler,
-		Seed:       pr.Point.Seed,
+		Type:               "point",
+		Index:              pr.Index,
+		Axis:               pr.Point.Axis,
+		X:                  pr.Point.X,
+		Alpha:              pr.Point.Alpha,
+		Scheduler:          pr.Point.Scheduler,
+		Seed:               pr.Point.Seed,
 		Feasible:           pr.Feasible,
 		Reason:             pr.Reason,
 		Makespan:           pr.Makespan,

@@ -303,6 +303,15 @@ const (
 // making client retry pressure observable from the server side.
 const RetryAttemptHeader = "X-Retry-Attempt"
 
+// WorkloadClassHeader labels a request with the workload class that issued
+// it (see package repro/workload). The server breaks its request counters
+// and latency histograms down by this label on /metrics
+// (memschedd_class_requests_total, memschedd_class_request_duration_seconds),
+// so an open-loop load run can read per-class behaviour off the server it
+// drove. The label set is bounded server-side; unlabeled requests are
+// simply not class-counted.
+const WorkloadClassHeader = "X-Workload-Class"
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSpec asserts the decode surface never panics and every
+// rejection is a structured error: a *SpecError for semantic problems or a
+// wrapped encoding/json error for syntax ones. Anything it accepts must
+// survive Validate and Hash (the downstream callers' first moves).
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add(`{"version":1,"duration_s":2,"catalog":{"graphs":4,"tasks":8,"seed":1},` +
+		`"classes":[{"name":"a","arrival":{"process":"poisson","rate":10},"slo_ms":50}]}`)
+	// Malformed arrival params.
+	f.Add(`{"version":1,"duration_s":2,"catalog":{"graphs":4,"tasks":8,"seed":1},` +
+		`"classes":[{"name":"a","arrival":{"process":"gamma","rate":10},"slo_ms":50}]}`)
+	f.Add(`{"version":1,"duration_s":2,"catalog":{"graphs":4,"tasks":8,"seed":1},` +
+		`"classes":[{"name":"a","arrival":{"process":"pareto","rate":10},"slo_ms":50}]}`)
+	// Zero-rate class — must be a structured error, not an empty trace.
+	f.Add(`{"version":1,"duration_s":2,"catalog":{"graphs":4,"tasks":8,"seed":1},` +
+		`"classes":[{"name":"a","arrival":{"process":"poisson","rate":0},"slo_ms":50}]}`)
+	// NaN-adjacent and overflow-adjacent numerics.
+	f.Add(`{"version":1,"duration_s":1e308,"catalog":{"graphs":4,"tasks":8,"seed":1},` +
+		`"classes":[{"name":"a","arrival":{"process":"poisson","rate":1e308},"slo_ms":50}]}`)
+	f.Add(`{"version":1,"duration_s":-1}`)
+	f.Add(`{"version":99}`)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := DecodeSpec(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted specs must be internally consistent.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("DecodeSpec accepted a spec Validate rejects: %v", err)
+		}
+		if s.Hash() == "" {
+			t.Fatal("accepted spec has empty hash")
+		}
+	})
+}
+
+// FuzzDecodeTrace asserts trace decoding never panics and rejects with a
+// structured *TraceError (or a wrapped read error). Accepted traces must
+// re-encode cleanly.
+func FuzzDecodeTrace(f *testing.F) {
+	header := `{"type":"trace","version":1,"seed":1,"spec_hash":"x","duration_us":1000000,` +
+		`"catalog":{"graphs":1,"tasks":1,"seed":1},"classes":[{"name":"c","slo_ms":10}],` +
+		`"graphs":[{"hash":"h"}],"events":1}`
+	event := `{"type":"event","at_us":5,"class":0,"kind":"schedule","graph":0}`
+	f.Add(header + "\n" + event)
+	// Unknown trace version — must be a structured error, never a panic.
+	f.Add(strings.Replace(header, `"version":1`, `"version":2`, 1) + "\n" + event)
+	f.Add(strings.Replace(header, `"version":1`, `"version":-9`, 1))
+	// Index and kind corruption.
+	f.Add(header + "\n" + strings.Replace(event, `"class":0`, `"class":5`, 1))
+	f.Add(header + "\n" + strings.Replace(event, `"kind":"schedule"`, `"kind":"???"`, 1))
+	f.Add(header + "\n" + strings.Replace(event, `"at_us":5`, `"at_us":-5`, 1))
+	// Structural corruption.
+	f.Add(event + "\n" + header)
+	f.Add(header)
+	f.Add("not json\n" + header)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := DecodeTrace(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeTrace(&buf, tr); err != nil {
+			t.Fatalf("accepted trace does not re-encode: %v", err)
+		}
+		// Decode of the re-encoding must succeed (canonical form is stable).
+		if _, err := DecodeTrace(&buf); err != nil {
+			t.Fatalf("re-encoded trace does not decode: %v", err)
+		}
+	})
+}

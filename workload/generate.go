@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Generate expands a validated Spec into a Trace under the given seed.
+//
+// Determinism contract: the same (Spec, seed) pair yields the same Trace —
+// and therefore a byte-identical EncodeTrace — on every run and platform.
+// Three rules keep that true:
+//
+//  1. Each class samples from its own splitmix64 stream (newRNG(seed, i)),
+//     so classes never interleave draws and adding a class cannot shift
+//     another class's sequence.
+//  2. Within a class the draw order per event is fixed: inter-arrival,
+//     then kind, then graph — always all three, even when the mix is
+//     degenerate — so the stream position after event n is a function of
+//     n alone.
+//  3. Arrival offsets accumulate in integer microseconds (the trace wire
+//     unit), never in floats, so re-encoding cannot round differently.
+//
+// The per-class event lists are merged by (At, Class) into a single
+// non-decreasing timeline.
+func Generate(spec *Spec, seed int64) (*Trace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	horizonUS := int64(math.Round(spec.DurationSeconds * 1e6))
+	bound := spec.eventBound()
+
+	var events []Event
+	classes := make([]TraceClass, len(spec.Classes))
+	for ci, c := range spec.Classes {
+		alphas := c.SweepAlphas
+		if alphas == 0 {
+			alphas = 4
+		}
+		classes[ci] = TraceClass{Name: c.Name, SLOMillis: c.SLOMillis, SweepAlphas: alphas}
+
+		r := newRNG(seed, uint64(ci))
+		pSched, pSim := c.Mix.normalized()
+		zipf := newZipfPicker(spec.Catalog.Graphs, c.Zipf)
+
+		var t int64 // microseconds since trace start
+		for {
+			dt := interArrival(r, c.Arrival)
+			// Clamp to >= 1µs: two events of one class never share a
+			// timestamp, which keeps the (At, Class) merge a total order.
+			dus := int64(math.Round(dt * 1e6))
+			if dus < 1 {
+				dus = 1
+			}
+			t += dus
+			if t > horizonUS {
+				break
+			}
+			// Fixed draw order: kind then graph, both drawn every event.
+			u := r.Float64()
+			kind := KindSweep
+			switch {
+			case u < pSched:
+				kind = KindSchedule
+			case u < pSim:
+				kind = KindSimulate
+			}
+			graph := zipf.pick(r)
+			events = append(events, Event{
+				At:    time.Duration(t) * time.Microsecond,
+				Class: ci,
+				Kind:  kind,
+				Graph: graph,
+			})
+			if len(events) > bound {
+				return nil, &SpecError{"duration_s", "generated trace exceeds the event bound; shorten the spec or lower the rates"}
+			}
+		}
+	}
+
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Class < events[j].Class
+	})
+
+	set, err := spec.Catalog.Build()
+	if err != nil {
+		return nil, err
+	}
+	graphs := make([]TraceGraph, len(set.Hashes))
+	for i, h := range set.Hashes {
+		graphs[i] = TraceGraph{Hash: h}
+	}
+
+	return &Trace{
+		Version:  TraceVersion,
+		Seed:     seed,
+		SpecHash: spec.Hash(),
+		Duration: time.Duration(horizonUS) * time.Microsecond,
+		Catalog:  spec.Catalog,
+		Classes:  classes,
+		Graphs:   graphs,
+		Events:   events,
+	}, nil
+}
+
+// interArrival draws one inter-arrival gap in seconds with mean 1/Rate.
+// The gamma and weibull variates are rescaled to unit mean before dividing
+// by the rate, so Shape tunes burstiness without changing the mean rate.
+func interArrival(r *rng, a Arrival) float64 {
+	switch a.Process {
+	case ProcessGamma:
+		// Gamma(k, 1) has mean k; Gamma(k)/k is unit-mean.
+		return r.Gamma(a.Shape) / a.Shape / a.Rate
+	case ProcessWeibull:
+		// Weibull(k, 1) has mean Γ(1 + 1/k).
+		return r.Weibull(a.Shape) / math.Gamma(1+1/a.Shape) / a.Rate
+	default: // ProcessPoisson — Validate guarantees the set is closed
+		return r.Exp() / a.Rate
+	}
+}
+
+// zipfPicker draws catalog indices with popularity weight (i+1)^-s via a
+// precomputed cumulative table and binary search — one uniform per draw,
+// regardless of skew (a rejection sampler's variable draw count would break
+// the fixed-draw-order contract).
+type zipfPicker struct {
+	cum []float64 // cum[i] = Σ_{j<=i} (j+1)^-s, normalised to cum[n-1] = 1
+}
+
+func newZipfPicker(n int, s float64) *zipfPicker {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipfPicker{cum: cum}
+}
+
+func (z *zipfPicker) pick(r *rng) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i
+}

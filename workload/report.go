@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Outcome statuses a consumer records per event.
+const (
+	StatusOK    = "ok"    // completed successfully
+	StatusShed  = "shed"  // rejected by admission control (429)
+	StatusError = "error" // any other failure
+)
+
+// Outcome is the measurement of one trace event by a consumer (the live
+// load generator or the cluster simulator).
+//
+// Open-loop semantics: Latency is measured from the event's *intended*
+// arrival time (Event.At), not from when the consumer actually dispatched
+// it — so time a request spends queued behind a burst counts against it and
+// coordinated omission is measured rather than hidden. Lateness is the
+// dispatch delay itself (actual start − intended start), reported separately
+// so a report shows whether the generator kept up.
+type Outcome struct {
+	// Event indexes Trace.Events.
+	Event int
+	// Status is StatusOK, StatusShed or StatusError.
+	Status string
+	// Latency is intended-arrival to completion (valid when Status is
+	// StatusOK; ignored otherwise).
+	Latency time.Duration
+	// Lateness is actual dispatch minus intended arrival (0 for an ideal
+	// dispatcher; the simulator always reports 0).
+	Lateness time.Duration
+}
+
+// ClassReport aggregates one class's outcomes.
+type ClassReport struct {
+	Name      string  `json:"name"`
+	SLOMillis float64 `json:"slo_ms"`
+	Sent      int     `json:"sent"`
+	OK        int     `json:"ok"`
+	Shed      int     `json:"shed"`
+	Errors    int     `json:"errors"`
+	// WithinSLO counts OK completions with Latency <= SLO.
+	WithinSLO int `json:"within_slo"`
+	// P50Micros and P99Micros are latency percentiles over OK completions
+	// (0 when none completed).
+	P50Micros int64 `json:"p50_us"`
+	P99Micros int64 `json:"p99_us"`
+	// MaxLatenessMicros is the worst dispatch delay — nonzero values mean
+	// the generator itself fell behind the open-loop clock.
+	MaxLatenessMicros int64 `json:"max_lateness_us"`
+	// Goodput is WithinSLO / Sent: the fraction of offered load served
+	// within its SLO. Shed and errored requests count against it.
+	Goodput float64 `json:"goodput"`
+	// GoodputRPS is WithinSLO over the trace duration.
+	GoodputRPS float64 `json:"goodput_rps"`
+}
+
+// Report is the aggregate measurement of a trace run: per-class breakdowns,
+// totals, and a Jain fairness index over per-class goodput.
+type Report struct {
+	Version         int           `json:"version"`
+	DurationSeconds float64       `json:"duration_s"`
+	Events          int           `json:"events"`
+	Classes         []ClassReport `json:"classes"`
+	Total           ClassReport   `json:"total"`
+	// Fairness is the Jain index (Σx)²/(n·Σx²) over per-class goodput:
+	// 1.0 when every class gets the same goodput fraction, approaching
+	// 1/n when one class starves the rest.
+	Fairness float64 `json:"fairness"`
+}
+
+// NewReport aggregates outcomes against the trace that produced them.
+// Events without an outcome are counted as errors (a consumer crash must
+// not inflate goodput). Outcome order does not matter.
+func NewReport(tr *Trace, outcomes []Outcome) *Report {
+	classes := make([]ClassReport, len(tr.Classes))
+	lat := make([][]int64, len(tr.Classes))
+	for i, c := range tr.Classes {
+		classes[i] = ClassReport{Name: c.Name, SLOMillis: c.SLOMillis}
+	}
+	covered := make([]bool, len(tr.Events))
+	for _, o := range outcomes {
+		if o.Event < 0 || o.Event >= len(tr.Events) || covered[o.Event] {
+			continue
+		}
+		covered[o.Event] = true
+		ci := tr.Events[o.Event].Class
+		cr := &classes[ci]
+		cr.Sent++
+		if us := o.Lateness.Microseconds(); us > cr.MaxLatenessMicros {
+			cr.MaxLatenessMicros = us
+		}
+		switch o.Status {
+		case StatusOK:
+			cr.OK++
+			lat[ci] = append(lat[ci], o.Latency.Microseconds())
+			if o.Latency <= time.Duration(cr.SLOMillis*float64(time.Millisecond)) {
+				cr.WithinSLO++
+			}
+		case StatusShed:
+			cr.Shed++
+		default:
+			cr.Errors++
+		}
+	}
+	for i, ok := range covered {
+		if !ok {
+			cr := &classes[tr.Events[i].Class]
+			cr.Sent++
+			cr.Errors++
+		}
+	}
+
+	durS := tr.Duration.Seconds()
+	total := ClassReport{Name: "total"}
+	var allLat []int64
+	for i := range classes {
+		cr := &classes[i]
+		sort.Slice(lat[i], func(a, b int) bool { return lat[i][a] < lat[i][b] })
+		cr.P50Micros = percentileUS(lat[i], 0.50)
+		cr.P99Micros = percentileUS(lat[i], 0.99)
+		if cr.Sent > 0 {
+			cr.Goodput = float64(cr.WithinSLO) / float64(cr.Sent)
+		}
+		if durS > 0 {
+			cr.GoodputRPS = float64(cr.WithinSLO) / durS
+		}
+		total.Sent += cr.Sent
+		total.OK += cr.OK
+		total.Shed += cr.Shed
+		total.Errors += cr.Errors
+		total.WithinSLO += cr.WithinSLO
+		if us := cr.MaxLatenessMicros; us > total.MaxLatenessMicros {
+			total.MaxLatenessMicros = us
+		}
+		allLat = append(allLat, lat[i]...)
+	}
+	sort.Slice(allLat, func(a, b int) bool { return allLat[a] < allLat[b] })
+	total.P50Micros = percentileUS(allLat, 0.50)
+	total.P99Micros = percentileUS(allLat, 0.99)
+	if total.Sent > 0 {
+		total.Goodput = float64(total.WithinSLO) / float64(total.Sent)
+	}
+	if durS > 0 {
+		total.GoodputRPS = float64(total.WithinSLO) / durS
+	}
+
+	goodputs := make([]float64, len(classes))
+	for i := range classes {
+		goodputs[i] = classes[i].Goodput
+	}
+	return &Report{
+		Version:         TraceVersion,
+		DurationSeconds: durS,
+		Events:          len(tr.Events),
+		Classes:         classes,
+		Total:           total,
+		Fairness:        JainIndex(goodputs),
+	}
+}
+
+// JainIndex is the Jain fairness index (Σx)²/(n·Σx²) over non-negative
+// allocations: 1.0 for perfectly even shares, 1/n when one party takes
+// everything. An empty or all-zero allocation is vacuously fair (1.0).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1.0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1.0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// percentileUS is the nearest-rank percentile (ceil(q·n)-th order statistic)
+// of an ascending-sorted slice; 0 on empty input.
+func percentileUS(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Encode writes the report as deterministic, indented JSON (the golden-test
+// format).
+func (r *Report) Encode(w io.Writer) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("workload: encoding report: %w", err)
+	}
+	raw = append(raw, '\n')
+	_, err = w.Write(raw)
+	return err
+}

@@ -1,0 +1,93 @@
+package workload
+
+import "math"
+
+// rng is the workload generator's own PRNG: a splitmix64 stream plus the
+// handful of variate transforms the arrival processes need. The package
+// deliberately does not use math/rand — trace replay promises *byte-identical*
+// output for a (Spec, seed) pair, so the whole sampling pipeline has to be
+// pinned down by this package, not by whatever sequence a Go release ships.
+//
+// Every distribution is derived from the uniform stream by inversion or by
+// the Marsaglia-Tsang rejection walk, both of which consume draws in a fixed,
+// documented order; callers must likewise keep their draw order fixed (see
+// Generate) for replays to reproduce.
+type rng struct {
+	state uint64
+}
+
+// newRNG derives an independent stream from a user seed and a stream index
+// (class index, jitter channel, ...). The golden-ratio increment keeps
+// adjacent streams decorrelated even for adjacent seeds.
+func newRNG(seed int64, stream uint64) *rng {
+	r := &rng{state: uint64(seed) ^ (stream+1)*0x9e3779b97f4a7c15}
+	// Burn one step so a zero-ish mixed state still starts well spread.
+	r.next()
+	return r
+}
+
+// next is one splitmix64 step (Steele, Lea & Flood): state advances by the
+// golden-ratio constant and the output is the avalanche of the new state.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *rng) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Exp returns a unit-mean exponential draw by inversion. 1-u keeps the
+// argument in (0, 1], so the log never sees zero.
+func (r *rng) Exp() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// Norm returns a standard normal draw via Box-Muller. Both uniforms are
+// consumed every call (no cached spare), keeping the draw count per variate
+// constant — a cheap price for a reproducible stream position.
+func (r *rng) Norm() float64 {
+	u1 := 1 - r.Float64() // (0, 1]: the log's argument must stay positive
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Gamma returns a Gamma(shape, 1) draw (mean = shape) using the
+// Marsaglia-Tsang squeeze for shape >= 1 and the boost
+// Gamma(k) = Gamma(k+1) · U^(1/k) below 1. Shapes below 1 model bursty
+// arrivals (coefficient of variation above 1).
+func (r *rng) Gamma(shape float64) float64 {
+	if shape < 1 {
+		// Boost: one extra uniform, then the k+1 walk.
+		u := 1 - r.Float64()
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Weibull returns a Weibull(shape, 1) draw by inversion of the exponential:
+// E^(1/k) with E unit-exponential. Its mean is Γ(1 + 1/shape); callers
+// rescale to unit mean.
+func (r *rng) Weibull(shape float64) float64 {
+	return math.Pow(r.Exp(), 1/shape)
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TraceVersion is the trace encoding this package reads and writes. Decoding
+// rejects any other version with a structured *TraceError — a trace is a
+// replay contract, and replaying an encoding this build does not understand
+// would silently measure the wrong workload.
+const TraceVersion = 1
+
+// Event is one generated request: the class that issues it, the kind of
+// request, and the catalog graph it targets, At after the trace start.
+type Event struct {
+	// At is the intended (open-loop) arrival offset from trace start.
+	At time.Duration
+	// Class indexes Trace.Classes.
+	Class int
+	// Kind is one of KindSchedule, KindSimulate, KindSweep.
+	Kind string
+	// Graph indexes Trace.Graphs (and the catalog built from the trace).
+	Graph int
+}
+
+// TraceClass is the per-class metadata a consumer needs without the spec:
+// the label, the SLO its goodput is judged against, and the sweep width.
+type TraceClass struct {
+	Name        string  `json:"name"`
+	SLOMillis   float64 `json:"slo_ms"`
+	SweepAlphas int     `json:"sweep_alphas,omitempty"`
+}
+
+// TraceGraph names one catalog graph by its canonical hash — the id the
+// service returns on registration and the key the cluster ring shards by.
+type TraceGraph struct {
+	Hash string `json:"hash"`
+}
+
+// Trace is a fully expanded, replayable workload: the catalog recipe, the
+// class metadata, and every request with its intended arrival time. Same
+// (Spec, seed) ⇒ byte-identical encoded Trace; that is the package contract
+// the golden tests pin.
+type Trace struct {
+	Version  int           `json:"version"`
+	Seed     int64         `json:"seed"`
+	SpecHash string        `json:"spec_hash"`
+	Duration time.Duration `json:"-"`
+	Catalog  Catalog       `json:"catalog"`
+	Classes  []TraceClass  `json:"classes"`
+	Graphs   []TraceGraph  `json:"graphs"`
+	Events   []Event       `json:"-"`
+}
+
+// TraceError is the structured decode error of DecodeTrace: the 1-based
+// NDJSON line plus the reason. Malformed traces always produce one of these
+// — never a panic.
+type TraceError struct {
+	Line   int
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *TraceError) Error() string {
+	return fmt.Sprintf("workload: trace line %d: %s", e.Line, e.Reason)
+}
+
+// The NDJSON wire records. A trace is one "trace" header line followed by
+// one "event" line per request; newline-delimited JSON so traces diff, grep
+// and stream well, and so record mode can flush incrementally.
+type traceHeader struct {
+	Type       string       `json:"type"`
+	Version    int          `json:"version"`
+	Seed       int64        `json:"seed"`
+	SpecHash   string       `json:"spec_hash"`
+	DurationUS int64        `json:"duration_us"`
+	Catalog    Catalog      `json:"catalog"`
+	Classes    []TraceClass `json:"classes"`
+	Graphs     []TraceGraph `json:"graphs"`
+	Events     int          `json:"events"`
+}
+
+type traceEvent struct {
+	Type  string `json:"type"`
+	AtUS  int64  `json:"at_us"`
+	Class int    `json:"class"`
+	Kind  string `json:"kind"`
+	Graph int    `json:"graph"`
+}
+
+// EncodeTrace writes the trace in its versioned NDJSON encoding. The
+// encoding is canonical: fixed field order (encoding/json emits struct
+// fields in declaration order), microsecond integer timestamps, one event
+// per line — which is what makes byte-identical comparison meaningful.
+func EncodeTrace(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline NDJSON needs
+	if err := enc.Encode(traceHeader{
+		Type:       "trace",
+		Version:    TraceVersion,
+		Seed:       tr.Seed,
+		SpecHash:   tr.SpecHash,
+		DurationUS: tr.Duration.Microseconds(),
+		Catalog:    tr.Catalog,
+		Classes:    tr.Classes,
+		Graphs:     tr.Graphs,
+		Events:     len(tr.Events),
+	}); err != nil {
+		return fmt.Errorf("workload: encoding trace header: %w", err)
+	}
+	for _, ev := range tr.Events {
+		if err := enc.Encode(traceEvent{
+			Type:  "event",
+			AtUS:  ev.At.Microseconds(),
+			Class: ev.Class,
+			Kind:  ev.Kind,
+			Graph: ev.Graph,
+		}); err != nil {
+			return fmt.Errorf("workload: encoding trace event: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeTrace reads and validates an NDJSON trace. Unknown versions, out of
+// range class/graph indices, unknown kinds, and non-monotonic timestamps all
+// return a *TraceError naming the offending line.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	next := func() ([]byte, bool) {
+		for sc.Scan() {
+			line++
+			if b := sc.Bytes(); len(b) > 0 {
+				return b, true
+			}
+		}
+		return nil, false
+	}
+
+	raw, ok := next()
+	if !ok {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("workload: reading trace: %w", err)
+		}
+		return nil, &TraceError{1, "empty trace (missing header line)"}
+	}
+	var hdr traceHeader
+	if err := strictUnmarshal(raw, &hdr); err != nil {
+		return nil, &TraceError{line, "malformed header: " + err.Error()}
+	}
+	if hdr.Type != "trace" {
+		return nil, &TraceError{line, fmt.Sprintf("first record has type %q, want %q", hdr.Type, "trace")}
+	}
+	if hdr.Version != TraceVersion {
+		return nil, &TraceError{line, fmt.Sprintf("unsupported trace version %d (this build reads %d)", hdr.Version, TraceVersion)}
+	}
+	if hdr.DurationUS <= 0 {
+		return nil, &TraceError{line, "duration_us must be positive"}
+	}
+	if len(hdr.Classes) == 0 || len(hdr.Classes) > MaxClasses {
+		return nil, &TraceError{line, fmt.Sprintf("classes must number in [1, %d]", MaxClasses)}
+	}
+	if len(hdr.Graphs) == 0 || len(hdr.Graphs) > MaxCatalogGraphs {
+		return nil, &TraceError{line, fmt.Sprintf("graphs must number in [1, %d]", MaxCatalogGraphs)}
+	}
+	if hdr.Events < 0 || hdr.Events > MaxTraceEvents {
+		return nil, &TraceError{line, fmt.Sprintf("event count must be in [0, %d]", MaxTraceEvents)}
+	}
+	tr := &Trace{
+		Version:  hdr.Version,
+		Seed:     hdr.Seed,
+		SpecHash: hdr.SpecHash,
+		Duration: time.Duration(hdr.DurationUS) * time.Microsecond,
+		Catalog:  hdr.Catalog,
+		Classes:  hdr.Classes,
+		Graphs:   hdr.Graphs,
+		Events:   make([]Event, 0, hdr.Events),
+	}
+
+	lastAt := int64(-1)
+	for {
+		raw, ok := next()
+		if !ok {
+			break
+		}
+		var ev traceEvent
+		if err := strictUnmarshal(raw, &ev); err != nil {
+			return nil, &TraceError{line, "malformed event: " + err.Error()}
+		}
+		if ev.Type != "event" {
+			return nil, &TraceError{line, fmt.Sprintf("record has type %q, want %q", ev.Type, "event")}
+		}
+		if len(tr.Events) >= hdr.Events {
+			return nil, &TraceError{line, fmt.Sprintf("more events than the header's count of %d", hdr.Events)}
+		}
+		if ev.AtUS < 0 || ev.AtUS < lastAt {
+			return nil, &TraceError{line, "event timestamps must be non-negative and non-decreasing"}
+		}
+		lastAt = ev.AtUS
+		if ev.Class < 0 || ev.Class >= len(hdr.Classes) {
+			return nil, &TraceError{line, fmt.Sprintf("class index %d out of range [0, %d)", ev.Class, len(hdr.Classes))}
+		}
+		if ev.Graph < 0 || ev.Graph >= len(hdr.Graphs) {
+			return nil, &TraceError{line, fmt.Sprintf("graph index %d out of range [0, %d)", ev.Graph, len(hdr.Graphs))}
+		}
+		switch ev.Kind {
+		case KindSchedule, KindSimulate, KindSweep:
+		default:
+			return nil, &TraceError{line, fmt.Sprintf("unknown event kind %q", ev.Kind)}
+		}
+		tr.Events = append(tr.Events, Event{
+			At:    time.Duration(ev.AtUS) * time.Microsecond,
+			Class: ev.Class,
+			Kind:  ev.Kind,
+			Graph: ev.Graph,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(tr.Events) != hdr.Events {
+		return nil, &TraceError{line, fmt.Sprintf("header promises %d events, trace has %d", hdr.Events, len(tr.Events))}
+	}
+	return tr, nil
+}
+
+// strictUnmarshal decodes one record rejecting unknown fields, so a
+// corrupted or future-format line fails loudly.
+func strictUnmarshal(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

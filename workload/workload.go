@@ -1,0 +1,328 @@
+// Package workload models open-loop traffic against the scheduling service:
+// declarative multi-class workload specs, a seeded deterministic generator
+// that expands a Spec into a replayable event Trace, and a Report aggregating
+// per-class latency, goodput and fairness.
+//
+// The pipeline is
+//
+//	Spec ──Generate(seed)──▶ Trace ──┬── cmd/schedload -spec   (live daemon or cluster)
+//	                                 └── clustersim.Run        (discrete-event simulator)
+//	outcomes ──NewReport──▶ Report   (per-class p50/p99, goodput, Jain fairness)
+//
+// A Spec describes client classes with open-loop arrival processes (Poisson,
+// Gamma or Weibull inter-arrivals — the last two model bursty traffic with a
+// shape below 1), a Zipf popularity skew over a generated graph catalog (the
+// skew is what makes the service's LRU session cache interesting), a request
+// mix (schedule / simulate / sweep) and a per-class SLO target. Open-loop
+// means arrivals fire on the clock regardless of response progress, so — in
+// contrast to the closed-loop N-clients mode — bursts queue up, admission
+// control engages and coordinated omission is measured instead of hidden.
+//
+// Determinism is the contract of the whole package: the same (Spec, seed)
+// pair produces a byte-identical encoded Trace on every run, platform and
+// worker count, which is what lets capacity planning live in committed
+// golden regression tests (see package repro/clustersim) instead of a
+// deployment.
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	memsched "repro"
+)
+
+// SpecVersion is the spec format this package reads and writes.
+const SpecVersion = 1
+
+// Bounds a Spec must stay within; DecodeSpec rejects anything outside with a
+// structured *SpecError rather than letting a hostile spec allocate the moon.
+const (
+	MaxClasses       = 64
+	MaxCatalogGraphs = 4096
+	MaxCatalogTasks  = 100_000
+	MaxTraceEvents   = 1 << 20
+	// MaxZipfExponent bounds the popularity skew: past ~8 the distribution
+	// is effectively a point mass and larger exponents only lose precision.
+	MaxZipfExponent = 8
+)
+
+// Arrival processes of a client class.
+const (
+	ProcessPoisson = "poisson" // memoryless: exponential inter-arrivals
+	ProcessGamma   = "gamma"   // Gamma inter-arrivals; Shape < 1 is bursty
+	ProcessWeibull = "weibull" // Weibull inter-arrivals; Shape < 1 is bursty
+)
+
+// Request kinds a class can emit (the service endpoints it exercises).
+const (
+	KindSchedule = "schedule"
+	KindSimulate = "simulate"
+	KindSweep    = "sweep"
+)
+
+// Spec is a declarative, JSON-decodable description of an open-loop
+// workload: a graph catalog and a set of client classes generating traffic
+// against it for a bounded duration.
+type Spec struct {
+	// Version pins the spec format (SpecVersion).
+	Version int `json:"version"`
+	// DurationSeconds bounds the generated traffic window.
+	DurationSeconds float64 `json:"duration_s"`
+	// MaxEvents optionally lowers the package-wide MaxTraceEvents bound on
+	// the expanded trace (0 = MaxTraceEvents).
+	MaxEvents int `json:"max_events,omitempty"`
+	// Catalog describes the registered-graph working set all classes draw
+	// from.
+	Catalog Catalog `json:"catalog"`
+	// Classes are the concurrent client classes (at least one).
+	Classes []Class `json:"classes"`
+}
+
+// Catalog parameterises the graph working set: Graphs distinct DAGGEN-style
+// random graphs of Tasks tasks each, seeded Seed, Seed+1, ... — the same
+// generator and seeding convention as cmd/schedload, so a spec names the
+// exact graphs a load run will register.
+type Catalog struct {
+	Graphs int   `json:"graphs"`
+	Tasks  int   `json:"tasks"`
+	Seed   int64 `json:"seed"`
+}
+
+// Class is one client population: an arrival process, a popularity skew
+// over the catalog, a request mix, and the latency SLO its goodput is
+// measured against.
+type Class struct {
+	// Name labels the class in traces, reports and /metrics labels.
+	Name string `json:"name"`
+	// Arrival is the open-loop arrival process.
+	Arrival Arrival `json:"arrival"`
+	// Mix weights the request kinds; all-zero (or omitted) means pure
+	// schedule traffic.
+	Mix Mix `json:"mix,omitempty"`
+	// Zipf is the popularity exponent s over the catalog: graph i is drawn
+	// with weight 1/(i+1)^s. 0 is uniform; 1 is classic Zipf; larger
+	// concentrates the mass on the head (what keeps an LRU cache warm).
+	Zipf float64 `json:"zipf,omitempty"`
+	// SLOMillis is the class's latency target; a request counts toward
+	// goodput only when it completes within it.
+	SLOMillis float64 `json:"slo_ms"`
+	// SweepAlphas is the number of memory fractions per sweep request this
+	// class issues (only with a nonzero sweep mix weight; default 4).
+	SweepAlphas int `json:"sweep_alphas,omitempty"`
+}
+
+// Arrival describes an open-loop arrival process with mean rate Rate
+// requests/second. Shape tunes the burstiness of the gamma and weibull
+// processes (coefficient of variation 1/sqrt(shape) and similar): below 1
+// arrivals clump, above 1 they regularise toward a paced clock. Poisson
+// ignores Shape (it must be unset or zero).
+type Arrival struct {
+	Process string  `json:"process"`
+	Rate    float64 `json:"rate"`
+	Shape   float64 `json:"shape,omitempty"`
+}
+
+// Mix weights the request kinds of a class; the weights are relative (they
+// need not sum to 1) and must be non-negative with a positive sum when any
+// is set.
+type Mix struct {
+	Schedule float64 `json:"schedule,omitempty"`
+	Simulate float64 `json:"simulate,omitempty"`
+	Sweep    float64 `json:"sweep,omitempty"`
+}
+
+// SpecError is the structured validation error of DecodeSpec and Validate:
+// the JSON-ish path of the offending field plus the reason. Malformed specs
+// always produce one of these (or a wrapped JSON syntax error) — never a
+// panic.
+type SpecError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("workload: spec field %s: %s", e.Field, e.Reason)
+}
+
+// DecodeSpec reads and validates a JSON Spec. Unknown fields are rejected,
+// so a typoed knob fails loudly instead of silently running the default.
+func DecodeSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: decoding spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// finitePos reports whether v is a finite, strictly positive float.
+func finitePos(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+// Validate checks the spec against the package bounds, returning a
+// *SpecError naming the first offending field.
+func (s *Spec) Validate() error {
+	if s.Version != SpecVersion {
+		return &SpecError{"version", fmt.Sprintf("unsupported version %d (this build reads %d)", s.Version, SpecVersion)}
+	}
+	if !finitePos(s.DurationSeconds) {
+		return &SpecError{"duration_s", "must be a finite positive number of seconds"}
+	}
+	if s.MaxEvents < 0 || s.MaxEvents > MaxTraceEvents {
+		return &SpecError{"max_events", fmt.Sprintf("must be in [0, %d]", MaxTraceEvents)}
+	}
+	if s.Catalog.Graphs < 1 || s.Catalog.Graphs > MaxCatalogGraphs {
+		return &SpecError{"catalog.graphs", fmt.Sprintf("must be in [1, %d]", MaxCatalogGraphs)}
+	}
+	if s.Catalog.Tasks < 1 || s.Catalog.Tasks > MaxCatalogTasks {
+		return &SpecError{"catalog.tasks", fmt.Sprintf("must be in [1, %d]", MaxCatalogTasks)}
+	}
+	if len(s.Classes) == 0 {
+		return &SpecError{"classes", "at least one client class is required"}
+	}
+	if len(s.Classes) > MaxClasses {
+		return &SpecError{"classes", fmt.Sprintf("at most %d classes", MaxClasses)}
+	}
+	seen := make(map[string]bool, len(s.Classes))
+	for i, c := range s.Classes {
+		field := func(f string) string { return fmt.Sprintf("classes[%d].%s", i, f) }
+		if c.Name == "" {
+			return &SpecError{field("name"), "must be non-empty"}
+		}
+		if seen[c.Name] {
+			return &SpecError{field("name"), fmt.Sprintf("duplicate class name %q", c.Name)}
+		}
+		seen[c.Name] = true
+		switch c.Arrival.Process {
+		case ProcessPoisson:
+			if c.Arrival.Shape != 0 {
+				return &SpecError{field("arrival.shape"), "poisson has no shape parameter"}
+			}
+		case ProcessGamma, ProcessWeibull:
+			if !finitePos(c.Arrival.Shape) {
+				return &SpecError{field("arrival.shape"), c.Arrival.Process + " needs a finite positive shape"}
+			}
+		default:
+			return &SpecError{field("arrival.process"),
+				fmt.Sprintf("unknown process %q (known: %s, %s, %s)", c.Arrival.Process, ProcessPoisson, ProcessGamma, ProcessWeibull)}
+		}
+		if !finitePos(c.Arrival.Rate) {
+			// Zero-rate classes are rejected rather than silently emitting
+			// nothing: an open-loop spec with a dead class is a typo.
+			return &SpecError{field("arrival.rate"), "must be a finite positive rate in requests/second"}
+		}
+		if err := validateMix(c.Mix); err != nil {
+			return &SpecError{field("mix"), err.Error()}
+		}
+		if math.IsNaN(c.Zipf) || math.IsInf(c.Zipf, 0) || c.Zipf < 0 || c.Zipf > MaxZipfExponent {
+			return &SpecError{field("zipf"), fmt.Sprintf("must be in [0, %d]", MaxZipfExponent)}
+		}
+		if !finitePos(c.SLOMillis) {
+			return &SpecError{field("slo_ms"), "must be a finite positive latency target in milliseconds"}
+		}
+		if c.SweepAlphas < 0 || c.SweepAlphas > 64 {
+			return &SpecError{field("sweep_alphas"), "must be in [0, 64]"}
+		}
+	}
+	// The expected event volume must fit the trace bound with headroom:
+	// generation is randomised, so a spec sized exactly at the cap would
+	// fail intermittently. 2x the expectation is the documented margin.
+	expect := 0.0
+	for _, c := range s.Classes {
+		expect += c.Arrival.Rate * s.DurationSeconds
+	}
+	if bound := s.eventBound(); expect > float64(bound)/2 {
+		return &SpecError{"duration_s", fmt.Sprintf(
+			"spec expands to ~%.0f events, over half the %d-event bound; shorten it or lower the rates", expect, bound)}
+	}
+	return nil
+}
+
+// eventBound is the effective trace-size cap of this spec.
+func (s *Spec) eventBound() int {
+	if s.MaxEvents > 0 {
+		return s.MaxEvents
+	}
+	return MaxTraceEvents
+}
+
+func validateMix(m Mix) error {
+	for _, w := range []struct {
+		name string
+		v    float64
+	}{{"schedule", m.Schedule}, {"simulate", m.Simulate}, {"sweep", m.Sweep}} {
+		if math.IsNaN(w.v) || math.IsInf(w.v, 0) || w.v < 0 {
+			return fmt.Errorf("%s weight must be a finite non-negative number", w.name)
+		}
+	}
+	return nil
+}
+
+// normalized returns the cumulative kind thresholds of a mix (schedule,
+// schedule+simulate over the total); an all-zero mix defaults to pure
+// schedule traffic.
+func (m Mix) normalized() (pSched, pSim float64) {
+	total := m.Schedule + m.Simulate + m.Sweep
+	if total == 0 {
+		return 1, 1
+	}
+	return m.Schedule / total, (m.Schedule + m.Simulate) / total
+}
+
+// Hash returns the canonical content hash of the spec (hex SHA-256 of its
+// canonical JSON encoding). Traces record it so a replay against the wrong
+// spec fails loudly instead of silently measuring the wrong workload.
+func (s *Spec) Hash() string {
+	raw, err := json.Marshal(s)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on one.
+		panic("workload: marshaling spec: " + err.Error())
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// CatalogSet is a materialised catalog: the graphs plus their canonical
+// hashes (the ids registering them returns, and the keys the cluster ring
+// shards by).
+type CatalogSet struct {
+	Graphs []*memsched.Graph
+	Hashes []string
+}
+
+// Build generates the catalog's graphs. The construction mirrors
+// cmd/schedload: SmallRandParams resized to Tasks, seeded Seed+i.
+func (c Catalog) Build() (*CatalogSet, error) {
+	if c.Graphs < 1 || c.Graphs > MaxCatalogGraphs {
+		return nil, &SpecError{"catalog.graphs", fmt.Sprintf("must be in [1, %d]", MaxCatalogGraphs)}
+	}
+	if c.Tasks < 1 || c.Tasks > MaxCatalogTasks {
+		return nil, &SpecError{"catalog.tasks", fmt.Sprintf("must be in [1, %d]", MaxCatalogTasks)}
+	}
+	params := memsched.SmallRandParams()
+	params.Size = c.Tasks
+	set := &CatalogSet{
+		Graphs: make([]*memsched.Graph, c.Graphs),
+		Hashes: make([]string, c.Graphs),
+	}
+	for i := range set.Graphs {
+		g, err := memsched.GenerateRandom(params, c.Seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("workload: generating catalog graph %d: %w", i, err)
+		}
+		set.Graphs[i] = g
+		set.Hashes[i] = memsched.GraphHash(g)
+	}
+	return set, nil
+}

@@ -1,0 +1,362 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSpec() *Spec {
+	return &Spec{
+		Version:         SpecVersion,
+		DurationSeconds: 5,
+		Catalog:         Catalog{Graphs: 8, Tasks: 12, Seed: 42},
+		Classes: []Class{
+			{
+				Name:      "interactive",
+				Arrival:   Arrival{Process: ProcessPoisson, Rate: 40},
+				Mix:       Mix{Schedule: 1},
+				Zipf:      1.1,
+				SLOMillis: 50,
+			},
+			{
+				Name:        "batch",
+				Arrival:     Arrival{Process: ProcessGamma, Rate: 10, Shape: 0.5},
+				Mix:         Mix{Schedule: 1, Simulate: 1, Sweep: 0.5},
+				SLOMillis:   500,
+				SweepAlphas: 3,
+			},
+		},
+	}
+}
+
+// The package contract: same (Spec, seed) ⇒ byte-identical encoded trace.
+func TestGenerateDeterministic(t *testing.T) {
+	spec := testSpec()
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		tr, err := Generate(spec, 7)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		if err := EncodeTrace(&bufs[i], tr); err != nil {
+			t.Fatalf("EncodeTrace: %v", err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatal("two Generate runs with the same (Spec, seed) encoded differently")
+	}
+	// A different seed must move the trace (or the seed is being ignored).
+	tr2, err := Generate(spec, 8)
+	if err != nil {
+		t.Fatalf("Generate(seed 8): %v", err)
+	}
+	var buf2 bytes.Buffer
+	if err := EncodeTrace(&buf2, tr2); err != nil {
+		t.Fatalf("EncodeTrace: %v", err)
+	}
+	if bytes.Equal(bufs[0].Bytes(), buf2.Bytes()) {
+		t.Fatal("seed change did not change the trace")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := Generate(testSpec(), 7)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, tr); err != nil {
+		t.Fatalf("EncodeTrace: %v", err)
+	}
+	first := buf.String()
+	got, err := DecodeTrace(strings.NewReader(first))
+	if err != nil {
+		t.Fatalf("DecodeTrace: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if err := EncodeTrace(&buf2, got); err != nil {
+		t.Fatalf("re-EncodeTrace: %v", err)
+	}
+	if first != buf2.String() {
+		t.Fatal("decode→encode is not the identity on a generated trace")
+	}
+	if got.SpecHash != testSpec().Hash() {
+		t.Fatalf("spec hash mismatch after round trip: %q vs %q", got.SpecHash, testSpec().Hash())
+	}
+}
+
+// The arrival processes must deliver their configured mean rate (the shape
+// parameter redistributes gaps, not mass).
+func TestArrivalMeanRate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		arrival Arrival
+	}{
+		{"poisson", Arrival{Process: ProcessPoisson, Rate: 200}},
+		{"gamma-bursty", Arrival{Process: ProcessGamma, Rate: 200, Shape: 0.5}},
+		{"weibull-bursty", Arrival{Process: ProcessWeibull, Rate: 200, Shape: 0.7}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := &Spec{
+				Version:         SpecVersion,
+				DurationSeconds: 60,
+				Catalog:         Catalog{Graphs: 1, Tasks: 5, Seed: 1},
+				Classes:         []Class{{Name: "c", Arrival: tc.arrival, SLOMillis: 100}},
+			}
+			tr, err := Generate(spec, 11)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			want := tc.arrival.Rate * spec.DurationSeconds
+			got := float64(len(tr.Events))
+			if math.Abs(got-want)/want > 0.10 {
+				t.Fatalf("generated %v events, want about %v (±10%%)", got, want)
+			}
+		})
+	}
+}
+
+// Zipf skew must concentrate popularity on the head of the catalog, and
+// zero skew must not.
+func TestZipfSkew(t *testing.T) {
+	const graphs = 64
+	countHead := func(zipf float64) int {
+		spec := &Spec{
+			Version:         SpecVersion,
+			DurationSeconds: 20,
+			Catalog:         Catalog{Graphs: graphs, Tasks: 5, Seed: 1},
+			Classes: []Class{{
+				Name:      "c",
+				Arrival:   Arrival{Process: ProcessPoisson, Rate: 100},
+				Zipf:      zipf,
+				SLOMillis: 100,
+			}},
+		}
+		tr, err := Generate(spec, 3)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		head := 0
+		for _, ev := range tr.Events {
+			if ev.Graph < graphs/8 {
+				head++
+			}
+		}
+		return head * 100 / len(tr.Events)
+	}
+	uniform := countHead(0)
+	skewed := countHead(1.5)
+	// Under uniform popularity the head eighth gets ~12.5% of the draws;
+	// under s=1.5 the analytic share is ~87%.
+	if uniform > 25 {
+		t.Fatalf("uniform head share %d%%, want near 12.5%%", uniform)
+	}
+	if skewed < 60 {
+		t.Fatalf("zipf(1.5) head share %d%%, want well above 60%%", skewed)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	mutate := func(f func(*Spec)) *Spec {
+		s := testSpec()
+		f(s)
+		return s
+	}
+	cases := []struct {
+		name  string
+		spec  *Spec
+		field string // substring the SpecError.Field must contain
+	}{
+		{"bad version", mutate(func(s *Spec) { s.Version = 2 }), "version"},
+		{"zero duration", mutate(func(s *Spec) { s.DurationSeconds = 0 }), "duration_s"},
+		{"nan duration", mutate(func(s *Spec) { s.DurationSeconds = math.NaN() }), "duration_s"},
+		{"no classes", mutate(func(s *Spec) { s.Classes = nil }), "classes"},
+		{"no graphs", mutate(func(s *Spec) { s.Catalog.Graphs = 0 }), "catalog.graphs"},
+		{"huge catalog", mutate(func(s *Spec) { s.Catalog.Graphs = MaxCatalogGraphs + 1 }), "catalog.graphs"},
+		{"dup class", mutate(func(s *Spec) { s.Classes[1].Name = s.Classes[0].Name }), "name"},
+		{"empty class name", mutate(func(s *Spec) { s.Classes[0].Name = "" }), "name"},
+		{"unknown process", mutate(func(s *Spec) { s.Classes[0].Arrival.Process = "pareto" }), "arrival.process"},
+		{"zero rate", mutate(func(s *Spec) { s.Classes[0].Arrival.Rate = 0 }), "arrival.rate"},
+		{"negative rate", mutate(func(s *Spec) { s.Classes[0].Arrival.Rate = -3 }), "arrival.rate"},
+		{"inf rate", mutate(func(s *Spec) { s.Classes[0].Arrival.Rate = math.Inf(1) }), "arrival.rate"},
+		{"gamma no shape", mutate(func(s *Spec) { s.Classes[1].Arrival.Shape = 0 }), "arrival.shape"},
+		{"poisson with shape", mutate(func(s *Spec) { s.Classes[0].Arrival.Shape = 2 }), "arrival.shape"},
+		{"negative mix", mutate(func(s *Spec) { s.Classes[0].Mix.Schedule = -1 }), "mix"},
+		{"zipf too big", mutate(func(s *Spec) { s.Classes[0].Zipf = 9 }), "zipf"},
+		{"negative zipf", mutate(func(s *Spec) { s.Classes[0].Zipf = -0.5 }), "zipf"},
+		{"zero slo", mutate(func(s *Spec) { s.Classes[0].SLOMillis = 0 }), "slo_ms"},
+		{"event bound", mutate(func(s *Spec) { s.DurationSeconds = 1e6 }), "duration_s"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid spec")
+			}
+			se, ok := err.(*SpecError)
+			if !ok {
+				t.Fatalf("want *SpecError, got %T: %v", err, err)
+			}
+			if !strings.Contains(se.Field, tc.field) {
+				t.Fatalf("error field %q does not mention %q", se.Field, tc.field)
+			}
+		})
+	}
+	if err := testSpec().Validate(); err != nil {
+		t.Fatalf("Validate rejected the reference spec: %v", err)
+	}
+}
+
+func TestDecodeSpecRejectsUnknownFields(t *testing.T) {
+	_, err := DecodeSpec(strings.NewReader(`{"version":1,"duration_s":1,"clases":[]}`))
+	if err == nil {
+		t.Fatal("DecodeSpec accepted a typoed field")
+	}
+}
+
+func TestDecodeTraceErrors(t *testing.T) {
+	header := `{"type":"trace","version":1,"seed":1,"spec_hash":"x","duration_us":1000000,` +
+		`"catalog":{"graphs":1,"tasks":1,"seed":1},"classes":[{"name":"c","slo_ms":10}],` +
+		`"graphs":[{"hash":"h"}],"events":1}`
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad version", strings.Replace(header, `"version":1`, `"version":99`, 1)},
+		{"wrong type", strings.Replace(header, `"type":"trace"`, `"type":"event"`, 1)},
+		{"class out of range", header + "\n" + `{"type":"event","at_us":5,"class":7,"kind":"schedule","graph":0}`},
+		{"graph out of range", header + "\n" + `{"type":"event","at_us":5,"class":0,"kind":"schedule","graph":9}`},
+		{"unknown kind", header + "\n" + `{"type":"event","at_us":5,"class":0,"kind":"register","graph":0}`},
+		{"time travel", strings.Replace(header, `"events":1`, `"events":2`, 1) + "\n" +
+			`{"type":"event","at_us":5,"class":0,"kind":"schedule","graph":0}` + "\n" +
+			`{"type":"event","at_us":3,"class":0,"kind":"schedule","graph":0}`},
+		{"missing events", header},
+		{"extra events", header + "\n" +
+			`{"type":"event","at_us":5,"class":0,"kind":"schedule","graph":0}` + "\n" +
+			`{"type":"event","at_us":6,"class":0,"kind":"schedule","graph":0}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeTrace(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("DecodeTrace accepted a malformed trace")
+			}
+			if _, ok := err.(*TraceError); !ok {
+				t.Fatalf("want *TraceError, got %T: %v", err, err)
+			}
+		})
+	}
+	// And the well-formed single-event trace must decode.
+	good := header + "\n" + `{"type":"event","at_us":5,"class":0,"kind":"schedule","graph":0}`
+	if _, err := DecodeTrace(strings.NewReader(good)); err != nil {
+		t.Fatalf("DecodeTrace rejected a well-formed trace: %v", err)
+	}
+}
+
+func TestNewReport(t *testing.T) {
+	tr := &Trace{
+		Version:  TraceVersion,
+		Duration: 2 * time.Second,
+		Classes: []TraceClass{
+			{Name: "a", SLOMillis: 10},
+			{Name: "b", SLOMillis: 10},
+		},
+		Graphs: []TraceGraph{{Hash: "h"}},
+		Events: []Event{
+			{At: 0, Class: 0, Kind: KindSchedule},
+			{At: 1, Class: 0, Kind: KindSchedule},
+			{At: 2, Class: 0, Kind: KindSchedule},
+			{At: 3, Class: 1, Kind: KindSchedule},
+			{At: 4, Class: 1, Kind: KindSchedule},
+		},
+	}
+	outs := []Outcome{
+		{Event: 0, Status: StatusOK, Latency: 5 * time.Millisecond},
+		{Event: 1, Status: StatusOK, Latency: 20 * time.Millisecond}, // over SLO
+		{Event: 2, Status: StatusShed},
+		{Event: 3, Status: StatusOK, Latency: 2 * time.Millisecond, Lateness: 7 * time.Millisecond},
+		// event 4 has no outcome → must count as an error
+	}
+	rep := NewReport(tr, outs)
+	a := rep.Classes[0]
+	if a.Sent != 3 || a.OK != 2 || a.Shed != 1 || a.WithinSLO != 1 {
+		t.Fatalf("class a counts wrong: %+v", a)
+	}
+	if got := a.Goodput; math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("class a goodput = %v, want 1/3", got)
+	}
+	bcr := rep.Classes[1]
+	if bcr.Sent != 2 || bcr.OK != 1 || bcr.Errors != 1 || bcr.WithinSLO != 1 {
+		t.Fatalf("class b counts wrong: %+v", bcr)
+	}
+	if bcr.MaxLatenessMicros != 7000 {
+		t.Fatalf("class b max lateness = %d µs, want 7000", bcr.MaxLatenessMicros)
+	}
+	if rep.Total.Sent != 5 || rep.Total.WithinSLO != 2 {
+		t.Fatalf("total wrong: %+v", rep.Total)
+	}
+	// Jain over goodputs (1/3, 1/2): (5/6)²/(2·(1/9+1/4)).
+	want := (5.0 / 6) * (5.0 / 6) / (2 * (1.0/9 + 1.0/4))
+	if math.Abs(rep.Fairness-want) > 1e-9 {
+		t.Fatalf("fairness = %v, want %v", rep.Fairness, want)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("even shares: %v, want 1", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("one taker of four: %v, want 0.25", got)
+	}
+	if got := JainIndex(nil); got != 1 {
+		t.Fatalf("empty: %v, want 1", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Fatalf("all-zero: %v, want 1", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if got := percentileUS(xs, 0.50); got != 50 {
+		t.Fatalf("p50 = %d, want 50", got)
+	}
+	if got := percentileUS(xs, 0.99); got != 100 {
+		t.Fatalf("p99 = %d, want 100", got)
+	}
+	if got := percentileUS(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %d, want 0", got)
+	}
+}
+
+func TestCatalogBuild(t *testing.T) {
+	set, err := Catalog{Graphs: 3, Tasks: 10, Seed: 5}.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(set.Graphs) != 3 || len(set.Hashes) != 3 {
+		t.Fatalf("catalog sizes wrong: %d graphs, %d hashes", len(set.Graphs), len(set.Hashes))
+	}
+	seen := map[string]bool{}
+	for _, h := range set.Hashes {
+		if h == "" || seen[h] {
+			t.Fatalf("catalog hash %q empty or duplicated", h)
+		}
+		seen[h] = true
+	}
+	// Rebuilding must reproduce the same hashes (seeded construction).
+	set2, err := Catalog{Graphs: 3, Tasks: 10, Seed: 5}.Build()
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	for i := range set.Hashes {
+		if set.Hashes[i] != set2.Hashes[i] {
+			t.Fatalf("catalog rebuild hash %d differs", i)
+		}
+	}
+}
