@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/serve"
 )
 
 // routerMetrics collects the router's counters and upstream latency
@@ -173,6 +175,7 @@ func (m *routerMetrics) render(w *strings.Builder, shares map[string]float64, st
 	fmt.Fprintf(w, "memschedd_router_in_flight %d\n", inFlight)
 	gauge("memschedd_router_uptime_seconds", "Seconds since the router was constructed.")
 	fmt.Fprintf(w, "memschedd_router_uptime_seconds %g\n", uptime.Seconds())
+	serve.WriteRuntimeMetrics(w)
 }
 
 func b2i(b bool) int {

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -63,6 +64,12 @@ type Config struct {
 	Transport http.RoundTripper
 	// Logf is the router's logger (default: discard).
 	Logf func(format string, args ...any)
+	// Logger receives the router's structured logs: one access line per
+	// request at info (request id, route, serving replica, status, bytes,
+	// duration, failover/spillover provenance) and failover, drain and
+	// unroutable events at warn — every line carrying the request id, so
+	// one id greps across router and replica logs. nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -214,9 +224,98 @@ func (rt *Router) buildHandler() http.Handler {
 
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rt.prom.requests.Add(1)
-		mux.ServeHTTP(w, r)
+		start := time.Now()
+		id := serve.EnsureRequestID(r)
+		w.Header().Set(serve.RequestIDHeader, id)
+		note := &fwdNote{}
+		ctx := serve.ContextWithRequestID(r.Context(), id)
+		ctx = context.WithValue(ctx, fwdNoteKey{}, note)
+		r = r.WithContext(ctx)
+		sw := &statusWriter{ResponseWriter: w}
+		mux.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if rt.cfg.Logger.Enabled(ctx, slog.LevelInfo) {
+			attrs := make([]slog.Attr, 0, 9)
+			attrs = append(attrs,
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("route", r.URL.Path),
+				slog.Int("status", status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", time.Since(start)))
+			if note.replica != "" {
+				attrs = append(attrs, slog.String("replica", note.replica))
+			}
+			if note.failovers > 0 {
+				attrs = append(attrs, slog.Int("failovers", note.failovers))
+			}
+			if att := r.Header.Get(serve.RetryAttemptHeader); att != "" {
+				attrs = append(attrs, slog.String("retry_attempt", att))
+			}
+			rt.cfg.Logger.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
+		}
 	})
 }
+
+// fwdNote collects what the forwarding path learns mid-request for the
+// router's access log: which replica finally served, and how many
+// failover hops it took to get there.
+type fwdNote struct {
+	replica   string
+	failovers int
+}
+
+type fwdNoteKey struct{}
+
+func noteFrom(ctx context.Context) *fwdNote {
+	n, _ := ctx.Value(fwdNoteKey{}).(*fwdNote)
+	return n
+}
+
+// logWarn emits one warn-level router event stamped with the request id.
+func (rt *Router) logWarn(ctx context.Context, msg string, attrs ...slog.Attr) {
+	if !rt.cfg.Logger.Enabled(ctx, slog.LevelWarn) {
+		return
+	}
+	all := make([]slog.Attr, 0, len(attrs)+1)
+	all = append(all, slog.String("request_id", serve.RequestIDFromContext(ctx)))
+	all = append(all, attrs...)
+	rt.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, msg, all...)
+}
+
+// statusWriter captures the response status and body size for the access
+// log, forwarding Flush and Unwrap so streaming relays and write-deadline
+// extensions keep working behind it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 // Handler returns the router's HTTP handler (for tests and embedding).
 func (rt *Router) Handler() http.Handler { return rt.handler }
@@ -313,28 +412,34 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, po
 	cands := rt.candidates(key, portable)
 	if len(cands) == 0 {
 		rt.prom.unroutable.Add(1)
+		rt.logWarn(r.Context(), "no routable replica")
 		writeRetryAfter(w, time.Second)
 		writeError(w, http.StatusServiceUnavailable, serve.CodeUnavailable, "no routable replica")
 		return
 	}
 	var lastErr string
 	for i, id := range cands {
-		done, errMsg := rt.attempt(w, r, id, portable, body, i == len(cands)-1)
+		done, errMsg := rt.attempt(w, r, id, portable, body, i, i == len(cands)-1)
 		if done {
 			return
 		}
 		lastErr = errMsg
 	}
 	rt.prom.unroutable.Add(1)
+	rt.logWarn(r.Context(), "all replicas failed", slog.String("error", lastErr))
 	writeRetryAfter(w, time.Second)
 	writeError(w, http.StatusServiceUnavailable, serve.CodeUnavailable,
 		"all replicas failed: "+lastErr)
 }
 
-// attempt forwards to one replica. done means a response (or error) was
-// written to the client; otherwise errMsg explains why the next
-// candidate should be tried.
-func (rt *Router) attempt(w http.ResponseWriter, r *http.Request, id string, portable bool, body []byte, last bool) (done bool, errMsg string) {
+// attempt forwards to one replica. hop is the candidate's index in the
+// preference walk: the first forward carries the request id unchanged,
+// and every failover hop suffixes it with "-f<hop>" — distinct per
+// attempt in the replica's access log, while the base id stays a common
+// substring across the router's and every replica's lines. done means a
+// response (or error) was written to the client; otherwise errMsg
+// explains why the next candidate should be tried.
+func (rt *Router) attempt(w http.ResponseWriter, r *http.Request, id string, portable bool, body []byte, hop int, last bool) (done bool, errMsg string) {
 	ld := rt.load[id]
 	ld.Add(1)
 	defer ld.Add(-1)
@@ -343,7 +448,13 @@ func (rt *Router) attempt(w http.ResponseWriter, r *http.Request, id string, por
 	if body != nil {
 		reader = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, rt.urls[id]+r.URL.Path, reader)
+	// The query string rides along: ?trace=1 (and any future request
+	// modifiers) must reach the replica that actually serves the request.
+	target := rt.urls[id] + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, reader)
 	if err != nil {
 		return false, err.Error()
 	}
@@ -354,6 +465,12 @@ func (rt *Router) attempt(w http.ResponseWriter, r *http.Request, id string, por
 	}
 	if att := r.Header.Get(serve.RetryAttemptHeader); att != "" {
 		req.Header.Set(serve.RetryAttemptHeader, att)
+	}
+	if reqID := serve.RequestIDFromContext(r.Context()); reqID != "" {
+		if hop > 0 {
+			reqID = fmt.Sprintf("%s-f%d", reqID, hop)
+		}
+		req.Header.Set(serve.RequestIDHeader, reqID)
 	}
 
 	startAt := time.Now()
@@ -366,10 +483,18 @@ func (rt *Router) attempt(w http.ResponseWriter, r *http.Request, id string, por
 		}
 		rt.health.ObserveFailure(id)
 		rt.prom.failover(id)
+		if n := noteFrom(r.Context()); n != nil {
+			n.failovers++
+		}
 		rt.cfg.Logf("cluster: replica %s failed, failing over: %v", id, err)
+		rt.logWarn(r.Context(), "replica failed, failing over",
+			slog.String("replica", id), slog.String("error", err.Error()))
 		return false, err.Error()
 	}
 	rt.prom.forward(id, time.Since(startAt))
+	if n := noteFrom(r.Context()); n != nil {
+		n.replica = id
+	}
 
 	switch resp.StatusCode {
 	case http.StatusServiceUnavailable, http.StatusTooManyRequests:
@@ -378,7 +503,11 @@ func (rt *Router) attempt(w http.ResponseWriter, r *http.Request, id string, por
 		if resp.StatusCode == http.StatusServiceUnavailable && ae.Code == serve.CodeDraining {
 			rt.health.ObserveDraining(id)
 			rt.prom.failover(id)
+			if n := noteFrom(r.Context()); n != nil {
+				n.failovers++
+			}
 			rt.cfg.Logf("cluster: replica %s draining, failing over", id)
+			rt.logWarn(r.Context(), "replica draining, failing over", slog.String("replica", id))
 			return false, ae.Message
 		}
 		if resp.StatusCode == http.StatusTooManyRequests && portable && !last {
@@ -387,6 +516,7 @@ func (rt *Router) attempt(w http.ResponseWriter, r *http.Request, id string, por
 			// Pinned requests relay the 429 instead — only the owner can
 			// serve them, so the client must back off and retry it.
 			rt.prom.spillover(id)
+			rt.logWarn(r.Context(), "replica backpressure, spilling over", slog.String("replica", id))
 			return false, ae.Message
 		}
 		// Terminal refusal (last candidate, or a non-draining 503):
@@ -417,6 +547,12 @@ func (rt *Router) relay(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
 		if hopHeaders[k] {
+			continue
+		}
+		if k == http.CanonicalHeaderKey(serve.RequestIDHeader) {
+			// The router already stamped the response with the base id; the
+			// replica's echo may carry a failover suffix meant for its own
+			// logs, not for the client.
 			continue
 		}
 		for _, v := range vs {
@@ -535,7 +671,8 @@ func (rt *Router) Addr() string {
 // helpers so router-originated responses are indistinguishable from
 // replica ones on the client.
 func writeError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, serve.ErrorResponse{Error: msg, Code: code})
+	writeJSON(w, status, serve.ErrorResponse{Error: msg, Code: code,
+		RequestID: w.Header().Get(serve.RequestIDHeader)})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

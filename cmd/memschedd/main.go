@@ -30,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +59,10 @@ func main() {
 		readTimeout     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout    = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain bound on shutdown")
+		logLevel        = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+		logFormat       = flag.String("log-format", "text", "structured log format: text or json")
+		debugAddr       = flag.String("debug-addr", "", "optional second listener exposing /debug/pprof (and /debug/traces in replica mode); empty = off")
+		traceKeep       = flag.Int("trace-keep", 8, "slowest request traces kept per route for /debug/traces (replica mode)")
 
 		replicaID = flag.String("replica-id", "", "stable replica identity reported on /healthz (replica mode)")
 
@@ -72,6 +78,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "memschedd: unexpected arguments:", flag.Args())
 		os.Exit(2)
 	}
+	logger := buildLogger(*logLevel, *logFormat)
 	if *routerSpec != "" {
 		// -max-inflight defaults are tuned for a CPU-bound replica; the
 		// IO-bound router keeps its own (looser) default unless the flag
@@ -88,6 +95,7 @@ func main() {
 			rateLimit: *rateLimit, rateBurst: *rateBurst,
 			healthInterval: *healthInterval, healthFail: *healthFail, healthRise: *healthRise,
 			readTimeout: *readTimeout, writeTimeout: *writeTimeout, shutdownTimeout: *shutdownTimeout,
+			logger: logger, debugAddr: *debugAddr,
 		})
 		return
 	}
@@ -128,10 +136,66 @@ func main() {
 		WriteTimeout:    *writeTimeout,
 		ShutdownTimeout: *shutdownTimeout,
 		Logf:            log.Printf,
+		Logger:          logger,
+		TraceKeep:       *traceKeep,
 	})
+	serveDebug(ctx, *debugAddr, srv.TracesHandler())
 	if err := srv.ListenAndServe(ctx); err != nil {
 		log.Fatalf("memschedd: %v", err)
 	}
+}
+
+// buildLogger maps -log-level/-log-format onto a stderr slog.Logger.
+// Level "off" discards everything (structured logging stays opt-out of
+// the legacy Logf lifecycle lines).
+func buildLogger(level, format string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(strings.TrimSpace(level)) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off":
+		return slog.New(slog.DiscardHandler)
+	default:
+		fmt.Fprintf(os.Stderr, "memschedd: unknown -log-level %q (known: debug, info, warn, error, off)\n", level)
+		os.Exit(2)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts))
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	default:
+		fmt.Fprintf(os.Stderr, "memschedd: unknown -log-format %q (known: text, json)\n", format)
+		os.Exit(2)
+		return nil
+	}
+}
+
+// serveDebug runs the opt-in debug listener (-debug-addr): pprof plus,
+// when traces is non-nil, /debug/traces. It serves until ctx ends and
+// never blocks the main lifecycle.
+func serveDebug(ctx context.Context, addr string, traces http.Handler) {
+	if addr == "" {
+		return
+	}
+	srv := &http.Server{Addr: addr, Handler: serve.NewDebugMux(traces)}
+	go func() {
+		<-ctx.Done()
+		_ = srv.Close()
+	}()
+	go func() {
+		log.Printf("memschedd: debug listener on %s", addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("memschedd: debug listener: %v", err)
+		}
+	}()
 }
 
 // routerConfig carries the flag values that apply in router mode.
@@ -147,6 +211,8 @@ type routerConfig struct {
 	healthFail, healthRise    int
 	readTimeout, writeTimeout time.Duration
 	shutdownTimeout           time.Duration
+	logger                    *slog.Logger
+	debugAddr                 string
 }
 
 // runRouter runs memschedd as a cluster router until SIGINT/SIGTERM.
@@ -177,10 +243,13 @@ func runRouter(spec string, rc routerConfig) {
 		WriteTimeout:    rc.writeTimeout,
 		ShutdownTimeout: rc.shutdownTimeout,
 		Logf:            log.Printf,
+		Logger:          rc.logger,
 	})
 	if err != nil {
 		log.Fatalf("memschedd: %v", err)
 	}
+	// The router has no trace ring; its debug listener serves pprof only.
+	serveDebug(ctx, rc.debugAddr, nil)
 	if err := rt.ListenAndServe(ctx); err != nil {
 		log.Fatalf("memschedd: %v", err)
 	}

@@ -1,7 +1,9 @@
 // Command schedload is a load generator for memschedd: it registers a set
 // of random task graphs, hammers the /v1/schedule endpoint from concurrent
 // clients, and reports throughput, latency percentiles and the
-// session-cache hit rate observed by the server.
+// session-cache hit rate observed by the server. Every request carries a
+// generated X-Request-ID, and the report names the -slowest N requests by
+// id — joinable against the server's access logs and /debug/traces.
 //
 // With -sweep every request is a POST /v1/sweep batch instead: a memory-
 // fraction sweep of -alphas steps across the memory-aware heuristics,
@@ -81,6 +83,8 @@ type loadConfig struct {
 
 	replicas string // cluster replica set for per-replica attribution
 	route    string // "router" (via -addr) or "client" (ring-route directly)
+
+	slowest int // slowest requests reported with their X-Request-ID
 }
 
 func main() {
@@ -100,6 +104,7 @@ func main() {
 	flag.IntVar(&cfg.sweepWorkers, "sweep-workers", 0, "per-sweep worker bound (0 = server cap; with -sweep)")
 	flag.StringVar(&cfg.replicas, "replicas", "", `cluster replica set ("id=url,..." or bare urls) for per-replica cache attribution`)
 	flag.StringVar(&cfg.route, "route", "router", `request path in a cluster: "router" (everything via -addr) or "client" (ring-route straight to -replicas owners)`)
+	flag.IntVar(&cfg.slowest, "slowest", 5, "report the N slowest requests with their X-Request-ID (0 = off)")
 	var ol openLoopConfig
 	flag.StringVar(&ol.spec, "spec", "", "workload spec (JSON, package repro/workload): switch to open-loop mode")
 	flag.StringVar(&ol.replay, "replay", "", "recorded trace (NDJSON) to drive open-loop instead of expanding a spec")
@@ -146,10 +151,23 @@ type report struct {
 	errClasses map[string]int      // failed requests by error class (terminal outcome)
 	client     serve.ClientMetrics // attempt/retry counters of the shared client
 
+	// slow holds the N slowest requests (slowest first) with the
+	// X-Request-ID each one carried, so a bad percentile is immediately
+	// joinable against the server's access logs and /debug/traces.
+	slow []reqSample
+
 	// Per-replica attribution (with -replicas): the post-run healthz
 	// snapshots plus the cluster-wide hit/miss deltas they sum to.
 	replicas                   []replicaReport
 	clusterHits, clusterMisses uint64
+}
+
+// reqSample is one successful request: the id it carried on the wire
+// (the base of the X-Request-ID header; retries append "-<attempt>")
+// and the latency observed by the generator.
+type reqSample struct {
+	id  string
+	lat time.Duration
 }
 
 // replicaReport is one replica's post-run /healthz snapshot; healthy is
@@ -193,6 +211,9 @@ func (r report) print(w io.Writer) {
 			r.points, float64(r.points)/r.elapsed.Seconds())
 	}
 	fmt.Fprintf(w, "latency   : p50 %v, p99 %v\n", r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond))
+	for i, s := range r.slow {
+		fmt.Fprintf(w, "slowest #%d: %v id=%s\n", i+1, s.lat.Round(time.Microsecond), s.id)
+	}
 	fmt.Fprintf(w, "cache     : session hit rate %.1f%%, candidate hit rate %.1f%%\n",
 		100*r.hitRate, 100*r.candHitRate)
 	if r.client.Retries > 0 || r.client.BreakerTrips > 0 {
@@ -296,7 +317,7 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 	for i := range alphas {
 		alphas[i] = float64(i+1) / float64(cfg.alphas)
 	}
-	latencies := make([][]time.Duration, cfg.clients)
+	latencies := make([][]reqSample, cfg.clients)
 	failures := make([]int, cfg.clients)
 	attempted := make([]int, cfg.clients)
 	points := make([]int64, cfg.clients)
@@ -307,15 +328,20 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			lats := make([]time.Duration, 0, cfg.requests)
+			lats := make([]reqSample, 0, cfg.requests)
 			for i := 0; i < cfg.requests; i++ {
 				idx := (c + i) % len(ids)
 				id := ids[idx]
 				attempted[c]++
+				// Pin this request's X-Request-ID so the report can name
+				// its slowest requests in terms the server's access logs
+				// and /debug/traces also use.
+				reqID := serve.NewRequestID()
+				rctx := serve.ContextWithRequestID(ctx, reqID)
 				t0 := time.Now()
 				doReq := func() error {
 					if cfg.sweep {
-						sum, err := client.Sweep(ctx, serve.SweepRequest{
+						sum, err := client.Sweep(rctx, serve.SweepRequest{
 							GraphID:    id,
 							Pools:      pools,
 							Alphas:     alphas,
@@ -328,7 +354,7 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 						}
 						return err
 					}
-					_, err := client.Schedule(ctx, serve.ScheduleRequest{
+					_, err := client.Schedule(rctx, serve.ScheduleRequest{
 						GraphID:   id,
 						Pools:     pools,
 						Scheduler: cfg.scheduler,
@@ -343,7 +369,7 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 					// the registration. Registration is content-addressed
 					// and idempotent, so re-register — it lands on the new
 					// owner — and retry the request there.
-					if _, rerr := client.RegisterGraph(ctx, graphs[idx], nil); rerr == nil {
+					if _, rerr := client.RegisterGraph(rctx, graphs[idx], nil); rerr == nil {
 						err = doReq()
 					}
 				}
@@ -358,7 +384,7 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 					}
 					continue
 				}
-				lats = append(lats, time.Since(t0))
+				lats = append(lats, reqSample{id: reqID, lat: time.Since(t0)})
 			}
 			latencies[c] = lats
 		}(c)
@@ -372,15 +398,19 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 	}
 	afterHealth := probeReplicas(ctx, replicas)
 
-	var all []time.Duration
+	var all []reqSample
 	for _, l := range latencies {
 		all = append(all, l...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(all, func(i, j int) bool { return all[i].lat < all[j].lat })
+	sorted := make([]time.Duration, len(all))
+	for i, s := range all {
+		sorted[i] = s.lat
+	}
 	rep := report{
 		elapsed:     elapsed,
-		p50:         percentile(all, 0.50),
-		p99:         percentile(all, 0.99),
+		p50:         percentile(sorted, 0.50),
+		p99:         percentile(sorted, 0.99),
 		hitRate:     rateDelta(after.SessionHits, before.SessionHits, after.SessionMisses, before.SessionMisses),
 		candHitRate: rateDelta(after.CandidateHits, before.CandidateHits, after.CandidateMisses, before.CandidateMisses),
 		errClasses:  make(map[string]int),
@@ -393,6 +423,9 @@ func run(ctx context.Context, cfg loadConfig) (report, error) {
 		for class, n := range errCounts[c] {
 			rep.errClasses[class] += n
 		}
+	}
+	for i := len(all) - 1; i >= 0 && len(rep.slow) < cfg.slowest; i-- {
+		rep.slow = append(rep.slow, all[i])
 	}
 
 	// With a replica set, per-replica healthz deltas replace the single

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/platform"
 	"repro/internal/schedule"
+	"repro/internal/trace"
 )
 
 // PriorityList returns the task IDs sorted by non-increasing upward rank,
@@ -64,14 +65,18 @@ func memHEFTWith(ctx context.Context, g *dag.Graph, p platform.Platform, opt Opt
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	endRank := trace.Start(ctx, "rank")
 	remaining, err := opt.Caches.PriorityList(ctx, g, opt.Seed)
+	endRank()
 	if err != nil {
 		return nil, wrapInterrupted("MemHEFT", err)
 	}
+	endStatics := trace.Start(ctx, "statics")
 	if err := opt.Caches.warmStatics(ctx, g); err != nil {
 		return nil, wrapInterrupted("MemHEFT", err)
 	}
 	st := NewPartialCached(g, p, opt.Caches)
+	endStatics()
 	defer st.reportStats(opt.Stats)
 	if insertion {
 		// The insertion ablation's commits depend on idle-gap state that a
@@ -80,10 +85,13 @@ func memHEFTWith(ctx context.Context, g *dag.Graph, p platform.Platform, opt Opt
 		opt.Record, opt.Replay = nil, nil
 	}
 	rec := opt.Record
+	endReplay := trace.Start(ctx, "replay")
 	replayed, err := st.beginRun(ctx, p, opt)
+	endReplay()
 	if err != nil {
 		return st.sched, fmt.Errorf("core: MemHEFT interrupted: %w", err)
 	}
+	defer trace.Start(ctx, "placement")()
 	left := len(remaining) - replayed
 	head := 0 // index of the first unscheduled entry
 	step := 0

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/platform"
 	"repro/internal/schedule"
+	"repro/internal/trace"
 )
 
 // memMinMin is Algorithm 2: maintain the set of ready tasks and repeatedly
@@ -33,20 +34,25 @@ func memMinMin(ctx context.Context, g *dag.Graph, p platform.Platform, opt Optio
 	if err := opt.Caches.Validate(g); err != nil {
 		return nil, err
 	}
+	endStatics := trace.Start(ctx, "statics")
 	if err := opt.Caches.warmStatics(ctx, g); err != nil {
 		return nil, wrapInterrupted("MemMinMin", err)
 	}
 	st := NewPartialCached(g, p, opt.Caches)
+	endStatics()
 	defer st.reportStats(opt.Stats)
 
 	// Warm-start: replay the verified prefix of a previous run before the
 	// heap is built, so the heap starts from the post-replay ready set.
 	rec := opt.Record
+	endReplay := trace.Start(ctx, "replay")
 	replayed, err := st.beginRun(ctx, p, opt)
+	endReplay()
 	if err != nil {
 		return st.sched, fmt.Errorf("core: MemMinMin interrupted: %w", err)
 	}
 
+	defer trace.Start(ctx, "placement")()
 	h := make(eftHeap, 0, g.NumTasks())
 	for _, id := range st.ReadyTasks() {
 		h = append(h, eftEntry{id: id, cand: st.Best(id)})

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/trace"
 )
 
 // ErrMemoryBound is returned (wrapped) when a heuristic cannot fit the
@@ -142,21 +143,28 @@ func MemHEFT(ctx context.Context, in *Instance, p Platform, opt Options) (*Sched
 	if err := opt.Caches.Validate(in, p); err != nil {
 		return nil, err
 	}
+	endRank := trace.Start(ctx, "rank")
 	remaining, err := opt.Caches.PriorityList(ctx, in, opt.Seed)
+	endRank()
 	if err != nil {
 		return nil, wrapInterrupted("MemHEFT", err)
 	}
+	endStatics := trace.Start(ctx, "statics")
 	if err := opt.Caches.warmStatics(ctx, in); err != nil {
 		return nil, wrapInterrupted("MemHEFT", err)
 	}
 	st := NewPartialCached(in, p, opt.Caches)
+	endStatics()
 	defer opt.Caches.Recycle(st)
 	defer st.reportStats(opt.Stats)
 	rec := opt.Record
+	endReplay := trace.Start(ctx, "replay")
 	replayed, err := st.beginRun(ctx, p, opt)
+	endReplay()
 	if err != nil {
 		return st.sched, fmt.Errorf("multi: MemHEFT interrupted: %w", err)
 	}
+	defer trace.Start(ctx, "placement")()
 	left := len(remaining) - replayed
 	head := 0 // index of the first unscheduled entry
 	step := 0
@@ -231,10 +239,12 @@ func MemMinMin(ctx context.Context, in *Instance, p Platform, opt Options) (*Sch
 	if err := opt.Caches.Validate(in, p); err != nil {
 		return nil, err
 	}
+	endStatics := trace.Start(ctx, "statics")
 	if err := opt.Caches.warmStatics(ctx, in); err != nil {
 		return nil, wrapInterrupted("MemMinMin", err)
 	}
 	st := NewPartialCached(in, p, opt.Caches)
+	endStatics()
 	defer opt.Caches.Recycle(st)
 	defer st.reportStats(opt.Stats)
 	g := in.G
@@ -242,11 +252,14 @@ func MemMinMin(ctx context.Context, in *Instance, p Platform, opt Options) (*Sch
 	// Warm-start: replay the verified prefix of a previous run before the
 	// heap is built, so the heap starts from the post-replay ready set.
 	rec := opt.Record
+	endReplay := trace.Start(ctx, "replay")
 	replayed, err := st.beginRun(ctx, p, opt)
+	endReplay()
 	if err != nil {
 		return st.sched, fmt.Errorf("multi: MemMinMin interrupted: %w", err)
 	}
 
+	defer trace.Start(ctx, "placement")()
 	h := make(eftHeap, 0, g.NumTasks())
 	for _, id := range st.ReadyTasks() {
 		h = append(h, eftEntry{id: id, cand: st.Best(id)})

@@ -1,0 +1,147 @@
+// Package trace is a dependency-free, allocation-light span recorder
+// for in-process latency attribution. It is deliberately not OpenTelemetry:
+// a span here is a name plus two monotonic offsets appended to a bounded
+// slice under a mutex — cheap enough to thread through the scheduling
+// engine's hot paths and leave compiled in.
+//
+// A *Recorder travels in a context.Context. Code that wants a span calls
+//
+//	defer trace.Start(ctx, "rank")()
+//
+// which is a no-op returning a shared closure when no recorder is
+// installed, so un-traced callers (benchmarks, the sweep hot loop) pay
+// only a context lookup. Span names are hierarchical by convention:
+// "engine/rank" is a child of the request-level "engine" span. Consumers
+// (serve's ?trace=1 timeline, Result.Stats.Phases) treat names without a
+// '/' as top-level.
+package trace
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one recorded interval: Start is the offset from the recorder's
+// epoch (its creation time), Dur the interval length. Spans appear in
+// completion order, not start order.
+type Span struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// DefaultCap bounds the spans one Recorder retains. A schedule call
+// records a handful; a long sweep would otherwise record thousands —
+// past the cap new spans are counted in Dropped and discarded.
+const DefaultCap = 256
+
+// Recorder accumulates spans against a fixed epoch. Safe for concurrent
+// use (sweep workers share their request's recorder).
+type Recorder struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	spans   []Span
+	dropped uint64
+	limit   int
+}
+
+// NewRecorder returns an empty recorder whose epoch is now and whose
+// capacity is DefaultCap.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now(), limit: DefaultCap}
+}
+
+// Epoch is the recorder's zero point: all span offsets are relative to it.
+func (r *Recorder) Epoch() time.Time { return r.epoch }
+
+// Add appends a raw span. Offsets are relative to the recorder's epoch.
+func (r *Recorder) Add(name string, start, dur time.Duration) {
+	r.mu.Lock()
+	if len(r.spans) >= r.limit {
+		r.dropped++
+	} else {
+		r.spans = append(r.spans, Span{Name: name, Start: start, Dur: dur})
+	}
+	r.mu.Unlock()
+}
+
+// Len reports the number of retained spans.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Dropped counts spans discarded over the capacity bound.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Spans returns a copy of the retained spans in completion order.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// MergeAs folds child's spans into r, prefixing each name and rebasing
+// offsets from child's epoch onto r's. Used by Session to surface engine
+// phases ("rank") as request-level children ("engine/rank").
+func (r *Recorder) MergeAs(prefix string, child *Recorder) {
+	if child == nil {
+		return
+	}
+	spans := child.Spans()
+	delta := child.epoch.Sub(r.epoch)
+	r.mu.Lock()
+	for _, s := range spans {
+		if len(r.spans) >= r.limit {
+			r.dropped += uint64(len(spans)) // remaining, close enough for a drop signal
+			break
+		}
+		r.spans = append(r.spans, Span{Name: prefix + s.Name, Start: s.Start + delta, Dur: s.Dur})
+	}
+	r.dropped += child.dropped
+	r.mu.Unlock()
+}
+
+type ctxKey struct{}
+
+// WithRecorder installs r into ctx. A nil r returns ctx unchanged.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the installed recorder, or nil. Nil contexts are
+// tolerated: the engine accepts them.
+func FromContext(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}
+
+var noop = func() {}
+
+// Start opens a span named name if ctx carries a recorder and returns
+// the closure that closes it. Without a recorder it returns a shared
+// no-op, so instrumentation left in hot paths costs one context lookup.
+func Start(ctx context.Context, name string) func() {
+	r := FromContext(ctx)
+	if r == nil {
+		return noop
+	}
+	t0 := time.Now()
+	return func() {
+		r.Add(name, t0.Sub(r.epoch), time.Since(t0))
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartWithoutRecorderIsNoop(t *testing.T) {
+	end := Start(context.Background(), "x")
+	end() // must not panic
+	end = Start(nil, "x")
+	end()
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) != nil")
+	}
+}
+
+func TestRecorderRecordsSpans(t *testing.T) {
+	r := NewRecorder()
+	ctx := WithRecorder(context.Background(), r)
+	end := Start(ctx, "rank")
+	time.Sleep(time.Millisecond)
+	end()
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "rank" {
+		t.Fatalf("name = %q", s.Name)
+	}
+	if s.Dur <= 0 || s.Start < 0 {
+		t.Fatalf("span offsets: start=%v dur=%v", s.Start, s.Dur)
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < DefaultCap+10; i++ {
+		r.Add("s", 0, time.Microsecond)
+	}
+	if got := r.Len(); got != DefaultCap {
+		t.Fatalf("len = %d, want %d", got, DefaultCap)
+	}
+	if r.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", r.Dropped())
+	}
+}
+
+func TestMergeAsRebasesAndPrefixes(t *testing.T) {
+	parent := NewRecorder()
+	time.Sleep(time.Millisecond)
+	child := NewRecorder()
+	child.Add("rank", 2*time.Millisecond, time.Millisecond)
+	parent.MergeAs("engine/", child)
+	spans := parent.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "engine/rank" {
+		t.Fatalf("name = %q", s.Name)
+	}
+	// Rebasing must add the epoch delta (≥1ms) to the child offset.
+	if s.Start < 3*time.Millisecond {
+		t.Fatalf("rebased start = %v, want ≥ 3ms", s.Start)
+	}
+	if s.Dur != time.Millisecond {
+		t.Fatalf("dur = %v", s.Dur)
+	}
+	parent.MergeAs("x/", nil) // nil child is a no-op
+	if parent.Len() != 1 {
+		t.Fatal("nil merge changed the recorder")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	ctx := WithRecorder(context.Background(), r)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				Start(ctx, "w")()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Len(); got != 160 {
+		t.Fatalf("len = %d, want 160", got)
+	}
+	for _, s := range r.Spans() {
+		if !strings.HasPrefix(s.Name, "w") {
+			t.Fatalf("unexpected span %q", s.Name)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package memsched
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Phase is one timed interval of a scheduling call: an engine phase
+// (ranking, statics, warm-start replay, the placement loop), the
+// warm-start clone shortcut, Optimal's branch-and-bound search, or
+// Simulate's dispatch loop. Start is the offset from the call's start;
+// phases appear in completion order.
+type Phase struct {
+	Name     string
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// WithPhaseTrace returns a context under which Schedule, Optimal and
+// Simulate attribute their wall time to phases: the returned Result's
+// Stats.Phases carries the breakdown. Without it (the default) the
+// engines skip all span bookkeeping, so untraced runs pay nothing
+// beyond a context lookup per phase boundary. A nil ctx is treated as
+// context.Background(); a context already carrying a recorder (for
+// example one installed by the serving layer in package serve) is
+// returned unchanged.
+func WithPhaseTrace(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if trace.FromContext(ctx) != nil {
+		return ctx
+	}
+	return trace.WithRecorder(ctx, trace.NewRecorder())
+}
+
+// phasesOf converts a call-local recorder's spans into the public Phase
+// form carried on Stats.
+func phasesOf(rec *trace.Recorder) []Phase {
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]Phase, len(spans))
+	for i, s := range spans {
+		out[i] = Phase{Name: s.Name, Start: s.Start, Duration: s.Dur}
+	}
+	return out
+}
+
+// beginPhases sets up per-call phase capture when ctx already carries a
+// recorder: the call gets a private child recorder (so concurrent calls
+// — sweep workers share one request recorder — never interleave inside
+// one Stats.Phases), and finish folds the child's spans back into the
+// parent under the "engine/" prefix. With no recorder in ctx it returns
+// ctx unchanged and nil.
+func beginPhases(ctx context.Context) (context.Context, *trace.Recorder, func()) {
+	parent := trace.FromContext(ctx)
+	if parent == nil {
+		return ctx, nil, func() {}
+	}
+	child := trace.NewRecorder()
+	return trace.WithRecorder(ctx, child), child, func() { parent.MergeAs("engine/", child) }
+}

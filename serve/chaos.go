@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -112,6 +113,8 @@ func (s *Server) withChaos(next http.Handler) http.Handler {
 		switch kind {
 		case chaosLatency:
 			s.chaos.latencies.Add(1)
+			s.logRefusal(r.Context(), "chaos injected",
+				slog.String("fault", FaultLatency), slog.Duration("latency", latency))
 			t := time.NewTimer(latency)
 			select {
 			case <-t.C:
@@ -122,10 +125,13 @@ func (s *Server) withChaos(next http.Handler) http.Handler {
 			}
 		case chaosError:
 			s.chaos.faults.Add(1)
+			s.logRefusal(r.Context(), "chaos injected", slog.String("fault", FaultError))
 			writeRetryAfter(w, time.Second)
 			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "injected fault: service unavailable (chaos)")
 			return
 		case chaosTruncate:
+			s.logRefusal(r.Context(), "chaos injected",
+				slog.String("fault", FaultTruncate), slog.Int("truncate_after", cut))
 			w = &truncatingWriter{ResponseWriter: w, remaining: cut, injector: s.chaos}
 		}
 		next.ServeHTTP(w, r)

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -27,6 +28,7 @@ type Client struct {
 	http    *http.Client
 	retry   *RetryPolicy
 	breaker *Breaker
+	logger  *slog.Logger
 
 	// Cluster mode (NewClusterClient): the keyed endpoints route to
 	// ring.Owner of the request's graph key, and each retry walks one
@@ -45,7 +47,7 @@ type Client struct {
 // "http://127.0.0.1:8080"), using http.DefaultClient unless overridden with
 // WithHTTPClient.
 func NewClient(baseURL string, opts ...ClientOption) *Client {
-	c := &Client{base: baseURL, http: http.DefaultClient}
+	c := &Client{base: baseURL, http: http.DefaultClient, logger: slog.New(slog.DiscardHandler)}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -95,6 +97,18 @@ func WithRetry(policy RetryPolicy) ClientOption {
 // ErrBreakerOpen without touching the network.
 func WithBreaker(b *Breaker) ClientOption {
 	return func(c *Client) { c.breaker = b }
+}
+
+// WithLogger routes the client's structured logs to l: one warn line
+// per retry (request id, attempt, cause) and per fast-failed call while
+// the breaker is open. nil restores the default discard logger.
+func WithLogger(l *slog.Logger) ClientOption {
+	return func(c *Client) {
+		if l == nil {
+			l = slog.New(slog.DiscardHandler)
+		}
+		c.logger = l
+	}
 }
 
 // WithRequestHeader sets a static header on every request this client
@@ -228,20 +242,23 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, onPoint func(Sweep
 	if c.retry != nil {
 		attempts = c.retry.MaxAttempts
 	}
+	id := requestIDFor(ctx)
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
+			c.logRetry(ctx, id, "/v1/sweep", attempt, lastErr)
 			if err := sleepCtx(ctx, c.retry.delay(attempt, retryAfterOf(lastErr))); err != nil {
 				return nil, lastErr
 			}
 		}
 		if c.breaker != nil {
 			if err := c.breaker.allow(); err != nil {
+				c.logBreakerOpen(ctx, id, "/v1/sweep")
 				return nil, err
 			}
 		}
-		sum, err := c.sweepOnce(ctx, c.baseFor(key, attempt), body, deliver, attempt)
+		sum, err := c.sweepOnce(ctx, c.baseFor(key, attempt), body, deliver, attempt, id)
 		var cb *callbackError
 		isCallback := errors.As(err, &cb)
 		if c.breaker != nil {
@@ -262,7 +279,7 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, onPoint func(Sweep
 }
 
 // sweepOnce is one attempt of Sweep: one POST and one full stream decode.
-func (c *Client) sweepOnce(ctx context.Context, base string, body []byte, deliver func(SweepPoint) error, attempt int) (*SweepSummary, error) {
+func (c *Client) sweepOnce(ctx context.Context, base string, body []byte, deliver func(SweepPoint) error, attempt int, id string) (*SweepSummary, error) {
 	c.attempts.Add(1)
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweep", bytes.NewReader(body))
 	if err != nil {
@@ -272,6 +289,7 @@ func (c *Client) sweepOnce(ctx context.Context, base string, body []byte, delive
 	for k, v := range c.headers {
 		hreq.Header.Set(k, v)
 	}
+	hreq.Header.Set(RequestIDHeader, attemptID(id, attempt))
 	if attempt > 0 {
 		hreq.Header.Set(RetryAttemptHeader, strconv.Itoa(attempt))
 	}
@@ -385,20 +403,23 @@ func (c *Client) call(ctx context.Context, method, path, key string, body []byte
 	if c.retry != nil {
 		attempts = c.retry.MaxAttempts
 	}
+	id := requestIDFor(ctx)
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
+			c.logRetry(ctx, id, path, attempt, lastErr)
 			if err := sleepCtx(ctx, c.retry.delay(attempt, retryAfterOf(lastErr))); err != nil {
 				return lastErr
 			}
 		}
 		if c.breaker != nil {
 			if err := c.breaker.allow(); err != nil {
+				c.logBreakerOpen(ctx, id, path)
 				return err
 			}
 		}
-		err := c.once(ctx, method, c.baseFor(key, attempt)+path, body, out, attempt)
+		err := c.once(ctx, method, c.baseFor(key, attempt)+path, body, out, attempt, id)
 		if c.breaker != nil {
 			c.breaker.record(err == nil || !Retryable(err))
 		}
@@ -413,8 +434,11 @@ func (c *Client) call(ctx context.Context, method, path, key string, body []byte
 	return lastErr
 }
 
-// once sends a single attempt to url and decodes the response.
-func (c *Client) once(ctx context.Context, method, url string, body []byte, out any, attempt int) error {
+// once sends a single attempt to url and decodes the response. id is the
+// logical call's base request id; retries carry it suffixed with the
+// attempt number, so every attempt is distinct in server logs while the
+// base id stays a common substring across all of them.
+func (c *Client) once(ctx context.Context, method, url string, body []byte, out any, attempt int, id string) error {
 	c.attempts.Add(1)
 	var rd io.Reader
 	if body != nil {
@@ -430,6 +454,7 @@ func (c *Client) once(ctx context.Context, method, url string, body []byte, out 
 	for k, v := range c.headers {
 		req.Header.Set(k, v)
 	}
+	req.Header.Set(RequestIDHeader, attemptID(id, attempt))
 	if attempt > 0 {
 		req.Header.Set(RetryAttemptHeader, strconv.Itoa(attempt))
 	}
@@ -447,17 +472,66 @@ func (c *Client) once(ctx context.Context, method, url string, body []byte, out 
 	return nil
 }
 
+// requestIDFor derives the base request id of one logical call: the id
+// stamped on ctx (ContextWithRequestID) when the caller wants to pick
+// it, a fresh one otherwise.
+func requestIDFor(ctx context.Context) string {
+	if id := RequestIDFromContext(ctx); validRequestID(id) {
+		return id
+	}
+	return NewRequestID()
+}
+
+// attemptID is the X-Request-ID of one attempt: the base id, suffixed
+// with the attempt number on retries.
+func attemptID(base string, attempt int) string {
+	if attempt == 0 {
+		return base
+	}
+	return base + "-" + strconv.Itoa(attempt)
+}
+
+func (c *Client) logRetry(ctx context.Context, id, path string, attempt int, cause error) {
+	if !c.logger.Enabled(ctx, slog.LevelWarn) {
+		return
+	}
+	msg := ""
+	if cause != nil {
+		msg = cause.Error()
+	}
+	c.logger.LogAttrs(ctx, slog.LevelWarn, "retrying",
+		slog.String("request_id", id),
+		slog.String("path", path),
+		slog.Int("attempt", attempt),
+		slog.String("cause", msg))
+}
+
+func (c *Client) logBreakerOpen(ctx context.Context, id, path string) {
+	if !c.logger.Enabled(ctx, slog.LevelWarn) {
+		return
+	}
+	c.logger.LogAttrs(ctx, slog.LevelWarn, "breaker open",
+		slog.String("request_id", id),
+		slog.String("path", path))
+}
+
 // DecodeAPIError turns a non-2xx response into a typed *APIError, keeping
-// the structured {error, code} body when there is one and the Retry-After
-// hint when set. Exported for layers that speak to a replica without a
-// Client — the cluster router classifies upstream refusals (draining 503s,
+// the structured {error, code} body when there is one, the Retry-After
+// hint when set, and the server's X-Request-ID (falling back to the error
+// body's request_id) so failures can be chased through server logs.
+// Exported for layers that speak to a replica without a Client — the
+// cluster router classifies upstream refusals (draining 503s,
 // backpressure 429s) with it.
 func DecodeAPIError(resp *http.Response) *APIError {
 	ae := &APIError{Status: resp.StatusCode, Code: CodeInternal,
-		Message: fmt.Sprintf("unexpected response (status %s)", resp.Status)}
+		Message:   fmt.Sprintf("unexpected response (status %s)", resp.Status),
+		RequestID: resp.Header.Get(RequestIDHeader)}
 	var body ErrorResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil && body.Error != "" {
 		ae.Code, ae.Message = body.Code, body.Error
+		if ae.RequestID == "" {
+			ae.RequestID = body.RequestID
+		}
 	}
 	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 		ae.RetryAfter = time.Duration(secs) * time.Second

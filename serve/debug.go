@@ -1,0 +1,26 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the handler for an opt-in debug listener (memschedd
+// -debug-addr): the full net/http/pprof suite mounted explicitly — the
+// server itself never touches http.DefaultServeMux — plus, when traces
+// is non-nil, the /debug/traces ring (so the debug port exposes the
+// same trace view as the serving port). Both memschedd modes (replica
+// and router) hang this off a second listener, keeping profiling off
+// the serving port entirely.
+func NewDebugMux(traces http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if traces != nil {
+		mux.Handle("GET /debug/traces", traces)
+	}
+	return mux
+}

@@ -107,6 +107,7 @@ var knownEndpoints = map[string]bool{
 	"/v1/stats":      true,
 	"/healthz":       true,
 	"/metrics":       true,
+	"/debug/traces":  true,
 }
 
 func endpointLabel(path string) string {
@@ -226,6 +227,7 @@ func (m *metrics) render(w *strings.Builder, st StatsResponse) {
 	}
 	gauge("memschedd_draining", "1 while the server is draining for shutdown.", drainingGauge)
 	gauge("memschedd_uptime_seconds", "Seconds since the server was constructed.", float64(st.UptimeMS)/1000)
+	WriteRuntimeMetrics(w)
 }
 
 // EndpointLatency is a point-in-time snapshot of one endpoint's latency
@@ -285,11 +287,13 @@ func (s *Server) EndpointLatencies() []EndpointLatency {
 	return out
 }
 
-// statusWriter captures the response status for the metrics middleware and
-// forwards Flush so streaming endpoints keep working behind it.
+// statusWriter captures the response status and body size for the
+// metrics middleware and the access log, and forwards Flush so
+// streaming endpoints keep working behind it.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
@@ -301,7 +305,9 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	if sw.status == 0 {
 		sw.status = http.StatusOK
 	}
-	return sw.ResponseWriter.Write(b)
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
 }
 
 func (sw *statusWriter) Flush() {

@@ -3,12 +3,15 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Middleware is one link of the server's request-processing chain: it
@@ -100,18 +103,22 @@ func (s *Server) withRateLimit(next http.Handler) http.Handler {
 	if s.limiter == nil {
 		return next
 	}
-	return rateLimit(s.limiter, s.cfg.RateLimit, func() { s.rateLimited.Add(1) })(next)
+	return rateLimit(s.limiter, s.cfg.RateLimit, func(r *http.Request) {
+		s.rateLimited.Add(1)
+		s.logRefusal(r.Context(), "rate limited", slog.Float64("rate", s.cfg.RateLimit))
+	})(next)
 }
 
 // rateLimit is the shared token-bucket link behind both the Server's
-// withRateLimit and the standalone RateLimitMiddleware.
-func rateLimit(tb *tokenBucket, rate float64, onLimited func()) Middleware {
+// withRateLimit and the standalone RateLimitMiddleware. onLimited sees
+// the refused request, so hooks can count and log with its context.
+func rateLimit(tb *tokenBucket, rate float64, onLimited func(*http.Request)) Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			ok, wait := tb.take()
 			if !ok {
 				if onLimited != nil {
-					onLimited()
+					onLimited(r)
 				}
 				writeRetryAfter(w, wait)
 				writeError(w, http.StatusTooManyRequests, CodeRateLimited,
@@ -131,7 +138,11 @@ func rateLimit(tb *tokenBucket, rate float64, onLimited func()) Middleware {
 // (code "rate_limited") + Retry-After. onLimited, when non-nil, is
 // invoked once per refused request (metrics hook).
 func RateLimitMiddleware(rate float64, burst int, onLimited func()) Middleware {
-	return rateLimit(newTokenBucket(rate, burst), rate, onLimited)
+	var hook func(*http.Request)
+	if onLimited != nil {
+		hook = func(*http.Request) { onLimited() }
+	}
+	return rateLimit(newTokenBucket(rate, burst), rate, hook)
 }
 
 // ConcurrencyLimitMiddleware bounds concurrently served requests at max,
@@ -187,6 +198,9 @@ func (s *Server) withShed(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.inFlight.Load() >= int64(s.cfg.MaxInFlight) && s.waiting.Load() >= int64(s.cfg.ShedQueueDepth) {
 			s.shed.Add(1)
+			s.logRefusal(r.Context(), "load shed",
+				slog.Int("max_in_flight", s.cfg.MaxInFlight),
+				slog.Int("queue_depth", s.cfg.ShedQueueDepth))
 			writeRetryAfter(w, time.Second)
 			writeError(w, http.StatusTooManyRequests, CodeShed,
 				fmt.Sprintf("server overloaded: all %d slots busy and %d requests already queued",
@@ -202,7 +216,10 @@ func (s *Server) withShed(next http.Handler) http.Handler {
 // wait for a slot until their context ends.
 func (s *Server) withAdmission(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if err := s.acquire(r.Context()); err != nil {
+		endAdmission := trace.Start(r.Context(), "admission")
+		err := s.acquire(r.Context())
+		endAdmission()
+		if err != nil {
 			writeError(w, http.StatusRequestTimeout, CodeTimeout, "request cancelled while waiting for an in-flight slot")
 			return
 		}
@@ -229,13 +246,17 @@ const sweepClaimKey ctxKey = iota
 // slots /v1/schedule needs — no head-of-line blocking of the cheap path.
 func (s *Server) withSweepAdmission(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		endAdmission := trace.Start(r.Context(), "admission")
 		if err := s.acquireSweepToken(r.Context()); err != nil {
+			endAdmission()
 			writeError(w, http.StatusRequestTimeout, CodeTimeout, "request cancelled while waiting for sweep capacity")
 			return
 		}
 		claim := &sweepClaim{workers: 1}
 		defer func() { s.releaseSweepWorkers(claim.workers) }()
-		if err := s.acquire(r.Context()); err != nil {
+		err := s.acquire(r.Context())
+		endAdmission()
+		if err != nil {
 			writeError(w, http.StatusRequestTimeout, CodeTimeout, "request cancelled while waiting for an in-flight slot")
 			return
 		}

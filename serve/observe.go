@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// requestIDKey carries the request id through a request's context.
+type requestIDKey struct{}
+
+// noteKey carries the per-request annotation record (session-cache
+// outcome) that handlers fill in for the access log.
+type noteKey struct{}
+
+// reqNote collects facts the handler learns mid-request that the access
+// log wants: whether the run resolved its session from the cache. The
+// Handler allocates one per request; handlers mutate it in place (a
+// request is served by one goroutine, so no locking).
+type reqNote struct {
+	cacheKnown bool
+	cacheHit   bool
+}
+
+func noteFrom(ctx context.Context) *reqNote {
+	n, _ := ctx.Value(noteKey{}).(*reqNote)
+	return n
+}
+
+// logRefusal emits one warn-level line for a refused or faulted request
+// (shed, rate limit, injected chaos), stamped with its request id.
+func (s *Server) logRefusal(ctx context.Context, event string, attrs ...slog.Attr) {
+	if !s.logger.Enabled(ctx, slog.LevelWarn) {
+		return
+	}
+	all := make([]slog.Attr, 0, len(attrs)+2)
+	all = append(all, slog.String("request_id", RequestIDFromContext(ctx)))
+	if s.cfg.ReplicaID != "" {
+		all = append(all, slog.String("replica", s.cfg.ReplicaID))
+	}
+	all = append(all, attrs...)
+	s.logger.LogAttrs(ctx, slog.LevelWarn, event, all...)
+}
+
+// NewRequestID returns a fresh request id: 16 hex characters of
+// crypto/rand entropy, falling back to a timestamp if the system source
+// fails (ids need uniqueness for log joining, not unguessability).
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "t" + strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ContextWithRequestID stamps ctx with a request id, overriding any id
+// a surrounding layer would otherwise generate. The Client forwards it
+// as the X-Request-ID of every call made under ctx.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the request id stamped on ctx, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// validRequestID reports whether a client-supplied id is safe to adopt:
+// non-empty, bounded, and free of characters that could mangle logs or
+// headers. Anything else is replaced, not sanitized — a hostile id is
+// not worth preserving partially.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// EnsureRequestID returns the request's id: the X-Request-ID header when
+// the client sent a valid one, a fresh id otherwise. It does not mutate
+// the request.
+func EnsureRequestID(r *http.Request) string {
+	if id := r.Header.Get(RequestIDHeader); validRequestID(id) {
+		return id
+	}
+	return NewRequestID()
+}

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// buildInfo resolves the process's build identity once: the module
+// version, the main Go version, and the VCS revision when the binary
+// was built from a checkout.
+var buildInfo = sync.OnceValues(func() (goVersion, revision string) {
+	goVersion = runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return goVersion, ""
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return goVersion, revision
+})
+
+// WriteRuntimeMetrics appends the process-level gauges shared by every
+// tier's /metrics exposition — goroutine count, heap occupancy, GC
+// cycles — plus the memschedd_build_info info-metric (constant 1, with
+// the build identity in its labels, the Prometheus idiom for joining
+// metrics against a version). The replica server calls it from its own
+// registry render; the cluster router reuses it so both tiers export a
+// comparable runtime baseline.
+func WriteRuntimeMetrics(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP go_goroutines Number of goroutines that currently exist.\n# TYPE go_goroutines gauge\ngo_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP go_memstats_heap_alloc_bytes Heap bytes allocated and still in use.\n# TYPE go_memstats_heap_alloc_bytes gauge\ngo_memstats_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP go_memstats_heap_sys_bytes Heap bytes obtained from the system.\n# TYPE go_memstats_heap_sys_bytes gauge\ngo_memstats_heap_sys_bytes %d\n", ms.HeapSys)
+	fmt.Fprintf(w, "# HELP go_memstats_heap_objects Number of currently live heap objects.\n# TYPE go_memstats_heap_objects gauge\ngo_memstats_heap_objects %d\n", ms.HeapObjects)
+	fmt.Fprintf(w, "# HELP go_gc_cycles_total Completed GC cycles.\n# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n", ms.NumGC)
+	goVersion, revision := buildInfo()
+	fmt.Fprintf(w, "# HELP memschedd_build_info Build identity of the serving binary; constant 1.\n# TYPE memschedd_build_info gauge\n")
+	fmt.Fprintf(w, "memschedd_build_info{go_version=%q,revision=%q} 1\n", goVersion, revision)
+}

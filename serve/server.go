@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 
 	memsched "repro"
 	"repro/internal/memo"
+	"repro/internal/trace"
 	"repro/sweep"
 )
 
@@ -92,6 +94,16 @@ type Config struct {
 	ShutdownTimeout time.Duration
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
+	// Logger receives the server's structured logs: one access line per
+	// request at info (request id, route, status, bytes, duration,
+	// session-cache outcome), refusal events (shed, rate limit, injected
+	// chaos) at warn, retained trace captures at debug. nil discards
+	// everything at zero cost — log lines are built only when the level
+	// is enabled.
+	Logger *slog.Logger
+	// TraceKeep bounds the per-route ring of slowest request traces
+	// behind GET /debug/traces (default 8 per route).
+	TraceKeep int
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +152,12 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.TraceKeep <= 0 {
+		c.TraceKeep = 8
+	}
 	return c
 }
 
@@ -157,6 +175,8 @@ type Server struct {
 	sweepSem chan struct{}  // server-wide sweep-worker tokens (MaxSweepWorkers)
 	limiter  *tokenBucket   // nil unless RateLimit > 0
 	chaos    *chaosInjector // nil unless ChaosRate > 0
+	logger   *slog.Logger
+	traces   *traceStore
 	start    time.Time
 
 	smu      sync.Mutex
@@ -188,6 +208,8 @@ func NewServer(cfg Config) *Server {
 		start:    time.Now(),
 		ready:    make(chan struct{}),
 		prom:     newMetrics(),
+		logger:   cfg.Logger,
+		traces:   newTraceStore(cfg.TraceKeep),
 	}
 	if cfg.RateLimit > 0 {
 		s.limiter = newTokenBucket(cfg.RateLimit, cfg.RateBurst)
@@ -210,6 +232,7 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/schedulers", s.handleSchedulers)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no such endpoint: %s %s", r.Method, r.URL.Path))
@@ -219,23 +242,83 @@ func NewServer(cfg Config) *Server {
 }
 
 // Handler returns the service's HTTP handler (all /v1 endpoints plus
-// /healthz and the Prometheus /metrics), independent of the ListenAndServe
-// lifecycle. Every request is counted and timed into the metrics registry
-// by endpoint and status code.
+// /healthz, the Prometheus /metrics and the /debug/traces ring),
+// independent of the ListenAndServe lifecycle. Every request is counted
+// and timed into the metrics registry by endpoint and status code,
+// assigned a request id (adopted from X-Request-ID or generated) that is
+// echoed on the response before any handler runs — so even refusals
+// carry it — and logged as one structured access line. POST /v1
+// requests additionally run under a span recorder; timelines that rank
+// among the slowest per route are retained for GET /debug/traces.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		if r.Header.Get(RetryAttemptHeader) != "" {
+		attempt := r.Header.Get(RetryAttemptHeader)
+		if attempt != "" {
 			s.retried.Add(1)
 		}
 		start := time.Now()
+		id := EnsureRequestID(r)
+		w.Header().Set(RequestIDHeader, id)
+		note := &reqNote{}
+		ctx := ContextWithRequestID(r.Context(), id)
+		ctx = context.WithValue(ctx, noteKey{}, note)
+		var rec *trace.Recorder
+		if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/") {
+			rec = trace.NewRecorder()
+			ctx = trace.WithRecorder(ctx, rec)
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		s.mux.ServeHTTP(sw, r)
 		status := sw.status
 		if status == 0 {
 			status = http.StatusOK // handler wrote nothing: implicit 200
 		}
-		s.prom.observe(endpointLabel(r.URL.Path), r.Header.Get(WorkloadClassHeader), status, time.Since(start))
+		elapsed := time.Since(start)
+		route := endpointLabel(r.URL.Path)
+		s.prom.observe(route, r.Header.Get(WorkloadClassHeader), status, elapsed)
+		if rec != nil && rec.Len() > 0 {
+			capture := TraceCapture{
+				RequestID:    id,
+				Route:        route,
+				Status:       status,
+				Start:        rec.Epoch(),
+				DurMicros:    elapsed.Microseconds(),
+				Spans:        wireSpans(rec),
+				DroppedSpans: rec.Dropped(),
+			}
+			if s.traces.offer(capture) && s.logger.Enabled(ctx, slog.LevelDebug) {
+				s.logger.LogAttrs(ctx, slog.LevelDebug, "trace captured",
+					slog.String("request_id", id),
+					slog.String("route", route),
+					slog.Int64("dur_us", capture.DurMicros),
+					slog.Int("spans", len(capture.Spans)))
+			}
+		}
+		if s.logger.Enabled(ctx, slog.LevelInfo) {
+			attrs := make([]slog.Attr, 0, 10)
+			attrs = append(attrs,
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.Int("status", status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", elapsed))
+			if s.cfg.ReplicaID != "" {
+				attrs = append(attrs, slog.String("replica", s.cfg.ReplicaID))
+			}
+			if attempt != "" {
+				attrs = append(attrs, slog.String("retry_attempt", attempt))
+			}
+			if class := r.Header.Get(WorkloadClassHeader); class != "" {
+				attrs = append(attrs, slog.String("class", class))
+			}
+			if note.cacheKnown {
+				attrs = append(attrs, slog.Bool("session_cached", note.cacheHit))
+			}
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
+		}
 	})
 }
 
@@ -488,10 +571,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// Admission (the in-flight slot) happened in withAdmission: registration
 	// decodes and validates arbitrary graphs — CPU-bound work that shares
 	// the in-flight budget with the scheduling runs.
+	endDecode := trace.Start(r.Context(), "decode")
 	var req RegisterRequest
 	if s.decodeBody(w, r, &req) != nil {
+		endDecode()
 		return
 	}
+	endDecode()
 	if len(req.Graph) == 0 {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, `missing "graph"`)
 		return
@@ -588,10 +674,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, simulate bool
 	// span — body decode, graph validation and the scheduling run, not
 	// just the engine call: multi-MB inline graphs cost real CPU before
 	// scheduling starts.
+	endDecode := trace.Start(r.Context(), "decode")
 	var req ScheduleRequest
 	if s.decodeBody(w, r, &req) != nil {
+		endDecode()
 		return
 	}
+	endDecode()
 	if req.TimeoutMS < 0 {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, `"timeout_ms" must be >= 0`)
 		return
@@ -618,9 +707,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, simulate bool
 			fmt.Sprintf("unknown scheduler %q (known: %s)", req.Scheduler, strings.Join(memsched.Schedulers(), ", ")))
 		return
 	}
+	endResolve := trace.Start(r.Context(), "resolve")
 	sess, fromCache, ok := s.resolveSession(w, req.GraphID, req.Graph, req.Times)
+	endResolve()
 	if !ok {
 		return
+	}
+	if n := noteFrom(r.Context()); n != nil {
+		n.cacheKnown, n.cacheHit = true, fromCache
 	}
 	p, ok := platformOf(w, req.Pools)
 	if !ok {
@@ -641,6 +735,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, simulate bool
 		res *memsched.Result
 		err error
 	)
+	endEngine := trace.Start(ctx, "engine")
 	if simulate {
 		res, err = sess.Simulate(ctx, p, memsched.WithPolicy(policy), memsched.WithSeed(req.Seed))
 	} else {
@@ -650,6 +745,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, simulate bool
 		}
 		res, err = sess.Schedule(ctx, p, opts...)
 	}
+	endEngine()
 	if err != nil {
 		status, code := classify(err)
 		msg := err.Error()
@@ -666,6 +762,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, simulate bool
 	s.candidateHits.Add(res.Stats.CacheHits)
 	s.candidateMiss.Add(res.Stats.CacheMisses)
 
+	// PeakResidency scans every file residency interval (O(E log E) on a
+	// cold result) — real time the engine span does not cover, so it gets
+	// its own.
+	endFinalize := trace.Start(r.Context(), "finalize")
 	resp := ScheduleResponse{
 		GraphID:       sess.GraphHash(),
 		Scheduler:     res.Stats.Scheduler,
@@ -678,11 +778,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, simulate bool
 		Events:        res.Stats.Events,
 		WallMicros:    res.Stats.WallTime.Microseconds(),
 		SessionCached: fromCache,
+		RequestID:     RequestIDFromContext(r.Context()),
 	}
 	if req.Placements {
 		resp.TaskPlacements = placementsOf(res)
 	}
+	endFinalize()
+	if r.URL.Query().Get("trace") == "1" {
+		if rec := trace.FromContext(r.Context()); rec != nil {
+			resp.Trace = wireSpans(rec)
+		}
+	}
+	// The encode span cannot appear in its own payload; it is recorded
+	// for the /debug/traces capture only.
+	endEncode := trace.Start(r.Context(), "encode")
 	writeJSON(w, http.StatusOK, resp)
+	endEncode()
 }
 
 func placementsOf(res *memsched.Result) []Placement {
@@ -767,10 +878,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// claim the middleware releases.
 	claim, _ := r.Context().Value(sweepClaimKey).(*sweepClaim)
 
+	endDecode := trace.Start(r.Context(), "decode")
 	var req SweepRequest
 	if s.decodeBody(w, r, &req) != nil {
+		endDecode()
 		return
 	}
+	endDecode()
 	if req.TimeoutMS < 0 {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, `"timeout_ms" must be >= 0`)
 		return
@@ -783,9 +897,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	endResolve := trace.Start(r.Context(), "resolve")
 	sess, fromCache, ok := s.resolveSession(w, req.GraphID, req.Graph, req.Times)
+	endResolve()
 	if !ok {
 		return
+	}
+	if n := noteFrom(r.Context()); n != nil {
+		n.cacheKnown, n.cacheHit = true, fromCache
 	}
 
 	timeout := s.cfg.MaxSweepTime
@@ -828,6 +947,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	endSweep := trace.Start(ctx, "sweep")
 	sum, err := sweep.Stream(ctx, sess, spec, func(pr sweep.PointResult) error {
 		s.sweepPoints.Add(1)
 		s.candidateHits.Add(pr.Stats.CacheHits)
@@ -843,6 +963,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		flush()
 		return nil
 	})
+	endSweep()
 	if err != nil {
 		status, code := classify(err)
 		msg := err.Error()
@@ -951,5 +1072,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+	// The request id was stamped on the response headers before dispatch
+	// (see Handler), so every error body can echo it without threading it
+	// through each call site.
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code, RequestID: w.Header().Get(RequestIDHeader)})
 }

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TraceCapture is one retained request trace: the span timeline of a
+// request that ranked among the K slowest seen on its route.
+type TraceCapture struct {
+	RequestID string `json:"request_id"`
+	Route     string `json:"route"`
+	Status    int    `json:"status"`
+	// Start is the request's arrival time (wall clock, RFC 3339).
+	Start time.Time `json:"start"`
+	// DurMicros is the request's total wall time; the spans below nest
+	// inside it.
+	DurMicros    int64       `json:"dur_us"`
+	Spans        []TraceSpan `json:"spans"`
+	DroppedSpans uint64      `json:"dropped_spans,omitempty"`
+}
+
+// TracesResponse is the payload of GET /debug/traces: per route, the
+// retained captures sorted slowest-first.
+type TracesResponse struct {
+	// Keep is the per-route retention bound K.
+	Keep   int                       `json:"keep"`
+	Routes map[string][]TraceCapture `json:"routes"`
+}
+
+// traceStore keeps the K slowest request traces per route in a bounded
+// in-memory ring, so "what was slow recently, and where did the time
+// go?" is answerable from a running server without external tooling.
+type traceStore struct {
+	mu      sync.Mutex
+	keep    int
+	byRoute map[string][]TraceCapture // sorted by DurMicros descending
+}
+
+func newTraceStore(keep int) *traceStore {
+	if keep <= 0 {
+		keep = 8
+	}
+	return &traceStore{keep: keep, byRoute: make(map[string][]TraceCapture)}
+}
+
+// offer submits a capture; it is retained only if it ranks among the
+// keep slowest for its route. Returns whether it was retained.
+func (ts *traceStore) offer(c TraceCapture) bool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	list := ts.byRoute[c.Route]
+	if len(list) >= ts.keep && c.DurMicros <= list[len(list)-1].DurMicros {
+		return false
+	}
+	i := sort.Search(len(list), func(i int) bool { return list[i].DurMicros < c.DurMicros })
+	list = append(list, TraceCapture{})
+	copy(list[i+1:], list[i:])
+	list[i] = c
+	if len(list) > ts.keep {
+		list = list[:ts.keep]
+	}
+	ts.byRoute[c.Route] = list
+	return true
+}
+
+// snapshot copies the store into wire form.
+func (ts *traceStore) snapshot() TracesResponse {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := TracesResponse{Keep: ts.keep, Routes: make(map[string][]TraceCapture, len(ts.byRoute))}
+	for route, list := range ts.byRoute {
+		cp := make([]TraceCapture, len(list))
+		copy(cp, list)
+		out.Routes[route] = cp
+	}
+	return out
+}
+
+// wireSpans converts a recorder's spans into wire form (microsecond
+// offsets from the request's start).
+func wireSpans(rec *trace.Recorder) []TraceSpan {
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]TraceSpan, len(spans))
+	for i, sp := range spans {
+		out[i] = TraceSpan{Name: sp.Name, StartMicros: sp.Start.Microseconds(), DurMicros: sp.Dur.Microseconds()}
+	}
+	return out
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.traces.snapshot())
+}
+
+// TracesHandler exposes the trace ring as a standalone handler, so a
+// debug listener (NewDebugMux) can serve the same view as the serving
+// port's GET /debug/traces.
+func (s *Server) TracesHandler() http.Handler {
+	return http.HandlerFunc(s.handleTraces)
+}

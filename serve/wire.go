@@ -26,7 +26,9 @@
 //	                     engine candidate-cache totals, in-flight gauge
 //	GET  /metrics        Prometheus text exposition: request counts and
 //	                     latency histograms by endpoint, cache and
-//	                     in-flight gauges
+//	                     in-flight gauges, runtime gauges and build info
+//	GET  /debug/traces   the K slowest captured request traces per route
+//	                     (span timelines, see TracesResponse)
 //	GET  /healthz        liveness probe
 //
 // Every error response is structured JSON: {"error": ..., "code": ...};
@@ -109,8 +111,29 @@ type ScheduleResponse struct {
 	Events        int     `json:"events,omitempty"`
 	WallMicros    int64   `json:"wall_us"`
 	SessionCached bool    `json:"session_cached"`
+	// RequestID echoes the request's id (X-Request-ID, generated when the
+	// client sent none) so a response can be joined against the access
+	// logs of every tier that touched it.
+	RequestID string `json:"request_id,omitempty"`
 
 	TaskPlacements []Placement `json:"task_placements,omitempty"`
+
+	// Trace is the request's span timeline, present only when the request
+	// opted in with ?trace=1: middleware and handler phases (admission,
+	// decode, resolve, engine, encode) plus the engine's own sub-phases
+	// under "engine/" (rank, statics, replay, placement, clone, search,
+	// dispatch). Top-level spans (no "/" in the name) are disjoint and sum
+	// to approximately the request's wall time.
+	Trace []TraceSpan `json:"trace,omitempty"`
+}
+
+// TraceSpan is one wire-format span of a request trace: an interval named
+// by phase, offset from the request's start. Spans appear in completion
+// order; sub-phase names are slash-prefixed by their parent ("engine/rank").
+type TraceSpan struct {
+	Name        string `json:"name"`
+	StartMicros int64  `json:"start_us"`
+	DurMicros   int64  `json:"dur_us"`
 }
 
 // SweepRequest asks for one batch evaluation of a graph (inline or by id)
@@ -312,10 +335,23 @@ const RetryAttemptHeader = "X-Retry-Attempt"
 // simply not class-counted.
 const WorkloadClassHeader = "X-Workload-Class"
 
+// RequestIDHeader carries the request id: a short opaque token that names
+// one logical client call across every tier that serves it. The server
+// (and the cluster router) accept a client-supplied value, generate one
+// when absent, echo it on the response, and stamp it on every log line
+// and error body the request produces. The Client suffixes retries with
+// "-<attempt>" and the router suffixes failover hops with "-f<n>", so the
+// base id remains a substring that joins all tiers' logs.
+const RequestIDHeader = "X-Request-ID"
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
+	// RequestID echoes the request's id so a refusal can be joined
+	// against server logs (absent only when the error predates id
+	// assignment, e.g. a router-originated refusal before forwarding).
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // HealthResponse is the body of GET /healthz: enough per-replica state for
@@ -345,9 +381,16 @@ type APIError struct {
 	// RetryAfter is the server's Retry-After hint, when it sent one
 	// (429/503); the Client's backoff never retries sooner.
 	RetryAfter time.Duration
+	// RequestID is the failing request's id as the server reported it
+	// (X-Request-ID response header, falling back to the error body), so
+	// a client-side failure can be chased through server logs.
+	RequestID string
 }
 
 // Error implements the error interface.
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("serve: %s (http %d, code %s, request %s)", e.Message, e.Status, e.Code, e.RequestID)
+	}
 	return fmt.Sprintf("serve: %s (http %d, code %s)", e.Message, e.Status, e.Code)
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/multi"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Session is the primary scheduling handle: it is created once for a task
@@ -320,6 +321,13 @@ type Stats struct {
 	Events int
 	// WallTime is the end-to-end duration of the call.
 	WallTime time.Duration
+	// Phases is the call's span timeline — ranking, statics, warm-start
+	// replay, the placement loop (plus clone/search/dispatch on the
+	// shortcut, Optimal and Simulate paths) — populated only when the
+	// call's context carries a trace recorder (WithPhaseTrace, or the
+	// per-request recorder installed by the serving layer). Offsets are
+	// relative to the call's start; nil when tracing is off.
+	Phases []Phase
 }
 
 // CacheHitRate returns the fraction of candidate evaluations served from
@@ -401,6 +409,8 @@ func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOpti
 	cfg := newScheduleConfig(opts)
 	ctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
+	ctx, phaseRec, finishPhases := beginPhases(ctx)
+	defer finishPhases()
 	start := time.Now()
 
 	if dp, ok := p.Dual(); ok && s.times == nil {
@@ -436,8 +446,10 @@ func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOpti
 					// return a clone of it without running the engine. The
 					// stored entry stays anchored at its recording platform,
 					// keeping the margins exact for the rest of the chain.
+					endClone := trace.Start(ctx, "clone")
 					sched := prev.sched.Clone()
 					sched.Platform = eff
+					endClone()
 					res := &Result{
 						Schedule: sched,
 						Stats: Stats{
@@ -446,6 +458,9 @@ func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOpti
 							ReplayedPlacements: len(prev.trace.Cands),
 							WallTime:           time.Since(start),
 						},
+					}
+					if phaseRec != nil {
+						res.Stats.Phases = phasesOf(phaseRec)
 					}
 					res.peaks = append([]int64(nil), prev.peaks...)
 					return res, nil
@@ -470,6 +485,9 @@ func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOpti
 				ReplayTruncated:    rs.ReplayTruncated,
 				WallTime:           time.Since(start),
 			},
+		}
+		if phaseRec != nil {
+			res.Stats.Phases = phasesOf(phaseRec)
 		}
 		if rec != nil && rec.Complete {
 			// A replay that consumed the whole (complete) trace produced a
@@ -513,8 +531,10 @@ func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOpti
 		if prev = s.multiWarmEntry(key); prev != nil {
 			if prev.trace.FullReplayOn(eff) {
 				// Margin shortcut — see the dual path above.
+				endClone := trace.Start(ctx, "clone")
 				sched := prev.sched.Clone()
 				sched.Platform = eff
+				endClone()
 				res := &Result{
 					Pools: sched,
 					Stats: Stats{
@@ -524,6 +544,9 @@ func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOpti
 						ReplayedPlacements: len(prev.trace.Cands),
 						WallTime:           time.Since(start),
 					},
+				}
+				if phaseRec != nil {
+					res.Stats.Phases = phasesOf(phaseRec)
 				}
 				res.peaks = append([]int64(nil), prev.peaks...)
 				return res, nil
@@ -564,6 +587,9 @@ func (s *Session) Schedule(ctx context.Context, p Platform, opts ...ScheduleOpti
 			WallTime:           time.Since(start),
 		},
 	}
+	if phaseRec != nil {
+		res.Stats.Phases = phasesOf(phaseRec)
+	}
 	if rec != nil && rec.Complete {
 		// Same peak carry-over as the dual path: a full replay of a
 		// complete trace reproduced the recorded schedule bit for bit.
@@ -593,17 +619,21 @@ func (s *Session) Optimal(ctx context.Context, p Platform, opts ...ScheduleOptio
 	if !ok || s.times != nil {
 		return nil, errDualSessionOnly("Optimal")
 	}
+	ctx, phaseRec, finishPhases := beginPhases(ctx)
+	defer finishPhases()
 	start := time.Now()
+	endSearch := trace.Start(ctx, "search")
 	res, err := exact.Solve(ctx, s.g, dp, exact.Options{
 		MaxNodes:  cfg.maxNodes,
 		Timeout:   cfg.timeout,
 		Incumbent: cfg.incumbent,
 		Caches:    s.caches,
 	})
+	endSearch()
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	out := &Result{
 		Schedule: res.Schedule,
 		Stats: Stats{
 			Scheduler: "optimal",
@@ -612,7 +642,11 @@ func (s *Session) Optimal(ctx context.Context, p Platform, opts ...ScheduleOptio
 			Proven:    res.Status == exact.Optimal || res.Status == exact.Infeasible,
 			WallTime:  time.Since(start),
 		},
-	}, nil
+	}
+	if phaseRec != nil {
+		out.Stats.Phases = phasesOf(phaseRec)
+	}
+	return out, nil
 }
 
 // Simulate runs the online StarPU-style dispatcher for the session's graph
@@ -627,12 +661,16 @@ func (s *Session) Simulate(ctx context.Context, p Platform, opts ...ScheduleOpti
 	}
 	ctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
+	ctx, phaseRec, finishPhases := beginPhases(ctx)
+	defer finishPhases()
 	start := time.Now()
+	endDispatch := trace.Start(ctx, "dispatch")
 	res, err := sim.Run(ctx, s.g, dp, sim.Options{Policy: cfg.policy, Seed: cfg.seed})
+	endDispatch()
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	out := &Result{
 		Schedule: res.Schedule,
 		Stats: Stats{
 			Scheduler: "sim-" + cfg.policy.String(),
@@ -640,7 +678,11 @@ func (s *Session) Simulate(ctx context.Context, p Platform, opts ...ScheduleOpti
 			Events:    res.Events,
 			WallTime:  time.Since(start),
 		},
-	}, nil
+	}
+	if phaseRec != nil {
+		out.Stats.Phases = phasesOf(phaseRec)
+	}
+	return out, nil
 }
 
 // LowerBound returns a makespan lower bound valid for every schedule of the

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	memsched "repro"
+	"repro/internal/trace"
 )
 
 // Run executes spec against sess and collects every point result in point
@@ -48,7 +49,9 @@ func Stream(ctx context.Context, sess *memsched.Session, spec Spec, fn func(Poin
 		ctx = context.Background()
 	}
 	start := time.Now()
+	endCompile := trace.Start(ctx, "sweep/compile")
 	c, err := compile(ctx, sess, &spec)
+	endCompile()
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +72,10 @@ func Stream(ctx context.Context, sess *memsched.Session, spec Spec, fn func(Poin
 	// ranks, the priority list of each swept seed), so the forks below are
 	// born warm instead of each re-ranking the graph.
 	if seeds := registrySeeds(c); len(seeds) > 0 {
-		if err := sess.WarmUp(ctx, seeds...); err != nil {
+		endWarm := trace.Start(ctx, "sweep/warmup")
+		err := sess.WarmUp(ctx, seeds...)
+		endWarm()
+		if err != nil {
 			return nil, err
 		}
 	}
